@@ -1,0 +1,27 @@
+"""Benchmark-suite configuration.
+
+Every benchmark regenerates one of the paper's tables or figures and, on
+first run of the session, prints the regenerated rows/series so the
+benchmark log doubles as the reproduction artifact.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+_printed: set[str] = set()
+
+
+@pytest.fixture
+def show_once(capsys):
+    """Print an experiment result exactly once per session."""
+
+    def _show(name: str, result) -> None:
+        if name in _printed:
+            return
+        _printed.add(name)
+        with capsys.disabled():
+            print()
+            print(result)
+
+    return _show

@@ -1,0 +1,40 @@
+"""Benchmarks for the ablation studies (extension artifacts)."""
+
+from repro.experiments.ablations import (
+    congestion_ablation,
+    fused_mac_ablation,
+    rounding_mode_ablation,
+    tool_objective_ablation,
+)
+
+
+def test_ablation_tool_objective(benchmark, show_once):
+    table = benchmark(tool_objective_ablation)
+    show_once("ablation-objective", table)
+    assert len(table.rows) == 18
+
+
+def test_ablation_congestion(benchmark, show_once):
+    table = benchmark(congestion_ablation)
+    show_once("ablation-congestion", table)
+    assert len(table.rows) == 4
+
+
+def test_ablation_rounding_mode(benchmark, show_once):
+    table = benchmark(rounding_mode_ablation)
+    show_once("ablation-rounding", table)
+    assert len(table.rows) == 2
+
+
+def test_ablation_fused_mac(benchmark, show_once):
+    table = benchmark(fused_mac_ablation, samples=40, length=24)
+    show_once("ablation-fma", table)
+    assert len(table.rows) == 2
+
+
+def test_ablation_register_sharing(benchmark, show_once):
+    from repro.experiments.ablations import register_sharing_ablation
+
+    table = benchmark(register_sharing_ablation)
+    show_once("ablation-registers", table)
+    assert len(table.rows) == 5

@@ -1,0 +1,28 @@
+"""Benchmarks regenerating Figures 2 and 3 (unit-level sweeps)."""
+
+from repro.experiments import fig2_freq_area, fig3_power
+from repro.units.explorer import UnitKind
+
+
+def test_fig2a_adders(benchmark, show_once):
+    fig = benchmark(fig2_freq_area.run, UnitKind.ADDER)
+    show_once("fig2a", fig)
+    assert len(fig.series) == 3
+
+
+def test_fig2b_multipliers(benchmark, show_once):
+    fig = benchmark(fig2_freq_area.run, UnitKind.MULTIPLIER)
+    show_once("fig2b", fig)
+    assert len(fig.series) == 3
+
+
+def test_fig3a_adder_power(benchmark, show_once):
+    fig = benchmark(fig3_power.run, UnitKind.ADDER)
+    show_once("fig3a", fig)
+    assert len(fig.series) == 3
+
+
+def test_fig3b_multiplier_power(benchmark, show_once):
+    fig = benchmark(fig3_power.run, UnitKind.MULTIPLIER)
+    show_once("fig3b", fig)
+    assert len(fig.series) == 3

@@ -1,0 +1,33 @@
+"""Benchmarks regenerating Section 4.2 and Figures 4-6 (kernel level)."""
+
+from repro.experiments import (
+    fig4_energy_distribution,
+    fig5_problem_size,
+    fig6_block_size,
+    sec42_matmul,
+)
+
+
+def test_sec42_device_gflops(benchmark, show_once):
+    table = benchmark(sec42_matmul.run)
+    show_once("sec4.2", table)
+    gflops = table.column("GFLOPS")
+    assert gflops[0] > gflops[1]  # single beats double
+
+
+def test_fig4_energy_distribution(benchmark, show_once):
+    table = benchmark(fig4_energy_distribution.run)
+    show_once("fig4", table)
+    assert len(table.rows) == 6  # 2 problem sizes x 3 configs
+
+
+def test_fig5_problem_size(benchmark, show_once):
+    fig = benchmark(fig5_problem_size.run)
+    show_once("fig5", fig)
+    assert len(fig.energy.series) == 3
+
+
+def test_fig6_block_size(benchmark, show_once):
+    fig = benchmark(fig6_block_size.run)
+    show_once("fig6", fig)
+    assert len(fig.energy.series) == 3

@@ -1,0 +1,179 @@
+"""Micro-benchmarks of the core building blocks.
+
+Not paper artifacts — these track the cost of the library's hot paths
+(bit-accurate FP ops, the retiming optimizer, the cycle-accurate array)
+so performance regressions in the simulator itself are visible.
+"""
+
+import random
+
+from repro.fabric.netlist import adder_datapath
+from repro.fabric.retiming import partition_chain
+from repro.fabric.synthesis import synthesize
+from repro.fp.adder import fp_add
+from repro.fp.format import FP32, FP64
+from repro.fp.multiplier import fp_mul
+from repro.fp.value import FPValue
+from repro.kernels.matmul import MatmulArray
+
+
+def _operands(fmt, count, seed=7):
+    rng = random.Random(seed)
+    return [
+        (
+            FPValue.from_float(fmt, rng.uniform(-1e3, 1e3)).bits,
+            FPValue.from_float(fmt, rng.uniform(-1e3, 1e3)).bits,
+        )
+        for _ in range(count)
+    ]
+
+
+def test_fp32_add_throughput(benchmark):
+    ops = _operands(FP32, 512)
+
+    def run():
+        acc = 0
+        for a, b in ops:
+            acc ^= fp_add(FP32, a, b)[0]
+        return acc
+
+    benchmark(run)
+
+
+def test_fp64_add_throughput(benchmark):
+    ops = _operands(FP64, 512)
+
+    def run():
+        acc = 0
+        for a, b in ops:
+            acc ^= fp_add(FP64, a, b)[0]
+        return acc
+
+    benchmark(run)
+
+
+def test_fp32_mul_throughput(benchmark):
+    ops = _operands(FP32, 512)
+
+    def run():
+        acc = 0
+        for a, b in ops:
+            acc ^= fp_mul(FP32, a, b)[0]
+        return acc
+
+    benchmark(run)
+
+
+def test_encode_from_float(benchmark):
+    rng = random.Random(3)
+    values = [rng.uniform(-1e6, 1e6) for _ in range(256)]
+    benchmark(lambda: [FPValue.from_float(FP64, v).bits for v in values])
+
+
+def test_retiming_partition(benchmark):
+    quanta = adder_datapath(FP64).quanta
+    benchmark(lambda: [partition_chain(quanta, s) for s in (2, 8, 16, 24)])
+
+
+def test_synthesis_single_point(benchmark):
+    dp = adder_datapath(FP32)
+    benchmark(synthesize, dp, 12)
+
+
+def test_cycle_accurate_matmul_8x8(benchmark):
+    rng = random.Random(5)
+    n = 8
+    a = [
+        [FPValue.from_float(FP32, rng.uniform(-9, 9)).bits for _ in range(n)]
+        for _ in range(n)
+    ]
+    b = [
+        [FPValue.from_float(FP32, rng.uniform(-9, 9)).bits for _ in range(n)]
+        for _ in range(n)
+    ]
+
+    def run():
+        return MatmulArray(FP32, n, 3, 5).run(a, b).cycles
+
+    benchmark(run)
+
+
+def test_vectorized_add_throughput(benchmark):
+    """The vectorization payoff: same bit-exact results, array-at-a-time."""
+    import numpy as np
+
+    from repro.fp.vectorized import vec_add
+
+    rng = random.Random(11)
+    n = 4096
+    a = np.array([rng.randrange(FP32.word_mask + 1) for _ in range(n)], dtype=np.uint64)
+    b = np.array([rng.randrange(FP32.word_mask + 1) for _ in range(n)], dtype=np.uint64)
+    benchmark(lambda: int(vec_add(FP32, a, b)[0]))
+
+
+def test_vectorized_mul_throughput(benchmark):
+    import numpy as np
+
+    from repro.fp.vectorized import vec_mul
+
+    rng = random.Random(12)
+    n = 4096
+    a = np.array([rng.randrange(FP32.word_mask + 1) for _ in range(n)], dtype=np.uint64)
+    b = np.array([rng.randrange(FP32.word_mask + 1) for _ in range(n)], dtype=np.uint64)
+    benchmark(lambda: int(vec_mul(FP32, a, b)[0]))
+
+
+def test_structural_adder_stream(benchmark):
+    from repro.units.structural import StructuralFPAdder
+
+    rng = random.Random(13)
+    unit = StructuralFPAdder(FP32, stages=8)
+    ops = [
+        (rng.randrange(FP32.word_mask + 1), rng.randrange(FP32.word_mask + 1))
+        for _ in range(128)
+    ]
+
+    def run():
+        unit.pipe.reset()
+        last = None
+        for a, b in ops:
+            out, done = unit.step(a, b)
+            if done:
+                last = out
+        for out in unit.pipe.drain():
+            last = out
+        return last
+
+    benchmark(run)
+
+
+def test_vectorized_matmul_n16(benchmark):
+    """Bit-exact n=16 matmul via the array-vectorized path."""
+    import numpy as np
+
+    from repro.kernels.fast import functional_matmul_vectorized
+
+    rng = random.Random(17)
+    n = 16
+    a = np.array(
+        [[FPValue.from_float(FP32, rng.uniform(-9, 9)).bits for _ in range(n)]
+         for _ in range(n)],
+        dtype=np.uint64,
+    )
+    b = np.array(
+        [[FPValue.from_float(FP32, rng.uniform(-9, 9)).bits for _ in range(n)]
+         for _ in range(n)],
+        dtype=np.uint64,
+    )
+    benchmark(lambda: int(functional_matmul_vectorized(FP32, a, b)[0][0]))
+
+
+def test_coverage_testbench_add(benchmark):
+    from repro.verify import run_testbench
+
+    def run():
+        report = run_testbench(FP32, op="add", samples_per_pair=1)
+        assert report.passed
+        return report.cases
+
+    benchmark(run)

@@ -1,0 +1,36 @@
+"""Benchmarks regenerating Tables 1-4 of the paper.
+
+``pytest benchmarks/ --benchmark-only`` prints each regenerated table
+once and times the full regeneration (synthesis sweeps included).
+"""
+
+from repro.experiments import (
+    table1_adders,
+    table2_multipliers,
+    table3_compare32,
+    table4_compare64,
+)
+
+
+def test_table1_adders(benchmark, show_once):
+    table = benchmark(table1_adders.run)
+    show_once("table1", table)
+    assert len(table.rows) == 9
+
+
+def test_table2_multipliers(benchmark, show_once):
+    table = benchmark(table2_multipliers.run)
+    show_once("table2", table)
+    assert len(table.rows) == 9
+
+
+def test_table3_compare32(benchmark, show_once):
+    table = benchmark(table3_compare32.run)
+    show_once("table3", table)
+    assert len(table.rows) == 6
+
+
+def test_table4_compare64(benchmark, show_once):
+    table = benchmark(table4_compare64.run)
+    show_once("table4", table)
+    assert len(table.rows) == 4

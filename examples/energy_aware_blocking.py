@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Energy-aware block-size selection for an embedded target (paper §5).
+
+An embedded signal-processing board must multiply 48x48 single-precision
+matrices under an area budget (a mid-size XC2VP30) and an energy budget.
+The paper's point: block size b and FP-unit pipeline depth interact —
+blocks smaller than the MAC latency burn energy on zero-padding, deep
+pipelines cost area but finish sooner.  This example sweeps both knobs
+with the domain-specific energy model and picks the best feasible design.
+
+Run:  python examples/energy_aware_blocking.py
+"""
+
+from repro.analysis.tables import Table
+from repro.experiments.configs import kernel_configs
+from repro.fabric.device import get_device
+
+PROBLEM_N = 48
+BLOCK_SIZES = (4, 8, 12, 16, 24, 48)
+DEVICE = get_device("XC2VP30")
+AREA_BUDGET = DEVICE.usable_slices()
+
+
+def main() -> None:
+    print(
+        f"Problem: {PROBLEM_N}x{PROBLEM_N} fp32 matmul; "
+        f"area budget {AREA_BUDGET} slices ({DEVICE.name})\n"
+    )
+
+    table = Table(
+        "Design space: pipelining config x block size",
+        (
+            "Config",
+            "PL",
+            "b",
+            "PEs",
+            "Slices",
+            "Fits?",
+            "Energy (uJ)",
+            "Latency (us)",
+            "Padding waste",
+        ),
+    )
+    feasible = []
+    for config in kernel_configs():
+        model = config.performance_model()
+        for b in BLOCK_SIZES:
+            est = model.estimate(PROBLEM_N, b)
+            fits = est.slices <= AREA_BUDGET
+            from repro.kernels.blocking import blocked_schedule
+
+            waste = blocked_schedule(PROBLEM_N, b, config.pl).wasted_fraction
+            table.add_row(
+                config.label,
+                config.pl,
+                b,
+                est.pes,
+                est.slices,
+                "yes" if fits else "NO",
+                est.energy_nj / 1000.0,
+                est.latency_us,
+                f"{waste:.0%}",
+            )
+            if fits:
+                feasible.append((est.energy_nj, est.latency_us, config, b, est))
+    print(table)
+
+    best_energy = min(feasible, key=lambda t: t[0])
+    best_latency = min(feasible, key=lambda t: t[1])
+    for title, (e, lat, config, b, est) in (
+        ("Lowest energy", best_energy),
+        ("Lowest latency", best_latency),
+    ):
+        print(
+            f"\n{title}: {config.label} with b={b} -> "
+            f"{e / 1000.0:.1f} uJ, {lat:.1f} us, {est.slices} slices "
+            f"@ {est.frequency_mhz:.0f} MHz"
+        )
+
+    print(
+        "\nNote how blocks below the MAC latency (b < PL) are dominated: "
+        "the schedule zero-pads every accumulation loop, which is exactly "
+        "the wasteful dissipation the paper's Figure 6 shows."
+    )
+
+
+if __name__ == "__main__":
+    main()

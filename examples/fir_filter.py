@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""FIR filtering with the latency-hiding dot-product unit.
+
+The paper's application list opens with "radar/sonar signal processing";
+its kernel is the FIR filter, i.e. a sliding dot product of the signal
+against the tap weights.  This example runs a 32-tap low-pass filter
+through the cycle-accurate dot-product unit (one FP multiplier + one FP
+adder with the interleaved-partial-sum accumulation that hides the adder
+latency), checks the output against numpy, and shows the throughput
+penalty the naive accumulation would pay.
+
+Run:  python examples/fir_filter.py
+"""
+
+import math
+
+import numpy as np
+
+from repro import FP32, FPValue
+from repro.kernels.dotproduct import DotProductUnit
+from repro.units.explorer import UnitKind, explore
+
+
+def lowpass_taps(n: int, cutoff: float) -> list[float]:
+    """Windowed-sinc low-pass taps (Hann window)."""
+    taps = []
+    for i in range(n):
+        k = i - (n - 1) / 2
+        sinc = 2 * cutoff * (1.0 if k == 0 else math.sin(2 * math.pi * cutoff * k) / (2 * math.pi * cutoff * k))
+        window = 0.5 - 0.5 * math.cos(2 * math.pi * i / (n - 1))
+        taps.append(sinc * window)
+    scale = sum(taps)
+    return [t / scale for t in taps]
+
+
+def main() -> None:
+    n_taps = 32
+    taps = lowpass_taps(n_taps, cutoff=0.1)
+    # Input: a clean tone + high-frequency interference.
+    n_samples = 256
+    signal = [
+        math.sin(2 * math.pi * 0.02 * t) + 0.8 * math.sin(2 * math.pi * 0.37 * t)
+        for t in range(n_samples)
+    ]
+
+    # Paper-grade units: optimal fp32 adder/multiplier latencies.
+    add = explore(FP32, UnitKind.ADDER).optimal.report
+    mul = explore(FP32, UnitKind.MULTIPLIER).optimal.report
+    unit = DotProductUnit(FP32, mul_latency=mul.stages, add_latency=add.stages)
+
+    taps_bits = [FPValue.from_float(FP32, t).bits for t in taps]
+    signal_bits = [FPValue.from_float(FP32, s).bits for s in signal]
+
+    out = []
+    total_cycles = 0
+    for t in range(n_taps - 1, n_samples):
+        window = signal_bits[t - n_taps + 1 : t + 1][::-1]
+        run = unit.run(window, taps_bits)
+        out.append(FPValue(FP32, run.result).to_float())
+        total_cycles += run.cycles
+
+    expected = np.convolve(
+        np.array(signal, dtype=np.float64), np.array(taps), mode="valid"
+    )
+    err = float(np.max(np.abs(np.array(out) - expected)))
+
+    # Interference rejection: spectral amplitude at the 0.37-cycle/sample
+    # interferer, before vs after filtering.
+    def tone_amplitude(x: np.ndarray, freq: float) -> float:
+        t = np.arange(len(x))
+        return 2.0 * abs(np.mean(x * np.exp(-2j * np.pi * freq * t)))
+
+    in_hf = tone_amplitude(np.array(signal), 0.37)
+    out_hf = tone_amplitude(np.array(out), 0.37)
+
+    print(f"32-tap FIR on {n_samples} samples, fp32 units "
+          f"(mul {mul.stages} st / add {add.stages} st, lanes={unit.lanes})")
+    print(f"  max |fp32 - float64 reference| = {err:.3e}")
+    print(f"  interferer amplitude @0.37: {in_hf:.2f} in -> {out_hf:.4f} out "
+          f"({20 * math.log10(out_hf / in_hf):.0f} dB)")
+    print(f"  cycles per output: {total_cycles // len(out)} "
+          f"(naive accumulation would need {unit.naive_cycles(n_taps)})")
+    print(f"  interleaving speedup at this tap count: "
+          f"{unit.speedup_over_naive(n_taps):.1f}x")
+    print(
+        f"  at {min(add.clock_mhz, mul.clock_mhz):.0f} MHz this single MAC "
+        f"pair sustains ~{2 * min(add.clock_mhz, mul.clock_mhz) / 1000:.2f} "
+        f"GFLOPS on long dot products"
+    )
+
+
+if __name__ == "__main__":
+    main()

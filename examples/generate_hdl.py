@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Core generation: emit VHDL pipeline skeletons + verification evidence.
+
+The complete core-generator workflow the paper's infrastructure implies:
+
+1. explore the pipeline design space and pick an implementation;
+2. verify the datapath — coverage-directed testbench against the exact
+   oracle, plus a mutation campaign proving the flow would catch faults;
+3. emit the VHDL skeleton whose stage structure is the optimizer's
+   register placement.
+
+Run:  python examples/generate_hdl.py [outdir]
+"""
+
+import pathlib
+import sys
+
+from repro.fp import FP32, fp_add, fp_mul
+from repro.fp.rounding import RoundingMode
+from repro.hdl import emit_vhdl
+from repro.units.explorer import UnitKind, explore
+from repro.units.structural import adder_micro_ops, multiplier_micro_ops
+from repro.verify import mutation_campaign, run_testbench
+
+
+def main() -> None:
+    outdir = pathlib.Path(sys.argv[1] if len(sys.argv) > 1 else "generated_hdl")
+    outdir.mkdir(parents=True, exist_ok=True)
+
+    for kind, micro_ops, golden in (
+        (UnitKind.ADDER, adder_micro_ops, fp_add),
+        (UnitKind.MULTIPLIER, multiplier_micro_ops, fp_mul),
+    ):
+        # 1. Design-space choice: the throughput/area-optimal depth.
+        space = explore(FP32, kind)
+        opt = space.optimal.report
+        print(f"{opt.unit}: opt {opt.stages} stages, {opt.slices} slices, "
+              f"{opt.clock_mhz:.0f} MHz")
+
+        # 2. Verification evidence.
+        tb = run_testbench(FP32, op="add" if kind is UnitKind.ADDER else "mul",
+                           samples_per_pair=2)
+        ops = micro_ops(FP32, RoundingMode.NEAREST_EVEN)
+        mc = mutation_campaign(
+            FP32, ops, lambda a, b: golden(FP32, a, b), trials=30
+        )
+        print(f"  testbench: {tb.summary()}")
+        print(f"  mutation campaign: {mc.detected}/{mc.trials} faults "
+              f"detected ({mc.coverage:.0%})")
+        assert tb.passed, "golden-model mismatch — do not generate!"
+
+        # 3. Emission.
+        vhdl = emit_vhdl(kind.datapath(FP32), opt.stages)
+        path = outdir / f"{opt.unit}_s{opt.stages}.vhd"
+        path.write_text(vhdl)
+        print(f"  wrote {path} ({len(vhdl.splitlines())} lines)\n")
+
+    print(f"done; skeletons in {outdir}/")
+
+
+if __name__ == "__main__":
+    main()

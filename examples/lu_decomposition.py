@@ -1,0 +1,72 @@
+#!/usr/bin/env python3
+"""LU decomposition on the linear array (the authors' follow-on kernel).
+
+Factors a diagonally dominant system with the library's bit-accurate FP
+ops (including the divider extension), checks the reconstruction error,
+and contrasts the LU schedule's energy behaviour with matmul's: because
+LU's trailing submatrices shrink, deep pipelines pay a zero-padding tail
+on *every* problem size — the padding never amortizes away.
+
+Run:  python examples/lu_decomposition.py
+"""
+
+import random
+
+import numpy as np
+
+from repro import FP64, FPValue
+from repro.analysis.tables import Table
+from repro.experiments.configs import kernel_configs
+from repro.kernels.lu import LUPerformanceModel, functional_lu, split_lu
+
+
+def main() -> None:
+    rng = random.Random(7)
+    n = 10
+    vals = [[rng.uniform(-1, 1) for _ in range(n)] for _ in range(n)]
+    for i in range(n):
+        vals[i][i] = n + 1.0
+    bits = [[FPValue.from_float(FP64, v).bits for v in row] for row in vals]
+
+    lu, flags = functional_lu(FP64, bits)
+    lower_b, upper_b = split_lu(FP64, lu)
+    lower = np.array([[FPValue(FP64, b).to_float() for b in r] for r in lower_b])
+    upper = np.array([[FPValue(FP64, b).to_float() for b in r] for r in upper_b])
+    residual = np.abs(lower @ upper - np.array(vals)).max()
+    print(f"{n}x{n} fp64 LU (no pivoting, bit-accurate FP ops)")
+    print(f"  max |L@U - A|   = {residual:.3e}")
+    print(f"  exception flags = inexact={flags.inexact}, "
+          f"overflow={flags.overflow}, div_by_zero={flags.div_by_zero}")
+
+    # Architecture-level schedule/energy: the shrinking-trailing-matrix
+    # effect across the three pipelining configurations.
+    table = Table(
+        "LU schedule vs pipelining (fp32 array model, n=64)",
+        ("Config", "PL", "Cycles", "Padding", "Padding %", "Latency (us)",
+         "Energy (uJ)", "GFLOPS"),
+    )
+    for config in kernel_configs():
+        model = LUPerformanceModel(config.performance_model().pe_model)
+        est = model.estimate(64)
+        table.add_row(
+            config.label,
+            config.pl,
+            est.cycles,
+            est.padded_cycles,
+            f"{est.padding_fraction:.1%}",
+            est.latency_us,
+            est.energy_nj / 1000.0,
+            est.gflops,
+        )
+    print()
+    print(table)
+    print(
+        "\nUnlike matmul, LU always finishes in the b < PL regime (the "
+        "trailing matrix shrinks below any pipeline latency), so deeper "
+        "pipelines never fully escape zero-padding — they win on latency "
+        "through clock rate alone."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,82 @@
+"""repro — reproduction of Govindu, Zhuo, Choi & Prasanna,
+"Analysis of High-performance Floating-point Arithmetic on FPGAs"
+(IPPS/RAW 2004).
+
+The package provides:
+
+* :mod:`repro.fp` — bit-accurate, parameterized floating-point
+  adder/subtractor and multiplier datapaths (32/48/64-bit and custom
+  formats), denormal-free with round-to-nearest-even and truncation;
+* :mod:`repro.rtl` — a small cycle-accurate synchronous modelling kit
+  (pipelines, bubbles, DONE sideband);
+* :mod:`repro.fabric` — a Virtex-II Pro technology model: device
+  catalog, area/delay models for the datapath subunits, optimal pipeline
+  register placement, and an ISE-like synthesis flow producing
+  slices/LUTs/FFs/clock reports;
+* :mod:`repro.units` — pipelined FP unit generators plus the
+  pipeline-depth design-space explorer (min/opt/max implementations);
+* :mod:`repro.power` — XPower-style power and domain-specific energy
+  models;
+* :mod:`repro.kernels` — the linear-array matrix-multiplication kernel,
+  both cycle-accurate (bit-exact results, hazard detection) and analytic
+  (GFLOPS, energy, latency, device fill);
+* :mod:`repro.baselines` — Pentium 4 / G4 and vendor-core comparison
+  points;
+* :mod:`repro.experiments` — one regenerator per table/figure of the
+  paper (``repro all`` on the command line).
+
+Quickstart::
+
+    from repro import FP32, FPValue, PipelinedFPAdder
+
+    adder = PipelinedFPAdder(FP32, stages=14)
+    a = FPValue.from_float(FP32, 1.5)
+    b = FPValue.from_float(FP32, 2.25)
+    bits, flags = adder.compute(a.bits, b.bits)
+    print(FPValue(FP32, bits).to_float(), adder.report)
+"""
+
+from repro.fp import (
+    FP32,
+    FP48,
+    FP64,
+    FPAdder,
+    FPFlags,
+    FPFormat,
+    FPMultiplier,
+    FPValue,
+    RoundingMode,
+    fp_add,
+    fp_mul,
+    fp_sub,
+)
+from repro.fabric import XC2VP125, Device, get_device
+from repro.kernels import MatmulArray, MatmulPerformanceModel, functional_matmul
+from repro.units import PipelinedFPAdder, PipelinedFPMultiplier, explore
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "FP32",
+    "FP48",
+    "FP64",
+    "FPAdder",
+    "FPFlags",
+    "FPFormat",
+    "FPMultiplier",
+    "FPValue",
+    "MatmulArray",
+    "MatmulPerformanceModel",
+    "PipelinedFPAdder",
+    "PipelinedFPMultiplier",
+    "RoundingMode",
+    "XC2VP125",
+    "Device",
+    "explore",
+    "fp_add",
+    "fp_mul",
+    "fp_sub",
+    "functional_matmul",
+    "get_device",
+    "__version__",
+]

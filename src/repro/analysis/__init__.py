@@ -1,0 +1,16 @@
+"""Reporting helpers: text tables, figure series, CSV export, ulp stats."""
+
+from repro.analysis.accuracy import ErrorStats, batch_ulp_errors, ulp, ulp_error
+from repro.analysis.series import Series, SweepResult
+from repro.analysis.tables import Table, format_table
+
+__all__ = [
+    "ErrorStats",
+    "Series",
+    "SweepResult",
+    "Table",
+    "batch_ulp_errors",
+    "format_table",
+    "ulp",
+    "ulp_error",
+]

@@ -1,0 +1,88 @@
+"""Numerical accuracy analysis: ulps, error statistics.
+
+Kernel-level trade studies (rounding-mode choice, fused vs chained MACs,
+accumulation order) need error measurements in *ulps* — units in the
+last place of the delivered result — rather than raw relative error.
+These helpers compute exact ulp distances against rational references
+and aggregate them into summary statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from fractions import Fraction
+from typing import Iterable, Sequence
+
+from repro.fp.format import FPFormat
+from repro.fp.value import FPValue
+
+
+def ulp(fmt: FPFormat, bits: int) -> Fraction:
+    """The unit in the last place of a finite word's binade.
+
+    For zero, the ulp of the smallest normal is returned (the spacing at
+    the bottom of the flush-to-zero range).
+    """
+    _, exp, _ = fmt.unpack(bits)
+    if exp == fmt.exp_max:
+        raise ValueError("ulp of NaN/Inf is undefined")
+    exp = max(exp, 1)
+    return Fraction(2) ** (exp - fmt.bias - fmt.man_bits)
+
+
+def ulp_error(fmt: FPFormat, bits: int, exact: Fraction) -> Fraction:
+    """Distance between a delivered result and the exact value, in ulps
+    of the delivered result."""
+    got = FPValue(fmt, bits).to_fraction()
+    return abs(got - exact) / ulp(fmt, bits)
+
+
+@dataclass(frozen=True)
+class ErrorStats:
+    """Summary of a batch of ulp errors."""
+
+    count: int
+    mean_ulp: float
+    max_ulp: float
+    rms_ulp: float
+    correctly_rounded_fraction: float  # errors <= 0.5 ulp
+
+    @classmethod
+    def collect(cls, errors: Iterable[Fraction]) -> "ErrorStats":
+        errs = [float(e) for e in errors]
+        if not errs:
+            raise ValueError("no errors to summarize")
+        n = len(errs)
+        mean = sum(errs) / n
+        rms = (sum(e * e for e in errs) / n) ** 0.5
+        within_half = sum(1 for e in errs if e <= 0.5 + 1e-12) / n
+        return cls(
+            count=n,
+            mean_ulp=mean,
+            max_ulp=max(errs),
+            rms_ulp=rms,
+            correctly_rounded_fraction=within_half,
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"n={self.count}: mean {self.mean_ulp:.3f} ulp, "
+            f"rms {self.rms_ulp:.3f}, max {self.max_ulp:.3f}, "
+            f"{self.correctly_rounded_fraction:.1%} correctly rounded"
+        )
+
+
+def batch_ulp_errors(
+    fmt: FPFormat,
+    results: Sequence[int],
+    exacts: Sequence[Fraction],
+) -> ErrorStats:
+    """Ulp-error statistics for paired (delivered bits, exact value)."""
+    if len(results) != len(exacts):
+        raise ValueError("results and exacts must have equal length")
+    errors = []
+    for bits, exact in zip(results, exacts):
+        if not fmt.is_finite(bits):
+            continue
+        errors.append(ulp_error(fmt, bits, exact))
+    return ErrorStats.collect(errors)

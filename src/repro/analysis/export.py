@@ -1,0 +1,99 @@
+"""JSON serialization of reports and estimates.
+
+Downstream tooling (plotting scripts, regression dashboards) wants the
+model's outputs in a structured form; this module converts the library's
+report objects to plain dictionaries and JSON, with a loader that checks
+schema versions.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.fabric.synthesis import ImplementationReport
+from repro.kernels.performance import KernelEstimate
+from repro.power.xpower import PowerReport
+
+#: Bumped whenever a serialized field changes meaning.
+SCHEMA_VERSION = 1
+
+
+def implementation_to_dict(impl: ImplementationReport) -> dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "implementation",
+        "unit": impl.unit,
+        "format": impl.fmt.name,
+        "stages": impl.stages,
+        "slices": impl.slices,
+        "luts": impl.luts,
+        "flipflops": impl.flipflops,
+        "clock_mhz": round(impl.clock_mhz, 4),
+        "mult18": impl.mult18,
+        "freq_per_area": round(impl.freq_per_area, 6),
+        "critical_path_ns": round(impl.critical_path_ns, 4),
+        "objective": impl.objective.value,
+        "grade": impl.grade.value,
+    }
+
+
+def estimate_to_dict(est: KernelEstimate) -> dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "kernel_estimate",
+        "n": est.n,
+        "b": est.b,
+        "pipeline_latency": est.pipeline_latency,
+        "pes": est.pes,
+        "cycles": est.cycles,
+        "frequency_mhz": round(est.frequency_mhz, 4),
+        "latency_us": round(est.latency_us, 6),
+        "energy_nj": round(est.energy_nj, 4),
+        "energy_breakdown": {
+            k: round(v, 4) for k, v in est.energy.as_dict().items()
+        },
+        "slices": est.slices,
+        "brams": est.brams,
+        "mult18": est.mult18,
+        "gflops": round(est.gflops, 4),
+    }
+
+
+def power_to_dict(power: PowerReport) -> dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "power",
+        "clock_mw": round(power.clock_mw, 4),
+        "signal_mw": round(power.signal_mw, 4),
+        "logic_mw": round(power.logic_mw, 4),
+        "mult_mw": round(power.mult_mw, 4),
+        "total_mw": round(power.total_mw, 4),
+        "frequency_mhz": power.frequency_mhz,
+        "activity": power.activity,
+    }
+
+
+def to_json(obj: Any) -> str:
+    """Serialize any supported report object to JSON."""
+    if isinstance(obj, ImplementationReport):
+        payload = implementation_to_dict(obj)
+    elif isinstance(obj, KernelEstimate):
+        payload = estimate_to_dict(obj)
+    elif isinstance(obj, PowerReport):
+        payload = power_to_dict(obj)
+    else:
+        raise TypeError(f"cannot serialize {type(obj).__name__}")
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def load_json(text: str) -> dict[str, Any]:
+    """Parse a serialized report, validating the schema version."""
+    payload = json.loads(text)
+    if not isinstance(payload, dict):
+        raise ValueError("expected a JSON object")
+    if payload.get("schema") != SCHEMA_VERSION:
+        raise ValueError(
+            f"schema version {payload.get('schema')} != {SCHEMA_VERSION}"
+        )
+    return payload

@@ -1,0 +1,73 @@
+"""Figure data containers: named series over a shared x-axis.
+
+The figure experiments (Fig 2, 3, 4, 5, 6) return :class:`SweepResult`
+objects — the exact numbers the paper plots — which render as aligned
+text columns and can be exported to CSV for external plotting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+
+@dataclass(frozen=True)
+class Series:
+    """One curve: a label and y-values aligned to the sweep's x-axis."""
+
+    label: str
+    values: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"series {self.label!r} is empty")
+
+
+@dataclass
+class SweepResult:
+    """A figure: x-axis plus one or more curves."""
+
+    title: str
+    x_label: str
+    y_label: str
+    x: tuple[float, ...] = ()
+    series: list[Series] = field(default_factory=list)
+
+    def add_series(self, label: str, values: Sequence[float]) -> None:
+        values = tuple(float(v) for v in values)
+        if self.x and len(values) != len(self.x):
+            raise ValueError(
+                f"series {label!r} has {len(values)} points, x-axis has {len(self.x)}"
+            )
+        self.series.append(Series(label, values))
+
+    def get(self, label: str) -> Series:
+        for s in self.series:
+            if s.label == label:
+                return s
+        raise KeyError(f"no series {label!r} in {self.title!r}")
+
+    def render(self) -> str:
+        headers = [self.x_label] + [s.label for s in self.series]
+        widths = [max(len(h), 10) for h in headers]
+        lines = [
+            f"{self.title}   (y: {self.y_label})",
+            "=" * (len(self.title) + len(self.y_label) + 8),
+            "  ".join(h.ljust(w) for h, w in zip(headers, widths)),
+        ]
+        for i, xv in enumerate(self.x):
+            cells = [f"{xv:g}"] + [f"{s.values[i]:.4g}" for s in self.series]
+            lines.append("  ".join(c.rjust(w) for c, w in zip(cells, widths)))
+        return "\n".join(lines)
+
+    def to_csv(self) -> str:
+        headers = [self.x_label] + [s.label for s in self.series]
+        lines = [",".join(headers)]
+        for i, xv in enumerate(self.x):
+            lines.append(
+                ",".join([f"{xv:g}"] + [f"{s.values[i]:.6g}" for s in self.series])
+            )
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:
+        return self.render()

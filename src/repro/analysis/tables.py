@@ -1,0 +1,75 @@
+"""Fixed-width text tables, the output format of the experiment harness.
+
+Every experiment renders its result as a :class:`Table` whose rows mirror
+the corresponding table or figure of the paper, so `python -m repro
+table1` prints something directly comparable to the publication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Iterable, Sequence
+
+
+def _fmt_cell(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        if abs(value) >= 0.001:
+            return f"{value:.3f}"
+        return f"{value:.3g}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with typed rows."""
+
+    title: str
+    columns: Sequence[str]
+    rows: list[list[Any]] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self.rows.append(list(cells))
+
+    def render(self) -> str:
+        return format_table(self.title, self.columns, self.rows)
+
+    def column(self, name: str) -> list[Any]:
+        """Extract one column by header name."""
+        idx = list(self.columns).index(name)
+        return [row[idx] for row in self.rows]
+
+    def to_csv(self) -> str:
+        lines = [",".join(str(c) for c in self.columns)]
+        for row in self.rows:
+            lines.append(",".join(_fmt_cell(c) for c in row))
+        return "\n".join(lines) + "\n"
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def format_table(
+    title: str, columns: Sequence[str], rows: Iterable[Sequence[Any]]
+) -> str:
+    """Render a fixed-width table with a title rule."""
+    str_rows = [[_fmt_cell(c) for c in row] for row in rows]
+    widths = [len(str(c)) for c in columns]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    header = "  ".join(str(c).ljust(widths[i]) for i, c in enumerate(columns))
+    rule = "-" * len(header)
+    lines = [title, "=" * len(title), header, rule]
+    for row in str_rows:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)

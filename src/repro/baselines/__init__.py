@@ -1,0 +1,25 @@
+"""Comparison baselines: general-purpose processors and third-party cores."""
+
+from repro.baselines.processors import PENTIUM4_2_53, POWERPC_G4_1000, ProcessorBaseline
+from repro.baselines.vendor_cores import (
+    NALLATECH_ADD32,
+    NALLATECH_MUL32,
+    NEU_ADD64,
+    NEU_MUL64,
+    QUIXILICA_ADD32,
+    QUIXILICA_MUL32,
+    VendorCore,
+)
+
+__all__ = [
+    "NALLATECH_ADD32",
+    "NALLATECH_MUL32",
+    "NEU_ADD64",
+    "NEU_MUL64",
+    "PENTIUM4_2_53",
+    "POWERPC_G4_1000",
+    "QUIXILICA_ADD32",
+    "QUIXILICA_MUL32",
+    "ProcessorBaseline",
+    "VendorCore",
+]

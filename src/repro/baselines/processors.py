@@ -1,0 +1,62 @@
+"""General-purpose processor baselines (paper Section 4.2).
+
+The paper compares its full-device matrix-multiplication throughput
+against a 2.54 GHz Pentium 4 and a 1 GHz PowerPC G4, citing vendor
+executive summaries [3].  These are comparison *constants*, exactly as the
+paper uses them: sustained dense-matmul GFLOPS and the processor's power
+draw for the GFLOPS/W metric.
+
+Values (documented model inputs, era-correct):
+
+* Pentium 4 "Northwood" 2.53 GHz: SSE/SSE2 sustained SGEMM ~3.3 GFLOPS,
+  DGEMM ~1.7 GFLOPS; TDP 59.8 W.  The paper's "6X improvement ... over
+  the 2.54 GHz Pentium 4" at 19.6 GFLOPS implies ~3.3 sustained.
+* Motorola PowerPC G4 (MPC7455) 1 GHz: AltiVec single precision sustained
+  ~6.5 GFLOPS (the paper's "3X improvement over the 1 GHz G4"); AltiVec
+  has no double-precision path, the scalar FPU sustains ~0.8 GFLOPS;
+  typical dissipation 21.3 W.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ProcessorBaseline:
+    """Sustained matmul performance and power of one processor."""
+
+    name: str
+    clock_ghz: float
+    sgemm_gflops: float
+    dgemm_gflops: float
+    power_w: float
+
+    def gflops(self, precision_bits: int) -> float:
+        """Sustained GFLOPS at the requested precision."""
+        if precision_bits <= 32:
+            return self.sgemm_gflops
+        return self.dgemm_gflops
+
+    def gflops_per_watt(self, precision_bits: int) -> float:
+        return self.gflops(precision_bits) / self.power_w
+
+
+PENTIUM4_2_53 = ProcessorBaseline(
+    name="Pentium 4 (2.53 GHz)",
+    clock_ghz=2.53,
+    sgemm_gflops=3.3,
+    dgemm_gflops=1.7,
+    power_w=59.8,
+)
+
+POWERPC_G4_1000 = ProcessorBaseline(
+    name="PowerPC G4 (1 GHz)",
+    clock_ghz=1.0,
+    sgemm_gflops=6.5,
+    dgemm_gflops=0.8,
+    power_w=21.3,
+)
+
+#: Baselines in the order the paper mentions them.
+ALL_PROCESSORS: tuple[ProcessorBaseline, ...] = (PENTIUM4_2_53, POWERPC_G4_1000)

@@ -1,0 +1,149 @@
+"""Third-party floating-point core baselines (paper Tables 3 and 4).
+
+The paper compares its 32-bit cores against the commercial Nallatech [7]
+and Quixilica [8] cores, and its 64-bit cores against the
+Belanovic–Leeser parameterized library from Northeastern University [1].
+The comparison rows are fixed published operating points, not things we
+synthesize — so, like the processor baselines, they are data-backed
+constants.  The numeric values are era-correct estimates reconstructed
+from the vendors' datasheets scaled to a Virtex-II Pro -7 (the exact
+table numbers did not survive the source OCR; EXPERIMENTS.md discusses
+the resulting comparisons qualitatively, which is what the paper's own
+text does: the custom-format commercial cores are smaller — sometimes
+winning on MHz/slice — but need format-conversion shims at system
+interfaces; the NEU library cores are much shallower and slower).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.power import xpower
+
+
+@dataclass(frozen=True)
+class VendorCore:
+    """A published third-party FP core operating point."""
+
+    vendor: str
+    kind: str  # "adder" | "multiplier"
+    width: int
+    stages: int
+    slices: int
+    clock_mhz: float
+    mult18: int = 0
+    ieee_format: bool = True
+    #: Extra slices required to convert to/from IEEE-754 at system
+    #: interfaces when the core uses a custom internal format.
+    conversion_slices: int = 0
+
+    @property
+    def freq_per_area(self) -> float:
+        """MHz/slice as published (excludes conversion shims)."""
+        return self.clock_mhz / self.slices
+
+    @property
+    def system_slices(self) -> int:
+        """Area including any needed format-conversion modules."""
+        return self.slices + self.conversion_slices
+
+    @property
+    def system_freq_per_area(self) -> float:
+        """MHz/slice charged with the conversion shims."""
+        return self.clock_mhz / self.system_slices
+
+    @property
+    def flipflops(self) -> int:
+        """FF estimate for power comparison: one result-width register
+        per stage plus sideband."""
+        return round(self.stages * (self.width + 6) * 0.9)
+
+    @property
+    def luts(self) -> int:
+        return round(self.slices * 1.8)
+
+    def power_mw(self, frequency_mhz: float = 100.0) -> float:
+        """Dynamic power at a reference clock (Table 4's power column)."""
+        return xpower.raw_power_mw(
+            flipflops=self.flipflops,
+            luts=self.luts,
+            frequency_mhz=frequency_mhz,
+            mult18=self.mult18,
+        )
+
+
+# --------------------------------------------------------------------- #
+# Table 3 comparators: 32-bit commercial cores (custom formats).
+# --------------------------------------------------------------------- #
+NALLATECH_ADD32 = VendorCore(
+    vendor="Nallatech",
+    kind="adder",
+    width=32,
+    stages=5,
+    slices=360,
+    clock_mhz=180.0,
+    ieee_format=False,
+    conversion_slices=50,
+)
+NALLATECH_MUL32 = VendorCore(
+    vendor="Nallatech",
+    kind="multiplier",
+    width=32,
+    stages=4,
+    slices=120,
+    clock_mhz=185.0,
+    mult18=4,
+    ieee_format=False,
+    conversion_slices=50,
+)
+QUIXILICA_ADD32 = VendorCore(
+    vendor="Quixilica",
+    kind="adder",
+    width=32,
+    stages=14,
+    slices=291,
+    clock_mhz=210.0,
+    ieee_format=False,
+    conversion_slices=50,
+)
+QUIXILICA_MUL32 = VendorCore(
+    vendor="Quixilica",
+    kind="multiplier",
+    width=32,
+    stages=8,
+    slices=135,
+    clock_mhz=210.0,
+    mult18=4,
+    ieee_format=False,
+    conversion_slices=50,
+)
+
+# --------------------------------------------------------------------- #
+# Table 4 comparators: the NEU parameterized library (IEEE formats,
+# shallow pipelines, pre-Virtex-II design style).
+# --------------------------------------------------------------------- #
+NEU_ADD64 = VendorCore(
+    vendor="NEU",
+    kind="adder",
+    width=64,
+    stages=4,
+    slices=1090,
+    clock_mhz=85.0,
+)
+NEU_MUL64 = VendorCore(
+    vendor="NEU",
+    kind="multiplier",
+    width=64,
+    stages=5,
+    slices=880,
+    clock_mhz=80.0,
+    mult18=16,
+)
+
+TABLE3_CORES: tuple[VendorCore, ...] = (
+    NALLATECH_ADD32,
+    QUIXILICA_ADD32,
+    NALLATECH_MUL32,
+    QUIXILICA_MUL32,
+)
+TABLE4_CORES: tuple[VendorCore, ...] = (NEU_ADD64, NEU_MUL64)

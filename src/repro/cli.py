@@ -1,0 +1,117 @@
+"""Command-line experiment runner.
+
+Usage::
+
+    repro list                # enumerate experiments
+    repro all                 # run everything, in paper order
+    repro table1 fig2a ...    # run specific experiments
+    repro --csv fig5          # CSV output where supported
+
+Each experiment prints rows/series directly comparable to the paper's
+table or figure of the same number.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Sequence
+
+from repro.experiments import REGISTRY
+
+
+def _emit(result: Any, csv: bool) -> None:
+    if csv and hasattr(result, "to_csv"):
+        print(result.to_csv())
+        return
+    if csv:
+        # Bundles (Figure 5/6) expose panels; fall through panel-wise.
+        for attr in ("energy", "resources", "latency"):
+            panel = getattr(result, attr, None)
+            if panel is not None and hasattr(panel, "to_csv"):
+                print(panel.to_csv())
+        return
+    print(result)
+
+
+def write_results(outdir: str) -> int:
+    """Run every experiment, writing text and CSV artifacts to ``outdir``."""
+    import pathlib
+
+    root = pathlib.Path(outdir)
+    root.mkdir(parents=True, exist_ok=True)
+    written = []
+    for name, fn in REGISTRY.items():
+        result = fn()
+        stem = name.replace(".", "_")
+        panels: list[tuple[str, Any]] = []
+        if hasattr(result, "to_csv"):
+            panels.append((stem, result))
+        else:  # figure bundles
+            for attr in ("energy", "resources", "latency"):
+                panel = getattr(result, attr, None)
+                if panel is not None and hasattr(panel, "to_csv"):
+                    panels.append((f"{stem}_{attr}", panel))
+        text_path = root / f"{stem}.txt"
+        text_path.write_text(str(result) + "\n")
+        written.append(text_path)
+        for panel_name, panel in panels:
+            csv_path = root / f"{panel_name}.csv"
+            csv_path.write_text(panel.to_csv())
+            written.append(csv_path)
+    print(f"wrote {len(written)} artifacts to {root}/")
+    for path in written:
+        print(f"  {path}")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the tables and figures of Govindu et al., "
+        "'Analysis of High-performance Floating-point Arithmetic on FPGAs' "
+        "(IPPS 2004).",
+    )
+    parser.add_argument(
+        "experiments",
+        nargs="*",
+        default=["list"],
+        help="experiment names (see 'repro list'), 'all', or 'results' to "
+        "write every artifact to --outdir",
+    )
+    parser.add_argument(
+        "--csv", action="store_true", help="emit CSV instead of text tables"
+    )
+    parser.add_argument(
+        "--outdir",
+        default="results",
+        help="output directory for the 'results' command (default: results/)",
+    )
+    args = parser.parse_args(argv)
+
+    names = list(args.experiments)
+    if names == ["list"]:
+        print("available experiments:")
+        for name in REGISTRY:
+            print(f"  {name}")
+        return 0
+    if names == ["results"]:
+        return write_results(args.outdir)
+    if names == ["all"]:
+        names = list(REGISTRY)
+
+    unknown = [n for n in names if n not in REGISTRY]
+    if unknown:
+        print(f"unknown experiments: {', '.join(unknown)}", file=sys.stderr)
+        print(f"known: {', '.join(REGISTRY)}", file=sys.stderr)
+        return 2
+
+    for i, name in enumerate(names):
+        if i:
+            print()
+        _emit(REGISTRY[name](), args.csv)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

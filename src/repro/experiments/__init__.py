@@ -1,0 +1,82 @@
+"""Experiment registry: one entry per table/figure of the paper.
+
+Each experiment module exposes ``run(...)`` returning a printable result
+(:class:`~repro.analysis.tables.Table` or
+:class:`~repro.analysis.series.SweepResult` bundle).  :data:`REGISTRY`
+maps CLI names to zero-argument callables with the paper's defaults.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.experiments import (
+    ablations,
+    ext_units,
+    fig2_freq_area,
+    fig3_power,
+    fig4_energy_distribution,
+    fig5_problem_size,
+    fig6_block_size,
+    sec42_matmul,
+    table1_adders,
+    table2_multipliers,
+    table3_compare32,
+    table4_compare64,
+)
+from repro.units.explorer import UnitKind
+
+
+def _fig2a() -> Any:
+    return fig2_freq_area.run(UnitKind.ADDER)
+
+
+def _fig2b() -> Any:
+    return fig2_freq_area.run(UnitKind.MULTIPLIER)
+
+
+def _fig3a() -> Any:
+    return fig3_power.run(UnitKind.ADDER)
+
+
+def _fig3b() -> Any:
+    return fig3_power.run(UnitKind.MULTIPLIER)
+
+
+#: CLI name -> experiment callable (paper defaults).
+REGISTRY: dict[str, Callable[[], Any]] = {
+    "fig2a": _fig2a,
+    "fig2b": _fig2b,
+    "table1": table1_adders.run,
+    "table2": table2_multipliers.run,
+    "table3": table3_compare32.run,
+    "table4": table4_compare64.run,
+    "fig3a": _fig3a,
+    "fig3b": _fig3b,
+    "sec4.2": sec42_matmul.run,
+    "fig4": fig4_energy_distribution.run,
+    "fig5": fig5_problem_size.run,
+    "fig6": fig6_block_size.run,
+    "ext-units": ext_units.run,
+    "ablation-objective": ablations.tool_objective_ablation,
+    "ablation-congestion": ablations.congestion_ablation,
+    "ablation-rounding": ablations.rounding_mode_ablation,
+    "ablation-fma": ablations.fused_mac_ablation,
+    "ablation-registers": ablations.register_sharing_ablation,
+}
+
+__all__ = [
+    "REGISTRY",
+    "ablations",
+    "ext_units",
+    "fig2_freq_area",
+    "fig3_power",
+    "fig4_energy_distribution",
+    "fig5_problem_size",
+    "fig6_block_size",
+    "sec42_matmul",
+    "table1_adders",
+    "table2_multipliers",
+    "table3_compare32",
+    "table4_compare64",
+]

@@ -1,0 +1,46 @@
+"""Extension table: divider and square-root units across precisions.
+
+Not in the paper (which analyses adders and multipliers); this applies
+the identical min/max/opt methodology to the two digit-recurrence units
+the library adds, making the extensions first-class artifacts.  Expected
+relations: the recurrence units pipeline far deeper (one row per result
+bit), reach comparable clock ceilings, and pay a much larger area — so
+their MHz/slice is roughly an order of magnitude below the multiplier's.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.fp.format import PAPER_FORMATS
+from repro.units.explorer import UnitKind, explore
+
+COLUMNS = (
+    "Unit",
+    "Impl",
+    "Stages",
+    "Slices",
+    "Clock (MHz)",
+    "Freq/Area (MHz/slice)",
+)
+
+
+def run() -> Table:
+    """Regenerate the extension-unit analysis table."""
+    table = Table(
+        "Extension: divider and square-root units (paper methodology)",
+        columns=COLUMNS,
+    )
+    for kind in (UnitKind.DIVIDER, UnitKind.SQRT):
+        for fmt in PAPER_FORMATS:
+            space = explore(fmt, kind)
+            for point in (space.minimum, space.maximum, space.optimal):
+                r = point.report
+                table.add_row(
+                    f"{fmt.width}-bit {kind.value}",
+                    point.label,
+                    r.stages,
+                    r.slices,
+                    r.clock_mhz,
+                    r.freq_per_area,
+                )
+    return table

@@ -1,0 +1,57 @@
+"""Figure 4: energy distribution in a PE across pipelining levels.
+
+Per-PE energy split into MAC / storage / misc / I-O for problem sizes
+n = 10 and n = 30 (the OCR of the paper dropped the trailing digits;
+DESIGN.md documents the restoration) under the three pipelining
+configurations.  Expected relations, per the paper: at the small problem
+size the deeply pipelined units waste a lot of energy on zero-padding
+(the schedule stretches to PL while the work stays n^2); at the large
+size the distributions converge and MAC dominates.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.experiments.configs import kernel_configs
+from repro.fp.format import FP32, FPFormat
+
+COLUMNS = (
+    "Problem n",
+    "Config",
+    "PL",
+    "MAC (nJ)",
+    "Storage (nJ)",
+    "Misc (nJ)",
+    "I/O (nJ)",
+    "Total (nJ)",
+)
+
+#: Problem sizes of the two panels (paper: "n =1[0] and n =3[0]").
+PROBLEM_SIZES = (10, 30)
+
+
+def run(
+    fmt: FPFormat = FP32,
+    frequency_mhz: float = 100.0,
+    problem_sizes: tuple[int, ...] = PROBLEM_SIZES,
+) -> Table:
+    """Regenerate Figure 4 as a table (one row per bar group)."""
+    table = Table(
+        title="Figure 4: Per-PE energy distribution vs pipelining",
+        columns=COLUMNS,
+    )
+    for n in problem_sizes:
+        for config in kernel_configs(fmt):
+            model = config.performance_model(frequency_mhz)
+            e = model.pe_energy(n)
+            table.add_row(
+                n,
+                config.label,
+                config.pl,
+                e.mac_nj,
+                e.storage_nj,
+                e.misc_nj,
+                e.io_nj,
+                e.total_nj,
+            )
+    return table

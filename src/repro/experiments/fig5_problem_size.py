@@ -1,0 +1,86 @@
+"""Figure 5: kernel energy, resources and latency versus problem size.
+
+Three panels over problem size n, one curve per pipelining configuration
+(PL = sum of adder+multiplier latencies).  Expected relations, per the
+paper:
+
+* (a) energy — for small n the deep-pipeline configurations pay heavy
+  zero-padding energy; at large n all scale as n^3 with the deep
+  configuration *not* the most expensive ("even though the deeply
+  pipelined architecture consumes a lot of area, it might consume the
+  least energy due to less latency" when run at its higher clock);
+* (b) resources — slices grow linearly in n and with pipeline depth;
+  BMult/BRAM counts are independent of pipelining;
+* (c) latency — decreases with pipelining at large n, but small problems
+  are latency-bound by padding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.series import SweepResult
+from repro.experiments.configs import kernel_configs
+from repro.fp.format import FP32, FPFormat
+
+#: Problem-size sweep (the paper's x-range peaks around a few tens).
+PROBLEM_SIZES = (5, 10, 15, 20, 25, 30, 40, 50, 60)
+
+
+@dataclass(frozen=True)
+class Figure5:
+    energy: SweepResult
+    resources: SweepResult
+    latency: SweepResult
+
+    def render(self) -> str:
+        return "\n\n".join(
+            (self.energy.render(), self.resources.render(), self.latency.render())
+        )
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def run(
+    fmt: FPFormat = FP32,
+    frequency_mhz: float | None = None,
+    problem_sizes: tuple[int, ...] = PROBLEM_SIZES,
+) -> Figure5:
+    """Regenerate Figure 5's three panels."""
+    configs = kernel_configs(fmt)
+    x = tuple(float(n) for n in problem_sizes)
+    energy = SweepResult(
+        title="Figure 5a: Energy vs problem size",
+        x_label="n",
+        y_label="nJ",
+        x=x,
+    )
+    resources = SweepResult(
+        title="Figure 5b: Resources vs problem size",
+        x_label="n",
+        y_label="slices / BMults / BRAMs",
+        x=x,
+    )
+    latency = SweepResult(
+        title="Figure 5c: Latency vs problem size",
+        x_label="n",
+        y_label="usec",
+        x=x,
+    )
+    for config in configs:
+        model = config.performance_model(frequency_mhz)
+        estimates = [model.estimate(n) for n in problem_sizes]
+        energy.add_series(config.label, [e.energy_nj for e in estimates])
+        resources.add_series(
+            f"slices ({config.label})", [e.slices for e in estimates]
+        )
+        latency.add_series(config.label, [e.latency_us for e in estimates])
+    # BMult / BRAM counts are identical across pipelining configs (the
+    # embedded multipliers and block RAMs do not depend on register
+    # depth), which the paper's Fig 5b draws as a single shared line.
+    model = configs[0].performance_model(frequency_mhz)
+    estimates = [model.estimate(n) for n in problem_sizes]
+    resources.add_series("BMult (all pl)", [e.mult18 for e in estimates])
+    resources.add_series("BRAM (all pl)", [e.brams for e in estimates])
+    return Figure5(energy=energy, resources=resources, latency=latency)

@@ -1,0 +1,83 @@
+"""Figure 6: kernel energy, resources and latency versus block size.
+
+For a fixed problem size (the paper's n = 16), block matrix multiply
+with block size b runs on an array of b PEs.  Expected relations, per
+the paper: "there is [a] large amount of wasteful energy dissipation
+when the block size is much smaller than the latency of the
+floating-point units" — energy falls steeply as b grows toward PL and
+flattens beyond; resources (slices) grow linearly in b; latency drops
+with b.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.series import SweepResult
+from repro.experiments.configs import kernel_configs
+from repro.fp.format import FP32, FPFormat
+
+#: The paper's fixed problem size for this figure.
+PROBLEM_SIZE = 16
+#: Block sizes (must divide the problem size).
+BLOCK_SIZES = (2, 4, 8, 16)
+
+
+@dataclass(frozen=True)
+class Figure6:
+    energy: SweepResult
+    resources: SweepResult
+    latency: SweepResult
+
+    def render(self) -> str:
+        return "\n\n".join(
+            (self.energy.render(), self.resources.render(), self.latency.render())
+        )
+
+    def __str__(self) -> str:
+        return self.render()
+
+
+def run(
+    fmt: FPFormat = FP32,
+    n: int = PROBLEM_SIZE,
+    block_sizes: tuple[int, ...] = BLOCK_SIZES,
+    frequency_mhz: float | None = None,
+) -> Figure6:
+    """Regenerate Figure 6's three panels."""
+    for b in block_sizes:
+        if n % b:
+            raise ValueError(f"block size {b} does not divide problem size {n}")
+    configs = kernel_configs(fmt)
+    x = tuple(float(b) for b in block_sizes)
+    energy = SweepResult(
+        title=f"Figure 6a: Energy vs block size (n={n})",
+        x_label="b",
+        y_label="nJ",
+        x=x,
+    )
+    resources = SweepResult(
+        title=f"Figure 6b: Resources vs block size (n={n})",
+        x_label="b",
+        y_label="slices / BMults / BRAMs",
+        x=x,
+    )
+    latency = SweepResult(
+        title=f"Figure 6c: Latency vs block size (n={n})",
+        x_label="b",
+        y_label="usec",
+        x=x,
+    )
+    for config in configs:
+        model = config.performance_model(frequency_mhz)
+        estimates = [model.estimate(n, b) for b in block_sizes]
+        energy.add_series(config.label, [e.energy_nj for e in estimates])
+        resources.add_series(
+            f"slices ({config.label})", [e.slices for e in estimates]
+        )
+        latency.add_series(config.label, [e.latency_us for e in estimates])
+    model = configs[0].performance_model(frequency_mhz)
+    estimates = [model.estimate(n, b) for b in block_sizes]
+    resources.add_series("BMult (all pl)", [e.mult18 for e in estimates])
+    resources.add_series("BRAM (all pl)", [e.brams for e in estimates])
+    return Figure6(energy=energy, resources=resources, latency=latency)

@@ -1,0 +1,68 @@
+"""Section 4.2: full-device matrix-multiplication throughput.
+
+Fills the XC2VP125 with linear-array PEs built from the kernel-selected
+FP units (best MHz/slice meeting the array clock: 250 MHz single,
+200 MHz double) and reports sustained GFLOPS and GFLOPS/W against the
+Pentium 4 and PowerPC G4 baselines.
+
+Paper numbers: ~19.6 GFLOPS for 32-bit (abstract: ~15 sustained single /
+~8 double), a 6X GFLOPS advantage over the 2.54 GHz Pentium 4, 3X over
+the 1 GHz G4, and "up to 6x improvement (for single precision) in terms
+of the GFLOPS/W metric".
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.baselines.processors import PENTIUM4_2_53, POWERPC_G4_1000
+from repro.fabric.device import XC2VP125, Device
+from repro.fp.format import FP32, FP64, FPFormat
+from repro.kernels.performance import ARRAY_CLOCK_MHZ, MatmulPerformanceModel
+from repro.units.explorer import UnitKind, explore
+
+COLUMNS = (
+    "Precision",
+    "PEs",
+    "Clock (MHz)",
+    "GFLOPS",
+    "Device power (W)",
+    "GFLOPS/W",
+    "vs P4 (GFLOPS)",
+    "vs G4 (GFLOPS)",
+    "vs P4 (GFLOPS/W)",
+)
+
+
+def model_for(fmt: FPFormat) -> MatmulPerformanceModel:
+    """Kernel performance model with the paper's unit-selection rule."""
+    target = ARRAY_CLOCK_MHZ[fmt.name]
+    adder = explore(fmt, UnitKind.ADDER).cheapest_at_least(target)
+    multiplier = explore(fmt, UnitKind.MULTIPLIER).cheapest_at_least(target)
+    return MatmulPerformanceModel(fmt, adder, multiplier, frequency_mhz=target)
+
+
+def run(device: Device = XC2VP125) -> Table:
+    """Regenerate the Section 4.2 comparison."""
+    table = Table(
+        title=f"Section 4.2: Matrix multiplication on {device.name}",
+        columns=COLUMNS,
+    )
+    for fmt in (FP32, FP64):
+        model = model_for(fmt)
+        fill = model.device_fill(device)
+        gflops = model.peak_gflops(device)
+        power = model.device_power_w(device)
+        gpw = gflops / power
+        bits = fmt.width
+        table.add_row(
+            f"{bits}-bit",
+            fill.pes,
+            model.frequency_mhz,
+            gflops,
+            power,
+            gpw,
+            gflops / PENTIUM4_2_53.gflops(bits),
+            gflops / POWERPC_G4_1000.gflops(bits),
+            gpw / PENTIUM4_2_53.gflops_per_watt(bits),
+        )
+    return table

@@ -1,0 +1,50 @@
+"""Table 1: analysis of 32-, 48- and 64-bit floating-point adders.
+
+For each precision, three implementations — minimal, maximal, optimal
+(highest freq/area) — with stage count, slices, LUTs, flip-flops, clock
+rate and MHz/slice.  Expected relations, per the paper: clock rises and
+area grows with depth; the optimal point maximizes MHz/slice; single
+precision exceeds 240 MHz, double exceeds 200 MHz.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.fp.format import PAPER_FORMATS
+from repro.units.explorer import UnitKind, explore
+
+COLUMNS = (
+    "Precision",
+    "Impl",
+    "Stages",
+    "Slices",
+    "LUTs",
+    "FlipFlops",
+    "Clock (MHz)",
+    "Freq/Area (MHz/slice)",
+)
+
+
+def run(kind: UnitKind = UnitKind.ADDER) -> Table:
+    """Regenerate Table 1 (or Table 2 when ``kind`` is MULTIPLIER)."""
+    number = 1 if kind is UnitKind.ADDER else 2
+    table = Table(
+        title=f"Table {number}: Analysis of 32, 48, 64-bit Floating Point "
+        f"{kind.value.capitalize()}s",
+        columns=COLUMNS,
+    )
+    for fmt in PAPER_FORMATS:
+        space = explore(fmt, kind)
+        for point in (space.minimum, space.maximum, space.optimal):
+            r = point.report
+            table.add_row(
+                f"{fmt.width}-bit",
+                point.label,
+                r.stages,
+                r.slices,
+                r.luts,
+                r.flipflops,
+                r.clock_mhz,
+                r.freq_per_area,
+            )
+    return table

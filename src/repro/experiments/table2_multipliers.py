@@ -1,0 +1,17 @@
+"""Table 2: analysis of 32-, 48- and 64-bit floating-point multipliers.
+
+Same layout as Table 1; multipliers are smaller (mantissa product lives
+in embedded MULT18x18s) and reach their clock ceiling at shallower
+depths than the adders.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.tables import Table
+from repro.experiments import table1_adders
+from repro.units.explorer import UnitKind
+
+
+def run() -> Table:
+    """Regenerate Table 2."""
+    return table1_adders.run(UnitKind.MULTIPLIER)

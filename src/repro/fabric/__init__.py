@@ -1,0 +1,55 @@
+"""FPGA technology model (Virtex-II Pro class).
+
+This subpackage substitutes for the paper's physical EDA substrate
+(Xilinx ISE 5.2i synthesis + place&route on a Virtex-II Pro -7 part).
+It provides:
+
+* :mod:`repro.fabric.device` — a catalog of Virtex-II Pro parts
+  (slices, block RAMs, MULT18x18s) and speed grades;
+* :mod:`repro.fabric.timing` — a calibrated combinational-delay model for
+  the named subunits of the FP datapaths;
+* :mod:`repro.fabric.area` — slice/LUT/FF area accounting using the
+  formulas the paper states (comparator n/2, shifter n·log n/2, ...);
+* :mod:`repro.fabric.netlist` — datapath descriptions as ordered chains
+  of delay quanta with legal register cut points;
+* :mod:`repro.fabric.retiming` — optimal pipeline-register placement
+  (minimize the bottleneck stage), the model of the paper's iterative
+  "break the critical path" methodology;
+* :mod:`repro.fabric.synthesis` — the end-to-end flow producing
+  :class:`~repro.fabric.synthesis.ImplementationReport` objects
+  (stages, slices, LUTs, FFs, clock rate, MHz/slice).
+
+Calibration anchors (paper §3, OCR-restored):
+11-bit comparators reach 250 MHz; a 54-bit library adder reaches 200 MHz
+with 4 pipeline stages; a 54-bit fixed-point multiply needs 7 stages for
+200 MHz; the double-precision mantissa comparator reaches 220 MHz
+unpipelined; a 3-mux-level shifter stage exceeds 200 MHz and 2-mux stages
+go higher.
+"""
+
+from repro.fabric.device import XC2VP125, Device, SpeedGrade, get_device
+from repro.fabric.netlist import (
+    Datapath,
+    Quantum,
+    adder_datapath,
+    divider_datapath,
+    multiplier_datapath,
+)
+from repro.fabric.retiming import partition_chain
+from repro.fabric.synthesis import ImplementationReport, Objective, synthesize
+
+__all__ = [
+    "XC2VP125",
+    "Datapath",
+    "Device",
+    "ImplementationReport",
+    "Objective",
+    "Quantum",
+    "SpeedGrade",
+    "adder_datapath",
+    "divider_datapath",
+    "get_device",
+    "multiplier_datapath",
+    "partition_chain",
+    "synthesize",
+]

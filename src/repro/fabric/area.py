@@ -1,0 +1,99 @@
+"""Area model: slices, LUTs, flip-flops, and embedded multipliers.
+
+The slice formulas are the ones the paper states in §3 ("Comparators take
+about n/2 slices for a bitwidth of n", "[the shifter] takes up about
+n·log n/2 slices", "[the adder] takes about n/2 slices ... excluding
+pipelining"), extended with conventional estimates for the remaining
+blocks.  A Virtex-II Pro slice holds two 4-LUTs and two flip-flops.
+
+Pipeline registers are not free but are also not a full ``bits/2`` slices
+per stage: the paper notes pipelining "can exploit the unused flipflops
+present in the slices" causing "only a moderate increase in area".  We
+model that with :data:`FF_SHARING_FACTOR` — the fraction of latched bits
+that require *new* slices rather than folding into the FFs of slices the
+logic already occupies.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Fraction of pipeline-register bits that cost fresh slices.
+FF_SHARING_FACTOR = 0.55
+
+#: LUTs reported per occupied slice (both LUTs rarely both used).
+LUTS_PER_SLICE = 1.8
+
+#: Bits handled per MULT18x18 (unsigned operand width of a signed 18x18).
+MULT18_OPERAND_BITS = 17
+
+
+def comparator_slices(bits: int) -> float:
+    """Magnitude comparator: about n/2 slices (paper)."""
+    return bits / 2
+
+
+def adder_slices(bits: int) -> float:
+    """Fixed-point adder/subtractor: about n/2 slices (paper)."""
+    return bits / 2
+
+
+def mux_slices(bits: int) -> float:
+    """One n-bit 2:1 multiplexer level: one LUT per bit -> n/2 slices."""
+    return bits / 2
+
+
+def shifter_slices(bits: int) -> float:
+    """Barrel shifter: about n*log2(n)/2 slices (paper)."""
+    return bits * max(1.0, math.log2(bits)) / 2
+
+
+def priority_encoder_slices(bits: int) -> float:
+    """Priority encoder: comparable to an adder of the same width."""
+    return bits / 2
+
+
+def const_adder_slices(bits: int) -> float:
+    """Constant adder / incrementer: half an adder."""
+    return bits / 4
+
+
+def mult18_count(sig_bits: int) -> int:
+    """Embedded multipliers needed for a sig_bits x sig_bits product."""
+    per_side = math.ceil(sig_bits / MULT18_OPERAND_BITS)
+    return per_side * per_side
+
+
+def multiplier_tree_slices(sig_bits: int) -> float:
+    """Fabric slices for the partial-product adder tree around the MULT18s.
+
+    One aligned add per extra partial product, each roughly 2*sig_bits
+    wide: (k^2 - 1) * sig_bits slices with k = blocks per side — zero for
+    single-block products that fit one MULT18 pair.
+    """
+    k = math.ceil(sig_bits / MULT18_OPERAND_BITS)
+    if k <= 1:
+        return 0.0
+    return (k * k - 1) * sig_bits / 2
+
+
+def divider_array_slices(sig_bits: int) -> float:
+    """Digit-recurrence divider array: one subtractor row per quotient bit.
+
+    Rows x (row subtractor + quotient mux) — the quadratic growth is why
+    FP dividers dwarf the other units on 2004-era fabrics.
+    """
+    rows = sig_bits + 3
+    return rows * (adder_slices(sig_bits) + sig_bits / 4)
+
+
+def register_slices(bits: int, stages: int) -> float:
+    """Slice cost of ``stages`` pipeline cuts each latching ``bits`` bits."""
+    if stages <= 0:
+        return 0.0
+    return stages * bits / 2 * FF_SHARING_FACTOR
+
+
+def slices_to_luts(slices: float) -> int:
+    """Estimated LUT usage for a slice count."""
+    return round(slices * LUTS_PER_SLICE)

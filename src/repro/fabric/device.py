@@ -1,0 +1,104 @@
+"""Virtex-II Pro device catalog.
+
+Resource counts follow the Xilinx DS083 data sheet family table.  The
+paper targets the largest part, the XC2VP125 (speed grade -7), for its
+full-device matrix-multiplication estimates; smaller parts are included
+so examples can explore device-fill trade-offs.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+
+class SpeedGrade(enum.Enum):
+    """Speed grades scale all combinational delays (lower = slower part)."""
+
+    MINUS_5 = "-5"
+    MINUS_6 = "-6"
+    MINUS_7 = "-7"
+
+    @property
+    def delay_scale(self) -> float:
+        """Multiplier applied to -7 reference delays."""
+        return {"-7": 1.0, "-6": 1.12, "-5": 1.25}[self.value]
+
+
+@dataclass(frozen=True)
+class Device:
+    """One FPGA part.
+
+    Attributes
+    ----------
+    name:
+        Part number (without package/grade suffix).
+    slices:
+        Total logic slices (each: 2 LUT4 + 2 FF).
+    bram:
+        18 Kb block RAMs.
+    mult18:
+        Embedded 18x18 signed multipliers.
+    max_clock_mhz:
+        Global clocking ceiling of the fabric (the paper: "capable of
+        achieving frequencies up to 300 MHz").
+    """
+
+    name: str
+    slices: int
+    bram: int
+    mult18: int
+    max_clock_mhz: float = 300.0
+
+    @property
+    def luts(self) -> int:
+        return 2 * self.slices
+
+    @property
+    def flipflops(self) -> int:
+        return 2 * self.slices
+
+    def usable_slices(self, utilization: float = 0.90) -> int:
+        """Routable slice budget.
+
+        Designs that fill a device beyond ~90% typically fail timing or
+        P&R; the paper's full-device estimates implicitly leave this
+        margin, and so do we.
+        """
+        if not 0.0 < utilization <= 1.0:
+            raise ValueError(f"utilization must be in (0, 1], got {utilization}")
+        return int(self.slices * utilization)
+
+
+_CATALOG: dict[str, Device] = {
+    d.name: d
+    for d in (
+        Device("XC2VP2", slices=1408, bram=12, mult18=12),
+        Device("XC2VP4", slices=3008, bram=28, mult18=28),
+        Device("XC2VP7", slices=4928, bram=44, mult18=44),
+        Device("XC2VP20", slices=9280, bram=88, mult18=88),
+        Device("XC2VP30", slices=13696, bram=136, mult18=136),
+        Device("XC2VP40", slices=19392, bram=192, mult18=192),
+        Device("XC2VP50", slices=23616, bram=232, mult18=232),
+        Device("XC2VP70", slices=33088, bram=328, mult18=328),
+        Device("XC2VP100", slices=44096, bram=444, mult18=444),
+        Device("XC2VP125", slices=55616, bram=556, mult18=556),
+    )
+}
+
+#: The paper's target device (XC2VP125-7ff1696).
+XC2VP125 = _CATALOG["XC2VP125"]
+
+
+def get_device(name: str) -> Device:
+    """Look up a part by name (case-insensitive)."""
+    try:
+        return _CATALOG[name.upper()]
+    except KeyError:
+        known = ", ".join(sorted(_CATALOG))
+        raise KeyError(f"unknown device {name!r}; known parts: {known}") from None
+
+
+def catalog() -> tuple[Device, ...]:
+    """All known parts, smallest first."""
+    return tuple(sorted(_CATALOG.values(), key=lambda d: d.slices))

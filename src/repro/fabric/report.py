@@ -1,0 +1,88 @@
+"""Device utilization reports.
+
+Summarizes how a set of implemented units fills a device — the
+slice/MULT18/BRAM accounting a designer reads off the P&R report when
+deciding how many PEs fit (paper §4.2's working step).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.analysis.tables import Table
+from repro.fabric.device import Device
+from repro.fabric.synthesis import ImplementationReport
+
+
+@dataclass(frozen=True)
+class PlacedUnit:
+    """One unit type instantiated ``count`` times, plus ad-hoc overhead."""
+
+    label: str
+    impl: ImplementationReport
+    count: int = 1
+    extra_slices_each: int = 0
+
+    @property
+    def slices(self) -> int:
+        return self.count * (self.impl.slices + self.extra_slices_each)
+
+    @property
+    def mult18(self) -> int:
+        return self.count * self.impl.mult18
+
+
+def utilization_report(
+    device: Device,
+    units: Sequence[PlacedUnit],
+    brams: int = 0,
+    misc_slices: int = 0,
+) -> Table:
+    """Render the utilization table; raises if the design cannot fit."""
+    table = Table(
+        f"Utilization on {device.name}",
+        ("Component", "Count", "Slices", "MULT18x18", "% slices"),
+    )
+    total_slices = misc_slices
+    total_mult = 0
+    for unit in units:
+        table.add_row(
+            unit.label,
+            unit.count,
+            unit.slices,
+            unit.mult18,
+            100.0 * unit.slices / device.slices,
+        )
+        total_slices += unit.slices
+        total_mult += unit.mult18
+    if misc_slices:
+        table.add_row(
+            "misc (control/IO)",
+            1,
+            misc_slices,
+            0,
+            100.0 * misc_slices / device.slices,
+        )
+    table.add_row(
+        "TOTAL",
+        "",
+        total_slices,
+        total_mult,
+        100.0 * total_slices / device.slices,
+    )
+    if total_slices > device.slices:
+        raise ValueError(
+            f"design needs {total_slices} slices but {device.name} has "
+            f"{device.slices}"
+        )
+    if total_mult > device.mult18:
+        raise ValueError(
+            f"design needs {total_mult} MULT18x18 but {device.name} has "
+            f"{device.mult18}"
+        )
+    if brams > device.bram:
+        raise ValueError(
+            f"design needs {brams} BRAM but {device.name} has {device.bram}"
+        )
+    return table

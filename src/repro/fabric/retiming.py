@@ -1,0 +1,200 @@
+"""Pipeline register placement: optimal chain partitioning.
+
+The paper's methodology is iterative: synthesize, find the critical path,
+insert a register to break it, repeat until diminishing returns.  The
+fixed point of that process is the partition of the datapath chain into
+``S`` contiguous segments that minimizes the largest segment delay — which
+is what :func:`partition_chain` computes directly (binary search on the
+bottleneck + greedy feasibility, which is exact for chain partitioning).
+
+``S`` counts *register levels* (= the unit's latency): ``S-1`` internal
+boundaries plus the always-present output register.  Asking for more
+stages than there are quanta yields no frequency gain; the surplus
+registers are appended at the output, modelling the area-only cost (and
+the freq/area dip) of over-pipelining.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.fabric.netlist import Quantum
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class PartitionResult:
+    """Outcome of placing pipeline registers on a quanta chain.
+
+    Attributes
+    ----------
+    stages:
+        Requested register levels (the latency).
+    segment_delays_ns:
+        Combinational delay of each pipeline segment, in order.  Length is
+        ``min(stages, len(quanta))``.
+    critical_path_ns:
+        The bottleneck segment delay (excludes register overhead).
+    register_bits:
+        Total flip-flop bits across all register levels, including the
+        output register and any surplus deep-pipelining registers.
+    boundaries:
+        Indices ``i`` meaning "a register after quantum ``i``" for the
+        internal cuts (the output register is implicit).
+    surplus_registers:
+        Register levels beyond the natural maximum (area-only).
+    """
+
+    stages: int
+    segment_delays_ns: tuple[float, ...]
+    critical_path_ns: float
+    register_bits: int
+    boundaries: tuple[int, ...]
+    surplus_registers: int
+
+
+def _feasible(delays: Sequence[float], limit: float, segments: int) -> bool:
+    """Greedy check: can the chain split into <= segments of <= limit?"""
+    used = 1
+    acc = 0.0
+    for d in delays:
+        if d > limit + _EPS:
+            return False
+        if acc + d > limit + _EPS:
+            used += 1
+            acc = d
+            if used > segments:
+                return False
+        else:
+            acc += d
+    return True
+
+
+def _min_bottleneck(delays: Sequence[float], segments: int) -> float:
+    """Smallest achievable max-segment delay for ``segments`` segments."""
+    lo = max(delays)
+    hi = sum(delays)
+    if segments >= len(delays):
+        return lo
+    for _ in range(60):  # float bisection to ~1e-12 relative
+        mid = (lo + hi) / 2
+        if _feasible(delays, mid, segments):
+            hi = mid
+        else:
+            lo = mid
+    return hi
+
+
+def _greedy_boundaries(
+    delays: Sequence[float], limit: float, segments: int
+) -> list[int]:
+    """Cut positions (after-index) for a greedy packing under ``limit``."""
+    cuts: list[int] = []
+    acc = 0.0
+    for i, d in enumerate(delays):
+        if acc + d > limit + _EPS:
+            cuts.append(i - 1)
+            acc = d
+        else:
+            acc += d
+    del segments  # greedy under the optimal limit never exceeds the budget
+    return cuts
+
+
+def _segment_delays(delays: Sequence[float], cuts: Sequence[int]) -> list[float]:
+    segs: list[float] = []
+    start = 0
+    for c in cuts:
+        segs.append(sum(delays[start : c + 1]))
+        start = c + 1
+    segs.append(sum(delays[start:]))
+    return segs
+
+
+def _split_largest(
+    delays: Sequence[float], cuts: list[int], want_segments: int
+) -> list[int]:
+    """Add cuts (inside the currently largest segments) until the segment
+    count reaches ``want_segments``; never increases the bottleneck."""
+    cuts = sorted(cuts)
+    while len(cuts) + 1 < want_segments:
+        segs = _segment_delays(delays, cuts)
+        # Find the largest *splittable* segment (>= 2 quanta).
+        order = sorted(range(len(segs)), key=lambda i: -segs[i])
+        bounds = [-1] + cuts + [len(delays) - 1]
+        placed = False
+        for si in order:
+            lo, hi = bounds[si] + 1, bounds[si + 1]
+            if hi > lo:  # at least two quanta: split at the balance point
+                acc, best, target = 0.0, lo, segs[si] / 2
+                for i in range(lo, hi):
+                    acc += delays[i]
+                    best = i
+                    if acc >= target:
+                        break
+                cuts = sorted(cuts + [best])
+                placed = True
+                break
+        if not placed:  # every segment is a single quantum
+            break
+    return cuts
+
+
+def partition_chain(quanta: Sequence[Quantum], stages: int) -> PartitionResult:
+    """Place ``stages`` register levels optimally on a quanta chain."""
+    if stages < 1:
+        raise ValueError(f"stages must be >= 1, got {stages}")
+    if not quanta:
+        raise ValueError("cannot partition an empty chain")
+    delays = [q.delay_ns for q in quanta]
+    output_bits = quanta[-1].cut_bits
+
+    natural = min(stages, len(quanta))
+    surplus = stages - natural
+
+    if natural == 1:
+        cuts: list[int] = []
+        bottleneck = sum(delays)
+    else:
+        bottleneck = _min_bottleneck(delays, natural)
+        cuts = _greedy_boundaries(delays, bottleneck, natural)
+        cuts = _split_largest(delays, cuts, natural)
+        bottleneck = max(_segment_delays(delays, cuts))
+
+    reg_bits = sum(quanta[c].cut_bits for c in cuts)
+    reg_bits += output_bits  # the always-present output register
+    reg_bits += surplus * output_bits  # over-pipelining: area-only registers
+
+    return PartitionResult(
+        stages=stages,
+        segment_delays_ns=tuple(_segment_delays(delays, cuts)),
+        critical_path_ns=bottleneck,
+        register_bits=reg_bits,
+        boundaries=tuple(cuts),
+        surplus_registers=surplus,
+    )
+
+
+def brute_force_bottleneck(delays: Sequence[float], segments: int) -> float:
+    """Exponential-time exact reference used by the test suite."""
+    n = len(delays)
+    segments = min(segments, n)
+    best = float("inf")
+
+    def rec(start: int, left: int, cur_max: float) -> None:
+        nonlocal best
+        if left == 1:
+            rest = sum(delays[start:])
+            best = min(best, max(cur_max, rest))
+            return
+        acc = 0.0
+        for i in range(start, n - left + 1):
+            acc += delays[i]
+            m = max(cur_max, acc)
+            if m < best:
+                rec(i + 1, left - 1, m)
+
+    rec(0, segments, 0.0)
+    return best

@@ -1,0 +1,150 @@
+"""Combinational delay model for the FP datapath subunits.
+
+All delays are in nanoseconds on a Virtex-II Pro **-7** part; other speed
+grades scale them (:class:`repro.fabric.device.SpeedGrade`).  The model is
+calibrated against the operating points the paper reports (module list
+below); it is *not* a transistor-level model — its job is to make the
+frequency-versus-pipelining behaviour (saturation, per-format ceilings,
+interior throughput/area optimum) emerge from the same mechanisms as on
+the real device: atomic logic elements bound the stage period from below,
+and total path delay divided by the stage count bounds it from above.
+
+Calibration anchors (paper §3):
+
+====================================  =========================================
+Anchor                                Model value
+====================================  =========================================
+comparator, width <= 11 bits          <= 3.0 ns  -> 250 MHz single-stage
+52-bit mantissa comparator            ~3.55 ns   -> 220 MHz single-stage
+3 mux levels per stage                ~4.0 ns    -> 200 MHz; 2 levels -> 273 MHz
+54-bit adder, 4 stages                4.0 ns/stage -> 200 MHz
+54-bit multiplier, 7 stages           ~4.0 ns/stage -> 200 MHz
+====================================  =========================================
+
+The clocking overhead (clock-to-out + setup + skew) added to every stage
+is :data:`REGISTER_OVERHEAD_NS`.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Clock-to-out + setup + clock skew charged to every pipeline stage.
+REGISTER_OVERHEAD_NS = 1.0
+
+#: One 4-input LUT + average local route (the floor for any logic level).
+LUT_LEVEL_NS = 1.1
+
+#: One level of a wide multiplexer (MUXF5/F6-assisted), including route.
+MUX_LEVEL_NS = 1.33
+
+#: Delay through one MULT18x18 primitive including input/output routing —
+#: the atomic (non-pipelinable) floor inside the mantissa multiplier.
+MULT18_ATOMIC_NS = 2.8
+
+#: Atomic floor of one carry chunk inside a pipelined adder.
+CARRY_CHUNK_ATOMIC_NS = 1.5
+
+
+def comparator_delay(bits: int) -> float:
+    """Carry-chain magnitude comparator.
+
+    Shallow slope: the carry chain is fast, the constant is dominated by
+    LUT levels and routing.  11 bits -> 3.0 ns (250 MHz), 52 bits ->
+    3.55 ns (220 MHz), matching the paper's two comparator anchors.
+    """
+    return 2.85 + 0.0134 * bits
+
+
+def small_comparator_delay(bits: int) -> float:
+    """Exponent-width comparators (the denormalizer's zero-detect).
+
+    These are narrow (<= 11 bits for all paper formats), and a bit faster
+    than the generic model at tiny widths so that single-precision units
+    retain a slightly higher ceiling, as observed.
+    """
+    return 2.0 + 0.09 * bits
+
+
+def adder_delay(bits: int) -> float:
+    """Library fixed-point adder/subtractor (carry chain + fabric route).
+
+    Calibrated to 16.0 ns at 54 bits so that 4 pipeline stages yield a
+    4 ns critical path -> 200 MHz (paper anchor).
+    """
+    return 1.2 + 0.274 * bits
+
+
+def const_adder_delay(bits: int) -> float:
+    """Constant adder / incrementer (rounding and exponent-adjust logic)."""
+    return 0.8 + 0.06 * bits
+
+
+def small_adder_delay(bits: int) -> float:
+    """Narrow adder/subtractor on the exponent path.
+
+    Exponent-width adders sit on short local routes and do not pay the
+    long-line routing constant of the wide library adders, so they use a
+    separate, shallower model.
+    """
+    return 1.0 + 0.12 * bits
+
+
+def priority_encoder_delay(bits: int) -> float:
+    """Priority encoder.
+
+    The paper calls this "a critical subunit for large bitwidths": at 54
+    bits it must be broken into two smaller encoders plus a small adder to
+    exceed 200 MHz.  Unsplit 54-bit -> ~6.5 ns (~133 MHz); split halves
+    are ~3.25 ns (-> ~235 MHz), matching that narrative.
+    """
+    return 2.0 + 0.083 * bits
+
+
+def multiplier_delay(bits: int) -> float:
+    """Fixed-point mantissa multiplier (MULT18x18 array + adder tree).
+
+    53 bits -> 27.9 ns so that 7 stages yield ~4 ns -> ~200 MHz (anchor).
+    """
+    return 4.0 + 0.45 * bits
+
+
+def divider_row_delay(bits: int) -> float:
+    """One subtract/compare row of the digit-recurrence divider array.
+
+    Each row is a short carry chain plus the quotient-bit select mux; rows
+    are the natural pipeline cut points, so a row is atomic.
+    """
+    return 0.8 + 0.04 * bits
+
+
+def divider_rows(bits: int) -> int:
+    """Quotient bits produced by the recurrence (significand + GRS)."""
+    return bits + 3
+
+
+def shifter_levels(bits: int) -> int:
+    """Mux levels of a barrel shifter over ``bits`` positions."""
+    return max(1, math.ceil(math.log2(bits)))
+
+
+def shifter_delay(bits: int) -> float:
+    """Total combinational delay of an unpipelined barrel shifter."""
+    return shifter_levels(bits) * MUX_LEVEL_NS
+
+
+def xor_delay() -> float:
+    """Sign XOR and similar single-LUT logic."""
+    return 0.5
+
+
+def period_to_mhz(period_ns: float) -> float:
+    """Convert a clock period to a frequency."""
+    if period_ns <= 0:
+        raise ValueError(f"period must be positive, got {period_ns}")
+    return 1000.0 / period_ns
+
+
+def achievable_mhz(critical_path_ns: float, max_clock_mhz: float = 300.0) -> float:
+    """Clock rate for a critical path, capped by the global clock ceiling."""
+    return min(period_to_mhz(critical_path_ns + REGISTER_OVERHEAD_NS), max_clock_mhz)

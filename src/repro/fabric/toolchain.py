@@ -1,0 +1,32 @@
+"""Synthesis / place&route optimization-objective effects.
+
+The paper stresses that "using a different optimization objective (speed
+or area) for the synthesis and place and route tool gives vastly
+different results": speed optimization replicates logic to cut logic
+levels (more area) and burns slices on routing; area optimization packs
+tighter but lengthens paths.  These are modelled as multiplicative
+factors on combinational area and delay.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Objective(enum.Enum):
+    """Tool optimization objective for synthesis + P&R."""
+
+    #: Default: balanced effort.
+    BALANCED = "balanced"
+    #: Speed: logic replication + routing-hungry placement.
+    SPEED = "speed"
+    #: Area: dense packing at the cost of path length.
+    AREA = "area"
+
+    @property
+    def area_scale(self) -> float:
+        return {"balanced": 1.0, "speed": 1.25, "area": 0.90}[self.value]
+
+    @property
+    def delay_scale(self) -> float:
+        return {"balanced": 1.0, "speed": 0.92, "area": 1.12}[self.value]

@@ -1,0 +1,97 @@
+"""Floating-point comparison, min and max.
+
+Comparators are the cheap-but-everywhere blocks of FP kernels (the paper
+prices them at n/2 slices).  The trick hardware uses — and this module
+mirrors — is that IEEE encodings compare like sign-magnitude integers:
+for positive operands the raw bit patterns order correctly, and for
+negatives the order flips.  Zeros compare equal regardless of sign, and
+any NaN makes the comparison unordered.
+
+``fp_min`` / ``fp_max`` follow the IEEE-754 ``minNum``/``maxNum``
+convention: a quiet NaN operand loses to a number (both NaN gives NaN).
+"""
+
+from __future__ import annotations
+
+import enum
+
+from repro.fp.flags import FPFlags
+from repro.fp.format import FPFormat
+
+
+class Ordering(enum.Enum):
+    LESS = "lt"
+    EQUAL = "eq"
+    GREATER = "gt"
+    UNORDERED = "un"
+
+
+def _order_key(fmt: FPFormat, bits: int) -> int:
+    """Sign-magnitude comparison key: the hardware comparator's trick.
+
+    The magnitude field of an IEEE encoding orders correctly as an
+    unsigned integer; negating it for negative operands (and collapsing
+    all zeros to 0) yields a totally ordered key.
+    """
+    if fmt.is_zero(bits):
+        return 0
+    sign = fmt.unpack(bits)[0]
+    magnitude = bits & (fmt.word_mask >> 1)
+    return -magnitude if sign else magnitude
+
+
+def fp_compare(fmt: FPFormat, a: int, b: int) -> Ordering:
+    """Totally compare two words (IEEE semantics, NaN -> unordered)."""
+    if fmt.is_nan(a) or fmt.is_nan(b):
+        return Ordering.UNORDERED
+    ka, kb = _order_key(fmt, a), _order_key(fmt, b)
+    if ka == kb:
+        return Ordering.EQUAL
+    return Ordering.LESS if ka < kb else Ordering.GREATER
+
+
+def fp_lt(fmt: FPFormat, a: int, b: int) -> bool:
+    return fp_compare(fmt, a, b) is Ordering.LESS
+
+
+def fp_le(fmt: FPFormat, a: int, b: int) -> bool:
+    return fp_compare(fmt, a, b) in (Ordering.LESS, Ordering.EQUAL)
+
+
+def fp_eq(fmt: FPFormat, a: int, b: int) -> bool:
+    return fp_compare(fmt, a, b) is Ordering.EQUAL
+
+
+def fp_min(fmt: FPFormat, a: int, b: int) -> tuple[int, FPFlags]:
+    """IEEE minNum: the smaller operand; NaN loses to a number."""
+    a_nan, b_nan = fmt.is_nan(a), fmt.is_nan(b)
+    if a_nan and b_nan:
+        return fmt.nan(), FPFlags(invalid=True)
+    if a_nan:
+        return b, FPFlags(invalid=True)
+    if b_nan:
+        return a, FPFlags(invalid=True)
+    order = fp_compare(fmt, a, b)
+    if order is Ordering.EQUAL:
+        # -0 < +0 for min purposes (IEEE recommends distinguishing).
+        if fmt.is_zero(a) and fmt.is_zero(b):
+            return (a if fmt.unpack(a)[0] else b), FPFlags()
+        return a, FPFlags()
+    return (a if order is Ordering.LESS else b), FPFlags()
+
+
+def fp_max(fmt: FPFormat, a: int, b: int) -> tuple[int, FPFlags]:
+    """IEEE maxNum: the larger operand; NaN loses to a number."""
+    a_nan, b_nan = fmt.is_nan(a), fmt.is_nan(b)
+    if a_nan and b_nan:
+        return fmt.nan(), FPFlags(invalid=True)
+    if a_nan:
+        return b, FPFlags(invalid=True)
+    if b_nan:
+        return a, FPFlags(invalid=True)
+    order = fp_compare(fmt, a, b)
+    if order is Ordering.EQUAL:
+        if fmt.is_zero(a) and fmt.is_zero(b):
+            return (a if not fmt.unpack(a)[0] else b), FPFlags()
+        return a, FPFlags()
+    return (a if order is Ordering.GREATER else b), FPFlags()

@@ -1,0 +1,51 @@
+"""Format-to-format conversion (the Table 3 "conversion modules").
+
+The commercial cores the paper compares against use custom internal
+formats and "require additional modules to perform format conversions at
+interfaces to other resources in the system".  This module implements
+that operation for arbitrary format pairs: exact when the destination
+subsumes the source (wider exponent *and* fraction), correctly rounded
+(RNE or truncation) otherwise, with the usual denormal-free
+overflow/underflow saturation semantics.
+"""
+
+from __future__ import annotations
+
+from repro.fp.flags import FPFlags
+from repro.fp.format import FPFormat
+from repro.fp.rounding import RoundingMode
+from repro.fp.value import FPValue, encode_fraction
+
+
+def is_lossless(src: FPFormat, dst: FPFormat) -> bool:
+    """True when every finite ``src`` value is exactly representable in
+    ``dst`` (wider-or-equal exponent and fraction fields)."""
+    return dst.exp_bits >= src.exp_bits and dst.man_bits >= src.man_bits
+
+
+def fp_convert(
+    src: FPFormat,
+    dst: FPFormat,
+    bits: int,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> tuple[int, FPFlags]:
+    """Convert a ``src``-format word into ``dst`` format."""
+    sign, exp, man = src.unpack(bits)
+    if src.is_nan(bits):
+        return dst.nan(), FPFlags(invalid=True)
+    if src.is_inf(bits):
+        return dst.inf(sign), FPFlags()
+    if exp == 0:  # zero (denormal encodings flush on the way in)
+        return dst.zero(sign), FPFlags(zero=True)
+    del man
+    return encode_fraction(dst, FPValue(src, bits).to_fraction(), mode)
+
+
+def round_trip_exact(src: FPFormat, dst: FPFormat, bits: int) -> bool:
+    """True when ``bits`` survives a src -> dst -> src round trip."""
+    there, flags = fp_convert(src, dst, bits)
+    if dst.is_nan(there):
+        return src.is_nan(bits)
+    back, _ = fp_convert(dst, src, there)
+    del flags
+    return back == bits

@@ -1,0 +1,110 @@
+"""Floating-point multiplier datapath (paper Figure 1b).
+
+Stage 1 (denormalization)
+    * the same denormalizer as the adder inserts the implied 1.
+
+Stage 2 (fixed-point core)
+    * mantissa multiplier (the MULT18x18 array + adder tree)
+    * exponent adder followed by bias subtractor (pipeline-insertable)
+    * sign XOR
+
+Stage 3 (normalize / round)
+    * a two-position shifter (no denormals means the product of two
+      normalized significands lies in [1, 4), so at most one shift plus a
+      possible rounding-carry shift — "at most two bits", paper §3)
+    * exponent adjust subtractor
+    * the same rounding module as the adder
+
+Rounding is exact for both supported modes: the full double-width product
+is formed before guard/round/sticky compression, as the embedded
+multiplier array does in hardware.
+"""
+
+from __future__ import annotations
+
+from repro.fp.flags import FPFlags
+from repro.fp.format import FPFormat
+from repro.fp.rounding import RoundingMode, extract_grs, round_significand
+from repro.fp.subunits import denormalize, fixed_mul, sign_xor
+
+
+def _special_mul(fmt: FPFormat, a: int, b: int) -> tuple[int, FPFlags] | None:
+    """Resolve NaN/Inf/zero-times-Inf cases; None selects the normal path."""
+    if fmt.is_nan(a) or fmt.is_nan(b):
+        return fmt.nan(), FPFlags(invalid=True)
+    a_inf, b_inf = fmt.is_inf(a), fmt.is_inf(b)
+    if a_inf or b_inf:
+        if fmt.is_zero(a) or fmt.is_zero(b):  # 0 x Inf
+            return fmt.nan(), FPFlags(invalid=True)
+        sa, _, _ = fmt.unpack(a)
+        sb, _, _ = fmt.unpack(b)
+        return fmt.inf(sign_xor(sa, sb)), FPFlags()
+    return None
+
+
+def fp_mul(
+    fmt: FPFormat,
+    a: int,
+    b: int,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> tuple[int, FPFlags]:
+    """Multiply two words of format ``fmt``; returns ``(bits, flags)``."""
+    special = _special_mul(fmt, a, b)
+    if special is not None:
+        return special
+
+    s1, e1, f1 = fmt.unpack(a)
+    s2, e2, f2 = fmt.unpack(b)
+    sign = sign_xor(s1, s2)
+
+    if e1 == 0 or e2 == 0:  # zero operand (denormals already flushed)
+        return fmt.zero(sign), FPFlags(zero=True)
+
+    # --- Stage 1: denormalize ------------------------------------------- #
+    m1 = denormalize(fmt, e1, f1)
+    m2 = denormalize(fmt, e2, f2)
+
+    # --- Stage 2: mantissa multiply + exponent add/bias ------------------ #
+    product = fixed_mul(m1, m2)  # 2 * sig_bits wide, in [2^(2wm), 2^(2wm+2))
+    exp = e1 + e2 - fmt.bias  # exponent adder then bias subtractor
+
+    # --- Stage 3: normalize ---------------------------------------------- #
+    prod_bits = 2 * fmt.sig_bits
+    if product >> (prod_bits - 1):  # product in [2, 4): one-position shift
+        exp += 1
+        sig, grs = extract_grs(product, fmt.sig_bits, prod_bits)
+    else:  # product in [1, 2)
+        sig, grs = extract_grs(product, fmt.sig_bits, prod_bits - 1)
+
+    # --- Stage 3: round ---------------------------------------------------#
+    sig, inexact = round_significand(sig, grs, mode)
+    if sig >> fmt.sig_bits:  # rounding carry (the second shift position)
+        sig >>= 1
+        exp += 1
+
+    if exp >= fmt.exp_max:
+        return fmt.inf(sign), FPFlags(overflow=True, inexact=True)
+    if exp <= 0:
+        return fmt.zero(sign), FPFlags(underflow=True, inexact=True, zero=True)
+    return fmt.pack(sign, exp, sig & fmt.man_mask), FPFlags(inexact=inexact)
+
+
+class FPMultiplier:
+    """Combinational multiplier bound to a format and rounding mode."""
+
+    def __init__(
+        self,
+        fmt: FPFormat,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    ) -> None:
+        self.fmt = fmt
+        self.mode = mode
+
+    def mul(self, a: int, b: int) -> tuple[int, FPFlags]:
+        return fp_mul(self.fmt, a, b, self.mode)
+
+    def __call__(self, a: int, b: int) -> tuple[int, FPFlags]:
+        return self.mul(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FPMultiplier({self.fmt.name}, {self.mode.value})"

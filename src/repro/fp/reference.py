@@ -1,0 +1,119 @@
+"""Exact rational reference implementations used as test oracles.
+
+These compute the mathematically exact result with :class:`fractions.
+Fraction` and then encode it into the target format with the shared
+denormal-free encoder, so any divergence from :func:`repro.fp.adder.fp_add`
+or :func:`repro.fp.multiplier.fp_mul` is a genuine datapath bug rather
+than a modelling difference.  They intentionally reuse the *same* special-
+value conventions (zero signs, Inf/NaN propagation) so results are
+comparable bit-for-bit.
+"""
+
+from __future__ import annotations
+
+from fractions import Fraction
+
+from repro.fp.flags import FPFlags
+from repro.fp.format import FPFormat
+from repro.fp.rounding import RoundingMode
+from repro.fp.value import FPValue, encode_fraction
+
+
+def _decode(fmt: FPFormat, bits: int) -> Fraction:
+    return FPValue(fmt, bits).to_fraction()
+
+
+def ref_add(
+    fmt: FPFormat,
+    a: int,
+    b: int,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> tuple[int, FPFlags]:
+    """Exactly-rounded reference addition."""
+    if fmt.is_nan(a) or fmt.is_nan(b):
+        return fmt.nan(), FPFlags(invalid=True)
+    a_inf, b_inf = fmt.is_inf(a), fmt.is_inf(b)
+    sa = fmt.unpack(a)[0]
+    sb = fmt.unpack(b)[0]
+    if a_inf and b_inf:
+        if sa != sb:
+            return fmt.nan(), FPFlags(invalid=True)
+        return fmt.inf(sa), FPFlags()
+    if a_inf:
+        return fmt.inf(sa), FPFlags()
+    if b_inf:
+        return fmt.inf(sb), FPFlags()
+    if fmt.is_zero(a) and fmt.is_zero(b):
+        return fmt.zero(sa if sa == sb else 0), FPFlags(zero=True)
+    if fmt.is_zero(a):
+        return fmt.pack(sb, fmt.unpack(b)[1], fmt.unpack(b)[2]), FPFlags()
+    if fmt.is_zero(b):
+        return fmt.pack(sa, fmt.unpack(a)[1], fmt.unpack(a)[2]), FPFlags()
+    exact = _decode(fmt, a) + _decode(fmt, b)
+    return encode_fraction(fmt, exact, mode)
+
+
+def ref_sub(
+    fmt: FPFormat,
+    a: int,
+    b: int,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> tuple[int, FPFlags]:
+    """Exactly-rounded reference subtraction."""
+    if fmt.is_nan(b):
+        return fmt.nan(), FPFlags(invalid=True)
+    sb, eb, fb = fmt.unpack(b)
+    return ref_add(fmt, a, fmt.pack(sb ^ 1, eb, fb), mode)
+
+
+def ref_div(
+    fmt: FPFormat,
+    a: int,
+    b: int,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> tuple[int, FPFlags]:
+    """Exactly-rounded reference division."""
+    if fmt.is_nan(a) or fmt.is_nan(b):
+        return fmt.nan(), FPFlags(invalid=True)
+    sa = fmt.unpack(a)[0]
+    sb = fmt.unpack(b)[0]
+    sign = sa ^ sb
+    a_inf, b_inf = fmt.is_inf(a), fmt.is_inf(b)
+    a_zero, b_zero = fmt.is_zero(a), fmt.is_zero(b)
+    if (a_inf and b_inf) or (a_zero and b_zero):
+        return fmt.nan(), FPFlags(invalid=True)
+    if a_inf:
+        return fmt.inf(sign), FPFlags()
+    if b_inf:
+        return fmt.zero(sign), FPFlags(zero=True)
+    if b_zero:
+        return fmt.inf(sign), FPFlags(div_by_zero=True)
+    if a_zero:
+        return fmt.zero(sign), FPFlags(zero=True)
+    exact = _decode(fmt, a) / _decode(fmt, b)
+    return encode_fraction(fmt, exact, mode)
+
+
+def ref_mul(
+    fmt: FPFormat,
+    a: int,
+    b: int,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> tuple[int, FPFlags]:
+    """Exactly-rounded reference multiplication."""
+    if fmt.is_nan(a) or fmt.is_nan(b):
+        return fmt.nan(), FPFlags(invalid=True)
+    sa = fmt.unpack(a)[0]
+    sb = fmt.unpack(b)[0]
+    sign = sa ^ sb
+    if fmt.is_inf(a) or fmt.is_inf(b):
+        if fmt.is_zero(a) or fmt.is_zero(b):
+            return fmt.nan(), FPFlags(invalid=True)
+        return fmt.inf(sign), FPFlags()
+    if fmt.is_zero(a) or fmt.is_zero(b):
+        return fmt.zero(sign), FPFlags(zero=True)
+    exact = _decode(fmt, a) * _decode(fmt, b)
+    bits, flags = encode_fraction(fmt, exact, mode)
+    # encode_fraction derives the sign from the exact value, which is
+    # already correct here; nothing to patch.
+    return bits, flags

@@ -1,0 +1,90 @@
+"""Rounding modes and the rounding primitive shared by the datapaths.
+
+The paper implements exactly two modes: round-to-nearest (even) and
+truncation.  Rounding operates on a significand extended with the classic
+guard/round/sticky (GRS) triple produced by the alignment and
+normalization shifters.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class RoundingMode(enum.Enum):
+    """Rounding modes supported by the cores (paper §3)."""
+
+    #: IEEE round-to-nearest, ties to even.
+    NEAREST_EVEN = "rne"
+    #: Truncate toward zero (drop the GRS bits).
+    TRUNCATE = "rtz"
+
+
+def round_significand(
+    sig: int,
+    grs: int,
+    mode: RoundingMode,
+) -> tuple[int, bool]:
+    """Round a significand given its 3-bit guard/round/sticky tail.
+
+    Parameters
+    ----------
+    sig:
+        The kept significand bits (integer, any width).
+    grs:
+        The 3-bit tail ``(guard << 2) | (round << 1) | sticky``.
+    mode:
+        Rounding mode.
+
+    Returns
+    -------
+    (rounded, inexact):
+        ``rounded`` may be one wider than ``sig`` (carry out of the
+        increment); callers must renormalize.  ``inexact`` is True when any
+        discarded bit was set.
+    """
+    if not 0 <= grs <= 0b111:
+        raise ValueError(f"grs must be a 3-bit value, got {grs}")
+    inexact = grs != 0
+    if mode is RoundingMode.TRUNCATE:
+        return sig, inexact
+    if mode is not RoundingMode.NEAREST_EVEN:  # pragma: no cover - exhaustive
+        raise ValueError(f"unsupported rounding mode {mode}")
+    guard = (grs >> 2) & 1
+    rest = grs & 0b011
+    if guard and (rest != 0 or (sig & 1)):
+        return sig + 1, inexact
+    return sig, inexact
+
+
+def collapse_sticky(value: int, dropped_bits: int) -> int:
+    """OR-reduce the low ``dropped_bits`` of ``value`` into one sticky bit."""
+    if dropped_bits <= 0:
+        return 0
+    mask = (1 << dropped_bits) - 1
+    return 1 if (value & mask) else 0
+
+
+def extract_grs(value: int, keep_bits: int, total_bits: int) -> tuple[int, int]:
+    """Split ``value`` (``total_bits`` wide) into kept significand and GRS.
+
+    Returns ``(sig, grs)`` where ``sig`` is the top ``keep_bits`` and ``grs``
+    compresses everything below into guard/round/sticky.
+    """
+    dropped = total_bits - keep_bits
+    if dropped < 0:
+        raise ValueError("keep_bits exceeds total_bits")
+    if dropped == 0:
+        return value, 0
+    sig = value >> dropped
+    if dropped == 1:
+        guard = value & 1
+        return sig, guard << 2
+    if dropped == 2:
+        guard = (value >> 1) & 1
+        rnd = value & 1
+        return sig, (guard << 2) | (rnd << 1)
+    guard = (value >> (dropped - 1)) & 1
+    rnd = (value >> (dropped - 2)) & 1
+    sticky = collapse_sticky(value, dropped - 2)
+    return sig, (guard << 2) | (rnd << 1) | sticky

@@ -1,0 +1,130 @@
+"""Floating-point square root datapath (extension beyond the paper).
+
+Square root completes the classic FP library quartet.  Like the divider
+it is a digit-recurrence unit — one result bit per row, quadratic area —
+and it shares the denormalize / normalize / round infrastructure:
+
+Stage 1: denormalizer + exponent halving (an even/odd select: the
+    significand is pre-doubled when the unbiased exponent is odd so the
+    remaining exponent divides exactly by two).
+Stage 2: the square-root recurrence — one row per result bit, each a
+    short subtract/compare against the partial result.
+Stage 3: rounding (the result of a square root of a normal number is
+    always in [1, 2), so no normalization shift is ever needed; overflow
+    and underflow are impossible).
+
+The recurrence remainder feeds the sticky bit, so both rounding modes
+are exact; moreover a square root is never an exact tie (an odd
+``q^2 = N`` parity argument), which the tests exercise.
+
+Negative non-zero operands raise ``invalid`` (NaN); ``sqrt(±0) = ±0``;
+``sqrt(+Inf) = +Inf``.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.fp.flags import FPFlags
+from repro.fp.format import FPFormat
+from repro.fp.rounding import RoundingMode, round_significand
+from repro.fp.subunits import denormalize
+
+#: Guard bits produced beyond the significand (guard/round + sticky).
+_EXTRA = 3
+
+
+def _special_sqrt(fmt: FPFormat, a: int) -> tuple[int, FPFlags] | None:
+    if fmt.is_nan(a):
+        return fmt.nan(), FPFlags(invalid=True)
+    sign, exp, _ = fmt.unpack(a)
+    if exp == 0:  # signed zero passes through (IEEE)
+        return fmt.zero(sign), FPFlags(zero=True)
+    if sign:
+        return fmt.nan(), FPFlags(invalid=True)
+    if fmt.is_inf(a):
+        return fmt.inf(0), FPFlags()
+    return None
+
+
+def fp_sqrt(
+    fmt: FPFormat,
+    a: int,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> tuple[int, FPFlags]:
+    """Square root of ``a``; returns ``(result bits, flags)``."""
+    special = _special_sqrt(fmt, a)
+    if special is not None:
+        return special
+
+    _, e, f = fmt.unpack(a)
+    m = denormalize(fmt, e, f)
+
+    # value = u * 2^E with u = m / 2^wm in [1, 2) and E = e - bias.  Make
+    # the exponent even by pre-doubling the significand when E is odd:
+    # sqrt(value) = sqrt(u * 2^p) * 2^((E - p) / 2).
+    e_unbiased = e - fmt.bias
+    parity = e_unbiased % 2
+    m_adj = m << parity  # u * 2^p scaled by 2^wm, in [2^wm, 2^(wm+2))
+    half_exp = (e_unbiased - parity) // 2
+
+    # Scale so the integer square root carries sig_bits + _EXTRA bits:
+    # q = sqrt(m_adj / 2^wm) * 2^t lies in [2^t, 2^(t+1)).
+    t = fmt.man_bits + _EXTRA
+    radicand = m_adj << (2 * t - fmt.man_bits)
+    q = math.isqrt(radicand)
+    remainder = radicand - q * q
+
+    # q in [2^t, 2^(t+1)): significand plus guard/round; remainder -> sticky.
+    grs = (q & 0b110) | (1 if (q & 1) or remainder else 0)
+    sig, inexact = round_significand(q >> _EXTRA, grs, mode)
+    exp_out = half_exp + fmt.bias
+    if sig >> fmt.sig_bits:  # rounding carry (sqrt < 2 so at most once)
+        sig >>= 1
+        exp_out += 1
+
+    # Normal inputs give exponents strictly inside the normal range.
+    return fmt.pack(0, exp_out, sig & fmt.man_mask), FPFlags(inexact=inexact)
+
+
+def sqrt_recurrence(radicand: int, result_bits: int) -> tuple[int, int]:
+    """The hardware bit-serial square-root recurrence.
+
+    Processes the radicand two bits per row, maintaining the invariant
+    partial remainder; returns ``(q, remainder)`` identical to
+    ``math.isqrt`` — the structural core uses this row form and the test
+    suite pins the equivalence.
+    """
+    q = 0
+    r = 0
+    for i in reversed(range(result_bits)):
+        two = (radicand >> (2 * i)) & 0b11
+        r = (r << 2) | two
+        trial = (q << 2) | 1
+        if r >= trial:
+            r -= trial
+            q = (q << 1) | 1
+        else:
+            q <<= 1
+    return q, r
+
+
+class FPSqrt:
+    """Combinational square root bound to a format and rounding mode."""
+
+    def __init__(
+        self,
+        fmt: FPFormat,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    ) -> None:
+        self.fmt = fmt
+        self.mode = mode
+
+    def sqrt(self, a: int) -> tuple[int, FPFlags]:
+        return fp_sqrt(self.fmt, a, self.mode)
+
+    def __call__(self, a: int) -> tuple[int, FPFlags]:
+        return self.sqrt(a)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"FPSqrt({self.fmt.name}, {self.mode.value})"

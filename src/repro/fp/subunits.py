@@ -1,0 +1,134 @@
+"""Bit-level subunits mirroring the hardware blocks of paper Figure 1.
+
+Each function here corresponds to a named block in the adder/multiplier
+block diagrams (denormalizer, swapper, shifter, priority encoder, ...).
+Keeping them as standalone, individually-tested primitives serves two
+purposes: the datapaths in :mod:`repro.fp.adder` / :mod:`repro.fp.multiplier`
+compose them exactly as the hardware does, and the area/timing models in
+:mod:`repro.fabric` attribute slices and delay to the same named blocks.
+"""
+
+from __future__ import annotations
+
+from repro.fp.format import FPFormat
+
+
+def denormalize(fmt: FPFormat, exp: int, man: int) -> int:
+    """Make the hidden bit explicit (the paper's *denormalizer*).
+
+    Uses an exponent-is-zero comparator: a zero exponent means the operand
+    is (flushed-to-)zero, so the hidden bit is 0; otherwise it is 1.
+    Returns the ``man_bits + 1``-wide significand.
+    """
+    hidden = 0 if exp == 0 else 1
+    return (hidden << fmt.man_bits) | man
+
+
+def exponent_compare(e1: int, e2: int) -> tuple[bool, int]:
+    """Exponent comparator + subtractor.
+
+    Returns ``(swap, diff)`` where ``swap`` is True when operand 2 has the
+    larger exponent and ``diff`` is the absolute exponent difference (the
+    alignment shift amount).
+    """
+    if e2 > e1:
+        return True, e2 - e1
+    return False, e1 - e2
+
+
+def mantissa_compare(m1: int, m2: int) -> bool:
+    """Mantissa comparator used by the swapper when exponents are equal.
+
+    Returns True when ``m2 > m1`` (operands must be swapped so the larger
+    magnitude sits on port 1 and the subtraction never goes negative).
+    """
+    return m2 > m1
+
+
+def swap(a: int, b: int, do_swap: bool) -> tuple[int, int]:
+    """The swapper's output multiplexers."""
+    return (b, a) if do_swap else (a, b)
+
+
+def align_shift(sig: int, shift: int, width: int) -> tuple[int, int]:
+    """Right-shift ``sig`` by ``shift`` for mantissa alignment.
+
+    The hardware shifter is ``width`` bits wide with guard/round positions
+    appended by the caller; bits shifted beyond the bottom are OR-collapsed
+    into a sticky bit, and shift amounts larger than the width saturate
+    (large-exponent-difference operands contribute only sticky), exactly
+    like a barrel shifter with a sticky-collection tree.
+
+    Returns ``(shifted, sticky)``.
+    """
+    if shift < 0:
+        raise ValueError("alignment shift must be non-negative")
+    if shift >= width:
+        return 0, (1 if sig else 0)
+    dropped_mask = (1 << shift) - 1
+    sticky = 1 if (sig & dropped_mask) else 0
+    return sig >> shift, sticky
+
+
+def normalize_shift_amount(value: int, width: int) -> int:
+    """Priority encoder: distance of the leading one from the MSB.
+
+    For a ``width``-bit ``value`` this is the left-shift needed to bring
+    the first one to the MSB.  An all-zero input returns ``width`` (the
+    downstream logic flushes the result to zero).
+    """
+    if value == 0:
+        return width
+    return width - value.bit_length()
+
+
+def split_priority_encoder(value: int, width: int, parts: int = 2) -> int:
+    """Priority encoder built from ``parts`` smaller encoders + an adder.
+
+    This mirrors the paper's note that the 54-bit priority encoder "has to
+    be broken into two smaller priority encoders and a 3-bit adder" to reach
+    200 MHz.  Functionally identical to :func:`normalize_shift_amount`;
+    implemented segment-wise to mirror (and cross-check) the hardware
+    decomposition.
+    """
+    if parts < 1:
+        raise ValueError("parts must be >= 1")
+    seg = (width + parts - 1) // parts
+    for i in range(parts):
+        hi = width - i * seg
+        lo = max(hi - seg, 0)
+        segment = (value >> lo) & ((1 << (hi - lo)) - 1)
+        if segment:
+            return (i * seg) + ((hi - lo) - segment.bit_length())
+    return width
+
+
+def fixed_add(a: int, b: int, width: int) -> tuple[int, int]:
+    """Fixed-point adder: returns ``(sum mod 2**width, carry_out)``."""
+    total = a + b
+    return total & ((1 << width) - 1), total >> width
+
+
+def fixed_sub(a: int, b: int, width: int) -> tuple[int, int]:
+    """Fixed-point subtractor: returns ``(a - b mod 2**width, borrow)``."""
+    diff = a - b
+    if diff < 0:
+        return diff + (1 << width), 1
+    return diff & ((1 << width) - 1), 0
+
+
+def fixed_mul(a: int, b: int) -> int:
+    """Fixed-point mantissa multiplier (the MULT18x18 array + adder tree)."""
+    return a * b
+
+
+def sign_xor(s1: int, s2: int) -> int:
+    """The multiplier's sign XOR gate."""
+    return (s1 ^ s2) & 1
+
+
+def leading_bits(value: int, width: int, count: int) -> int:
+    """Top ``count`` bits of a ``width``-bit value (helper for normalizers)."""
+    if count > width:
+        raise ValueError("count exceeds width")
+    return value >> (width - count)

@@ -1,0 +1,228 @@
+"""Stage-by-stage datapath traces — the library's "waveform view".
+
+:func:`fp_add_trace` and :func:`fp_mul_trace` re-walk the Figure 1
+datapaths recording every named subunit's intermediate value, the way a
+simulator waveform would show them.  They are intended for debugging and
+teaching; the test suite pins their results bit-for-bit to the production
+datapaths, so the traces cannot silently diverge from the real
+implementations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.fp.adder import GRS_BITS, fp_add
+from repro.fp.flags import FPFlags
+from repro.fp.format import FPFormat
+from repro.fp.multiplier import fp_mul
+from repro.fp.rounding import RoundingMode, extract_grs, round_significand
+from repro.fp.subunits import (
+    align_shift,
+    denormalize,
+    exponent_compare,
+    fixed_mul,
+    mantissa_compare,
+    normalize_shift_amount,
+    sign_xor,
+    swap,
+)
+
+
+@dataclass
+class StageTrace:
+    """A stage's recorded signals, in subunit order."""
+
+    name: str
+    signals: dict[str, int] = field(default_factory=dict)
+
+    def record(self, signal: str, value: int) -> None:
+        self.signals[signal] = value
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(f"{k}={v:#x}" for k, v in self.signals.items())
+        return f"{self.name}: {inner}"
+
+
+@dataclass
+class DatapathTrace:
+    """Everything one operation did, stage by stage."""
+
+    op: str
+    fmt: FPFormat
+    stages: list[StageTrace] = field(default_factory=list)
+    result: int = 0
+    flags: FPFlags = field(default_factory=FPFlags)
+    special: Optional[str] = None  # short-circuit reason, if any
+
+    def stage(self, name: str) -> StageTrace:
+        s = StageTrace(name)
+        self.stages.append(s)
+        return s
+
+    def find(self, stage: str, signal: str) -> int:
+        for s in self.stages:
+            if s.name == stage and signal in s.signals:
+                return s.signals[signal]
+        raise KeyError(f"no signal {signal!r} in stage {stage!r}")
+
+    def render(self) -> str:
+        lines = [f"{self.op} ({self.fmt.name})"]
+        if self.special:
+            lines.append(f"  special case: {self.special}")
+        for s in self.stages:
+            lines.append(f"  {s}")
+        lines.append(f"  result = {self.result:#x}  flags = {self.flags}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def fp_add_trace(
+    fmt: FPFormat,
+    a: int,
+    b: int,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> DatapathTrace:
+    """Trace the adder datapath; ``trace.result`` equals ``fp_add``'s."""
+    trace = DatapathTrace(op="fp_add", fmt=fmt)
+    expected_bits, expected_flags = fp_add(fmt, a, b, mode)
+    trace.result, trace.flags = expected_bits, expected_flags
+
+    s1, e1, f1 = fmt.unpack(a)
+    s2, e2, f2 = fmt.unpack(b)
+    if not (fmt.is_finite(a) and fmt.is_finite(b)):
+        trace.special = "NaN/Inf operand"
+        return trace
+
+    st = trace.stage("denorm")
+    m1 = denormalize(fmt, e1, f1)
+    m2 = denormalize(fmt, e2, f2)
+    st.record("m1", m1)
+    st.record("m2", m2)
+    if e1 == 0 or e2 == 0:
+        trace.special = "zero operand"
+        return trace
+
+    st = trace.stage("swap")
+    swap_exp, diff = exponent_compare(e1, e2)
+    if not swap_exp and e1 == e2 and mantissa_compare(m1, m2):
+        swap_exp = True
+    (m1, m2) = swap(m1, m2, swap_exp)
+    (s1, s2) = swap(s1, s2, swap_exp)
+    exp = e2 if swap_exp else e1
+    st.record("swapped", int(swap_exp))
+    st.record("exp_diff", diff)
+    st.record("exp", exp)
+
+    st = trace.stage("align")
+    wide = fmt.sig_bits + GRS_BITS
+    big = m1 << GRS_BITS
+    small, sticky = align_shift(m2 << GRS_BITS, diff, wide)
+    st.record("big", big)
+    st.record("small", small)
+    st.record("sticky", sticky)
+
+    st = trace.stage("add_sub")
+    subtract = s1 != s2
+    if subtract:
+        total = big - small - sticky
+    else:
+        total = big + small
+        if total >> wide:
+            sticky |= total & 1
+            total >>= 1
+            exp += 1
+    st.record("subtract", int(subtract))
+    st.record("sum", total)
+    st.record("exp", exp)
+    if total == 0:
+        trace.special = "exact cancellation"
+        return trace
+
+    st = trace.stage("normalize")
+    lsh = normalize_shift_amount(total, wide)
+    if lsh > 0:
+        total <<= lsh
+        exp -= lsh
+    st.record("left_shift", lsh)
+    st.record("normalized", total)
+    st.record("exp", max(exp, 0))
+    if exp <= 0:
+        trace.special = "underflow flush"
+        return trace
+
+    st = trace.stage("round")
+    grs = (total & 0b111) | sticky
+    sig, _inexact = round_significand(total >> GRS_BITS, grs, mode)
+    if sig >> fmt.sig_bits:
+        sig >>= 1
+        exp += 1
+    st.record("grs", grs)
+    st.record("sig", sig)
+    st.record("exp", min(exp, fmt.exp_max))
+    if exp >= fmt.exp_max:
+        trace.special = "overflow saturate"
+    return trace
+
+
+def fp_mul_trace(
+    fmt: FPFormat,
+    a: int,
+    b: int,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> DatapathTrace:
+    """Trace the multiplier datapath; ``trace.result`` equals ``fp_mul``'s."""
+    trace = DatapathTrace(op="fp_mul", fmt=fmt)
+    expected_bits, expected_flags = fp_mul(fmt, a, b, mode)
+    trace.result, trace.flags = expected_bits, expected_flags
+
+    s1, e1, f1 = fmt.unpack(a)
+    s2, e2, f2 = fmt.unpack(b)
+    if not (fmt.is_finite(a) and fmt.is_finite(b)):
+        trace.special = "NaN/Inf operand"
+        return trace
+    if e1 == 0 or e2 == 0:
+        trace.special = "zero operand"
+        return trace
+
+    st = trace.stage("denorm")
+    m1 = denormalize(fmt, e1, f1)
+    m2 = denormalize(fmt, e2, f2)
+    st.record("m1", m1)
+    st.record("m2", m2)
+
+    st = trace.stage("multiply")
+    product = fixed_mul(m1, m2)
+    exp = e1 + e2 - fmt.bias
+    sign = sign_xor(s1, s2)
+    st.record("product", product)
+    st.record("exp", max(0, min(exp, fmt.exp_max)))
+    st.record("sign", sign)
+
+    st = trace.stage("normalize")
+    prod_bits = 2 * fmt.sig_bits
+    if product >> (prod_bits - 1):
+        exp += 1
+        sig, grs = extract_grs(product, fmt.sig_bits, prod_bits)
+        st.record("shift", 1)
+    else:
+        sig, grs = extract_grs(product, fmt.sig_bits, prod_bits - 1)
+        st.record("shift", 0)
+    st.record("sig", sig)
+    st.record("grs", grs)
+
+    st = trace.stage("round")
+    sig, _inexact = round_significand(sig, grs, mode)
+    if sig >> fmt.sig_bits:
+        sig >>= 1
+        exp += 1
+    st.record("sig", sig)
+    st.record("exp", max(0, min(exp, fmt.exp_max)))
+    if exp >= fmt.exp_max:
+        trace.special = "overflow saturate"
+    elif exp <= 0:
+        trace.special = "underflow flush"
+    return trace

@@ -1,0 +1,236 @@
+"""Typed floating-point values: bit patterns bound to a format.
+
+:class:`FPValue` wraps an integer word together with its :class:`FPFormat`
+and provides exact conversions to and from Python ``float``/``Fraction``.
+Conversions *into* a format implement the same denormal-free,
+two-rounding-mode semantics as the hardware datapaths, so tests can use
+``FPValue.from_float`` as the golden encoder.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from fractions import Fraction
+
+from repro.fp.flags import FPFlags
+from repro.fp.format import FPFormat
+from repro.fp.rounding import RoundingMode, round_significand
+
+
+def _floor_log2(x: Fraction) -> int:
+    """Exact floor(log2(x)) for a positive Fraction."""
+    if x <= 0:
+        raise ValueError("x must be positive")
+    p, q = x.numerator, x.denominator
+    e = p.bit_length() - q.bit_length()
+    # e is within 1 of the true value; correct it exactly.
+    while not _pow2_le(e, p, q):
+        e -= 1
+    while _pow2_le(e + 1, p, q):
+        e += 1
+    return e
+
+
+def _pow2_le(e: int, p: int, q: int) -> bool:
+    """True when 2**e <= p/q (p, q positive integers)."""
+    if e >= 0:
+        return (q << e) <= p
+    return q <= (p << (-e))
+
+
+def encode_fraction(
+    fmt: FPFormat,
+    value: Fraction,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> tuple[int, FPFlags]:
+    """Encode an exact rational into ``fmt`` with hardware semantics.
+
+    Overflow saturates to ±Inf (raising ``overflow``); results below the
+    normal range flush to (signed) zero (raising ``underflow``), exactly as
+    the denormal-free datapaths behave.
+    """
+    if value == 0:
+        return fmt.zero(0), FPFlags(zero=True)
+    sign = 1 if value < 0 else 0
+    mag = -value if sign else value
+    e = _floor_log2(mag)
+    # Scale so the integer part carries man_bits+1 significand bits plus two
+    # explicit guard/round bits; the division remainder becomes sticky.
+    shift = fmt.man_bits + 2 - e
+    p, q = mag.numerator, mag.denominator
+    if shift >= 0:
+        num, den = p << shift, q
+    else:
+        num, den = p, q << (-shift)
+    t, rem = divmod(num, den)
+    sticky = 1 if rem else 0
+    sig = t >> 2
+    grs = ((t & 0b11) << 1) | sticky
+    sig, inexact = round_significand(sig, grs, mode)
+    if sig >> (fmt.man_bits + 1):
+        sig >>= 1
+        e += 1
+    if e > fmt.emax:
+        return fmt.inf(sign), FPFlags(overflow=True, inexact=True)
+    if e < fmt.emin:
+        return fmt.zero(sign), FPFlags(underflow=True, inexact=True, zero=True)
+    man = sig & fmt.man_mask
+    bits = fmt.pack(sign, e + fmt.bias, man)
+    return bits, FPFlags(inexact=inexact)
+
+
+@dataclass(frozen=True)
+class FPValue:
+    """An immutable floating-point value: a bit pattern plus its format."""
+
+    fmt: FPFormat
+    bits: int
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.bits <= self.fmt.word_mask:
+            raise ValueError(
+                f"bit pattern {self.bits:#x} out of range for {self.fmt.name}"
+            )
+
+    # ------------------------------------------------------------------ #
+    # Constructors
+    # ------------------------------------------------------------------ #
+    @classmethod
+    def from_float(
+        cls,
+        fmt: FPFormat,
+        value: float,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    ) -> "FPValue":
+        """Encode a Python float (exactly represented, then rounded)."""
+        if math.isnan(value):
+            return cls(fmt, fmt.nan())
+        if math.isinf(value):
+            return cls(fmt, fmt.inf(1 if value < 0 else 0))
+        if value == 0.0:
+            sign = 1 if math.copysign(1.0, value) < 0 else 0
+            return cls(fmt, fmt.zero(sign))
+        bits, _ = encode_fraction(fmt, Fraction(value), mode)
+        return cls(fmt, bits)
+
+    @classmethod
+    def from_fraction(
+        cls,
+        fmt: FPFormat,
+        value: Fraction,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    ) -> "FPValue":
+        bits, _ = encode_fraction(fmt, value, mode)
+        return cls(fmt, bits)
+
+    @classmethod
+    def from_fields(cls, fmt: FPFormat, sign: int, exp: int, man: int) -> "FPValue":
+        return cls(fmt, fmt.pack(sign, exp, man))
+
+    # ------------------------------------------------------------------ #
+    # Field access / classification
+    # ------------------------------------------------------------------ #
+    @property
+    def sign(self) -> int:
+        return self.fmt.unpack(self.bits)[0]
+
+    @property
+    def exp(self) -> int:
+        """Biased exponent field."""
+        return self.fmt.unpack(self.bits)[1]
+
+    @property
+    def man(self) -> int:
+        """Stored fraction field."""
+        return self.fmt.unpack(self.bits)[2]
+
+    @property
+    def is_zero(self) -> bool:
+        return self.fmt.is_zero(self.bits)
+
+    @property
+    def is_inf(self) -> bool:
+        return self.fmt.is_inf(self.bits)
+
+    @property
+    def is_nan(self) -> bool:
+        return self.fmt.is_nan(self.bits)
+
+    @property
+    def is_finite(self) -> bool:
+        return self.fmt.is_finite(self.bits)
+
+    @property
+    def significand(self) -> int:
+        """Significand with the hidden bit made explicit (denormalizer)."""
+        sign, exp, man = self.fmt.unpack(self.bits)
+        del sign
+        hidden = 0 if exp == 0 else 1
+        return (hidden << self.fmt.man_bits) | man
+
+    # ------------------------------------------------------------------ #
+    # Conversions out
+    # ------------------------------------------------------------------ #
+    def to_fraction(self) -> Fraction:
+        """Exact rational value; NaN/Inf raise ``ValueError``."""
+        sign, exp, man = self.fmt.unpack(self.bits)
+        if exp == self.fmt.exp_max:
+            raise ValueError("NaN/Inf has no rational value")
+        if exp == 0:
+            return Fraction(0)
+        sig = (1 << self.fmt.man_bits) | man
+        mag = Fraction(sig, 1 << self.fmt.man_bits) * Fraction(2) ** (
+            exp - self.fmt.bias
+        )
+        return -mag if sign else mag
+
+    def to_float(self) -> float:
+        """Convert to Python float (exact for all paper formats)."""
+        sign, exp, man = self.fmt.unpack(self.bits)
+        if exp == self.fmt.exp_max:
+            if man:
+                return math.nan
+            return -math.inf if sign else math.inf
+        if exp == 0:
+            return -0.0 if sign else 0.0
+        mag = math.ldexp(
+            ((1 << self.fmt.man_bits) | man), exp - self.fmt.bias - self.fmt.man_bits
+        )
+        return -mag if sign else mag
+
+    # ------------------------------------------------------------------ #
+    # Operators (conveniences over the datapaths)
+    # ------------------------------------------------------------------ #
+    def __neg__(self) -> "FPValue":
+        sign, exp, man = self.fmt.unpack(self.bits)
+        return FPValue(self.fmt, self.fmt.pack(sign ^ 1, exp, man))
+
+    def __abs__(self) -> "FPValue":
+        _, exp, man = self.fmt.unpack(self.bits)
+        return FPValue(self.fmt, self.fmt.pack(0, exp, man))
+
+    def __add__(self, other: "FPValue") -> "FPValue":
+        from repro.fp.adder import fp_add
+
+        bits, _ = fp_add(self.fmt, self.bits, other.bits)
+        return FPValue(self.fmt, bits)
+
+    def __sub__(self, other: "FPValue") -> "FPValue":
+        from repro.fp.adder import fp_sub
+
+        bits, _ = fp_sub(self.fmt, self.bits, other.bits)
+        return FPValue(self.fmt, bits)
+
+    def __mul__(self, other: "FPValue") -> "FPValue":
+        from repro.fp.multiplier import fp_mul
+
+        bits, _ = fp_mul(self.fmt, self.bits, other.bits)
+        return FPValue(self.fmt, bits)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        try:
+            shown = self.to_float()
+        except ValueError:  # unreachable, to_float handles specials
+            shown = math.nan
+        return f"FPValue({self.fmt.name}, {self.bits:#0{2 + (self.fmt.width + 3) // 4}x} ~ {shown!r})"

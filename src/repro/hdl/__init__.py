@@ -1,0 +1,12 @@
+"""HDL emission: render synthesized datapaths as VHDL skeletons.
+
+The paper's cores are VHDL; this subpackage closes the loop by emitting
+a VHDL-93 pipeline skeleton from any :class:`~repro.fabric.netlist.
+Datapath` and stage count — entity, stage-boundary registers sized from
+the retiming result, and one clocked process per stage instantiating the
+subunit quanta that the optimizer assigned to it.
+"""
+
+from repro.hdl.emit import emit_vhdl
+
+__all__ = ["emit_vhdl"]

@@ -1,0 +1,56 @@
+"""The evaluation kernel: linear-array floating-point matrix multiply.
+
+The architecture follows Jang, Choi and Prasanna (FPT 2002), the design
+the paper evaluates its FP units inside: a linear array of identical PEs,
+each holding one FP adder and one FP multiplier chained into a MAC
+pipeline, with B resident per-PE, A streamed through the array, and the
+C accumulators in PE-local storage.  Successive updates to the same
+accumulator are spaced ``max(n, PL)`` cycles apart, where ``PL`` is the
+sum of the adder and multiplier latencies — so read-after-write hazards
+occur exactly when the problem size is smaller than the pipeline latency,
+and small problems must be zero-padded (the energy waste Figures 4-6
+quantify).
+"""
+
+from repro.kernels.blocking import BlockSchedule, blocked_schedule
+from repro.kernels.dotproduct import DotProductUnit, functional_dot
+from repro.kernels.fast import dot_vectorized, functional_matmul_vectorized
+from repro.kernels.io_model import IOChannel, dot_sustained, matmul_sustained
+from repro.kernels.mvm import MVMArray, functional_mvm
+from repro.kernels.lu import LUPerformanceModel, functional_lu, split_lu
+from repro.kernels.matmul import MatmulArray, RAWHazard, functional_matmul
+from repro.kernels.pe import ProcessingElement
+from repro.kernels.structural_pe import StructuralMAC, StructuralProcessingElement
+from repro.kernels.performance import (
+    DeviceFill,
+    KernelEstimate,
+    MatmulPerformanceModel,
+    kernel_schedule_cycles,
+)
+
+__all__ = [
+    "BlockSchedule",
+    "DeviceFill",
+    "DotProductUnit",
+    "IOChannel",
+    "MVMArray",
+    "KernelEstimate",
+    "LUPerformanceModel",
+    "MatmulArray",
+    "MatmulPerformanceModel",
+    "ProcessingElement",
+    "RAWHazard",
+    "StructuralMAC",
+    "StructuralProcessingElement",
+    "blocked_schedule",
+    "dot_sustained",
+    "dot_vectorized",
+    "functional_dot",
+    "functional_lu",
+    "functional_matmul",
+    "functional_matmul_vectorized",
+    "functional_mvm",
+    "matmul_sustained",
+    "kernel_schedule_cycles",
+    "split_lu",
+]

@@ -1,0 +1,88 @@
+"""Block matrix multiplication schedules.
+
+For large problems the architecture of [5] processes the matrix in
+``b x b`` blocks on an array of ``b`` PEs.  The latency constraint then
+applies to the *block* size: when ``b < PL`` every inner accumulation
+loop must be zero-padded out to ``PL`` cycles, which burns energy without
+doing work — the effect Figure 6 sweeps block size to expose.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class BlockSchedule:
+    """Cycle accounting for a blocked ``n x n`` matmul with block size ``b``.
+
+    All cycle counts are for the array of ``b`` PEs.
+    """
+
+    n: int
+    b: int
+    pipeline_latency: int
+    blocks_per_dim: int
+    block_ops: int
+    cycles_per_block_op: int
+    padded_cycles_per_block_op: int
+    drain_cycles: int
+
+    @property
+    def spacing(self) -> int:
+        """Cycles between updates of the same accumulator."""
+        return max(self.b, self.pipeline_latency)
+
+    @property
+    def total_cycles(self) -> int:
+        return self.block_ops * self.cycles_per_block_op + self.drain_cycles
+
+    @property
+    def padded_cycles(self) -> int:
+        """Total zero-padding bubbles across the run."""
+        return self.block_ops * self.padded_cycles_per_block_op
+
+    @property
+    def wasted_fraction(self) -> float:
+        """Fraction of the schedule that is zero-padding."""
+        return self.padded_cycles / self.total_cycles if self.total_cycles else 0.0
+
+    @property
+    def useful_macs(self) -> int:
+        """Real multiply-accumulates performed (per PE issue slots)."""
+        return self.n * self.n * self.n // self.b  # n^3 MACs over b PEs
+
+    def latency_us(self, frequency_mhz: float) -> float:
+        return self.total_cycles / frequency_mhz
+
+
+def blocked_schedule(n: int, b: int, pipeline_latency: int) -> BlockSchedule:
+    """Build the schedule for an ``n x n`` problem with block size ``b``.
+
+    ``b`` must divide ``n``.  ``b == n`` degenerates to the unblocked
+    schedule.
+    """
+    if n < 1 or b < 1:
+        raise ValueError(f"n and b must be >= 1, got n={n}, b={b}")
+    if b > n:
+        raise ValueError(f"block size {b} exceeds problem size {n}")
+    if n % b:
+        raise ValueError(f"block size {b} does not divide problem size {n}")
+    blocks = n // b
+    spacing = max(b, pipeline_latency)
+    # The last block op does not pay its trailing padding: its final token
+    # only needs the array skew (b-1 forwards) plus the MAC drain (PL), so
+    # the tail beyond the steady-state b*spacing slots is
+    #   (b-1)*spacing + 2*(b-1) + PL + 1  -  b*spacing.
+    # This makes total_cycles cycle-exact against MatmulArray (tested).
+    drain = 2 * (b - 1) + pipeline_latency + 1 - spacing
+    return BlockSchedule(
+        n=n,
+        b=b,
+        pipeline_latency=pipeline_latency,
+        blocks_per_dim=blocks,
+        block_ops=blocks * blocks * blocks,
+        cycles_per_block_op=b * spacing,
+        padded_cycles_per_block_op=b * (spacing - b),
+        drain_cycles=drain,
+    )

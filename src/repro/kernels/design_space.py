@@ -1,0 +1,120 @@
+"""Kernel design-space enumeration and Pareto analysis (paper §5).
+
+Section 5's message is that pipeline depth and block size must be chosen
+*jointly* under area/latency/energy constraints.  This module turns that
+procedure into a library feature: enumerate (pipelining config, block
+size) designs, evaluate each with the domain-specific models, extract the
+Pareto front over (energy, latency, slices), and select the best feasible
+design for an objective.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Optional, Sequence
+
+from repro.experiments.configs import PipeliningConfig, kernel_configs
+from repro.fp.format import FP32, FPFormat
+from repro.kernels.performance import KernelEstimate
+
+#: Objective name -> extractor (all minimized).
+OBJECTIVES: dict[str, Callable[["DesignEvaluation"], float]] = {
+    "energy": lambda d: d.estimate.energy_nj,
+    "latency": lambda d: d.estimate.latency_us,
+    "slices": lambda d: float(d.estimate.slices),
+}
+
+
+@dataclass(frozen=True)
+class DesignConstraints:
+    """Feasibility limits; ``None`` disables a limit."""
+
+    max_slices: Optional[int] = None
+    max_latency_us: Optional[float] = None
+    max_energy_nj: Optional[float] = None
+
+    def admits(self, design: "DesignEvaluation") -> bool:
+        est = design.estimate
+        if self.max_slices is not None and est.slices > self.max_slices:
+            return False
+        if self.max_latency_us is not None and est.latency_us > self.max_latency_us:
+            return False
+        if self.max_energy_nj is not None and est.energy_nj > self.max_energy_nj:
+            return False
+        return True
+
+
+@dataclass(frozen=True)
+class DesignEvaluation:
+    """One evaluated (config, block size) design point."""
+
+    config: PipeliningConfig
+    block_size: int
+    estimate: KernelEstimate
+
+    @property
+    def label(self) -> str:
+        return f"{self.config.label}, b={self.block_size}"
+
+    def objectives(self) -> tuple[float, float, float]:
+        return (
+            self.estimate.energy_nj,
+            self.estimate.latency_us,
+            float(self.estimate.slices),
+        )
+
+
+def enumerate_designs(
+    n: int,
+    block_sizes: Sequence[int],
+    fmt: FPFormat = FP32,
+    configs: Optional[Sequence[PipeliningConfig]] = None,
+) -> list[DesignEvaluation]:
+    """Evaluate every (config, block size) combination for an n x n matmul."""
+    if configs is None:
+        configs = kernel_configs(fmt)
+    designs = []
+    for config in configs:
+        model = config.performance_model()
+        for b in block_sizes:
+            if n % b:
+                raise ValueError(f"block size {b} does not divide n={n}")
+            designs.append(
+                DesignEvaluation(
+                    config=config, block_size=b, estimate=model.estimate(n, b)
+                )
+            )
+    return designs
+
+
+def dominates(a: DesignEvaluation, b: DesignEvaluation) -> bool:
+    """True when ``a`` is no worse in every objective and better in one."""
+    ao, bo = a.objectives(), b.objectives()
+    return all(x <= y for x, y in zip(ao, bo)) and any(
+        x < y for x, y in zip(ao, bo)
+    )
+
+
+def pareto_front(designs: Iterable[DesignEvaluation]) -> list[DesignEvaluation]:
+    """Non-dominated designs, in enumeration order."""
+    designs = list(designs)
+    front = []
+    for d in designs:
+        if not any(dominates(other, d) for other in designs if other is not d):
+            front.append(d)
+    return front
+
+
+def best_design(
+    designs: Iterable[DesignEvaluation],
+    objective: str = "energy",
+    constraints: DesignConstraints = DesignConstraints(),
+) -> DesignEvaluation:
+    """Best feasible design for one objective (ties: fewer slices)."""
+    if objective not in OBJECTIVES:
+        raise ValueError(f"unknown objective {objective!r}; known: {sorted(OBJECTIVES)}")
+    feasible = [d for d in designs if constraints.admits(d)]
+    if not feasible:
+        raise ValueError("no design satisfies the constraints")
+    key = OBJECTIVES[objective]
+    return min(feasible, key=lambda d: (key(d), d.estimate.slices))

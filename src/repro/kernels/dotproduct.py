@@ -1,0 +1,193 @@
+"""Dot-product (vector) kernel with latency-hiding interleaved accumulation.
+
+The paper's applications section motivates "matrix and vector operations"
+generally; the vector reduction is the classic hard case for deeply
+pipelined adders: a naive running sum stalls ``L_add`` cycles per
+element.  The standard architecture (which the matmul array sidesteps by
+interleaving rows) keeps ``L_add`` independent partial sums — element
+``t`` accumulates into partial ``t mod L_add`` so each partial is touched
+every ``L_add`` cycles, exactly the hazard spacing — and reduces the
+partials with a binary tree at the end.
+
+:class:`DotProductUnit` simulates this cycle-accurately on one multiplier
+plus one adder; :func:`functional_dot` applies the identical operation
+order without timing, so the simulation is checked bit-for-bit.  Note the
+result *depends on the adder latency* (the interleaving changes the
+summation order) — a real consequence of latency hiding that users of
+such accelerators must understand, and one this model makes visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.fp.adder import fp_add
+from repro.fp.flags import FPFlags
+from repro.fp.format import FPFormat
+from repro.fp.multiplier import fp_mul
+from repro.fp.rounding import RoundingMode
+
+
+@dataclass(frozen=True)
+class DotRun:
+    """Result of one dot-product run."""
+
+    result: int
+    flags: FPFlags
+    cycles: int
+    lanes: int
+    mac_cycles: int
+    reduce_cycles: int
+
+
+def functional_dot(
+    fmt: FPFormat,
+    xs: Sequence[int],
+    ys: Sequence[int],
+    lanes: int,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> tuple[int, FPFlags]:
+    """Reference: same interleaved order, no timing.
+
+    Partial ``i`` accumulates elements ``i, i+lanes, i+2*lanes, ...`` in
+    index order; the partials are then reduced pairwise
+    (0+1, 2+3, ... then recursively) — the same tree the timed unit uses.
+    """
+    if len(xs) != len(ys):
+        raise ValueError("vectors must have equal length")
+    if lanes < 1:
+        raise ValueError("lanes must be >= 1")
+    flags = FPFlags()
+    partials = [fmt.zero() for _ in range(lanes)]
+    for i, (x, y) in enumerate(zip(xs, ys)):
+        p, f1 = fp_mul(fmt, x, y, mode)
+        acc, f2 = fp_add(fmt, partials[i % lanes], p, mode)
+        partials[i % lanes] = acc
+        flags = flags | f1 | f2
+    while len(partials) > 1:
+        nxt = []
+        for i in range(0, len(partials) - 1, 2):
+            s, f = fp_add(fmt, partials[i], partials[i + 1], mode)
+            flags = flags | f
+            nxt.append(s)
+        if len(partials) % 2:
+            nxt.append(partials[-1])
+        partials = nxt
+    return partials[0], flags
+
+
+class DotProductUnit:
+    """Cycle-accurate dot product on one FP multiplier + one FP adder.
+
+    Phase 1 (MAC): elements stream in one per cycle; products emerge
+    ``L_mul`` cycles later and are accumulated into ``L_add`` interleaved
+    partials, each reused exactly every ``L_add`` cycles — hazard-free by
+    construction for any vector length.
+
+    Phase 2 (reduce): the partials are combined by a binary tree through
+    the same adder, waiting out the adder latency per tree level.
+    """
+
+    def __init__(
+        self,
+        fmt: FPFormat,
+        mul_latency: int,
+        add_latency: int,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    ) -> None:
+        if mul_latency < 1 or add_latency < 1:
+            raise ValueError("latencies must be >= 1")
+        self.fmt = fmt
+        self.mul_latency = mul_latency
+        self.add_latency = add_latency
+        self.mode = mode
+
+    @property
+    def lanes(self) -> int:
+        """Interleaved partial sums = adder latency (the hazard bound)."""
+        return self.add_latency
+
+    def run(self, xs: Sequence[int], ys: Sequence[int]) -> DotRun:
+        if len(xs) != len(ys):
+            raise ValueError("vectors must have equal length")
+        fmt = self.fmt
+        lanes = self.lanes
+        flags = FPFlags()
+        n = len(xs)
+        if n == 0:
+            return DotRun(fmt.zero(), FPFlags(zero=True), 0, lanes, 0, 0)
+
+        # Phase 1 — one issue per cycle; the product of element i lands at
+        # cycle i + L_mul and its accumulation completes at
+        # i + L_mul + L_add.  Because element i and i+lanes are exactly
+        # L_add apart, the read of partial (i % lanes) always sees the
+        # completed previous accumulation (cycle-accurate schedule below).
+        partials = [fmt.zero() for _ in range(lanes)]
+        # writeback_time[s] = cycle when partial s's pending add completes
+        writeback = [-1] * lanes
+        for i, (x, y) in enumerate(zip(xs, ys)):
+            issue_add = i + self.mul_latency  # product available
+            slot = i % lanes
+            if writeback[slot] > issue_add:
+                raise RuntimeError(
+                    "interleaved schedule violated its own hazard bound"
+                )  # pragma: no cover - structural invariant
+            p, f1 = fp_mul(fmt, x, y, self.mode)
+            acc, f2 = fp_add(fmt, partials[slot], p, self.mode)
+            partials[slot] = acc
+            writeback[slot] = issue_add + self.add_latency
+            flags = flags | f1 | f2
+        mac_cycles = (n - 1) + self.mul_latency + self.add_latency
+
+        # Phase 2 — binary reduction; each level must wait for the adder
+        # to drain before its results feed the next level.
+        reduce_cycles = 0
+        level = list(partials)
+        while len(level) > 1:
+            nxt = []
+            issued = 0
+            for i in range(0, len(level) - 1, 2):
+                s, f = fp_add(fmt, level[i], level[i + 1], self.mode)
+                flags = flags | f
+                nxt.append(s)
+                issued += 1
+            if len(level) % 2:
+                nxt.append(level[-1])
+            # level latency: back-to-back issues + drain
+            reduce_cycles += (issued - 1) + self.add_latency
+            level = nxt
+        result = level[0]
+
+        return DotRun(
+            result=result,
+            flags=flags,
+            cycles=mac_cycles + reduce_cycles,
+            lanes=lanes,
+            mac_cycles=mac_cycles,
+            reduce_cycles=reduce_cycles,
+        )
+
+    def naive_cycles(self, n: int) -> int:
+        """Cycles for the naive (non-interleaved) running sum: every
+        element waits out the full MAC latency."""
+        return n * (self.mul_latency + self.add_latency)
+
+    def speedup_over_naive(self, n: int) -> float:
+        """Throughput benefit of interleaved accumulation."""
+        run_cycles = (
+            (n - 1)
+            + self.mul_latency
+            + self.add_latency
+            + self._reduce_estimate()
+        )
+        return self.naive_cycles(n) / run_cycles
+
+    def _reduce_estimate(self) -> int:
+        cycles = 0
+        size = self.lanes
+        while size > 1:
+            issued = size // 2
+            cycles += (issued - 1) + self.add_latency
+            size = issued + (size % 2)
+        return cycles

@@ -1,0 +1,81 @@
+"""Array-scale functional kernels on the vectorized FP ops.
+
+For formats of width <= 32 the whole ``n x n`` accumulation step can run
+as one NumPy array operation per ``k`` (:mod:`repro.fp.vectorized`),
+turning the O(n^3) scalar-Python reference into O(n) array calls — the
+profile-then-vectorize workflow applied to the library's own bottleneck.
+Results are bit-identical to :func:`repro.kernels.matmul.
+functional_matmul` because the accumulation order (ascending ``k``) is
+preserved exactly.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.fp.format import FPFormat
+from repro.fp.rounding import RoundingMode
+from repro.fp.vectorized import vec_add, vec_mul
+
+
+def functional_matmul_vectorized(
+    fmt: FPFormat,
+    a: np.ndarray,
+    b: np.ndarray,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> np.ndarray:
+    """Bit-exact matmul reference at array speed (widths <= 32).
+
+    ``a`` and ``b`` are ``(n, n)`` unsigned arrays of bit patterns; the
+    result has the same dtype/shape.  Accumulation order matches the
+    linear-array schedule: for each output, products are added in
+    ascending ``k``.
+    """
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1] or a.shape != b.shape:
+        raise ValueError(f"expected equal square matrices, got {a.shape}, {b.shape}")
+    n = a.shape[0]
+    acc = np.full((n, n), fmt.zero(), dtype=np.uint64)
+    for k in range(n):
+        col = np.broadcast_to(a[:, k : k + 1], (n, n))
+        row = np.broadcast_to(b[k : k + 1, :], (n, n))
+        prod = vec_mul(fmt, col, row, mode)
+        acc = vec_add(fmt, acc, prod, mode)
+    return acc
+
+
+def dot_vectorized(
+    fmt: FPFormat,
+    xs: np.ndarray,
+    ys: np.ndarray,
+    lanes: int,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> int:
+    """Bit-exact interleaved dot product at array speed.
+
+    Matches :func:`repro.kernels.dotproduct.functional_dot`: the ``lanes``
+    partials each accumulate every ``lanes``-th element in index order
+    (vectorized across lanes per round), then reduce pairwise.
+    """
+    xs = np.asarray(xs, dtype=np.uint64)
+    ys = np.asarray(ys, dtype=np.uint64)
+    if xs.shape != ys.shape or xs.ndim != 1:
+        raise ValueError("expected equal-length vectors")
+    if lanes < 1:
+        raise ValueError("lanes must be >= 1")
+    n = len(xs)
+    partials = np.full(lanes, fmt.zero(), dtype=np.uint64)
+    for start in range(0, n, lanes):
+        chunk = slice(start, min(start + lanes, n))
+        width = chunk.stop - chunk.start
+        prod = vec_mul(fmt, xs[chunk], ys[chunk], mode)
+        partials[:width] = vec_add(fmt, partials[:width], prod, mode)
+    level = partials
+    while len(level) > 1:
+        pairs = len(level) // 2
+        merged = vec_add(fmt, level[0 : 2 * pairs : 2], level[1 : 2 * pairs : 2], mode)
+        if len(level) % 2:
+            merged = np.concatenate([merged, level[-1:]])
+        level = merged
+    return int(level[0])

@@ -1,0 +1,100 @@
+"""Off-chip I/O bandwidth constraints on sustained throughput.
+
+The paper's introduction counts "fast I/O resources (for off-chip
+communication to either processors or memory)" among the enablers; a
+full-device array is only as fast as the pins that feed it.  This module
+models the constraint: a matmul array of ``p`` PEs consumes one word of A
+per cycle (B resident, C drained at end), a streamed kernel may need
+more.  Sustained GFLOPS is then the minimum of the compute bound and the
+bandwidth bound — and the crossover device size where a kernel becomes
+I/O-bound is a designer-facing quantity the examples surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fp.format import FPFormat
+
+
+@dataclass(frozen=True)
+class IOChannel:
+    """An off-chip link: pins x clock = bits per second."""
+
+    name: str
+    pins: int
+    clock_mhz: float
+
+    @property
+    def gbits_per_s(self) -> float:
+        return self.pins * self.clock_mhz / 1000.0
+
+    def words_per_cycle(self, fmt: FPFormat, kernel_clock_mhz: float) -> float:
+        """Format words deliverable per kernel clock cycle."""
+        bits_per_cycle = self.pins * self.clock_mhz / kernel_clock_mhz
+        return bits_per_cycle / fmt.width
+
+
+#: A Virtex-II Pro class memory interface: one 64-bit DDR channel at
+#: 200 MHz (effectively 128 bits per memory clock).
+DDR_64_200 = IOChannel(name="64-bit DDR-200", pins=128, clock_mhz=200.0)
+
+
+@dataclass(frozen=True)
+class SustainedThroughput:
+    """Compute-vs-bandwidth resolution for one kernel configuration."""
+
+    compute_gflops: float
+    bandwidth_gflops: float
+    bound_by: str  # "compute" | "bandwidth"
+
+    @property
+    def gflops(self) -> float:
+        return min(self.compute_gflops, self.bandwidth_gflops)
+
+
+def matmul_sustained(
+    fmt: FPFormat,
+    pes: int,
+    kernel_clock_mhz: float,
+    channel: IOChannel = DDR_64_200,
+) -> SustainedThroughput:
+    """Matmul on the linear array: one A word per cycle feeds all PEs.
+
+    The array re-uses each streamed A element across all ``pes`` columns
+    (B resident), so compute scales with PEs while the input stream stays
+    one word per cycle — matmul stays compute-bound on any realistic
+    channel, which is exactly why the paper's §4.2 can quote peak GFLOPS.
+    """
+    compute = 2.0 * pes * kernel_clock_mhz / 1000.0
+    words = channel.words_per_cycle(fmt, kernel_clock_mhz)
+    # Each delivered A word enables `pes` MACs = 2*pes FLOPs.
+    bandwidth = 2.0 * pes * min(words, 1.0) * kernel_clock_mhz / 1000.0
+    bound = "compute" if compute <= bandwidth else "bandwidth"
+    return SustainedThroughput(compute, bandwidth, bound)
+
+
+def dot_sustained(
+    fmt: FPFormat,
+    macs: int,
+    kernel_clock_mhz: float,
+    channel: IOChannel = DDR_64_200,
+) -> SustainedThroughput:
+    """Streaming dot products: every MAC consumes two fresh words per
+    cycle — no reuse, so bandwidth binds quickly as MACs scale."""
+    compute = 2.0 * macs * kernel_clock_mhz / 1000.0
+    words = channel.words_per_cycle(fmt, kernel_clock_mhz)
+    feedable_macs = words / 2.0
+    bandwidth = 2.0 * feedable_macs * kernel_clock_mhz / 1000.0
+    bound = "compute" if compute <= bandwidth else "bandwidth"
+    return SustainedThroughput(compute, bandwidth, bound)
+
+
+def max_io_bound_macs(
+    fmt: FPFormat,
+    kernel_clock_mhz: float,
+    channel: IOChannel = DDR_64_200,
+) -> int:
+    """Largest streaming-MAC count the channel can keep busy."""
+    words = channel.words_per_cycle(fmt, kernel_clock_mhz)
+    return max(1, int(words / 2.0))

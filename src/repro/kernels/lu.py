@@ -1,0 +1,160 @@
+"""LU decomposition kernel (extension: the authors' follow-on paper).
+
+Govindu et al.'s companion work ("A High-Performance and Energy-efficient
+Architecture for Floating-point based LU Decomposition on FPGAs") maps
+right-looking LU without pivoting onto the same linear-array fabric: one
+column per PE, a multiplier and a subtractor per PE, and a (shared)
+divider producing the column multipliers.
+
+This module provides
+
+* :func:`functional_lu` — bit-accurate in-place Doolittle elimination
+  using the library's FP ops (including :func:`repro.fp.divider.fp_div`),
+  the numeric ground truth for the architecture;
+* :class:`LUPerformanceModel` — cycle/energy accounting for the array.
+  LU's trailing submatrices shrink as elimination proceeds, so *every*
+  problem eventually enters the ``size < PL`` padded regime — deep
+  pipelines always pay a padding tail on LU, unlike matmul where large
+  problems escape it entirely.  This is the follow-on paper's central
+  energy observation, and it falls straight out of the same schedule
+  model used for Figures 5-6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.fp.adder import fp_sub
+from repro.fp.divider import fp_div
+from repro.fp.flags import FPFlags
+from repro.fp.format import FPFormat
+from repro.fp.multiplier import fp_mul
+from repro.fp.rounding import RoundingMode
+from repro.power.energy import PEEnergyModel
+
+Matrix = Sequence[Sequence[int]]
+
+
+def functional_lu(
+    fmt: FPFormat,
+    a: Matrix,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> tuple[list[list[int]], FPFlags]:
+    """In-place Doolittle LU without pivoting, on FP bit patterns.
+
+    Returns the packed LU matrix (unit-lower L below the diagonal, U on
+    and above it) and the accumulated exception flags.  The caller is
+    responsible for supplying a matrix whose leading minors are
+    non-singular (e.g. diagonally dominant), as the architecture assumes.
+    """
+    n = len(a)
+    if any(len(row) != n for row in a):
+        raise ValueError("matrix must be square")
+    lu = [list(row) for row in a]
+    flags = FPFlags()
+    for k in range(n):
+        pivot = lu[k][k]
+        if fmt.is_zero(pivot):
+            raise ZeroDivisionError(
+                f"zero pivot at step {k}: LU without pivoting requires "
+                "non-singular leading minors"
+            )
+        for i in range(k + 1, n):
+            mult, f = fp_div(fmt, lu[i][k], pivot, mode)
+            flags = flags | f
+            lu[i][k] = mult
+            for j in range(k + 1, n):
+                prod, f1 = fp_mul(fmt, mult, lu[k][j], mode)
+                diff, f2 = fp_sub(fmt, lu[i][j], prod, mode)
+                flags = flags | f1 | f2
+                lu[i][j] = diff
+    return lu, flags
+
+
+def split_lu(fmt: FPFormat, lu: Matrix) -> tuple[list[list[int]], list[list[int]]]:
+    """Unpack the in-place result into explicit (L, U) bit matrices."""
+    n = len(lu)
+    one = fmt.one()
+    zero = fmt.zero()
+    lower = [[lu[i][j] if j < i else (one if i == j else zero) for j in range(n)]
+             for i in range(n)]
+    upper = [[lu[i][j] if j >= i else zero for j in range(n)] for i in range(n)]
+    return lower, upper
+
+
+@dataclass(frozen=True)
+class LUEstimate:
+    """Cycle/energy/resource estimate for one LU run on the array."""
+
+    n: int
+    pipeline_latency: int
+    cycles: int
+    padded_cycles: int
+    frequency_mhz: float
+    energy_nj: float
+    slices: int
+
+    @property
+    def latency_us(self) -> float:
+        return self.cycles / self.frequency_mhz
+
+    @property
+    def padding_fraction(self) -> float:
+        return self.padded_cycles / self.cycles if self.cycles else 0.0
+
+    @property
+    def gflops(self) -> float:
+        """Sustained GFLOPS: LU performs ~(2/3)n^3 FLOPs."""
+        flops = 2 * self.n**3 / 3
+        return flops / (self.latency_us * 1000.0)
+
+
+class LUPerformanceModel:
+    """Schedule/energy model of the linear-array LU architecture.
+
+    Elimination step ``k`` updates an ``m x m`` trailing matrix
+    (``m = n-k-1``) on ``m`` active PEs; updates of the same element
+    recur at distance ``m``, so each step's column pass is padded to
+    ``max(m, PL)`` slots — the matmul hazard rule applied per step.
+    """
+
+    def __init__(self, pe_model: PEEnergyModel, divider_latency: int = 28) -> None:
+        self.pe_model = pe_model
+        self.divider_latency = divider_latency
+
+    @property
+    def pipeline_latency(self) -> int:
+        return self.pe_model.pipeline_latency
+
+    def schedule_cycles(self, n: int) -> tuple[int, int]:
+        """Returns ``(total_cycles, padded_cycles)`` for an n x n LU."""
+        if n < 1:
+            raise ValueError(f"n must be >= 1, got {n}")
+        pl = self.pipeline_latency
+        total = 0
+        padded = 0
+        for k in range(n - 1):
+            m = n - k - 1  # trailing size
+            # One row of the m x m trailing update issues per cycle across
+            # the m active PEs; an element recurs once per step, so the
+            # step must span at least PL cycles (zero-padded when m < PL).
+            slots = max(m, pl)
+            total += self.divider_latency + slots
+            padded += slots - m
+        total += pl  # final drain
+        return total, padded
+
+    def estimate(self, n: int, frequency_mhz: float | None = None) -> LUEstimate:
+        f = frequency_mhz if frequency_mhz is not None else self.pe_model.frequency_mhz
+        cycles, padded = self.schedule_cycles(n)
+        per_pe = self.pe_model.energy_for_cycles(cycles)
+        return LUEstimate(
+            n=n,
+            pipeline_latency=self.pipeline_latency,
+            cycles=cycles,
+            padded_cycles=padded,
+            frequency_mhz=f,
+            energy_nj=per_pe.total_nj * n,
+            slices=n * self.pe_model.pe_slices(),
+        )

@@ -1,0 +1,178 @@
+"""Cycle-accurate simulation of the linear-array matrix multiplier.
+
+:class:`MatmulArray` instantiates ``n`` PEs, streams A through the array
+with the hazard-free schedule (successive updates to the same accumulator
+spaced ``S = max(n, PL)`` cycles apart — zero-padding when ``n < PL``),
+and drains bit-exact results.  :func:`functional_matmul` applies the same
+FP operations in the same accumulation order without any timing, so the
+simulation can be checked for bit-identity.
+
+The array can also be run deliberately *without* padding
+(``pad_schedule=False``) to demonstrate the paper's hazard rule: RAW
+hazards occur exactly when the problem size is smaller than the MAC
+pipeline latency.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.fp.adder import fp_add
+from repro.fp.flags import FPFlags
+from repro.fp.format import FPFormat
+from repro.fp.multiplier import fp_mul
+from repro.fp.rounding import RoundingMode
+from repro.kernels.pe import AToken, ProcessingElement
+
+Matrix = Sequence[Sequence[int]]
+
+
+class RAWHazard(RuntimeError):
+    """Raised when an unpadded schedule reads a stale accumulator."""
+
+
+@dataclass(frozen=True)
+class MatmulRun:
+    """Result of one array run."""
+
+    c: list[list[int]]
+    cycles: int
+    issued_macs: int
+    padded_cycles: int
+    hazards: int
+    flags: FPFlags
+
+    @property
+    def pe_utilization(self) -> float:
+        """Issued MACs per PE per cycle (1.0 = fully busy)."""
+        if self.cycles == 0:
+            return 0.0
+        return self.issued_macs / self.cycles
+
+
+class MatmulArray:
+    """A linear array of ``n`` PEs computing C = A x B (all n x n)."""
+
+    def __init__(
+        self,
+        fmt: FPFormat,
+        n: int,
+        mul_latency: int,
+        add_latency: int,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+        pad_schedule: bool = True,
+    ) -> None:
+        if n < 1:
+            raise ValueError(f"problem size must be >= 1, got {n}")
+        self.fmt = fmt
+        self.n = n
+        self.mul_latency = mul_latency
+        self.add_latency = add_latency
+        self.mode = mode
+        self.pad_schedule = pad_schedule
+        self.pes = [
+            ProcessingElement(fmt, col, n, mul_latency, add_latency, mode)
+            for col in range(n)
+        ]
+
+    @property
+    def pipeline_latency(self) -> int:
+        """PL: MAC pipeline depth (adder + multiplier latencies)."""
+        return self.mul_latency + self.add_latency
+
+    @property
+    def hazard_spacing(self) -> int:
+        """Cycles between updates of the same accumulator."""
+        if self.pad_schedule:
+            return max(self.n, self.pipeline_latency)
+        return self.n
+
+    def _check_matrix(self, m: Matrix, name: str) -> None:
+        if len(m) != self.n or any(len(row) != self.n for row in m):
+            raise ValueError(f"{name} must be {self.n}x{self.n}")
+        for row in m:
+            for bits in row:
+                if not 0 <= bits <= self.fmt.word_mask:
+                    raise ValueError(f"{name} contains out-of-range words")
+
+    def run(self, a: Matrix, b: Matrix) -> MatmulRun:
+        """Execute the full schedule and return bit-exact results."""
+        self._check_matrix(a, "A")
+        self._check_matrix(b, "B")
+        for col, pe in enumerate(self.pes):
+            pe.load_b([b[k][col] for k in range(self.n)])
+            pe.reset_c()
+            pe.hazards = 0
+
+        n = self.n
+        spacing = self.hazard_spacing
+        padded = (spacing - n) * n  # zero-pad bubbles per run (per PE)
+
+        # Build the injection schedule into PE 0: for each k, rows i=0..n-1
+        # back to back, then (spacing - n) padding bubbles.
+        stream: list[AToken | None] = []
+        for k in range(n):
+            for i in range(n):
+                stream.append(AToken(i=i, k=k, bits=a[i][k]))
+            stream.extend([None] * (spacing - n))
+
+        cycles = 0
+        issued = 0
+        idx = 0
+        # Keep clocking until the stream is exhausted and every PE drained.
+        while idx < len(stream) or any(
+            pe.busy or pe.has_pending_forward for pe in self.pes
+        ):
+            token = stream[idx] if idx < len(stream) else None
+            idx += 1
+            if token is not None:
+                issued += len(self.pes)
+            for pe in self.pes:
+                token = pe.step(token)
+            cycles += 1
+
+        hazards = sum(pe.hazards for pe in self.pes)
+        if hazards and not self.pad_schedule:
+            raise RAWHazard(
+                f"{hazards} read-after-write hazards: problem size {n} is "
+                f"smaller than the MAC pipeline latency "
+                f"{self.pipeline_latency}; enable schedule padding"
+            )
+
+        flags = FPFlags()
+        for pe in self.pes:
+            flags = flags | pe.flags
+        c = [[self.pes[j].c_accum[i] for j in range(n)] for i in range(n)]
+        return MatmulRun(
+            c=c,
+            cycles=cycles,
+            issued_macs=issued,
+            padded_cycles=padded,
+            hazards=hazards,
+            flags=flags,
+        )
+
+
+def functional_matmul(
+    fmt: FPFormat,
+    a: Matrix,
+    b: Matrix,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> list[list[int]]:
+    """Reference: same FP ops in the same (ascending-k) accumulation order.
+
+    Floating-point addition is not associative, so the oracle must follow
+    the array's schedule order; given that, the cycle-accurate run matches
+    bit for bit.
+    """
+    n = len(a)
+    c = [[fmt.zero() for _ in range(n)] for _ in range(n)]
+    for j in range(n):
+        for i in range(n):
+            acc = fmt.zero()
+            for k in range(n):
+                p, _ = fp_mul(fmt, a[i][k], b[k][j], mode)
+                acc, _ = fp_add(fmt, acc, p, mode)
+            c[i][j] = acc
+    return c

@@ -1,0 +1,127 @@
+"""Matrix-vector multiplication on the linear array.
+
+The second of the paper's motivating "matrix and vector operations":
+``y = A x`` on a linear array where PE ``i`` owns row ``i`` of A and the
+vector ``x`` streams through the array one element per cycle.  Each PE
+performs one MAC per cycle against its resident row — accumulating into
+a *single* scalar, which is exactly the deep-pipeline accumulation
+problem the dot-product kernel solves; the MVM PE therefore uses the
+same interleaved-partials trick internally and reduces at the end.
+
+:class:`MVMArray` is cycle-accurate and bit-exact against
+:func:`functional_mvm` (which applies the identical interleaved order),
+and the schedule model exposes the utilization cliff for short vectors.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.fp.flags import FPFlags
+from repro.fp.format import FPFormat
+from repro.fp.rounding import RoundingMode
+from repro.kernels.dotproduct import DotProductUnit, functional_dot
+
+Matrix = Sequence[Sequence[int]]
+Vector = Sequence[int]
+
+
+@dataclass(frozen=True)
+class MVMRun:
+    """Result of one matrix-vector run."""
+
+    y: list[int]
+    flags: FPFlags
+    cycles: int
+    rows: int
+    lanes: int
+
+
+def functional_mvm(
+    fmt: FPFormat,
+    a: Matrix,
+    x: Vector,
+    lanes: int,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> tuple[list[int], FPFlags]:
+    """Reference: per-row interleaved dot products, no timing."""
+    flags = FPFlags()
+    y = []
+    for row in a:
+        bits, f = functional_dot(fmt, row, x, lanes, mode)
+        y.append(bits)
+        flags = flags | f
+    return y, flags
+
+
+class MVMArray:
+    """Linear array computing ``y = A x`` with one PE per matrix row.
+
+    The vector enters PE 0 and shifts one PE per cycle; PE ``i`` starts
+    its MAC stream ``i`` cycles after injection (the array skew) and all
+    PEs finish their reductions in parallel, so the run takes
+
+    ``(n_cols - 1) + (rows - 1) + L_mul + L_add + reduction``
+
+    cycles — dominated by ``max(n_cols, rows)`` once the pipes fill.
+    """
+
+    def __init__(
+        self,
+        fmt: FPFormat,
+        rows: int,
+        mul_latency: int,
+        add_latency: int,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    ) -> None:
+        if rows < 1:
+            raise ValueError(f"rows must be >= 1, got {rows}")
+        self.fmt = fmt
+        self.rows = rows
+        self.mode = mode
+        self.pes = [
+            DotProductUnit(fmt, mul_latency, add_latency, mode) for _ in range(rows)
+        ]
+
+    @property
+    def lanes(self) -> int:
+        return self.pes[0].lanes
+
+    def run(self, a: Matrix, x: Vector) -> MVMRun:
+        if len(a) != self.rows:
+            raise ValueError(f"matrix has {len(a)} rows, array has {self.rows} PEs")
+        n_cols = len(x)
+        for i, row in enumerate(a):
+            if len(row) != n_cols:
+                raise ValueError(f"row {i} length {len(row)} != vector {n_cols}")
+
+        flags = FPFlags()
+        y: list[int] = []
+        worst_cycles = 0
+        for i, (pe, row) in enumerate(zip(self.pes, a)):
+            run = pe.run(row, x)
+            y.append(run.result)
+            flags = flags | run.flags
+            # PE i starts i cycles late (vector skew through the array).
+            worst_cycles = max(worst_cycles, i + run.cycles)
+        return MVMRun(
+            y=y,
+            flags=flags,
+            cycles=worst_cycles,
+            rows=self.rows,
+            lanes=self.lanes,
+        )
+
+    def sustained_gflops(self, n_cols: int, frequency_mhz: float) -> float:
+        """Throughput at this clock: 2*rows*n_cols FLOPs per run."""
+        probe = self.pes[0]
+        run_cycles = (
+            (self.rows - 1)
+            + (n_cols - 1)
+            + probe.mul_latency
+            + probe.add_latency
+            + probe._reduce_estimate()
+        )
+        flops = 2.0 * self.rows * n_cols
+        return flops * frequency_mhz / run_cycles / 1000.0

@@ -1,0 +1,128 @@
+"""The matrix-multiply processing element.
+
+Each PE holds:
+
+* a MAC pipeline — the FP multiplier feeding the FP adder, total latency
+  ``PL = L_mul + L_add`` cycles, initiation interval 1;
+* a column of B (resident, loaded before the run);
+* the accumulators for its column of C (PE-local storage);
+* a one-cycle pass-through register forwarding the A stream to the next
+  PE in the linear array.
+
+The accumulator value enters the MAC pipeline *with* the operands, so an
+accumulator touched again within ``PL`` cycles reads a stale value — a
+read-after-write hazard.  The PE detects this precisely (it tracks which
+accumulator indices are in flight) and counts it; the array turns the
+count into an error or a statistic depending on policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fp.adder import fp_add
+from repro.fp.flags import FPFlags
+from repro.fp.format import FPFormat
+from repro.fp.multiplier import fp_mul
+from repro.fp.rounding import RoundingMode
+from repro.rtl.pipeline import PipelinedFunction
+
+
+@dataclass(frozen=True)
+class AToken:
+    """One element of A travelling down the array: indices + bits."""
+
+    i: int
+    k: int
+    bits: int
+
+
+class ProcessingElement:
+    """One PE of the linear array (computes column ``col`` of C)."""
+
+    def __init__(
+        self,
+        fmt: FPFormat,
+        col: int,
+        rows: int,
+        mul_latency: int,
+        add_latency: int,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    ) -> None:
+        self.fmt = fmt
+        self.col = col
+        self.rows = rows
+        self.mode = mode
+        self.b_column: list[int] = [fmt.zero()] * rows
+        self.c_accum: list[int] = [fmt.zero()] * rows
+        self.flags = FPFlags()
+        self.mac = PipelinedFunction(
+            self._mac,
+            latency=mul_latency + add_latency,
+            name=f"pe{col}.mac",
+        )
+        self._in_flight: dict[int, int] = {}  # accumulator index -> count
+        self._issue_queue: list[int] = []  # FIFO of target indices
+        self._forward: Optional[AToken] = None
+        self.hazards = 0
+
+    def _mac(self, c: int, a: int, b: int) -> tuple[int, FPFlags]:
+        product, f1 = fp_mul(self.fmt, a, b, self.mode)
+        total, f2 = fp_add(self.fmt, c, product, self.mode)
+        return total, f1 | f2
+
+    def load_b(self, column: list[int]) -> None:
+        if len(column) != self.rows:
+            raise ValueError(f"B column length {len(column)} != array rows {self.rows}")
+        self.b_column = list(column)
+
+    def reset_c(self) -> None:
+        self.c_accum = [self.fmt.zero()] * self.rows
+        self.flags = FPFlags()
+
+    def step(self, incoming: Optional[AToken]) -> Optional[AToken]:
+        """Clock one cycle; returns the token forwarded to the next PE.
+
+        Writeback happens at the clock edge (phase 1), before this cycle's
+        issue reads the accumulator (phase 2) — so a reuse distance of
+        exactly ``PL`` cycles is hazard-free, and hazards occur precisely
+        when the distance is shorter, matching the paper's "hazards only
+        if the matrix size is less than the number of pipeline stages".
+        """
+        result, done = self.mac.begin_cycle()
+        if done:
+            idx = self._issue_queue.pop(0)
+            bits, flags = result
+            self.c_accum[idx] = bits
+            self.flags = self.flags | flags
+            self._in_flight[idx] -= 1
+            if not self._in_flight[idx]:
+                del self._in_flight[idx]
+
+        operands = None
+        if incoming is not None:
+            idx = incoming.i
+            if self._in_flight.get(idx, 0):
+                # The accumulator value about to be read is stale: RAW.
+                self.hazards += 1
+            self._in_flight[idx] = self._in_flight.get(idx, 0) + 1
+            self._issue_queue.append(idx)
+            operands = (self.c_accum[idx], incoming.bits, self.b_column[incoming.k])
+        self.mac.end_cycle(operands)
+
+        out = self._forward
+        self._forward = incoming
+        return out
+
+    @property
+    def has_pending_forward(self) -> bool:
+        """True when the pass-through register still holds a token."""
+        return self._forward is not None
+
+    @property
+    def busy(self) -> bool:
+        return self.mac.in_flight > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ProcessingElement(col={self.col}, rows={self.rows})"

@@ -1,0 +1,215 @@
+"""Kernel-level performance, resource and energy estimation.
+
+Implements the paper's Section 4.2 / Section 5 analyses:
+
+* device fill — how many PEs a part accommodates (slice-, multiplier- and
+  BRAM-bounded) and the resulting sustained GFLOPS;
+* per-problem-size and per-block-size estimates of energy, latency and
+  resources for the three pipelining configurations (Figures 5-6);
+* GFLOPS/W against processor baselines.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.fabric.device import Device
+from repro.fabric.synthesis import ImplementationReport
+from repro.fp.format import FP32, FP48, FP64, FPFormat
+from repro.kernels.blocking import BlockSchedule, blocked_schedule
+from repro.power import xpower
+from repro.power.energy import EnergyBreakdown, PEEnergyModel
+
+#: Operating frequency of the surrounding array logic by precision: the
+#: paper states the matrix-multiplication architecture itself closes
+#: 250 MHz for single precision; wider datapaths close proportionally
+#: lower (200 MHz for double, Section 4.2's "(8 GFLOPS)" point).
+ARRAY_CLOCK_MHZ: dict[str, float] = {
+    FP32.name: 250.0,
+    FP48.name: 225.0,
+    FP64.name: 200.0,
+}
+
+#: Per-PE slice inflation when tiling tens of PEs across a full device:
+#: routing congestion and the timing-driven P&R effects the paper notes
+#: ("speed optimization objective ... will result in more slices being
+#: used only for routing resources").  Unit-level reports exclude this;
+#: device-fill estimates include it.
+ARRAY_CONGESTION_FACTOR = 1.35
+
+
+def kernel_schedule_cycles(n: int, pipeline_latency: int) -> int:
+    """Total array cycles for an unblocked ``n x n`` problem on ``n`` PEs.
+
+    ``n * max(n, PL)`` issue slots (zero-padded when ``n < PL``), plus the
+    array skew ``n - 1`` and the MAC drain ``PL``.  Verified cycle-exact
+    against :class:`~repro.kernels.matmul.MatmulArray` by the test suite.
+    """
+    if n < 1:
+        raise ValueError(f"n must be >= 1, got {n}")
+    schedule = blocked_schedule(n, n, pipeline_latency)
+    return schedule.total_cycles
+
+
+@dataclass(frozen=True)
+class KernelEstimate:
+    """Energy / latency / resources for one kernel configuration."""
+
+    n: int
+    b: int
+    pipeline_latency: int
+    pes: int
+    cycles: int
+    frequency_mhz: float
+    energy: EnergyBreakdown  # summed over all PEs
+    slices: int
+    brams: int
+    mult18: int
+
+    @property
+    def latency_us(self) -> float:
+        return self.cycles / self.frequency_mhz
+
+    @property
+    def energy_nj(self) -> float:
+        return self.energy.total_nj
+
+    @property
+    def gflops(self) -> float:
+        """Sustained GFLOPS of this run (2 FLOPs per useful MAC)."""
+        useful = 2 * self.n**3
+        return useful / (self.latency_us * 1000.0)
+
+
+@dataclass(frozen=True)
+class DeviceFill:
+    """How many PEs fit a device, and what binds the count."""
+
+    device: Device
+    pes: int
+    bound_by: str  # "slices" | "mult18" | "bram"
+    pe_slices: int
+    pe_mult18: int
+    pe_brams: int
+
+    @property
+    def slice_utilization(self) -> float:
+        return self.pes * self.pe_slices / self.device.slices
+
+
+class MatmulPerformanceModel:
+    """Performance/energy model for one choice of FP units.
+
+    Parameters
+    ----------
+    fmt:
+        Precision.
+    adder / multiplier:
+        Implementation reports of the chosen FP units.
+    frequency_mhz:
+        Kernel clock; defaults to the minimum of the units' clocks and
+        the array's own ceiling for this precision.
+    activity:
+        Switching activity for the power model.
+    """
+
+    def __init__(
+        self,
+        fmt: FPFormat,
+        adder: ImplementationReport,
+        multiplier: ImplementationReport,
+        frequency_mhz: Optional[float] = None,
+        activity: float = xpower.DEFAULT_ACTIVITY,
+    ) -> None:
+        self.fmt = fmt
+        self.adder = adder
+        self.multiplier = multiplier
+        array_ceiling = ARRAY_CLOCK_MHZ.get(fmt.name, 200.0)
+        if frequency_mhz is None:
+            frequency_mhz = min(adder.clock_mhz, multiplier.clock_mhz, array_ceiling)
+        self.frequency_mhz = frequency_mhz
+        self.pe_model = PEEnergyModel(
+            fmt, adder, multiplier, frequency_mhz=frequency_mhz, activity=activity
+        )
+
+    @property
+    def pipeline_latency(self) -> int:
+        return self.pe_model.pipeline_latency
+
+    # ------------------------------------------------------------------ #
+    # Figure 5 / Figure 6 estimates
+    # ------------------------------------------------------------------ #
+    def estimate(self, n: int, b: Optional[int] = None) -> KernelEstimate:
+        """Estimate an ``n x n`` problem with block size ``b`` (default n)."""
+        if b is None:
+            b = n
+        schedule: BlockSchedule = blocked_schedule(n, b, self.pipeline_latency)
+        pes = b
+        per_pe = self.pe_model.energy_for_cycles(schedule.total_cycles)
+        return KernelEstimate(
+            n=n,
+            b=b,
+            pipeline_latency=self.pipeline_latency,
+            pes=pes,
+            cycles=schedule.total_cycles,
+            frequency_mhz=self.frequency_mhz,
+            energy=per_pe.scaled(pes),
+            slices=pes * self.pe_model.pe_slices(),
+            brams=pes * self.pe_model.pe_brams(),
+            mult18=pes * self.pe_model.pe_mult18(),
+        )
+
+    def pe_energy(self, n: int, b: Optional[int] = None) -> EnergyBreakdown:
+        """Per-PE energy breakdown (Figure 4's quantity)."""
+        if b is None:
+            b = n
+        schedule = blocked_schedule(n, b, self.pipeline_latency)
+        return self.pe_model.energy_for_cycles(schedule.total_cycles)
+
+    # ------------------------------------------------------------------ #
+    # Section 4.2: full-device throughput
+    # ------------------------------------------------------------------ #
+    def device_fill(
+        self,
+        device: Device,
+        utilization: float = 0.90,
+        congestion: float = ARRAY_CONGESTION_FACTOR,
+    ) -> DeviceFill:
+        pe_slices = math.ceil(self.pe_model.pe_slices() * congestion)
+        pe_mult = self.pe_model.pe_mult18()
+        pe_bram = self.pe_model.pe_brams()
+        by_slices = device.usable_slices(utilization) // pe_slices
+        by_mult = device.mult18 // pe_mult if pe_mult else by_slices
+        by_bram = device.bram // pe_bram if pe_bram else by_slices
+        pes = min(by_slices, by_mult, by_bram)
+        bound = {by_slices: "slices", by_mult: "mult18", by_bram: "bram"}[pes]
+        return DeviceFill(
+            device=device,
+            pes=pes,
+            bound_by=bound,
+            pe_slices=pe_slices,
+            pe_mult18=pe_mult,
+            pe_brams=pe_bram,
+        )
+
+    def peak_gflops(self, device: Device, utilization: float = 0.90) -> float:
+        """Sustained GFLOPS with the device filled with PEs.
+
+        Each PE retires one multiply and one add per cycle:
+        ``2 x PEs x f`` FLOP/s.
+        """
+        fill = self.device_fill(device, utilization)
+        return 2.0 * fill.pes * self.frequency_mhz / 1000.0
+
+    def device_power_w(self, device: Device, utilization: float = 0.90) -> float:
+        """Whole-chip power of the filled device (dynamic + I/O + static)."""
+        fill = self.device_fill(device, utilization)
+        dynamic = fill.pes * self.pe_model.pe_power_mw()
+        return xpower.device_power_mw(dynamic) / 1000.0
+
+    def gflops_per_watt(self, device: Device, utilization: float = 0.90) -> float:
+        return self.peak_gflops(device, utilization) / self.device_power_w(
+            device, utilization
+        )

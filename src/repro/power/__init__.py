@@ -1,0 +1,13 @@
+"""Power and energy models.
+
+:mod:`repro.power.xpower` estimates dynamic power of an implementation
+(the role Xilinx XPower plays in the paper: clock + signal + logic power,
+excluding I/O and quiescent terms).  :mod:`repro.power.energy` builds the
+domain-specific (component-activity) energy model of Choi et al. used for
+the kernel-level analysis of Figures 4-6.
+"""
+
+from repro.power.energy import EnergyBreakdown, PEEnergyModel
+from repro.power.xpower import PowerReport, estimate_power
+
+__all__ = ["EnergyBreakdown", "PEEnergyModel", "PowerReport", "estimate_power"]

@@ -1,0 +1,203 @@
+"""Domain-specific (component-activity) energy modelling.
+
+This is the reproduction of the hybrid top-down/bottom-up methodology of
+Choi et al. that the paper uses for Figures 4-6: split the architecture
+into components, know from the algorithm when each is active and at what
+switching activity, multiply by per-component power, and sum.
+
+For the matrix-multiplication PE the components are exactly the paper's
+Figure 4 categories:
+
+* **MAC** — the FP adder + FP multiplier (power from the XPower model of
+  their synthesized implementations; grows with pipeline depth through
+  the flip-flop/clock term);
+* **storage** — operand/result registers plus the block RAM holding the
+  PE's slice of C;
+* **misc** — control: address counters and the control shift registers
+  that delay control signals by the pipeline latency ("the control
+  signals also have to be shifted using shift registers so that the
+  correct schedule of operations is maintained"), so misc power also
+  grows with pipeline depth;
+* **I/O** — the PE's share of array boundary transfers.
+
+Because power is burned per *cycle* regardless of whether the cycle does
+useful work, zero-padding (schedules stretched to cover the FP latency)
+shows up directly as wasted energy — the paper's central Figure 4-6
+observation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.fabric.synthesis import ImplementationReport
+from repro.fp.format import FPFormat
+from repro.power import xpower
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Energy per component, in nanojoules."""
+
+    mac_nj: float
+    storage_nj: float
+    misc_nj: float
+    io_nj: float
+
+    @property
+    def total_nj(self) -> float:
+        return self.mac_nj + self.storage_nj + self.misc_nj + self.io_nj
+
+    def __add__(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        if not isinstance(other, EnergyBreakdown):
+            return NotImplemented
+        return EnergyBreakdown(
+            self.mac_nj + other.mac_nj,
+            self.storage_nj + other.storage_nj,
+            self.misc_nj + other.misc_nj,
+            self.io_nj + other.io_nj,
+        )
+
+    def scaled(self, factor: float) -> "EnergyBreakdown":
+        return EnergyBreakdown(
+            self.mac_nj * factor,
+            self.storage_nj * factor,
+            self.misc_nj * factor,
+            self.io_nj * factor,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mac": self.mac_nj,
+            "storage": self.storage_nj,
+            "misc": self.misc_nj,
+            "io": self.io_nj,
+            "total": self.total_nj,
+        }
+
+
+class PEEnergyModel:
+    """Power/energy of one matrix-multiply processing element.
+
+    Parameters
+    ----------
+    fmt:
+        Data format (sets register/bus widths).
+    adder / multiplier:
+        Implementation reports of the PE's two FP units.
+    frequency_mhz:
+        Kernel clock.  The paper's Figures 4-6 are evaluated at 100 MHz.
+    activity:
+        Datapath toggle activity.
+    """
+
+    #: Control bits delayed through the schedule shift registers.
+    CONTROL_BITS = 4
+    #: Fixed control overhead (counters, FSM) in flip-flops.
+    CONTROL_BASE_FF = 24
+
+    def __init__(
+        self,
+        fmt: FPFormat,
+        adder: ImplementationReport,
+        multiplier: ImplementationReport,
+        frequency_mhz: float = 100.0,
+        activity: float = xpower.DEFAULT_ACTIVITY,
+    ) -> None:
+        self.fmt = fmt
+        self.adder = adder
+        self.multiplier = multiplier
+        self.frequency_mhz = frequency_mhz
+        self.activity = activity
+
+    @property
+    def pipeline_latency(self) -> int:
+        """PL: the sum of the adder and multiplier latencies (paper)."""
+        return self.adder.stages + self.multiplier.stages
+
+    # ------------------------------------------------------------------ #
+    # Component powers (mW)
+    # ------------------------------------------------------------------ #
+    def mac_power_mw(self) -> float:
+        return (
+            xpower.estimate_power(self.adder, self.frequency_mhz, self.activity).total_mw
+            + xpower.estimate_power(
+                self.multiplier, self.frequency_mhz, self.activity
+            ).total_mw
+        )
+
+    def storage_power_mw(self) -> float:
+        w = self.fmt.width
+        # a/b/c operand registers + input pass-through register + 1 BRAM
+        # (the PE's slice of the result matrix), both ports active.
+        return xpower.raw_power_mw(
+            flipflops=4 * w,
+            luts=w,
+            frequency_mhz=self.frequency_mhz,
+            activity=self.activity,
+            bram_ports=2,
+        )
+
+    def misc_power_mw(self) -> float:
+        ctrl_ff = self.CONTROL_BASE_FF + self.CONTROL_BITS * self.pipeline_latency
+        return xpower.raw_power_mw(
+            flipflops=ctrl_ff,
+            luts=ctrl_ff // 2,
+            frequency_mhz=self.frequency_mhz,
+            activity=self.activity,
+        )
+
+    def io_power_mw(self) -> float:
+        w = self.fmt.width
+        return xpower.raw_power_mw(
+            flipflops=w,
+            luts=w // 2,
+            frequency_mhz=self.frequency_mhz,
+            activity=self.activity / 2,
+        )
+
+    def pe_power_mw(self) -> float:
+        return (
+            self.mac_power_mw()
+            + self.storage_power_mw()
+            + self.misc_power_mw()
+            + self.io_power_mw()
+        )
+
+    # ------------------------------------------------------------------ #
+    # Energy
+    # ------------------------------------------------------------------ #
+    def energy_for_cycles(self, cycles: float) -> EnergyBreakdown:
+        """Per-PE energy of holding the PE clocked for ``cycles`` cycles.
+
+        mW x us = nJ, and us = cycles / f_MHz.
+        """
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        t_us = cycles / self.frequency_mhz
+        return EnergyBreakdown(
+            mac_nj=self.mac_power_mw() * t_us,
+            storage_nj=self.storage_power_mw() * t_us,
+            misc_nj=self.misc_power_mw() * t_us,
+            io_nj=self.io_power_mw() * t_us,
+        )
+
+    # ------------------------------------------------------------------ #
+    # Resource accounting (per PE)
+    # ------------------------------------------------------------------ #
+    def pe_slices(self) -> int:
+        """Slices per PE: both FP units + storage/control/IO overhead."""
+        w = self.fmt.width
+        ctrl_ff = self.CONTROL_BASE_FF + self.CONTROL_BITS * self.pipeline_latency
+        overhead = math.ceil(
+            (4 * w + ctrl_ff + w) / 2 * 1.0  # registers (FF-bound slices)
+            + 1.5 * w  # muxing, BRAM address logic, schedule decode
+        )
+        return self.adder.slices + self.multiplier.slices + overhead
+
+    def pe_brams(self) -> int:
+        return 1
+
+    def pe_mult18(self) -> int:
+        return self.adder.mult18 + self.multiplier.mult18

@@ -1,0 +1,20 @@
+"""A small synchronous, cycle-accurate RTL modelling kit.
+
+This subpackage stands in for the VHDL + simulator substrate of the paper:
+it provides typed bit-vector signals, pipeline registers, and a cycle
+scheduler, enough to model deeply pipelined arithmetic units (latency,
+initiation interval, bubbles, the DONE sideband) and the linear-array
+kernel built from them.
+"""
+
+from repro.rtl.pipeline import PipelinedFunction, PipelineRegister
+from repro.rtl.signal import Signal
+from repro.rtl.simulator import Simulator, SynchronousComponent
+
+__all__ = [
+    "PipelineRegister",
+    "PipelinedFunction",
+    "Signal",
+    "Simulator",
+    "SynchronousComponent",
+]

@@ -1,0 +1,122 @@
+"""Block RAM model (Virtex-II Pro 18 Kb BRAM class).
+
+The kernel PEs store their B columns and C accumulators in block RAMs;
+this module provides the synchronous-memory substrate with the
+behaviours that matter architecturally:
+
+* synchronous reads — the read data appears one clock after the address
+  (the BRAM's registered output);
+* configurable read-during-write behaviour on the same port
+  (``READ_FIRST`` returns the old word, ``WRITE_FIRST`` the new one) —
+  exactly the knob that decides whether a ``distance == latency``
+  accumulator update is hazard-free;
+* dual independent ports;
+* capacity accounting against the 18 Kb block size.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Optional
+
+#: Bits per physical block RAM (Virtex-II Pro: 18 Kb).
+BRAM_BITS = 18 * 1024
+
+
+class ReadDuringWrite(enum.Enum):
+    """Same-port read-during-write behaviour."""
+
+    READ_FIRST = "read_first"  # read returns the old contents
+    WRITE_FIRST = "write_first"  # read returns the data being written
+
+
+class BlockRAM:
+    """A synchronous, dual-port RAM with registered read outputs."""
+
+    def __init__(
+        self,
+        depth: int,
+        width: int,
+        mode: ReadDuringWrite = ReadDuringWrite.READ_FIRST,
+    ) -> None:
+        if depth < 1 or width < 1:
+            raise ValueError("depth and width must be >= 1")
+        self.depth = depth
+        self.width = width
+        self.mode = mode
+        self._mem = [0] * depth
+        self._read_reg: list[Optional[int]] = [None, None]  # per port
+        self._pending: list[Optional[tuple[int, Optional[int], bool]]] = [
+            None,
+            None,
+        ]  # (addr, wdata, wen)
+        self.reads = 0
+        self.writes = 0
+
+    # ------------------------------------------------------------------ #
+    # Per-cycle interface: drive ports, then clock.
+    # ------------------------------------------------------------------ #
+    def port(
+        self,
+        port: int,
+        addr: int,
+        wdata: Optional[int] = None,
+    ) -> None:
+        """Present an address (and optional write data) on a port."""
+        if port not in (0, 1):
+            raise ValueError("port must be 0 or 1")
+        if not 0 <= addr < self.depth:
+            raise ValueError(f"address {addr} out of range [0, {self.depth})")
+        wen = wdata is not None
+        if wen and not 0 <= wdata < (1 << self.width):
+            raise ValueError(f"write data {wdata:#x} exceeds width {self.width}")
+        self._pending[port] = (addr, wdata, wen)
+
+    def clock(self) -> None:
+        """Advance one cycle: capture reads, commit writes."""
+        # Capture read data per the read-during-write mode, then write.
+        new_regs: list[Optional[int]] = [None, None]
+        for p in (0, 1):
+            req = self._pending[p]
+            if req is None:
+                new_regs[p] = self._read_reg[p]  # output holds its value
+                continue
+            addr, wdata, wen = req
+            if wen and self.mode is ReadDuringWrite.WRITE_FIRST:
+                new_regs[p] = wdata
+            else:
+                new_regs[p] = self._mem[addr]
+            self.reads += 1
+        for p in (0, 1):
+            req = self._pending[p]
+            if req is not None and req[2]:
+                self._mem[req[0]] = req[1]
+                self.writes += 1
+            self._pending[p] = None
+        self._read_reg = new_regs
+
+    def read_data(self, port: int) -> Optional[int]:
+        """Registered read output (the value captured at the last edge)."""
+        if port not in (0, 1):
+            raise ValueError("port must be 0 or 1")
+        return self._read_reg[port]
+
+    # ------------------------------------------------------------------ #
+    # Zero-time conveniences for loading/draining testbenches.
+    # ------------------------------------------------------------------ #
+    def load(self, values: list[int]) -> None:
+        if len(values) > self.depth:
+            raise ValueError("too many values")
+        for i, v in enumerate(values):
+            if not 0 <= v < (1 << self.width):
+                raise ValueError(f"value {v:#x} exceeds width {self.width}")
+            self._mem[i] = v
+
+    def peek(self, addr: int) -> int:
+        return self._mem[addr]
+
+    @property
+    def physical_brams(self) -> int:
+        """18 Kb blocks needed for this depth x width."""
+        return max(1, math.ceil(self.depth * self.width / BRAM_BITS))

@@ -1,0 +1,183 @@
+"""Pipeline modelling: registers, bubbles, and fixed-latency units.
+
+The central abstraction is :class:`PipelinedFunction`: a combinational
+function wrapped behind ``latency`` pipeline registers with initiation
+interval 1.  Issuing ``None`` inserts a bubble.  Each result pops out with
+a ``done`` qualifier exactly ``latency`` cycles after issue — the DONE
+output signal the paper's cores expose.
+
+A cycle has two phases, mirroring a clock edge: :meth:`begin_cycle` pops
+the completing item (its writeback happens "at the edge"), then
+:meth:`end_cycle` issues new operands, which may legitimately read state
+the completion just wrote (write-before-read).  :meth:`step` composes the
+two for callers that do not care about the distinction.
+
+The functional result is computed at issue time and carried through the
+shift register; this is behaviourally identical to computing it spread
+across the stages (the unit is a pure function of its operands) while
+keeping the model fast enough to simulate whole kernels.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Any, Callable, Generic, Optional, TypeVar
+
+T = TypeVar("T")
+
+
+@dataclass(frozen=True)
+class PipeItem(Generic[T]):
+    """A payload travelling through a pipeline, with an issue tag."""
+
+    payload: T
+    tag: int
+
+
+class PipelineRegister(Generic[T]):
+    """A chain of ``depth`` registers carrying optional payloads (bubbles).
+
+    ``step(item)`` advances one clock and returns whatever falls off the
+    far end (``None`` for a bubble).  ``depth == 0`` is combinational
+    passthrough.
+    """
+
+    def __init__(self, depth: int) -> None:
+        if depth < 0:
+            raise ValueError(f"register depth must be >= 0, got {depth}")
+        self.depth = depth
+        self._slots: deque[Optional[T]] = deque([None] * depth, maxlen=max(depth, 1))
+
+    def step(self, item: Optional[T]) -> Optional[T]:
+        if self.depth == 0:
+            return item
+        out = self._slots.popleft()
+        self._slots.append(item)
+        return out
+
+    @property
+    def occupancy(self) -> int:
+        """Number of non-bubble slots currently in flight."""
+        if self.depth == 0:
+            return 0
+        return sum(1 for s in self._slots if s is not None)
+
+    def flush(self) -> None:
+        """Clear all slots to bubbles (synchronous reset)."""
+        if self.depth:
+            self._slots = deque([None] * self.depth, maxlen=self.depth)
+
+    def __len__(self) -> int:
+        return self.depth
+
+
+class PipelinedFunction:
+    """A latency-``latency``, II=1 pipelined unit around a pure function.
+
+    Parameters
+    ----------
+    fn:
+        The combinational function; called with the issued operand tuple.
+    latency:
+        Pipeline depth in cycles (>= 1).
+    name:
+        For diagnostics and activity accounting.
+
+    Statistics
+    ----------
+    ``issued``/``completed`` count operations; ``busy_cycles`` counts
+    cycles in which at least one stage held valid data — the activity
+    measure used by the energy model.
+    """
+
+    def __init__(
+        self,
+        fn: Callable[..., Any],
+        latency: int,
+        name: str = "unit",
+    ) -> None:
+        if latency < 1:
+            raise ValueError(f"latency must be >= 1, got {latency}")
+        self.fn = fn
+        self.latency = latency
+        self.name = name
+        self._slots: deque[Optional[PipeItem[Any]]] = deque([None] * latency)
+        self.issued = 0
+        self.completed = 0
+        self.busy_cycles = 0
+        self.cycles = 0
+        self._next_tag = 0
+        self._mid_cycle = False
+        self._busy_before_issue = False
+
+    # ------------------------------------------------------------------ #
+    # Two-phase cycle interface
+    # ------------------------------------------------------------------ #
+    def begin_cycle(self) -> tuple[Optional[Any], bool]:
+        """Pop the item completing this cycle (its writeback is 'now')."""
+        if self._mid_cycle:
+            raise RuntimeError(f"{self.name}: begin_cycle without end_cycle")
+        self._mid_cycle = True
+        self.cycles += 1
+        out = self._slots.popleft()
+        # Busy if anything remains in flight this cycle (the item popped
+        # above left at the edge and no longer occupies the unit).
+        self._busy_before_issue = any(s is not None for s in self._slots)
+        if out is None:
+            return None, False
+        self.completed += 1
+        return out.payload, True
+
+    def end_cycle(self, operands: Optional[tuple]) -> None:
+        """Issue new operands (or None for a bubble) into the freed slot."""
+        if not self._mid_cycle:
+            raise RuntimeError(f"{self.name}: end_cycle without begin_cycle")
+        self._mid_cycle = False
+        item: Optional[PipeItem[Any]] = None
+        if operands is not None:
+            item = PipeItem(self.fn(*operands), self._next_tag)
+            self._next_tag += 1
+            self.issued += 1
+        if self._busy_before_issue or item is not None:
+            self.busy_cycles += 1
+        self._slots.append(item)
+
+    def step(self, operands: Optional[tuple] = None) -> tuple[Optional[Any], bool]:
+        """Advance one clock: complete, then issue.
+
+        Returns ``(result, done)``: ``done`` is the DONE signal, True
+        exactly when a real result emerges.
+        """
+        result, done = self.begin_cycle()
+        self.end_cycle(operands)
+        return result, done
+
+    # ------------------------------------------------------------------ #
+    # Conveniences
+    # ------------------------------------------------------------------ #
+    def drain(self) -> list[Any]:
+        """Clock bubbles until the pipe empties; return remaining results."""
+        results = []
+        for _ in range(self.latency):
+            payload, done = self.step(None)
+            if done:
+                results.append(payload)
+        return results
+
+    @property
+    def in_flight(self) -> int:
+        return sum(1 for s in self._slots if s is not None)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of elapsed cycles with work in the pipe."""
+        return self.busy_cycles / self.cycles if self.cycles else 0.0
+
+    def reset(self) -> None:
+        self._slots = deque([None] * self.latency)
+        self.issued = self.completed = self.busy_cycles = self.cycles = 0
+        self._mid_cycle = False
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"PipelinedFunction({self.name!r}, latency={self.latency})"

@@ -1,0 +1,59 @@
+"""Width-checked signals with two-phase (current/next) update semantics.
+
+A :class:`Signal` models a named wire or register output.  Writes go to the
+*next* value; :meth:`latch` commits it at the clock edge.  This gives the
+usual delta-free synchronous semantics: within a cycle every reader sees
+the pre-edge value regardless of evaluation order.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class Signal:
+    """A named, width-checked value holder with registered update."""
+
+    __slots__ = ("name", "width", "_value", "_next", "toggles")
+
+    def __init__(self, name: str, width: int, reset: int = 0) -> None:
+        if width < 1:
+            raise ValueError(f"signal width must be >= 1, got {width}")
+        self.name = name
+        self.width = width
+        self._check(reset)
+        self._value = reset
+        self._next: Optional[int] = None
+        #: Total bit toggles observed across latches (drives activity-based
+        #: power estimation).
+        self.toggles = 0
+
+    def _check(self, value: int) -> None:
+        if not 0 <= value < (1 << self.width):
+            raise ValueError(
+                f"value {value:#x} out of range for {self.width}-bit signal "
+                f"{self.name!r}"
+            )
+
+    @property
+    def value(self) -> int:
+        """Current (pre-edge) value."""
+        return self._value
+
+    def drive(self, value: int) -> None:
+        """Schedule ``value`` to appear after the next clock edge."""
+        self._check(value)
+        self._next = value
+
+    def latch(self) -> None:
+        """Commit the scheduled value (the clock edge)."""
+        if self._next is not None:
+            self.toggles += bin(self._value ^ self._next).count("1")
+            self._value = self._next
+            self._next = None
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Signal({self.name!r}, width={self.width}, value={self._value:#x})"

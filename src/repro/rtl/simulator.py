@@ -1,0 +1,92 @@
+"""A minimal synchronous cycle scheduler.
+
+Components implement :class:`SynchronousComponent`: a combinational
+``evaluate`` phase (reads current signal values, drives next values) and a
+``latch`` phase (the clock edge).  The :class:`Simulator` runs all
+components' evaluate phases, then all latches, once per cycle — the
+standard two-phase synchronous discipline, so intra-cycle evaluation order
+cannot change behaviour.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable, Iterable, Optional
+
+
+class SynchronousComponent(abc.ABC):
+    """Base class for clocked components."""
+
+    @abc.abstractmethod
+    def evaluate(self, cycle: int) -> None:
+        """Combinational phase: read current values, drive next values."""
+
+    @abc.abstractmethod
+    def latch(self) -> None:
+        """Clock edge: commit driven values."""
+
+
+class Simulator:
+    """Drives a set of components with a shared clock.
+
+    Parameters
+    ----------
+    components:
+        Components clocked every cycle, in registration order (order is
+        irrelevant to results thanks to two-phase updates, but stable for
+        reproducible tracing).
+    max_cycles:
+        Safety bound; exceeding it raises ``RuntimeError`` so a wedged
+        testbench fails loudly instead of spinning.
+    """
+
+    def __init__(
+        self,
+        components: Iterable[SynchronousComponent] = (),
+        max_cycles: int = 10_000_000,
+    ) -> None:
+        self.components: list[SynchronousComponent] = list(components)
+        self.max_cycles = max_cycles
+        self.cycle = 0
+
+    def add(self, component: SynchronousComponent) -> None:
+        self.components.append(component)
+
+    def step(self) -> None:
+        """Advance exactly one clock cycle."""
+        for comp in self.components:
+            comp.evaluate(self.cycle)
+        for comp in self.components:
+            comp.latch()
+        self.cycle += 1
+        if self.cycle > self.max_cycles:
+            raise RuntimeError(
+                f"simulation exceeded max_cycles={self.max_cycles}; "
+                "testbench is likely wedged"
+            )
+
+    def run_until(
+        self,
+        predicate: Callable[[], bool],
+        limit: Optional[int] = None,
+    ) -> int:
+        """Clock until ``predicate()`` is True; returns cycles consumed.
+
+        ``limit`` optionally bounds this call independent of
+        ``max_cycles``.
+        """
+        start = self.cycle
+        bound = self.max_cycles if limit is None else start + limit
+        while not predicate():
+            if self.cycle >= bound:
+                raise RuntimeError(
+                    f"run_until exceeded {bound - start} cycles without the "
+                    "predicate becoming true"
+                )
+            self.step()
+        return self.cycle - start
+
+    def run(self, cycles: int) -> None:
+        """Clock a fixed number of cycles."""
+        for _ in range(cycles):
+            self.step()

@@ -1,0 +1,35 @@
+"""Pipelined floating-point units: function + implementation, together.
+
+This layer ties the numeric core (:mod:`repro.fp`), the cycle-accurate
+pipeline machinery (:mod:`repro.rtl`) and the technology model
+(:mod:`repro.fabric`) into objects that behave like the paper's generated
+cores: issue one operation per cycle, get the bit-exact result ``latency``
+cycles later, and ask the same object what it costs in slices and what
+clock it closes.
+"""
+
+from repro.units.explorer import DesignPoint, DesignSpace, explore
+from repro.units.fpadd import PipelinedFPAdder
+from repro.units.fpdiv import PipelinedFPDivider
+from repro.units.fpmul import PipelinedFPMultiplier
+from repro.units.fpsqrt import PipelinedFPSqrt
+from repro.units.structural import (
+    StructuralFPAdder,
+    StructuralFPDivider,
+    StructuralFPMultiplier,
+    StructuralFPSqrt,
+)
+
+__all__ = [
+    "DesignPoint",
+    "DesignSpace",
+    "PipelinedFPAdder",
+    "PipelinedFPDivider",
+    "PipelinedFPMultiplier",
+    "PipelinedFPSqrt",
+    "StructuralFPAdder",
+    "StructuralFPDivider",
+    "StructuralFPMultiplier",
+    "StructuralFPSqrt",
+    "explore",
+]

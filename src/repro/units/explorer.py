@@ -1,0 +1,149 @@
+"""Pipeline-depth design-space exploration (the engine behind Fig 2 and
+Tables 1-2).
+
+For a given format and unit kind the explorer sweeps every pipeline depth
+and identifies the three implementations the paper tabulates:
+
+* **min** — the architectural minimum: one register level per major
+  module of Figure 1 (4 for the adder; 6 for the multiplier, whose
+  embedded-multiplier core is itself pipelined), i.e. the "implementation
+  with least pipeline stages" the methodology starts from;
+* **opt** — the depth with the highest frequency/area ratio (MHz/slice);
+* **max** — the shallowest depth that reaches the peak clock rate
+  (pipelining past it "yields no improvements in throughput").
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.fabric.device import SpeedGrade
+from repro.fabric.netlist import (
+    Datapath,
+    adder_datapath,
+    divider_datapath,
+    multiplier_datapath,
+    sqrt_datapath,
+)
+from repro.fabric.synthesis import ImplementationReport, sweep_stages
+from repro.fabric.toolchain import Objective
+from repro.fp.format import FPFormat
+
+#: Architectural minimum register levels (see module docstring).
+MIN_STAGES_ADDER = 4
+MIN_STAGES_MULTIPLIER = 6
+#: The recurrence units register at least their module boundaries plus a
+#: handful of row groups even in their shallowest builds.
+MIN_STAGES_DIVIDER = 8
+MIN_STAGES_SQRT = 8
+
+
+class UnitKind(enum.Enum):
+    ADDER = "adder"
+    MULTIPLIER = "multiplier"
+    DIVIDER = "divider"  # library extension
+    SQRT = "sqrt"  # library extension
+
+    @property
+    def min_stages(self) -> int:
+        return {
+            UnitKind.ADDER: MIN_STAGES_ADDER,
+            UnitKind.MULTIPLIER: MIN_STAGES_MULTIPLIER,
+            UnitKind.DIVIDER: MIN_STAGES_DIVIDER,
+            UnitKind.SQRT: MIN_STAGES_SQRT,
+        }[self]
+
+    def datapath(self, fmt: FPFormat) -> Datapath:
+        return {
+            UnitKind.ADDER: adder_datapath,
+            UnitKind.MULTIPLIER: multiplier_datapath,
+            UnitKind.DIVIDER: divider_datapath,
+            UnitKind.SQRT: sqrt_datapath,
+        }[self](fmt)
+
+    @property
+    def is_paper_unit(self) -> bool:
+        """True for the units the paper itself analyses."""
+        return self in (UnitKind.ADDER, UnitKind.MULTIPLIER)
+
+
+@dataclass(frozen=True)
+class DesignPoint:
+    """One labelled implementation in the design space."""
+
+    label: str  # "min" | "opt" | "max"
+    report: ImplementationReport
+
+    @property
+    def stages(self) -> int:
+        return self.report.stages
+
+
+@dataclass(frozen=True)
+class DesignSpace:
+    """The full stage sweep for one (format, unit kind) pair."""
+
+    fmt: FPFormat
+    kind: UnitKind
+    reports: tuple[ImplementationReport, ...]
+
+    def at(self, stages: int) -> ImplementationReport:
+        """The implementation with exactly ``stages`` register levels."""
+        for r in self.reports:
+            if r.stages == stages:
+                return r
+        raise KeyError(f"no implementation with {stages} stages in sweep")
+
+    @property
+    def minimum(self) -> DesignPoint:
+        return DesignPoint("min", self.at(self.kind.min_stages))
+
+    @property
+    def optimal(self) -> DesignPoint:
+        best = max(self.reports, key=lambda r: (r.freq_per_area, -r.stages))
+        return DesignPoint("opt", best)
+
+    @property
+    def maximum(self) -> DesignPoint:
+        peak = max(r.clock_mhz for r in self.reports)
+        first = min(r.stages for r in self.reports if r.clock_mhz >= peak - 1e-9)
+        return DesignPoint("max", self.at(first))
+
+    @property
+    def peak_clock_mhz(self) -> float:
+        return max(r.clock_mhz for r in self.reports)
+
+    def cheapest_at_least(self, clock_mhz: float) -> ImplementationReport:
+        """Best MHz/slice among implementations meeting a clock floor.
+
+        This is the paper's kernel-driven selection rule: "if the overall
+        architecture's operating frequency is less than the optimal
+        frequency for the floating-point unit then floating-point units
+        with the best frequency/area metric considering a lower frequency
+        have to be chosen."
+        """
+        ok = [r for r in self.reports if r.clock_mhz >= clock_mhz]
+        if not ok:
+            raise ValueError(
+                f"no {self.kind.value} implementation reaches {clock_mhz} MHz "
+                f"(peak {self.peak_clock_mhz:.1f} MHz)"
+            )
+        return min(ok, key=lambda r: (r.slices, r.stages))
+
+    def table_rows(self) -> list[DesignPoint]:
+        """The min/max/opt triple in the paper's column order."""
+        return [self.minimum, self.maximum, self.optimal]
+
+
+def explore(
+    fmt: FPFormat,
+    kind: UnitKind,
+    objective: Objective = Objective.BALANCED,
+    grade: SpeedGrade = SpeedGrade.MINUS_7,
+    max_stages: int | None = None,
+) -> DesignSpace:
+    """Sweep all pipeline depths for one unit; see :class:`DesignSpace`."""
+    dp = kind.datapath(fmt)
+    reports = sweep_stages(dp, max_stages=max_stages, objective=objective, grade=grade)
+    return DesignSpace(fmt=fmt, kind=kind, reports=tuple(reports))

@@ -1,0 +1,73 @@
+"""The pipelined floating-point multiplier core (paper Figure 1b)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.fabric.device import SpeedGrade
+from repro.fabric.netlist import multiplier_datapath
+from repro.fabric.synthesis import ImplementationReport, synthesize
+from repro.fabric.toolchain import Objective
+from repro.fp.flags import FPFlags
+from repro.fp.format import FPFormat
+from repro.fp.multiplier import fp_mul
+from repro.fp.rounding import RoundingMode
+from repro.rtl.pipeline import PipelinedFunction
+
+
+class PipelinedFPMultiplier:
+    """A deeply pipelined FP multiplier; see :class:`PipelinedFPAdder`."""
+
+    def __init__(
+        self,
+        fmt: FPFormat,
+        stages: int,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+        objective: Objective = Objective.BALANCED,
+        grade: SpeedGrade = SpeedGrade.MINUS_7,
+    ) -> None:
+        if stages < 1:
+            raise ValueError(f"stages must be >= 1, got {stages}")
+        self.fmt = fmt
+        self.stages = stages
+        self.mode = mode
+        self.report: ImplementationReport = synthesize(
+            multiplier_datapath(fmt), stages, objective=objective, grade=grade
+        )
+        self.pipe: PipelinedFunction = PipelinedFunction(
+            self._op, latency=stages, name=f"fpmul_{fmt.name}_s{stages}"
+        )
+
+    def _op(self, a: int, b: int) -> tuple[int, FPFlags]:
+        return fp_mul(self.fmt, a, b, self.mode)
+
+    def step(
+        self, a: Optional[int] = None, b: Optional[int] = None
+    ) -> tuple[Optional[tuple[int, FPFlags]], bool]:
+        """Clock one cycle; issue ``(a, b)`` if given, else a bubble."""
+        if (a is None) != (b is None):
+            raise ValueError("issue both operands or neither")
+        operands = None if a is None else (a, b)
+        return self.pipe.step(operands)
+
+    @property
+    def latency(self) -> int:
+        return self.stages
+
+    @property
+    def clock_mhz(self) -> float:
+        return self.report.clock_mhz
+
+    @property
+    def slices(self) -> int:
+        return self.report.slices
+
+    def compute(self, a: int, b: int) -> tuple[int, FPFlags]:
+        """Evaluate combinationally (no pipeline bookkeeping)."""
+        return self._op(a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PipelinedFPMultiplier({self.fmt.name}, stages={self.stages}, "
+            f"{self.report.clock_mhz:.0f} MHz, {self.report.slices} slices)"
+        )

@@ -1,0 +1,75 @@
+"""The pipelined floating-point square-root core (library extension)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.fabric.device import SpeedGrade
+from repro.fabric.netlist import sqrt_datapath
+from repro.fabric.synthesis import ImplementationReport, synthesize
+from repro.fabric.toolchain import Objective
+from repro.fp.flags import FPFlags
+from repro.fp.format import FPFormat
+from repro.fp.rounding import RoundingMode
+from repro.fp.sqrt import fp_sqrt
+from repro.rtl.pipeline import PipelinedFunction
+
+
+class PipelinedFPSqrt:
+    """A deeply pipelined FP square root; see :class:`PipelinedFPAdder`.
+
+    Like the divider, a digit-recurrence array: deep pipelines come
+    naturally (one row per result bit) at quadratic area cost.
+    """
+
+    def __init__(
+        self,
+        fmt: FPFormat,
+        stages: int,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+        objective: Objective = Objective.BALANCED,
+        grade: SpeedGrade = SpeedGrade.MINUS_7,
+    ) -> None:
+        if stages < 1:
+            raise ValueError(f"stages must be >= 1, got {stages}")
+        self.fmt = fmt
+        self.stages = stages
+        self.mode = mode
+        self.report: ImplementationReport = synthesize(
+            sqrt_datapath(fmt), stages, objective=objective, grade=grade
+        )
+        self.pipe: PipelinedFunction = PipelinedFunction(
+            self._op, latency=stages, name=f"fpsqrt_{fmt.name}_s{stages}"
+        )
+
+    def _op(self, a: int) -> tuple[int, FPFlags]:
+        return fp_sqrt(self.fmt, a, self.mode)
+
+    def step(
+        self, a: Optional[int] = None
+    ) -> tuple[Optional[tuple[int, FPFlags]], bool]:
+        """Clock one cycle; issue ``a`` if given, else a bubble."""
+        operands = None if a is None else (a,)
+        return self.pipe.step(operands)
+
+    @property
+    def latency(self) -> int:
+        return self.stages
+
+    @property
+    def clock_mhz(self) -> float:
+        return self.report.clock_mhz
+
+    @property
+    def slices(self) -> int:
+        return self.report.slices
+
+    def compute(self, a: int) -> tuple[int, FPFlags]:
+        """Evaluate combinationally (no pipeline bookkeeping)."""
+        return self._op(a)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"PipelinedFPSqrt({self.fmt.name}, stages={self.stages}, "
+            f"{self.report.clock_mhz:.0f} MHz, {self.report.slices} slices)"
+        )

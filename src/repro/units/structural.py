@@ -1,0 +1,543 @@
+"""Structural (stage-by-stage) FP cores on the staged-pipeline substrate.
+
+Unlike :class:`~repro.units.fpadd.PipelinedFPAdder` — whose pipeline is
+behavioural (result computed at issue, carried through a delay line) —
+the cores here actually *compute across the stages*: the datapath is an
+ordered list of micro-ops (unpack, denormalize, swap, align, add,
+normalize, round, pack / the divider's one-bit recurrence rows), grouped
+into the requested number of pipeline stages, with a state bundle latched
+between groups.  This is the closest software analogue of the generated
+VHDL, and the test suite proves stream equivalence against the
+behavioural models at every stage count — the RTL-vs-golden-model
+verification flow.
+
+Special operands ride a ``bypass`` field through the pipe (detected in
+stage 1 and carried forward), mirroring the paper's "at every stage
+exceptions are detected and carried forward" sideband.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.fp.flags import FPFlags
+from repro.fp.format import FPFormat
+from repro.fp.adder import _special_add
+from repro.fp.divider import _special_div
+from repro.fp.multiplier import _special_mul
+from repro.fp.rounding import RoundingMode, extract_grs, round_significand
+from repro.fp.subunits import (
+    align_shift,
+    denormalize,
+    exponent_compare,
+    fixed_mul,
+    mantissa_compare,
+    normalize_shift_amount,
+    sign_xor,
+    swap,
+)
+from repro.rtl.staged import MicroOp, StagedPipeline, State
+
+GRS = 3
+
+
+def _bypassed(state: State) -> bool:
+    return state.get("bypass") is not None
+
+
+# --------------------------------------------------------------------- #
+# Adder micro-ops
+# --------------------------------------------------------------------- #
+def adder_micro_ops(fmt: FPFormat, mode: RoundingMode) -> list[MicroOp]:
+    """The Figure 1a datapath as eight architectural micro-ops."""
+    wide = fmt.sig_bits + GRS
+
+    def unpack(st: State) -> State:
+        a, b = st["a"], st["b"]
+        if st.get("subtract"):
+            sb, eb, fb = fmt.unpack(b)
+            b = fmt.pack(sb ^ 1, eb, fb)
+            if fmt.is_nan(st["b"]):
+                return {"bypass": (fmt.nan(), FPFlags(invalid=True))}
+        special = _special_add(fmt, a, b)
+        if special is not None:
+            return {"bypass": special}
+        s1, e1, f1 = fmt.unpack(a)
+        s2, e2, f2 = fmt.unpack(b)
+        return {"s1": s1, "e1": e1, "f1": f1, "s2": s2, "e2": e2, "f2": f2}
+
+    def denorm(st: State) -> State:
+        if _bypassed(st):
+            return {}
+        e1, e2 = st["e1"], st["e2"]
+        if e1 == 0 and e2 == 0:
+            sign = st["s1"] if st["s1"] == st["s2"] else 0
+            return {"bypass": (fmt.zero(sign), FPFlags(zero=True))}
+        if e1 == 0:
+            bits = fmt.pack(st["s2"], e2, st["f2"])
+            return {"bypass": (bits, FPFlags())}
+        if e2 == 0:
+            bits = fmt.pack(st["s1"], e1, st["f1"])
+            return {"bypass": (bits, FPFlags())}
+        return {
+            "m1": denormalize(fmt, e1, st["f1"]),
+            "m2": denormalize(fmt, e2, st["f2"]),
+        }
+
+    def swap_stage(st: State) -> State:
+        if _bypassed(st):
+            return {}
+        m1, m2 = st["m1"], st["m2"]
+        s1, s2 = st["s1"], st["s2"]
+        swap_exp, diff = exponent_compare(st["e1"], st["e2"])
+        if not swap_exp and st["e1"] == st["e2"] and mantissa_compare(m1, m2):
+            swap_exp = True
+        m1, m2 = swap(m1, m2, swap_exp)
+        s1, s2 = swap(s1, s2, swap_exp)
+        exp = st["e2"] if swap_exp else st["e1"]
+        return {"m1": m1, "m2": m2, "s1": s1, "s2": s2, "exp": exp, "diff": diff}
+
+    def align(st: State) -> State:
+        if _bypassed(st):
+            return {}
+        big = st["m1"] << GRS
+        small, sticky = align_shift(st["m2"] << GRS, st["diff"], wide)
+        return {"big": big, "small": small, "sticky": sticky}
+
+    def add_sub(st: State) -> State:
+        if _bypassed(st):
+            return {}
+        exp = st["exp"]
+        sticky = st["sticky"]
+        if st["s1"] != st["s2"]:
+            total = st["big"] - st["small"] - sticky
+            if total == 0:
+                return {"bypass": (fmt.zero(0), FPFlags(zero=True))}
+        else:
+            total = st["big"] + st["small"]
+            if total >> wide:
+                sticky |= total & 1
+                total >>= 1
+                exp += 1
+        return {"total": total, "exp": exp, "sticky": sticky}
+
+    def normalize(st: State) -> State:
+        if _bypassed(st):
+            return {}
+        total, exp = st["total"], st["exp"]
+        lsh = normalize_shift_amount(total, wide)
+        if lsh > 0:
+            total <<= lsh
+            exp -= lsh
+            if exp <= 0:
+                return {
+                    "bypass": (
+                        fmt.zero(st["s1"]),
+                        FPFlags(underflow=True, inexact=True, zero=True),
+                    )
+                }
+        return {"total": total, "exp": exp}
+
+    def round_stage(st: State) -> State:
+        if _bypassed(st):
+            return {}
+        grs = (st["total"] & 0b111) | st["sticky"]
+        sig, inexact = round_significand(st["total"] >> GRS, grs, mode)
+        exp = st["exp"]
+        if sig >> fmt.sig_bits:
+            sig >>= 1
+            exp += 1
+        return {"sig": sig, "exp": exp, "inexact": inexact}
+
+    def pack(st: State) -> State:
+        if _bypassed(st):
+            bits, flags = st["bypass"]
+            return {"result": bits, "flags": flags}
+        exp = st["exp"]
+        if exp >= fmt.exp_max:
+            return {
+                "result": fmt.inf(st["s1"]),
+                "flags": FPFlags(overflow=True, inexact=True),
+            }
+        return {
+            "result": fmt.pack(st["s1"], exp, st["sig"] & fmt.man_mask),
+            "flags": FPFlags(inexact=st["inexact"]),
+        }
+
+    return [
+        MicroOp("unpack", unpack),
+        MicroOp("denorm", denorm),
+        MicroOp("swap", swap_stage),
+        MicroOp("align", align),
+        MicroOp("add_sub", add_sub),
+        MicroOp("normalize", normalize),
+        MicroOp("round", round_stage),
+        MicroOp("pack", pack),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Multiplier micro-ops
+# --------------------------------------------------------------------- #
+def multiplier_micro_ops(fmt: FPFormat, mode: RoundingMode) -> list[MicroOp]:
+    """The Figure 1b datapath as six architectural micro-ops."""
+
+    def unpack(st: State) -> State:
+        a, b = st["a"], st["b"]
+        special = _special_mul(fmt, a, b)
+        if special is not None:
+            return {"bypass": special}
+        s1, e1, f1 = fmt.unpack(a)
+        s2, e2, f2 = fmt.unpack(b)
+        sign = sign_xor(s1, s2)
+        if e1 == 0 or e2 == 0:
+            return {"bypass": (fmt.zero(sign), FPFlags(zero=True))}
+        return {"e1": e1, "f1": f1, "e2": e2, "f2": f2, "sign": sign}
+
+    def denorm(st: State) -> State:
+        if _bypassed(st):
+            return {}
+        return {
+            "m1": denormalize(fmt, st["e1"], st["f1"]),
+            "m2": denormalize(fmt, st["e2"], st["f2"]),
+        }
+
+    def multiply(st: State) -> State:
+        if _bypassed(st):
+            return {}
+        return {
+            "product": fixed_mul(st["m1"], st["m2"]),
+            "exp": st["e1"] + st["e2"] - fmt.bias,
+        }
+
+    def normalize(st: State) -> State:
+        if _bypassed(st):
+            return {}
+        product, exp = st["product"], st["exp"]
+        prod_bits = 2 * fmt.sig_bits
+        if product >> (prod_bits - 1):
+            exp += 1
+            sig, grs = extract_grs(product, fmt.sig_bits, prod_bits)
+        else:
+            sig, grs = extract_grs(product, fmt.sig_bits, prod_bits - 1)
+        return {"sig": sig, "grs": grs, "exp": exp}
+
+    def round_stage(st: State) -> State:
+        if _bypassed(st):
+            return {}
+        sig, inexact = round_significand(st["sig"], st["grs"], mode)
+        exp = st["exp"]
+        if sig >> fmt.sig_bits:
+            sig >>= 1
+            exp += 1
+        return {"sig": sig, "exp": exp, "inexact": inexact}
+
+    def pack(st: State) -> State:
+        if _bypassed(st):
+            bits, flags = st["bypass"]
+            return {"result": bits, "flags": flags}
+        exp = st["exp"]
+        sign = st["sign"]
+        if exp >= fmt.exp_max:
+            return {
+                "result": fmt.inf(sign),
+                "flags": FPFlags(overflow=True, inexact=True),
+            }
+        if exp <= 0:
+            return {
+                "result": fmt.zero(sign),
+                "flags": FPFlags(underflow=True, inexact=True, zero=True),
+            }
+        return {
+            "result": fmt.pack(sign, exp, st["sig"] & fmt.man_mask),
+            "flags": FPFlags(inexact=st["inexact"]),
+        }
+
+    return [
+        MicroOp("unpack", unpack),
+        MicroOp("denorm", denorm),
+        MicroOp("multiply", multiply),
+        MicroOp("normalize", normalize),
+        MicroOp("round", round_stage),
+        MicroOp("pack", pack),
+    ]
+
+
+# --------------------------------------------------------------------- #
+# Divider micro-ops: a genuine one-bit-per-row recurrence
+# --------------------------------------------------------------------- #
+def divider_micro_ops(fmt: FPFormat, mode: RoundingMode) -> list[MicroOp]:
+    """Restoring division, one quotient bit per micro-op row.
+
+    The structural divider really iterates: the state bundle carries the
+    partial remainder and the quotient bits produced so far, one
+    recurrence row per micro-op — exactly the array the area model prices
+    at one subtractor row per quotient bit.
+    """
+
+    def unpack(st: State) -> State:
+        a, b = st["a"], st["b"]
+        special = _special_div(fmt, a, b)
+        if special is not None:
+            return {"bypass": special}
+        s1, e1, f1 = fmt.unpack(a)
+        s2, e2, f2 = fmt.unpack(b)
+        rem = denormalize(fmt, e1, f1)
+        div = denormalize(fmt, e2, f2)
+        # Initial compare establishes the recurrence invariant rem < div
+        # (two normalized significands satisfy rem < 2*div), producing the
+        # integer quotient bit.
+        q = 0
+        if rem >= div:
+            rem -= div
+            q = 1
+        return {
+            "rem": rem,
+            "div": div,
+            "q": q,
+            "exp": e1 - e2 + fmt.bias,
+            "sign": sign_xor(s1, s2),
+        }
+
+    def make_row(index: int):
+        def row(st: State) -> State:
+            if _bypassed(st):
+                return {}
+            rem = st["rem"] << 1
+            q = st["q"] << 1
+            if rem >= st["div"]:
+                rem -= st["div"]
+                q |= 1
+            return {"rem": rem, "q": q}
+
+        return MicroOp(f"row[{index}]", row)
+
+    def normalize_round(st: State) -> State:
+        if _bypassed(st):
+            return {}
+        quotient, remainder = st["q"], st["rem"]
+        exp = st["exp"]
+        high = fmt.man_bits + 3
+        if quotient >> high:  # ratio >= 1
+            sig = quotient >> 3
+            grs = (quotient & 0b110) | (1 if (quotient & 0b1) or remainder else 0)
+        else:
+            exp -= 1
+            sig = quotient >> 2
+            grs = ((quotient & 0b11) << 1) | (1 if remainder else 0)
+        sig, inexact = round_significand(sig, grs, mode)
+        if sig >> fmt.sig_bits:
+            sig >>= 1
+            exp += 1
+        return {"sig": sig, "exp": exp, "inexact": inexact}
+
+    def pack(st: State) -> State:
+        if _bypassed(st):
+            bits, flags = st["bypass"]
+            return {"result": bits, "flags": flags}
+        exp, sign = st["exp"], st["sign"]
+        if exp >= fmt.exp_max:
+            return {
+                "result": fmt.inf(sign),
+                "flags": FPFlags(overflow=True, inexact=True),
+            }
+        if exp <= 0:
+            return {
+                "result": fmt.zero(sign),
+                "flags": FPFlags(underflow=True, inexact=True, zero=True),
+            }
+        return {
+            "result": fmt.pack(sign, exp, st["sig"] & fmt.man_mask),
+            "flags": FPFlags(inexact=st["inexact"]),
+        }
+
+    ops = [MicroOp("unpack", unpack)]
+    ops.extend(make_row(i) for i in range(fmt.man_bits + 3))
+    ops.append(MicroOp("normalize_round", normalize_round))
+    ops.append(MicroOp("pack", pack))
+    return ops
+
+
+# --------------------------------------------------------------------- #
+# Structural core wrappers
+# --------------------------------------------------------------------- #
+# --------------------------------------------------------------------- #
+# Square-root micro-ops: two radicand bits per recurrence row
+# --------------------------------------------------------------------- #
+def sqrt_micro_ops(fmt: FPFormat, mode: RoundingMode) -> list[MicroOp]:
+    """The bit-serial square-root recurrence of :mod:`repro.fp.sqrt`."""
+    from repro.fp.sqrt import _EXTRA, _special_sqrt
+
+    t = fmt.man_bits + _EXTRA
+    rows = t + 1  # result bits
+
+    def unpack(st: State) -> State:
+        a = st["a"]
+        special = _special_sqrt(fmt, a)
+        if special is not None:
+            return {"bypass": special}
+        _, e, f = fmt.unpack(a)
+        m = denormalize(fmt, e, f)
+        e_unbiased = e - fmt.bias
+        parity = e_unbiased % 2
+        radicand = (m << parity) << (2 * t - fmt.man_bits)
+        return {
+            "radicand": radicand,
+            "q": 0,
+            "r": 0,
+            "half_exp": (e_unbiased - parity) // 2,
+        }
+
+    def make_row(index: int):
+        shift = 2 * (rows - 1 - index)
+
+        def row(st: State) -> State:
+            if _bypassed(st):
+                return {}
+            two = (st["radicand"] >> shift) & 0b11
+            r = (st["r"] << 2) | two
+            trial = (st["q"] << 2) | 1
+            q = st["q"]
+            if r >= trial:
+                r -= trial
+                q = (q << 1) | 1
+            else:
+                q <<= 1
+            return {"q": q, "r": r}
+
+        return MicroOp(f"row[{index}]", row)
+
+    def round_pack(st: State) -> State:
+        if _bypassed(st):
+            bits, flags = st["bypass"]
+            return {"result": bits, "flags": flags}
+        q, remainder = st["q"], st["r"]
+        grs = (q & 0b110) | (1 if (q & 1) or remainder else 0)
+        sig, inexact = round_significand(q >> _EXTRA, grs, mode)
+        exp = st["half_exp"] + fmt.bias
+        if sig >> fmt.sig_bits:
+            sig >>= 1
+            exp += 1
+        return {
+            "result": fmt.pack(0, exp, sig & fmt.man_mask),
+            "flags": FPFlags(inexact=inexact),
+        }
+
+    ops = [MicroOp("unpack", unpack)]
+    ops.extend(make_row(i) for i in range(rows))
+    ops.append(MicroOp("round_pack", round_pack))
+    return ops
+
+
+class _StructuralCore:
+    """Common machinery for the structural cores below."""
+
+    def __init__(
+        self,
+        fmt: FPFormat,
+        stages: int,
+        ops: list[MicroOp],
+        name: str,
+    ) -> None:
+        if stages < 1:
+            raise ValueError(f"stages must be >= 1, got {stages}")
+        self.fmt = fmt
+        self.stages = stages
+        self.micro_ops = ops
+        self.pipe = StagedPipeline(ops, stages, name=name)
+
+    def step(
+        self, a: Optional[int] = None, b: Optional[int] = None, **extra
+    ) -> tuple[Optional[tuple[int, FPFlags]], bool]:
+        """Clock one cycle; issue ``(a, b)`` if given, else a bubble."""
+        if (a is None) != (b is None):
+            raise ValueError("issue both operands or neither")
+        bundle = None if a is None else {"a": a, "b": b, **extra}
+        out, done = self.pipe.step(bundle)
+        if not done:
+            return None, False
+        return (out["result"], out["flags"]), True
+
+    def compute(self, a: int, b: int, **extra) -> tuple[int, FPFlags]:
+        """Single-shot: issue and drain (for directed tests)."""
+        state: State = {"a": a, "b": b, **extra}
+        for op in self.micro_ops:
+            state = op.apply(state)
+        return state["result"], state["flags"]
+
+    @property
+    def latency(self) -> int:
+        return self.stages
+
+
+class StructuralFPAdder(_StructuralCore):
+    """Stage-by-stage FP adder/subtractor (see module docstring)."""
+
+    def __init__(
+        self,
+        fmt: FPFormat,
+        stages: int,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    ) -> None:
+        super().__init__(
+            fmt, stages, adder_micro_ops(fmt, mode), f"sfpadd_{fmt.name}"
+        )
+
+
+class StructuralFPMultiplier(_StructuralCore):
+    """Stage-by-stage FP multiplier."""
+
+    def __init__(
+        self,
+        fmt: FPFormat,
+        stages: int,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    ) -> None:
+        super().__init__(
+            fmt, stages, multiplier_micro_ops(fmt, mode), f"sfpmul_{fmt.name}"
+        )
+
+
+class StructuralFPDivider(_StructuralCore):
+    """Stage-by-stage FP divider with a real one-bit recurrence."""
+
+    def __init__(
+        self,
+        fmt: FPFormat,
+        stages: int,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    ) -> None:
+        super().__init__(
+            fmt, stages, divider_micro_ops(fmt, mode), f"sfpdiv_{fmt.name}"
+        )
+
+
+class StructuralFPSqrt(_StructuralCore):
+    """Stage-by-stage FP square root with a two-bits-per-row recurrence."""
+
+    def __init__(
+        self,
+        fmt: FPFormat,
+        stages: int,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    ) -> None:
+        super().__init__(
+            fmt, stages, sqrt_micro_ops(fmt, mode), f"sfpsqrt_{fmt.name}"
+        )
+
+    def step(
+        self, a: Optional[int] = None, **extra
+    ) -> tuple[Optional[tuple[int, FPFlags]], bool]:
+        """Clock one cycle; issue ``a`` if given, else a bubble."""
+        bundle = None if a is None else {"a": a, **extra}
+        out, done = self.pipe.step(bundle)
+        if not done:
+            return None, False
+        return (out["result"], out["flags"]), True
+
+    def compute(self, a: int, **extra) -> tuple[int, FPFlags]:
+        """Single-shot evaluation."""
+        state: State = {"a": a, **extra}
+        for op in self.micro_ops:
+            state = op.apply(state)
+        return state["result"], state["flags"]

@@ -1,0 +1,28 @@
+"""Self-checking verification harness for the FP cores.
+
+The 1995 Shirazi/Walters/Athanas tradition the paper cites began with
+"quantitative analysis" of FPGA floating point; this subpackage carries
+the quantitative discipline into verification: coverage-directed random
+testbenches that sweep all operand-class pairs (zeros, minima, maxima,
+tie-prone patterns, specials, ...) against the exact rational oracle and
+report coverage plus mismatch counts.
+"""
+
+from repro.verify.faults import Fault, MutationReport, inject, mutation_campaign
+from repro.verify.testbench import (
+    CoverageReport,
+    OperandClass,
+    OperandGenerator,
+    run_testbench,
+)
+
+__all__ = [
+    "CoverageReport",
+    "Fault",
+    "MutationReport",
+    "OperandClass",
+    "OperandGenerator",
+    "inject",
+    "mutation_campaign",
+    "run_testbench",
+]

@@ -1,0 +1,78 @@
+"""Tests for ulp and error-statistics utilities."""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.analysis.accuracy import ErrorStats, batch_ulp_errors, ulp, ulp_error
+from repro.fp.adder import fp_add
+from repro.fp.format import FP32
+from repro.fp.value import FPValue
+
+
+class TestUlp:
+    def test_ulp_of_one(self):
+        assert ulp(FP32, FP32.one()) == Fraction(1, 1 << 23)
+
+    def test_ulp_scales_with_binade(self):
+        two = FPValue.from_float(FP32, 2.0).bits
+        assert ulp(FP32, two) == 2 * ulp(FP32, FP32.one())
+
+    def test_ulp_of_zero_uses_smallest_normal(self):
+        assert ulp(FP32, FP32.zero()) == ulp(FP32, FP32.min_normal())
+
+    def test_ulp_of_special_rejected(self):
+        with pytest.raises(ValueError):
+            ulp(FP32, FP32.inf(0))
+
+    def test_ulp_error_exact_is_zero(self):
+        one = FP32.one()
+        assert ulp_error(FP32, one, Fraction(1)) == 0
+
+    def test_ulp_error_half(self):
+        # exact value sits half an ulp above 1.0
+        exact = Fraction(1) + Fraction(1, 1 << 24)
+        assert ulp_error(FP32, FP32.one(), exact) == Fraction(1, 2)
+
+
+class TestErrorStats:
+    def test_collect(self):
+        stats = ErrorStats.collect(
+            [Fraction(0), Fraction(1, 2), Fraction(1), Fraction(2)]
+        )
+        assert stats.count == 4
+        assert stats.max_ulp == 2.0
+        assert stats.mean_ulp == pytest.approx(0.875)
+        assert stats.correctly_rounded_fraction == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            ErrorStats.collect([])
+
+    def test_rms_at_least_mean(self):
+        stats = ErrorStats.collect([Fraction(0), Fraction(2)])
+        assert stats.rms_ulp >= stats.mean_ulp
+
+
+class TestBatch:
+    def test_single_ops_are_correctly_rounded(self, rng):
+        """Every RNE add must land within half an ulp — by construction."""
+        results = []
+        exacts = []
+        for _ in range(300):
+            a = FP32.pack(0, rng.randint(100, 150), rng.randrange(1 << 23))
+            b = FP32.pack(0, rng.randint(100, 150), rng.randrange(1 << 23))
+            bits, flags = fp_add(FP32, a, b)
+            if not FP32.is_finite(bits) or flags.underflow:
+                continue
+            results.append(bits)
+            exacts.append(
+                FPValue(FP32, a).to_fraction() + FPValue(FP32, b).to_fraction()
+            )
+        stats = batch_ulp_errors(FP32, results, exacts)
+        assert stats.correctly_rounded_fraction == 1.0
+        assert stats.max_ulp <= 0.5
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            batch_ulp_errors(FP32, [FP32.one()], [])

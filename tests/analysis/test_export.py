@@ -1,0 +1,78 @@
+"""Tests for JSON serialization of report objects."""
+
+import json
+
+import pytest
+
+from repro.analysis.export import (
+    SCHEMA_VERSION,
+    estimate_to_dict,
+    implementation_to_dict,
+    load_json,
+    power_to_dict,
+    to_json,
+)
+from repro.fabric.netlist import adder_datapath, multiplier_datapath
+from repro.fabric.synthesis import synthesize
+from repro.fp.format import FP32
+from repro.kernels.performance import MatmulPerformanceModel
+from repro.power.xpower import estimate_power
+
+
+@pytest.fixture(scope="module")
+def impl():
+    return synthesize(adder_datapath(FP32), 10)
+
+
+@pytest.fixture(scope="module")
+def estimate():
+    model = MatmulPerformanceModel(
+        FP32,
+        synthesize(adder_datapath(FP32), 10),
+        synthesize(multiplier_datapath(FP32), 7),
+    )
+    return model.estimate(16)
+
+
+class TestSerialization:
+    def test_implementation_roundtrip(self, impl):
+        payload = load_json(to_json(impl))
+        assert payload["kind"] == "implementation"
+        assert payload["stages"] == 10
+        assert payload["slices"] == impl.slices
+        assert payload["format"] == "fp32"
+
+    def test_estimate_roundtrip(self, estimate):
+        payload = load_json(to_json(estimate))
+        assert payload["kind"] == "kernel_estimate"
+        assert payload["n"] == 16
+        assert payload["pes"] == 16
+        assert payload["energy_breakdown"]["total"] == pytest.approx(
+            estimate.energy_nj, rel=1e-3
+        )
+
+    def test_power_roundtrip(self, impl):
+        payload = load_json(to_json(estimate_power(impl, 100.0)))
+        assert payload["kind"] == "power"
+        assert payload["total_mw"] > 0
+
+    def test_json_is_valid_and_sorted(self, impl):
+        text = to_json(impl)
+        data = json.loads(text)
+        assert list(data) == sorted(data)
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            to_json(object())
+
+    def test_schema_checked(self):
+        bad = json.dumps({"schema": SCHEMA_VERSION + 1})
+        with pytest.raises(ValueError, match="schema"):
+            load_json(bad)
+        with pytest.raises(ValueError, match="object"):
+            load_json("[1, 2]")
+
+    def test_dicts_directly(self, impl, estimate):
+        assert implementation_to_dict(impl)["schema"] == SCHEMA_VERSION
+        assert estimate_to_dict(estimate)["schema"] == SCHEMA_VERSION
+        assert power_to_dict(estimate_power(impl))["schema"] == SCHEMA_VERSION

@@ -1,0 +1,46 @@
+"""Unit tests for figure-series containers."""
+
+import pytest
+
+from repro.analysis.series import Series, SweepResult
+
+
+class TestSeries:
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Series("s", ())
+
+
+class TestSweepResult:
+    def make(self):
+        r = SweepResult("Fig X", "n", "nJ", x=(1.0, 2.0, 3.0))
+        r.add_series("a", [10, 20, 30])
+        r.add_series("b", [1, 2, 3])
+        return r
+
+    def test_add_series_length_checked(self):
+        r = SweepResult("T", "x", "y", x=(1.0, 2.0))
+        with pytest.raises(ValueError):
+            r.add_series("bad", [1.0])
+
+    def test_get(self):
+        r = self.make()
+        assert r.get("a").values == (10.0, 20.0, 30.0)
+        with pytest.raises(KeyError):
+            r.get("zzz")
+
+    def test_render_contains_labels_and_values(self):
+        out = self.make().render()
+        assert "Fig X" in out
+        assert "a" in out and "b" in out
+        assert "30" in out
+
+    def test_csv(self):
+        csv = self.make().to_csv()
+        lines = csv.splitlines()
+        assert lines[0] == "n,a,b"
+        assert lines[1] == "1,10,1"
+
+    def test_str(self):
+        r = self.make()
+        assert str(r) == r.render()

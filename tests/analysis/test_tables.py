@@ -1,0 +1,65 @@
+"""Unit tests for the text-table renderer."""
+
+import pytest
+
+from repro.analysis.tables import Table, format_table
+
+
+class TestTable:
+    def test_add_row_validates_arity(self):
+        t = Table("T", ("a", "b"))
+        t.add_row(1, 2)
+        with pytest.raises(ValueError):
+            t.add_row(1)
+
+    def test_render_contains_everything(self):
+        t = Table("My Title", ("col1", "col2"))
+        t.add_row("x", 1.5)
+        out = t.render()
+        assert "My Title" in out
+        assert "col1" in out and "col2" in out
+        assert "x" in out and "1.500" in out
+
+    def test_column_extraction(self):
+        t = Table("T", ("a", "b"))
+        t.add_row(1, 2)
+        t.add_row(3, 4)
+        assert t.column("b") == [2, 4]
+        with pytest.raises(ValueError):
+            t.column("missing")
+
+    def test_csv(self):
+        t = Table("T", ("a", "b"))
+        t.add_row(1, 2.5)
+        csv = t.to_csv()
+        assert csv.splitlines()[0] == "a,b"
+        assert "1,2.500" in csv
+
+    def test_str_is_render(self):
+        t = Table("T", ("a",))
+        t.add_row(1)
+        assert str(t) == t.render()
+
+
+class TestFormatting:
+    def test_large_floats_get_thousands_separator(self):
+        out = format_table("T", ("v",), [[12345.6]])
+        assert "12,346" in out
+
+    def test_medium_floats_one_decimal(self):
+        out = format_table("T", ("v",), [[42.25]])
+        assert "42.2" in out or "42.3" in out
+
+    def test_small_floats_three_decimals(self):
+        out = format_table("T", ("v",), [[0.5471]])
+        assert "0.547" in out
+
+    def test_zero(self):
+        out = format_table("T", ("v",), [[0.0]])
+        assert "0" in out
+
+    def test_alignment_right(self):
+        out = format_table("T", ("value",), [[1], [100]])
+        lines = out.splitlines()
+        assert lines[-1].endswith("100")
+        assert lines[-2].endswith("  1")

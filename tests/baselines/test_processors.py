@@ -1,0 +1,34 @@
+"""Unit tests for the processor baselines."""
+
+from repro.baselines.processors import (
+    ALL_PROCESSORS,
+    PENTIUM4_2_53,
+    POWERPC_G4_1000,
+)
+
+
+class TestBaselines:
+    def test_precision_dispatch(self):
+        assert PENTIUM4_2_53.gflops(32) == PENTIUM4_2_53.sgemm_gflops
+        assert PENTIUM4_2_53.gflops(64) == PENTIUM4_2_53.dgemm_gflops
+        assert PENTIUM4_2_53.gflops(48) == PENTIUM4_2_53.dgemm_gflops
+
+    def test_gflops_per_watt(self):
+        assert PENTIUM4_2_53.gflops_per_watt(32) == (
+            PENTIUM4_2_53.sgemm_gflops / PENTIUM4_2_53.power_w
+        )
+
+    def test_paper_consistency_p4(self):
+        """The paper's 19.6 GFLOPS is '6X' the P4 -> P4 ~3.3 sustained."""
+        assert 5.5 <= 19.6 / PENTIUM4_2_53.sgemm_gflops <= 6.5
+
+    def test_paper_consistency_g4(self):
+        """... and '3X' the G4 -> G4 ~6.5 sustained (AltiVec single)."""
+        assert 2.5 <= 19.6 / POWERPC_G4_1000.sgemm_gflops <= 3.5
+
+    def test_g4_double_is_scalar_only(self):
+        assert POWERPC_G4_1000.dgemm_gflops < POWERPC_G4_1000.sgemm_gflops / 4
+
+    def test_registry(self):
+        assert PENTIUM4_2_53 in ALL_PROCESSORS
+        assert POWERPC_G4_1000 in ALL_PROCESSORS

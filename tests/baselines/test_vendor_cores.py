@@ -1,0 +1,54 @@
+"""Unit tests for the vendor-core comparison points."""
+
+from repro.baselines.vendor_cores import (
+    NALLATECH_ADD32,
+    NALLATECH_MUL32,
+    NEU_ADD64,
+    NEU_MUL64,
+    QUIXILICA_ADD32,
+    QUIXILICA_MUL32,
+    TABLE3_CORES,
+    TABLE4_CORES,
+)
+
+
+class TestVendorCores:
+    def test_metric_math(self):
+        core = QUIXILICA_ADD32
+        assert core.freq_per_area == core.clock_mhz / core.slices
+        assert core.system_slices == core.slices + core.conversion_slices
+        assert core.system_freq_per_area < core.freq_per_area
+
+    def test_custom_format_cores_pay_conversion(self):
+        for core in TABLE3_CORES:
+            assert not core.ieee_format
+            assert core.conversion_slices > 0
+
+    def test_neu_cores_are_ieee(self):
+        for core in TABLE4_CORES:
+            assert core.ieee_format
+            assert core.conversion_slices == 0
+            assert core.system_freq_per_area == core.freq_per_area
+
+    def test_neu_cores_are_shallow_and_slow(self):
+        """Paper Table 4 narrative: the library cores are far slower."""
+        assert NEU_ADD64.stages <= 5
+        assert NEU_ADD64.clock_mhz < 100.0
+        assert NEU_MUL64.clock_mhz < 100.0
+
+    def test_power_estimate_positive_and_scales(self):
+        for core in (NALLATECH_ADD32, NEU_MUL64, QUIXILICA_MUL32):
+            p100 = core.power_mw(100.0)
+            p200 = core.power_mw(200.0)
+            assert p100 > 0
+            assert p200 > p100
+
+    def test_multipliers_declare_mult18(self):
+        assert NALLATECH_MUL32.mult18 == 4
+        assert NEU_MUL64.mult18 == 16
+        assert NALLATECH_ADD32.mult18 == 0
+
+    def test_ff_lut_estimates(self):
+        core = NALLATECH_ADD32
+        assert core.flipflops > 0
+        assert core.luts > core.slices

@@ -1,0 +1,107 @@
+"""Shared fixtures and hypothesis strategies for the test suite."""
+
+from __future__ import annotations
+
+import random
+import struct
+
+import pytest
+from hypothesis import strategies as st
+
+from repro.fp.format import FP32, FP48, FP64, FPFormat
+
+PAPER_FORMATS = (FP32, FP48, FP64)
+
+# A tiny format that makes corner cases dense (2-bit exponent range is
+# minimal; every rounding/overflow path is a short hop away).
+TINY = FPFormat(exp_bits=4, man_bits=3, name="tiny")
+
+ALL_FORMATS = PAPER_FORMATS + (TINY,)
+
+
+# --------------------------------------------------------------------- #
+# float32 <-> bits helpers (for numpy cross-checks)
+# --------------------------------------------------------------------- #
+def f32_to_bits(x: float) -> int:
+    return struct.unpack("<I", struct.pack("<f", x))[0]
+
+
+def bits_to_f32(b: int) -> float:
+    return struct.unpack("<f", struct.pack("<I", b))[0]
+
+
+def f64_to_bits(x: float) -> int:
+    return struct.unpack("<Q", struct.pack("<d", x))[0]
+
+
+def bits_to_f64(b: int) -> float:
+    return struct.unpack("<d", struct.pack("<Q", b))[0]
+
+
+# --------------------------------------------------------------------- #
+# Hypothesis strategies for FP words
+# --------------------------------------------------------------------- #
+def words(fmt: FPFormat) -> st.SearchStrategy[int]:
+    """Any bit pattern of the format (includes zero/Inf/NaN encodings)."""
+    return st.integers(min_value=0, max_value=fmt.word_mask)
+
+
+def finite_words(fmt: FPFormat) -> st.SearchStrategy[int]:
+    """Finite patterns: biased exponent below the all-ones encoding."""
+
+    def build(sign: int, exp: int, man: int) -> int:
+        return fmt.pack(sign, exp, man)
+
+    return st.builds(
+        build,
+        st.integers(0, 1),
+        st.integers(0, fmt.exp_max - 1),
+        st.integers(0, fmt.man_mask),
+    )
+
+
+def normal_words(fmt: FPFormat) -> st.SearchStrategy[int]:
+    """Normal (non-zero, finite) patterns."""
+
+    def build(sign: int, exp: int, man: int) -> int:
+        return fmt.pack(sign, exp, man)
+
+    return st.builds(
+        build,
+        st.integers(0, 1),
+        st.integers(1, fmt.exp_max - 1),
+        st.integers(0, fmt.man_mask),
+    )
+
+
+def moderate_words(fmt: FPFormat) -> st.SearchStrategy[int]:
+    """Normals away from the exponent rails (no overflow/underflow)."""
+    lo = fmt.bias // 2
+    hi = fmt.bias + fmt.bias // 2
+
+    def build(sign: int, exp: int, man: int) -> int:
+        return fmt.pack(sign, exp, man)
+
+    return st.builds(
+        build,
+        st.integers(0, 1),
+        st.integers(lo, hi),
+        st.integers(0, fmt.man_mask),
+    )
+
+
+@pytest.fixture(params=ALL_FORMATS, ids=lambda f: f.name)
+def fmt(request) -> FPFormat:
+    """Parametrized over all formats including the tiny stress format."""
+    return request.param
+
+
+@pytest.fixture(params=PAPER_FORMATS, ids=lambda f: f.name)
+def paper_fmt(request) -> FPFormat:
+    """Parametrized over the paper's three precisions."""
+    return request.param
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(0xF1094)

@@ -1,0 +1,118 @@
+"""Tests for the ablation studies."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    congestion_ablation,
+    fused_mac_ablation,
+    rounding_mode_ablation,
+    tool_objective_ablation,
+)
+
+
+@pytest.fixture(scope="module")
+def objective_table():
+    return tool_objective_ablation()
+
+
+class TestObjectiveAblation:
+    def test_covers_all_units_and_objectives(self, objective_table):
+        assert len(objective_table.rows) == 3 * 2 * 3  # fmt x kind x objective
+
+    def test_speed_fastest_area_smallest(self, objective_table):
+        cols = list(objective_table.columns)
+        by_unit: dict[str, dict[str, list]] = {}
+        for row in objective_table.rows:
+            by_unit.setdefault(row[0], {})[row[1]] = row
+        clock = cols.index("Clock (MHz)")
+        slices = cols.index("Slices")
+        for unit, rows in by_unit.items():
+            assert rows["speed"][clock] > rows["balanced"][clock] > rows["area"][clock]
+            assert rows["speed"][slices] > rows["balanced"][slices] > rows["area"][slices]
+
+    def test_balanced_usually_wins_metric(self, objective_table):
+        """Neither extreme dominates throughput/area — the reason the
+        paper evaluates the metric for all objectives."""
+        cols = list(objective_table.columns)
+        metric = cols.index("MHz/slice")
+        wins = {"speed": 0, "balanced": 0, "area": 0}
+        by_unit: dict[str, dict[str, list]] = {}
+        for row in objective_table.rows:
+            by_unit.setdefault(row[0], {})[row[1]] = row
+        for rows in by_unit.values():
+            best = max(rows, key=lambda k: rows[k][metric])
+            wins[best] += 1
+        assert wins["balanced"] >= 4
+
+
+class TestCongestionAblation:
+    def test_monotone_in_factor(self):
+        t = congestion_ablation()
+        gflops = t.column("GFLOPS")
+        assert gflops == sorted(gflops, reverse=True)
+
+    def test_paper_band_within_sweep(self):
+        t = congestion_ablation()
+        gflops = t.column("GFLOPS")
+        assert min(gflops) < 19.6 < max(gflops)
+
+
+class TestRoundingAblation:
+    def test_truncation_is_biased_and_worse(self):
+        t = rounding_mode_ablation()
+        rows = {r[0]: r for r in t.rows}
+        cols = list(t.columns)
+        mean = cols.index("Mean rel. error")
+        signed = cols.index("Signed mean error")
+        assert rows["rtz"][mean] > rows["rne"][mean]
+        # Truncation on positive data is systematically negative...
+        assert rows["rtz"][signed] < 0
+        # ...and its bias magnitude is essentially its mean error.
+        assert abs(rows["rtz"][signed]) > 0.5 * rows["rtz"][mean]
+        # RNE errors largely cancel.
+        assert abs(rows["rne"][signed]) < rows["rne"][mean]
+
+
+class TestFusedMacAblation:
+    def test_fused_is_more_accurate(self):
+        t = fused_mac_ablation(samples=60, length=24)
+        rows = {r[0]: r for r in t.rows}
+        cols = list(t.columns)
+        mean = cols.index("Mean |rel. error|")
+        assert rows["fused MAC"][mean] < rows["chained (mul -> add)"][mean]
+
+    def test_rounding_counts(self):
+        t = fused_mac_ablation(samples=10, length=8)
+        counts = dict(zip(t.column("PE datapath"), t.column("Roundings per MAC")))
+        assert counts["fused MAC"] == 1
+        assert counts["chained (mul -> add)"] == 2
+
+
+class TestRegisterSharingAblation:
+    def test_free_registers_maximize_metric(self):
+        from repro.experiments.ablations import register_sharing_ablation
+
+        t = register_sharing_ablation()
+        metric = t.column("Opt MHz/slice")
+        assert metric == sorted(metric, reverse=True)
+
+    def test_full_cost_retreats_to_shallower_optimum(self):
+        """The paper's enabler quantified: without slice-FF sharing the
+        deep-pipelining optimum collapses to a shallower design."""
+        from repro.experiments.ablations import register_sharing_ablation
+
+        t = register_sharing_ablation(factors=(0.0, 1.0))
+        stages = t.column("Opt stages")
+        clocks = t.column("Opt MHz")
+        assert stages[1] < stages[0]
+        assert clocks[1] < clocks[0]
+
+    def test_bad_factor_rejected(self):
+        import pytest as _pytest
+
+        from repro.fabric.netlist import adder_datapath
+        from repro.fabric.synthesis import synthesize as _synth
+        from repro.fp.format import FP32 as _FP32
+
+        with _pytest.raises(ValueError):
+            _synth(adder_datapath(_FP32), 4, ff_sharing=1.5)

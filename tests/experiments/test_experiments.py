@@ -1,0 +1,360 @@
+"""Integration tests: every experiment runs and reproduces the paper's
+qualitative claims (the 'shape' assertions of the reproduction)."""
+
+import pytest
+
+from repro.experiments import (
+    REGISTRY,
+    fig2_freq_area,
+    fig3_power,
+    fig4_energy_distribution,
+    fig5_problem_size,
+    fig6_block_size,
+    sec42_matmul,
+    table1_adders,
+    table2_multipliers,
+    table3_compare32,
+    table4_compare64,
+)
+from repro.experiments.configs import kernel_configs
+from repro.units.explorer import UnitKind
+
+
+@pytest.fixture(scope="module")
+def fig2a():
+    return fig2_freq_area.run(UnitKind.ADDER)
+
+
+@pytest.fixture(scope="module")
+def fig2b():
+    return fig2_freq_area.run(UnitKind.MULTIPLIER)
+
+
+@pytest.fixture(scope="module")
+def table1():
+    return table1_adders.run()
+
+
+@pytest.fixture(scope="module")
+def table2():
+    return table2_multipliers.run()
+
+
+@pytest.fixture(scope="module")
+def sec42():
+    return sec42_matmul.run()
+
+
+@pytest.fixture(scope="module")
+def fig5():
+    return fig5_problem_size.run()
+
+
+@pytest.fixture(scope="module")
+def fig6():
+    return fig6_block_size.run()
+
+
+class TestFig2:
+    def test_three_precisions(self, fig2a):
+        assert [s.label for s in fig2a.series] == ["32-bit", "48-bit", "64-bit"]
+
+    def test_rises_then_flattens(self, fig2a):
+        """Fig 2: steep initial rise, flattening toward the end."""
+        for s in fig2a.series:
+            v = s.values
+            n = len(v)
+            early_gain = v[n // 4] - v[0]
+            late_gain = abs(v[-1] - v[3 * n // 4])
+            assert early_gain > 0
+            assert late_gain < early_gain / 2
+
+    def test_dips_at_deep_pipelining(self, fig2a, fig2b):
+        """'...and may dip for deep pipelining.'"""
+        for fig in (fig2a, fig2b):
+            for s in fig.series:
+                peak = max(s.values)
+                assert s.values[-1] < peak
+
+    def test_narrower_formats_higher_metric(self, fig2a, fig2b):
+        """32-bit sits above 48-bit above 64-bit (less area, same clock
+        ballpark)."""
+        for fig in (fig2a, fig2b):
+            p32 = max(fig.get("32-bit").values)
+            p48 = max(fig.get("48-bit").values)
+            p64 = max(fig.get("64-bit").values)
+            assert p32 > p48 > p64
+
+    def test_multipliers_beat_adders_on_metric(self, fig2a, fig2b):
+        for label in ("32-bit", "48-bit", "64-bit"):
+            assert max(fig2b.get(label).values) > max(fig2a.get(label).values)
+
+
+class TestTables12:
+    def test_nine_rows_each(self, table1, table2):
+        assert len(table1.rows) == 9
+        assert len(table2.rows) == 9
+
+    def test_opt_has_best_metric_within_precision(self, table1):
+        for prec in ("32-bit", "48-bit", "64-bit"):
+            rows = [r for r in table1.rows if r[0] == prec]
+            by_impl = {r[1]: r for r in rows}
+            metric = table1.columns.index("Freq/Area (MHz/slice)")
+            assert by_impl["opt"][metric] >= by_impl["min"][metric]
+            assert by_impl["opt"][metric] >= by_impl["max"][metric] - 1e-9
+
+    def test_max_has_best_clock(self, table1, table2):
+        clock = table1.columns.index("Clock (MHz)")
+        for table in (table1, table2):
+            for prec in ("32-bit", "48-bit", "64-bit"):
+                rows = {r[1]: r for r in table.rows if r[0] == prec}
+                assert rows["max"][clock] >= rows["min"][clock]
+                assert rows["max"][clock] >= rows["opt"][clock] - 1e-9
+
+    def test_paper_throughput_claims(self, table1, table2):
+        """Abstract: >240 MHz single, >200 MHz double, via deep pipelines."""
+        clock = table1.columns.index("Clock (MHz)")
+        t1 = {(r[0], r[1]): r for r in table1.rows}
+        t2 = {(r[0], r[1]): r for r in table2.rows}
+        assert t1[("32-bit", "max")][clock] > 240.0
+        assert t1[("64-bit", "max")][clock] > 200.0
+        assert t2[("32-bit", "max")][clock] > 240.0
+        assert t2[("64-bit", "max")][clock] > 200.0
+
+    def test_area_grows_with_precision(self, table1):
+        slices = table1.columns.index("Slices")
+        opt = {r[0]: r[slices] for r in table1.rows if r[1] == "opt"}
+        assert opt["32-bit"] < opt["48-bit"] < opt["64-bit"]
+
+
+class TestTables34:
+    def test_table3_has_usc_and_vendors(self):
+        t = table3_compare32.run()
+        sources = set(t.column("Source"))
+        assert sources == {"USC (ours)", "Nallatech", "Quixilica"}
+
+    def test_table3_vendor_raw_metric_can_beat_usc(self):
+        """Paper: 'due to a lower area, their Frequency/Area metric is
+        sometimes better than ours'."""
+        t = table3_compare32.run()
+        raw = t.columns.index("Freq/Area (MHz/slice)")
+        rows = {(r[0], r[1]): r for r in t.rows}
+        usc_mul = rows[("32-bit multiplier", "USC (ours)")][raw]
+        best_vendor = max(
+            rows[("32-bit multiplier", v)][raw] for v in ("Nallatech", "Quixilica")
+        )
+        assert best_vendor > usc_mul
+
+    def test_table4_usc_dominates_neu(self):
+        t = table4_compare64.run()
+        clock = t.columns.index("Clock (MHz)")
+        metric = t.columns.index("Freq/Area (MHz/slice)")
+        rows = {(r[0], r[1]): r for r in t.rows}
+        for unit in ("64-bit adder", "64-bit multiplier"):
+            assert rows[(unit, "USC (ours)")][clock] > 2 * rows[(unit, "NEU")][clock]
+            assert rows[(unit, "USC (ours)")][metric] > rows[(unit, "NEU")][metric]
+
+
+class TestFig3:
+    def test_power_monotone_in_stages(self):
+        fig = fig3_power.run(UnitKind.ADDER)
+        for s in fig.series:
+            assert all(b >= a - 1e-9 for a, b in zip(s.values, s.values[1:]))
+
+    def test_wider_formats_higher_power(self):
+        fig = fig3_power.run(UnitKind.MULTIPLIER)
+        # compare at a depth every format supports
+        idx = 7
+        p32 = fig.get("32-bit").values[idx]
+        p48 = fig.get("48-bit").values[idx]
+        p64 = fig.get("64-bit").values[idx]
+        assert p32 < p48 < p64
+
+
+class TestSec42:
+    def _row(self, sec42, precision):
+        return {c: v for c, v in zip(sec42.columns, next(
+            r for r in sec42.rows if r[0] == precision
+        ))}
+
+    def test_single_precision_band(self, sec42):
+        """Paper: ~19.6 GFLOPS single (abstract: 'about 15')."""
+        row = self._row(sec42, "32-bit")
+        assert 15.0 <= row["GFLOPS"] <= 25.0
+
+    def test_double_precision_band(self, sec42):
+        """Paper: ~8 GFLOPS double."""
+        row = self._row(sec42, "64-bit")
+        assert 5.0 <= row["GFLOPS"] <= 10.0
+
+    def test_speedup_vs_p4(self, sec42):
+        """Paper: '6X improvement over the 2.54 GHz Pentium 4'."""
+        row = self._row(sec42, "32-bit")
+        assert 4.5 <= row["vs P4 (GFLOPS)"] <= 8.0
+
+    def test_speedup_vs_g4(self, sec42):
+        """Paper: '3X improvement over the 1 GHz G4'."""
+        row = self._row(sec42, "32-bit")
+        assert 2.0 <= row["vs G4 (GFLOPS)"] <= 4.5
+
+    def test_gflops_per_watt_advantage(self, sec42):
+        """Paper: 'upto 6x improvement (for single precision) in terms of
+        the GFLOPS/W metric'."""
+        row = self._row(sec42, "32-bit")
+        assert 4.0 <= row["vs P4 (GFLOPS/W)"] <= 9.0
+
+    def test_single_beats_double(self, sec42):
+        s = self._row(sec42, "32-bit")
+        d = self._row(sec42, "64-bit")
+        assert s["GFLOPS"] > 2 * d["GFLOPS"]
+        assert s["PEs"] > d["PEs"]
+
+
+class TestConfigs:
+    def test_three_levels_with_paper_pl_values(self):
+        configs = kernel_configs()
+        pls = [c.pl for c in configs]
+        assert pls == sorted(pls)
+        assert pls[0] == 10  # paper: minimum set has PL = 10
+        assert pls[1] == 19  # paper: moderate set has PL = 19
+        assert 24 <= pls[2] <= 28  # paper: 25; model lands within one stage
+
+    def test_labels_match_pl(self):
+        for c in kernel_configs():
+            assert c.label == f"pl={c.pl}"
+
+
+class TestFig4:
+    def test_padding_waste_at_small_problem(self):
+        t = fig4_energy_distribution.run()
+        total = t.columns.index("Total (nJ)")
+        cfg = t.columns.index("Config")
+        n_col = t.columns.index("Problem n")
+        small = {r[cfg]: r[total] for r in t.rows if r[n_col] == 10}
+        large = {r[cfg]: r[total] for r in t.rows if r[n_col] == 30}
+        labels = sorted(small, key=lambda k: int(k.split("=")[1]))
+        # At n=10 the deep configuration wastes heavily...
+        assert small[labels[-1]] > 2.5 * small[labels[0]]
+        # ...while at n=30 the ratio shrinks substantially.
+        ratio_small = small[labels[-1]] / small[labels[0]]
+        ratio_large = large[labels[-1]] / large[labels[0]]
+        assert ratio_large < ratio_small / 1.5
+
+    def test_mac_dominates_everywhere(self):
+        t = fig4_energy_distribution.run()
+        mac = t.columns.index("MAC (nJ)")
+        total = t.columns.index("Total (nJ)")
+        for r in t.rows:
+            assert r[mac] > 0.4 * r[total]
+
+
+class TestFig5:
+    def test_energy_monotone_in_n(self, fig5):
+        for s in fig5.energy.series:
+            assert list(s.values) == sorted(s.values)
+
+    def test_small_problems_punish_deep_pipelines(self, fig5):
+        at_5 = {s.label: s.values[0] for s in fig5.energy.series}
+        labels = sorted(at_5, key=lambda k: int(k.split("=")[1]))
+        assert at_5[labels[-1]] > 2 * at_5[labels[0]]
+
+    def test_resources_linear_in_n(self, fig5):
+        for s in fig5.resources.series:
+            if not s.label.startswith("slices"):
+                continue
+            v = s.values
+            x = fig5.resources.x
+            slope_first = (v[1] - v[0]) / (x[1] - x[0])
+            slope_last = (v[-1] - v[-2]) / (x[-1] - x[-2])
+            assert slope_first == pytest.approx(slope_last, rel=0.05)
+
+    def test_deeper_pipelines_use_more_slices(self, fig5):
+        slice_series = [
+            s for s in fig5.resources.series if s.label.startswith("slices")
+        ]
+        finals = [s.values[-1] for s in slice_series]
+        assert finals == sorted(finals)
+
+    def test_deep_pipeline_wins_latency_at_large_n(self, fig5):
+        """Paper: 'it might consume the least energy due to less latency'
+        — the deep configuration has the lowest latency at large n."""
+        at_max = {s.label: s.values[-1] for s in fig5.latency.series}
+        labels = sorted(at_max, key=lambda k: int(k.split("=")[1]))
+        assert at_max[labels[-1]] < at_max[labels[0]]
+
+    def test_bmult_bram_independent_of_pipelining(self, fig5):
+        labels = [s.label for s in fig5.resources.series]
+        assert "BMult (all pl)" in labels
+        assert "BRAM (all pl)" in labels
+
+
+class TestFig6:
+    def test_energy_falls_with_block_size(self, fig6):
+        """Paper: wasteful dissipation when b << PL."""
+        for s in fig6.energy.series:
+            assert list(s.values) == sorted(s.values, reverse=True)
+            assert s.values[0] > 2 * s.values[-1]
+
+    def test_resources_grow_with_block_size(self, fig6):
+        for s in fig6.resources.series:
+            if s.label.startswith("slices"):
+                assert list(s.values) == sorted(s.values)
+
+    def test_latency_falls_with_block_size(self, fig6):
+        for s in fig6.latency.series:
+            assert list(s.values) == sorted(s.values, reverse=True)
+
+    def test_block_size_must_divide(self):
+        with pytest.raises(ValueError):
+            fig6_block_size.run(n=16, block_sizes=(3,))
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        expected = {
+            "fig2a",
+            "fig2b",
+            "table1",
+            "table2",
+            "table3",
+            "table4",
+            "fig3a",
+            "fig3b",
+            "sec4.2",
+            "fig4",
+            "fig5",
+            "fig6",
+            "ext-units",
+            "ablation-objective",
+            "ablation-congestion",
+            "ablation-rounding",
+            "ablation-fma",
+            "ablation-registers",
+        }
+        assert set(REGISTRY) == expected
+
+    def test_registered_callables_produce_printable(self):
+        # Spot-check the cheap ones end to end.
+        for name in ("table3", "table4"):
+            out = str(REGISTRY[name]())
+            assert len(out) > 50
+
+
+class TestExtUnits:
+    def test_extension_units_table(self):
+        from repro.experiments import ext_units
+
+        t = ext_units.run()
+        assert len(t.rows) == 2 * 3 * 3  # 2 kinds x 3 formats x 3 impls
+        clock = t.columns.index("Clock (MHz)")
+        metric = t.columns.index("Freq/Area (MHz/slice)")
+        slices = t.columns.index("Slices")
+        rows = {(r[0], r[1]): r for r in t.rows}
+        # Deep pipelining pushes the recurrence units past 200 MHz...
+        assert rows[("64-bit divider", "max")][clock] > 200.0
+        assert rows[("64-bit sqrt", "max")][clock] > 200.0
+        # ...but their quadratic area keeps MHz/slice far below the
+        # multiplier's ~0.25-1.2 range.
+        assert rows[("64-bit divider", "opt")][metric] < 0.1
+        # and they are the area outliers of the library.
+        assert rows[("64-bit divider", "opt")][slices] > 2500

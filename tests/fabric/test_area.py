@@ -1,0 +1,54 @@
+"""Unit tests for the area model (the paper's slice formulas)."""
+
+import pytest
+
+from repro.fabric import area
+
+
+class TestPaperFormulas:
+    def test_comparator_half_slice_per_bit(self):
+        """Paper: 'Comparators take about n/2 slices for a bitwidth of n'."""
+        assert area.comparator_slices(54) == 27
+
+    def test_adder_half_slice_per_bit(self):
+        """Paper: '[the adder] takes about n/2 slices for a bitwidth of n'."""
+        assert area.adder_slices(54) == 27
+
+    def test_shifter_nlogn_over_two(self):
+        """Paper: '[the shifter] takes up about n log n / 2 slices'."""
+        import math
+
+        n = 32
+        assert area.shifter_slices(n) == pytest.approx(n * math.log2(n) / 2)
+
+
+class TestMultiplierResources:
+    def test_mult18_counts_per_format(self):
+        # 24-bit significand -> 2x2 blocks; 37 -> 3x3; 53 -> 4x4.
+        assert area.mult18_count(24) == 4
+        assert area.mult18_count(37) == 9
+        assert area.mult18_count(53) == 16
+
+    def test_single_block_product_needs_one(self):
+        assert area.mult18_count(17) == 1
+        assert area.multiplier_tree_slices(17) == 0.0
+
+    def test_tree_grows_with_blocks(self):
+        assert area.multiplier_tree_slices(53) > area.multiplier_tree_slices(24) > 0
+
+
+class TestRegisters:
+    def test_register_cost_scales_with_stages(self):
+        one = area.register_slices(64, 1)
+        ten = area.register_slices(64, 10)
+        assert ten == pytest.approx(10 * one)
+
+    def test_sharing_discount(self):
+        # Pipelining exploits unused slice FFs: cheaper than bits/2.
+        assert area.register_slices(64, 1) < 64 / 2
+
+    def test_zero_stages_free(self):
+        assert area.register_slices(64, 0) == 0.0
+
+    def test_luts_estimate(self):
+        assert area.slices_to_luts(100) == 180

@@ -1,0 +1,53 @@
+"""Unit tests for the Virtex-II Pro device catalog."""
+
+import pytest
+
+from repro.fabric.device import XC2VP125, Device, SpeedGrade, catalog, get_device
+
+
+class TestCatalog:
+    def test_paper_device(self):
+        assert XC2VP125.slices == 55616
+        assert XC2VP125.mult18 == 556
+        assert XC2VP125.bram == 556
+
+    def test_lookup_case_insensitive(self):
+        assert get_device("xc2vp30").name == "XC2VP30"
+
+    def test_unknown_device(self):
+        with pytest.raises(KeyError, match="unknown device"):
+            get_device("XC7Z020")
+
+    def test_catalog_sorted_by_size(self):
+        parts = catalog()
+        sizes = [p.slices for p in parts]
+        assert sizes == sorted(sizes)
+        assert parts[-1] is XC2VP125
+
+    def test_derived_resources(self):
+        d = Device("X", slices=100, bram=1, mult18=1)
+        assert d.luts == 200
+        assert d.flipflops == 200
+
+
+class TestUsableSlices:
+    def test_default_margin(self):
+        assert XC2VP125.usable_slices() == int(55616 * 0.9)
+
+    def test_full_utilization(self):
+        assert XC2VP125.usable_slices(1.0) == 55616
+
+    def test_bad_utilization_rejected(self):
+        with pytest.raises(ValueError):
+            XC2VP125.usable_slices(0.0)
+        with pytest.raises(ValueError):
+            XC2VP125.usable_slices(1.5)
+
+
+class TestSpeedGrade:
+    def test_reference_grade_is_unity(self):
+        assert SpeedGrade.MINUS_7.delay_scale == 1.0
+
+    def test_slower_grades_scale_up(self):
+        assert SpeedGrade.MINUS_6.delay_scale > 1.0
+        assert SpeedGrade.MINUS_5.delay_scale > SpeedGrade.MINUS_6.delay_scale

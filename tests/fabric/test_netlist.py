@@ -1,0 +1,108 @@
+"""Unit tests for the datapath quanta chains."""
+
+import pytest
+
+from repro.fabric.netlist import (
+    Datapath,
+    Quantum,
+    adder_datapath,
+    multiplier_datapath,
+)
+from repro.fp.format import FP32, FP48, FP64, PAPER_FORMATS
+
+
+class TestQuantum:
+    def test_rejects_non_positive_delay(self):
+        with pytest.raises(ValueError):
+            Quantum("q", 0.0, 8)
+
+    def test_rejects_negative_cut_bits(self):
+        with pytest.raises(ValueError):
+            Quantum("q", 1.0, -1)
+
+
+class TestChains:
+    @pytest.mark.parametrize("build", [adder_datapath, multiplier_datapath])
+    @pytest.mark.parametrize("fmt", PAPER_FORMATS, ids=lambda f: f.name)
+    def test_chain_well_formed(self, build, fmt):
+        dp = build(fmt)
+        assert dp.quanta, "empty chain"
+        assert all(q.delay_ns > 0 for q in dp.quanta)
+        assert all(q.cut_bits > 0 for q in dp.quanta)
+        assert dp.total_delay_ns == pytest.approx(
+            sum(q.delay_ns for q in dp.quanta)
+        )
+        assert dp.max_atomic_ns == max(q.delay_ns for q in dp.quanta)
+        assert dp.natural_max_stages == len(dp.quanta)
+        assert dp.comb_slices > 0
+        assert dp.output_bits >= fmt.width
+
+    def test_adder_wider_formats_are_slower_and_bigger(self):
+        delays = [adder_datapath(f).total_delay_ns for f in PAPER_FORMATS]
+        slices = [adder_datapath(f).comb_slices for f in PAPER_FORMATS]
+        assert delays == sorted(delays)
+        assert slices == sorted(slices)
+
+    def test_multiplier_uses_embedded_multipliers(self):
+        assert multiplier_datapath(FP32).mult18 == 4
+        assert multiplier_datapath(FP48).mult18 == 9
+        assert multiplier_datapath(FP64).mult18 == 16
+        assert adder_datapath(FP32).mult18 == 0
+
+    def test_adder_has_expected_stage_structure(self):
+        """The chain must walk the Figure 1a module sequence in order."""
+        labels = [q.label for q in adder_datapath(FP32).quanta]
+        order = [
+            "denorm",
+            "swap.mantissa_cmp",
+            "swap.mux",
+            "align",
+            "mantissa_add",
+            "prenorm",
+            "norm.priority_enc",
+            "norm.shift",
+            "round",
+        ]
+        positions = []
+        for key in order:
+            idx = next(i for i, lab in enumerate(labels) if lab.startswith(key))
+            positions.append(idx)
+        assert positions == sorted(positions)
+
+    def test_multiplier_has_expected_stage_structure(self):
+        labels = [q.label for q in multiplier_datapath(FP32).quanta]
+        order = ["denorm", "mantissa_mul", "norm", "round"]
+        positions = []
+        for key in order:
+            idx = next(i for i, lab in enumerate(labels) if lab.startswith(key))
+            positions.append(idx)
+        assert positions == sorted(positions)
+
+    def test_multiplier_faster_than_adder_end_to_end(self):
+        """FP multiplication 'is easier than addition/subtraction' —
+        shorter chain, less fabric area."""
+        for fmt in PAPER_FORMATS:
+            assert (
+                multiplier_datapath(fmt).total_delay_ns
+                < adder_datapath(fmt).total_delay_ns
+            )
+            assert (
+                multiplier_datapath(fmt).comb_slices < adder_datapath(fmt).comb_slices
+            )
+
+    def test_cut_bits_shrink_toward_output(self):
+        """Early cuts latch two operands; late cuts latch one result."""
+        dp = adder_datapath(FP64)
+        assert dp.quanta[0].cut_bits > dp.quanta[-1].cut_bits
+
+    def test_datapath_is_frozen(self):
+        dp = adder_datapath(FP32)
+        with pytest.raises(AttributeError):
+            dp.comb_slices = 0
+
+
+class TestDatapathProperties:
+    def test_empty_quanta_rejected_via_properties(self):
+        dp = Datapath("x", FP32, (Quantum("q", 1.0, 4),), 10.0, 0, 38)
+        assert dp.total_delay_ns == 1.0
+        assert dp.natural_max_stages == 1

@@ -1,0 +1,57 @@
+"""Tests for the device utilization report."""
+
+import pytest
+
+from repro.fabric.device import XC2VP125, get_device
+from repro.fabric.netlist import adder_datapath, multiplier_datapath
+from repro.fabric.report import PlacedUnit, utilization_report
+from repro.fabric.synthesis import synthesize
+from repro.fp.format import FP32
+
+
+def units(count=10):
+    add = synthesize(adder_datapath(FP32), 12)
+    mul = synthesize(multiplier_datapath(FP32), 8)
+    return [
+        PlacedUnit("fp32 adder", add, count),
+        PlacedUnit("fp32 multiplier", mul, count),
+    ]
+
+
+class TestUtilizationReport:
+    def test_totals_row(self):
+        table = utilization_report(XC2VP125, units(10))
+        total = table.rows[-1]
+        assert total[0] == "TOTAL"
+        assert total[2] == sum(r[2] for r in table.rows[:-1])
+
+    def test_percentages(self):
+        table = utilization_report(XC2VP125, units(5))
+        pct = table.columns.index("% slices")
+        assert all(0 <= r[pct] <= 100 for r in table.rows)
+
+    def test_misc_slices_row(self):
+        table = utilization_report(XC2VP125, units(2), misc_slices=500)
+        labels = [r[0] for r in table.rows]
+        assert "misc (control/IO)" in labels
+
+    def test_overflow_detected(self):
+        small = get_device("XC2VP2")
+        with pytest.raises(ValueError, match="slices"):
+            utilization_report(small, units(50))
+
+    def test_mult_budget_detected(self):
+        mul = synthesize(multiplier_datapath(FP32), 8)
+        too_many = [PlacedUnit("mul", mul, 200)]  # 800 MULT18 > 556
+        with pytest.raises(ValueError, match="MULT18"):
+            utilization_report(XC2VP125, too_many)
+
+    def test_bram_budget_detected(self):
+        with pytest.raises(ValueError, match="BRAM"):
+            utilization_report(XC2VP125, units(1), brams=100000)
+
+    def test_extra_slices_each(self):
+        add = synthesize(adder_datapath(FP32), 12)
+        bare = PlacedUnit("a", add, 2)
+        padded = PlacedUnit("a", add, 2, extra_slices_each=100)
+        assert padded.slices == bare.slices + 200

@@ -1,0 +1,116 @@
+"""Unit and property tests for optimal pipeline-register placement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fabric.netlist import Quantum, adder_datapath
+from repro.fabric.retiming import (
+    brute_force_bottleneck,
+    partition_chain,
+)
+from repro.fp.format import FP32
+
+
+def chain(*delays: float) -> list[Quantum]:
+    return [Quantum(f"q{i}", d, 10) for i, d in enumerate(delays)]
+
+
+class TestPartitionBasics:
+    def test_single_stage_is_total_delay(self):
+        result = partition_chain(chain(1.0, 2.0, 3.0), 1)
+        assert result.critical_path_ns == pytest.approx(6.0)
+        assert result.boundaries == ()
+        assert result.segment_delays_ns == (6.0,)
+
+    def test_two_stages_balanced(self):
+        result = partition_chain(chain(3.0, 1.0, 1.0, 3.0), 2)
+        assert result.critical_path_ns == pytest.approx(4.0)
+        assert len(result.segment_delays_ns) == 2
+
+    def test_full_pipelining_bottoms_at_max_quantum(self):
+        q = chain(1.0, 4.0, 2.0)
+        result = partition_chain(q, 3)
+        assert result.critical_path_ns == pytest.approx(4.0)
+
+    def test_over_pipelining_adds_surplus_registers(self):
+        q = chain(1.0, 4.0, 2.0)
+        base = partition_chain(q, 3)
+        over = partition_chain(q, 6)
+        assert over.critical_path_ns == base.critical_path_ns
+        assert over.surplus_registers == 3
+        assert over.register_bits > base.register_bits
+
+    def test_stage_monotonicity(self):
+        """More stages never increase the bottleneck."""
+        q = chain(2.0, 3.0, 1.5, 4.0, 0.5, 2.5)
+        prev = float("inf")
+        for s in range(1, 10):
+            cur = partition_chain(q, s).critical_path_ns
+            assert cur <= prev + 1e-9
+            prev = cur
+
+    def test_segments_cover_chain(self):
+        q = chain(2.0, 3.0, 1.5, 4.0, 0.5, 2.5)
+        result = partition_chain(q, 3)
+        assert sum(result.segment_delays_ns) == pytest.approx(13.5)
+
+    def test_boundaries_are_valid_and_sorted(self):
+        q = chain(*([1.0] * 12))
+        result = partition_chain(q, 4)
+        assert list(result.boundaries) == sorted(set(result.boundaries))
+        assert all(0 <= b < len(q) - 1 for b in result.boundaries)
+        assert len(result.boundaries) == 3
+
+    def test_register_bits_counted_per_cut(self):
+        q = chain(1.0, 1.0, 1.0, 1.0)
+        r = partition_chain(q, 2)
+        # one internal cut (10 bits) + output register (10 bits)
+        assert r.register_bits == 20
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            partition_chain(chain(1.0), 0)
+        with pytest.raises(ValueError):
+            partition_chain([], 2)
+
+
+class TestOptimality:
+    @settings(max_examples=150, deadline=None)
+    @given(
+        st.lists(
+            st.floats(min_value=0.1, max_value=10.0, allow_nan=False),
+            min_size=1,
+            max_size=9,
+        ),
+        st.integers(1, 6),
+    )
+    def test_matches_brute_force(self, delays, segments):
+        q = chain(*delays)
+        got = partition_chain(q, segments).critical_path_ns
+        best = brute_force_bottleneck(delays, segments)
+        assert got == pytest.approx(best, rel=1e-6)
+
+    def test_uses_all_requested_segments_when_beneficial(self):
+        # 8 equal quanta into 4 stages must give exactly 2 quanta each.
+        q = chain(*([1.0] * 8))
+        r = partition_chain(q, 4)
+        assert r.critical_path_ns == pytest.approx(2.0)
+        assert len(r.segment_delays_ns) == 4
+
+    def test_real_datapath_partition(self):
+        dp = adder_datapath(FP32)
+        r = partition_chain(dp.quanta, 10)
+        assert len(r.segment_delays_ns) == 10
+        assert max(r.segment_delays_ns) == pytest.approx(r.critical_path_ns)
+        assert r.critical_path_ns >= dp.max_atomic_ns - 1e-9
+        assert r.critical_path_ns <= dp.total_delay_ns
+
+
+class TestBruteForce:
+    def test_trivial(self):
+        assert brute_force_bottleneck([5.0], 3) == 5.0
+
+    def test_known_answer(self):
+        assert brute_force_bottleneck([1, 2, 3, 4, 5], 2) == pytest.approx(9.0)
+        assert brute_force_bottleneck([1, 2, 3, 4, 5], 3) == pytest.approx(6.0)

@@ -1,0 +1,119 @@
+"""Unit tests for the synthesis flow and its paper-level invariants."""
+
+import pytest
+
+from repro.fabric.device import SpeedGrade
+from repro.fabric.netlist import adder_datapath, multiplier_datapath
+from repro.fabric.synthesis import synthesize, sweep_stages
+from repro.fabric.toolchain import Objective
+from repro.fp.format import FP32, FP48, FP64, PAPER_FORMATS
+
+
+class TestImplementationReport:
+    def test_basic_fields(self):
+        r = synthesize(adder_datapath(FP32), 8)
+        assert r.stages == 8
+        assert r.latency_cycles == 8
+        assert r.slices > 0 and r.luts > 0 and r.flipflops > 0
+        assert r.clock_mhz > 0
+        assert r.freq_per_area == pytest.approx(r.clock_mhz / r.slices)
+        assert r.latency_ns == pytest.approx(8 * 1000.0 / r.clock_mhz)
+        assert r.throughput_mops == r.clock_mhz
+
+    def test_flipflops_grow_with_stages(self):
+        dp = adder_datapath(FP32)
+        ffs = [synthesize(dp, s).flipflops for s in (2, 6, 12)]
+        assert ffs == sorted(ffs)
+        assert ffs[0] < ffs[-1]
+
+    def test_clock_monotone_in_stages(self):
+        dp = adder_datapath(FP64)
+        clocks = [synthesize(dp, s).clock_mhz for s in range(1, dp.natural_max_stages)]
+        assert all(b >= a - 1e-9 for a, b in zip(clocks, clocks[1:]))
+
+    def test_area_monotone_in_stages(self):
+        dp = multiplier_datapath(FP48)
+        slices = [synthesize(dp, s).slices for s in range(1, 15)]
+        assert all(b >= a for a, b in zip(slices, slices[1:]))
+
+
+class TestPaperLevelAnchors:
+    def test_single_precision_adder_exceeds_240mhz(self):
+        """Abstract: 'throughput rates of more than 240 MHz for single'."""
+        dp = adder_datapath(FP32)
+        best = max(r.clock_mhz for r in sweep_stages(dp))
+        assert best > 240.0
+
+    def test_double_precision_exceeds_200mhz(self):
+        """Abstract: '... (200 MHz) for ... double precision operations'."""
+        for build in (adder_datapath, multiplier_datapath):
+            best = max(r.clock_mhz for r in sweep_stages(build(FP64)))
+            assert best > 200.0
+
+    def test_freq_area_dips_past_natural_max(self):
+        """Fig 2: the metric 'may dip for deep pipelining'."""
+        for fmt in PAPER_FORMATS:
+            dp = adder_datapath(fmt)
+            natural = dp.natural_max_stages
+            at_nat = synthesize(dp, natural)
+            over = synthesize(dp, natural + 4)
+            assert over.clock_mhz == pytest.approx(at_nat.clock_mhz)
+            assert over.freq_per_area < at_nat.freq_per_area
+
+    def test_multiplier_peaks_shallower_than_adder(self):
+        """Multipliers saturate their clock with fewer stages."""
+        for fmt in PAPER_FORMATS:
+            add_reports = sweep_stages(adder_datapath(fmt))
+            mul_reports = sweep_stages(multiplier_datapath(fmt))
+
+            def first_peak(reports):
+                peak = max(r.clock_mhz for r in reports)
+                return min(r.stages for r in reports if r.clock_mhz >= peak - 1e-9)
+
+            assert first_peak(mul_reports) < first_peak(add_reports)
+
+
+class TestObjectives:
+    def test_speed_objective_trades_area_for_clock(self):
+        dp = adder_datapath(FP32)
+        balanced = synthesize(dp, 8, objective=Objective.BALANCED)
+        speed = synthesize(dp, 8, objective=Objective.SPEED)
+        assert speed.clock_mhz > balanced.clock_mhz
+        assert speed.slices > balanced.slices
+
+    def test_area_objective_trades_clock_for_area(self):
+        dp = adder_datapath(FP32)
+        balanced = synthesize(dp, 8, objective=Objective.BALANCED)
+        small = synthesize(dp, 8, objective=Objective.AREA)
+        assert small.clock_mhz < balanced.clock_mhz
+        assert small.slices < balanced.slices
+
+    def test_objectives_give_vastly_different_results(self):
+        """Paper: 'using a different optimization objective ... gives
+        vastly different results'."""
+        dp = adder_datapath(FP64)
+        speed = synthesize(dp, 10, objective=Objective.SPEED)
+        small = synthesize(dp, 10, objective=Objective.AREA)
+        assert speed.slices / small.slices > 1.15
+        assert speed.clock_mhz / small.clock_mhz > 1.15
+
+
+class TestSpeedGrades:
+    def test_slower_grade_slower_clock(self):
+        dp = multiplier_datapath(FP32)
+        minus7 = synthesize(dp, 8, grade=SpeedGrade.MINUS_7)
+        minus5 = synthesize(dp, 8, grade=SpeedGrade.MINUS_5)
+        assert minus5.clock_mhz < minus7.clock_mhz
+        assert minus5.slices == minus7.slices  # grade affects timing only
+
+
+class TestSweep:
+    def test_sweep_covers_one_to_max(self):
+        dp = multiplier_datapath(FP32)
+        reports = sweep_stages(dp, max_stages=12)
+        assert [r.stages for r in reports] == list(range(1, 13))
+
+    def test_default_sweep_extends_past_natural(self):
+        dp = multiplier_datapath(FP32)
+        reports = sweep_stages(dp)
+        assert reports[-1].stages == dp.natural_max_stages + 4

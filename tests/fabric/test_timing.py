@@ -1,0 +1,98 @@
+"""Calibration-anchor tests for the delay model.
+
+Each test pins one of the operating points the paper reports; if a model
+change breaks an anchor, the reproduction's quantitative claims drift.
+"""
+
+import pytest
+
+from repro.fabric import timing
+
+
+class TestPaperAnchors:
+    def test_11_bit_comparator_reaches_250mhz(self):
+        """Paper: 'Comparators of a bitwidth less than or equal to 11 can
+        achieve 250 MHz'."""
+        f = timing.achievable_mhz(timing.comparator_delay(11))
+        assert f >= 250.0 - 2.0
+
+    def test_52_bit_mantissa_comparator_near_220mhz(self):
+        """Paper: 'The mantissa comparator for double precision can achieve
+        a frequency of 220 MHz'."""
+        f = timing.achievable_mhz(timing.comparator_delay(52))
+        assert 210.0 <= f <= 232.0
+
+    def test_three_mux_stage_exceeds_200mhz(self):
+        """Paper: 'Three muxes in serial can be considered as a stage and a
+        frequency of more than 200 MHz can be achieved'."""
+        f = timing.achievable_mhz(3 * timing.MUX_LEVEL_NS)
+        assert f > 200.0
+
+    def test_two_mux_stage_is_faster(self):
+        f3 = timing.achievable_mhz(3 * timing.MUX_LEVEL_NS)
+        f2 = timing.achievable_mhz(2 * timing.MUX_LEVEL_NS)
+        assert f2 > f3 > 200.0
+
+    def test_54_bit_adder_four_stages_near_200mhz(self):
+        """Paper: 'a 54-bit adder/subtractor can achieve 200 MHz with 4
+        pipelining stages'."""
+        per_stage = timing.adder_delay(54) / 4
+        f = timing.achievable_mhz(per_stage)
+        assert 190.0 <= f <= 215.0
+
+    def test_54_bit_multiplier_seven_stages_near_200mhz(self):
+        """Paper: 'for the 54-bit fixed-point multiplication, seven
+        pipelining stages are required to achieve ... 200 MHz'."""
+        per_stage = timing.multiplier_delay(54) / 7
+        f = timing.achievable_mhz(per_stage)
+        assert 190.0 <= f <= 215.0
+        # and six stages must NOT be enough:
+        f6 = timing.achievable_mhz(timing.multiplier_delay(54) / 6)
+        assert f6 < 200.0
+
+    def test_54_bit_priority_encoder_must_split(self):
+        """Paper: the 54-bit priority encoder must be broken in two to
+        exceed 200 MHz."""
+        whole = timing.achievable_mhz(timing.priority_encoder_delay(54))
+        halved = timing.achievable_mhz(timing.priority_encoder_delay(54) / 2)
+        assert whole < 200.0 < halved
+
+
+class TestModelShape:
+    @pytest.mark.parametrize(
+        "fn",
+        [
+            timing.comparator_delay,
+            timing.small_comparator_delay,
+            timing.adder_delay,
+            timing.const_adder_delay,
+            timing.small_adder_delay,
+            timing.priority_encoder_delay,
+            timing.multiplier_delay,
+        ],
+    )
+    def test_delay_monotone_in_width(self, fn):
+        values = [fn(n) for n in (4, 8, 16, 32, 64)]
+        assert all(b > a for a, b in zip(values, values[1:]))
+        assert all(v > 0 for v in values)
+
+    def test_shifter_levels(self):
+        assert timing.shifter_levels(2) == 1
+        assert timing.shifter_levels(27) == 5
+        assert timing.shifter_levels(56) == 6
+
+    def test_shifter_delay_scales_with_levels(self):
+        assert timing.shifter_delay(64) == 6 * timing.MUX_LEVEL_NS
+
+    def test_period_to_mhz(self):
+        assert timing.period_to_mhz(4.0) == 250.0
+        with pytest.raises(ValueError):
+            timing.period_to_mhz(0.0)
+
+    def test_achievable_mhz_respects_ceiling(self):
+        # A trivially short path cannot beat the fabric clock ceiling.
+        assert timing.achievable_mhz(0.1, max_clock_mhz=300.0) == 300.0
+
+    def test_register_overhead_applied(self):
+        f = timing.achievable_mhz(3.0)
+        assert f == pytest.approx(1000.0 / 4.0)

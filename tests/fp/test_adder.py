@@ -1,0 +1,242 @@
+"""Unit tests for the FP adder/subtractor datapath.
+
+Directed corner cases plus randomized cross-checks against IEEE single
+precision (numpy/struct) and against the exact rational reference.
+"""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.fp.adder import FPAdder, fp_add, fp_sub
+from repro.fp.format import FP32, FP64
+from repro.fp.reference import ref_add, ref_sub
+from repro.fp.rounding import RoundingMode
+from repro.fp.value import FPValue
+
+from tests.conftest import bits_to_f32, f32_to_bits
+
+
+def add32(x: float, y: float) -> float:
+    bits, _ = fp_add(FP32, f32_to_bits(x), f32_to_bits(y))
+    return bits_to_f32(bits)
+
+
+class TestSpecialValues:
+    def test_nan_propagates(self):
+        bits, flags = fp_add(FP32, FP32.nan(), FP32.one())
+        assert FP32.is_nan(bits)
+        assert flags.invalid
+
+    def test_nan_second_operand(self):
+        bits, flags = fp_add(FP32, FP32.one(), FP32.nan())
+        assert FP32.is_nan(bits) and flags.invalid
+
+    def test_inf_plus_finite(self):
+        bits, flags = fp_add(FP32, FP32.inf(0), FP32.one())
+        assert bits == FP32.inf(0)
+        assert not flags.any_exception
+
+    def test_inf_plus_inf_same_sign(self):
+        bits, _ = fp_add(FP32, FP32.inf(1), FP32.inf(1))
+        assert bits == FP32.inf(1)
+
+    def test_inf_minus_inf_is_invalid(self):
+        bits, flags = fp_add(FP32, FP32.inf(0), FP32.inf(1))
+        assert FP32.is_nan(bits)
+        assert flags.invalid
+
+
+class TestZeros:
+    def test_zero_plus_zero(self):
+        bits, flags = fp_add(FP32, FP32.zero(0), FP32.zero(0))
+        assert bits == FP32.zero(0) and flags.zero
+
+    def test_negative_zeros_keep_sign(self):
+        bits, _ = fp_add(FP32, FP32.zero(1), FP32.zero(1))
+        assert bits == FP32.zero(1)
+
+    def test_mixed_zeros_give_positive_zero(self):
+        bits, _ = fp_add(FP32, FP32.zero(0), FP32.zero(1))
+        assert bits == FP32.zero(0)
+
+    def test_zero_identity(self):
+        one = FP32.one()
+        assert fp_add(FP32, one, FP32.zero(0))[0] == one
+        assert fp_add(FP32, FP32.zero(1), one)[0] == one
+
+    def test_denormal_input_treated_as_zero(self):
+        denormal = FP32.pack(0, 0, 12345)
+        bits, _ = fp_add(FP32, denormal, FP32.one())
+        assert bits == FP32.one()
+
+    def test_exact_cancellation_gives_positive_zero(self):
+        x = FPValue.from_float(FP32, 1.5).bits
+        neg = FP32.pack(1, *FP32.unpack(x)[1:])
+        bits, flags = fp_add(FP32, x, neg)
+        assert bits == FP32.zero(0)
+        assert flags.zero
+
+
+class TestDirectedArithmetic:
+    @pytest.mark.parametrize(
+        "x,y",
+        [
+            (1.0, 1.0),
+            (1.5, 2.25),
+            (0.1, 0.2),
+            (1e20, 1.0),
+            (1.0, -0.9999999),
+            (3.0, -3.0000002),
+            (1e-20, 1e-20),
+            (123456.78, -123456.7),
+            (2.0**-126, 2.0**-126),
+        ],
+    )
+    def test_matches_ieee_single(self, x, y):
+        expected = np.float32(np.float32(x) + np.float32(y))
+        assert add32(float(np.float32(x)), float(np.float32(y))) == float(expected)
+
+    def test_carry_propagation(self):
+        # 1.111...1 + ulp -> exactly 2.0
+        max_man = FP32.pack(0, FP32.bias, FP32.man_mask)
+        ulp = FP32.pack(0, FP32.bias - 23, 0)
+        bits, _ = fp_add(FP32, max_man, ulp)
+        assert FPValue(FP32, bits).to_float() == 2.0
+
+    def test_large_exponent_difference_sticky(self):
+        # Tiny addend far beyond the GRS window must still mark inexact.
+        big = FPValue.from_float(FP32, 1.0).bits
+        tiny = FPValue.from_float(FP32, 2.0**-60).bits
+        bits, flags = fp_add(FP32, big, tiny)
+        assert bits == big
+        assert flags.inexact
+
+    def test_subtraction_full_cancellation_path(self):
+        # Operands one ulp apart: massive normalization shift, exact result.
+        a = FPValue.from_float(FP32, 1.0).bits
+        b = FP32.pack(0, FP32.bias, 1)  # 1 + 2^-23
+        bits, flags = fp_sub(FP32, b, a)
+        assert FPValue(FP32, bits).to_float() == 2.0**-23
+        assert not flags.inexact
+
+    def test_overflow_saturates(self):
+        big = FP32.max_finite()
+        bits, flags = fp_add(FP32, big, big)
+        assert bits == FP32.inf(0)
+        assert flags.overflow
+
+    def test_underflow_flushes(self):
+        # min_normal - (min_normal * (1 - 2^-24)) underflows the normal range.
+        a = FP32.min_normal()
+        b = FP32.pack(1, 1, 1)  # just above min normal, negative
+        bits, flags = fp_sub(FP32, FP32.pack(0, 1, 0), FP32.pack(0, 1, 1))
+        del a, b
+        assert FP32.is_zero(bits)
+        assert flags.underflow
+
+    def test_commutative_on_samples(self):
+        samples = [1.0, -2.5, 3.25, 1e10, -1e-10]
+        for x in samples:
+            for y in samples:
+                assert add32(x, y) == add32(y, x)
+
+
+class TestRoundingModes:
+    def test_truncation_magnitude_never_larger(self):
+        a = FPValue.from_float(FP32, 1.0).bits
+        b = FPValue.from_float(FP32, 2.0**-24).bits  # halfway case
+        rne, _ = fp_add(FP32, a, b, RoundingMode.NEAREST_EVEN)
+        rtz, _ = fp_add(FP32, a, b, RoundingMode.TRUNCATE)
+        assert FPValue(FP32, rtz).to_float() <= FPValue(FP32, rne).to_float()
+
+    def test_tie_to_even(self):
+        # 1 + 2^-24: tie, rounds to 1.0 (even)
+        a = FPValue.from_float(FP32, 1.0).bits
+        b = FPValue.from_float(FP32, 2.0**-24).bits
+        bits, flags = fp_add(FP32, a, b)
+        assert bits == a
+        assert flags.inexact
+
+    def test_above_tie_rounds_up(self):
+        a = FPValue.from_float(FP32, 1.0).bits
+        b = FPValue.from_float(FP32, 2.0**-24 * 1.5).bits
+        bits, _ = fp_add(FP32, a, b)
+        assert FPValue(FP32, bits).to_float() == 1.0 + 2.0**-23
+
+
+class TestRandomCrossCheck:
+    def test_fp32_against_numpy(self, rng):
+        checked = 0
+        for _ in range(3000):
+            x = np.float32(rng.uniform(-1, 1) * 10.0 ** rng.randint(-30, 30))
+            y = np.float32(rng.uniform(-1, 1) * 10.0 ** rng.randint(-30, 30))
+            if not (np.isfinite(x) and np.isfinite(y)) or x == 0 or y == 0:
+                continue
+            with np.errstate(all="ignore"):
+                expected = np.float32(x) + np.float32(y)
+            exp_bits = f32_to_bits(float(np.float32(expected)))
+            se, ee, me = FP32.unpack(exp_bits)
+            if ee == 0 and me != 0:
+                continue  # denormal result: flushed by design
+            got, _ = fp_add(FP32, f32_to_bits(float(x)), f32_to_bits(float(y)))
+            if np.isinf(expected):
+                assert got == FP32.inf(se)
+            else:
+                assert got == exp_bits, (float(x), float(y))
+            checked += 1
+        assert checked > 2000
+
+    def test_fp64_against_reference(self, rng):
+        for _ in range(1500):
+            a = rng.randrange(FP64.word_mask + 1)
+            b = rng.randrange(FP64.word_mask + 1)
+            for mode in RoundingMode:
+                assert fp_add(FP64, a, b, mode)[0] == ref_add(FP64, a, b, mode)[0]
+                assert fp_sub(FP64, a, b, mode)[0] == ref_sub(FP64, a, b, mode)[0]
+
+
+class TestFPAdderWrapper:
+    def test_add_and_sub(self):
+        adder = FPAdder(FP32)
+        one = FP32.one()
+        two = FPValue.from_float(FP32, 2.0).bits
+        assert FPValue(FP32, adder.add(one, one)[0]).to_float() == 2.0
+        assert FPValue(FP32, adder.sub(two, one)[0]).to_float() == 1.0
+
+    def test_call_with_subtract_flag(self):
+        adder = FPAdder(FP32)
+        two = FPValue.from_float(FP32, 2.0).bits
+        one = FP32.one()
+        assert adder(two, one, subtract=True)[0] == one
+
+    def test_truncate_mode_wrapper(self):
+        adder = FPAdder(FP32, RoundingMode.TRUNCATE)
+        a = FPValue.from_float(FP32, 1.0).bits
+        b = FPValue.from_float(FP32, 2.0**-24 * 1.5).bits
+        bits, _ = adder.add(a, b)
+        assert bits == a  # truncation drops the tail
+
+
+class TestSubtractSignHandling:
+    def test_sub_is_add_of_negation(self):
+        x = FPValue.from_float(FP32, 5.5).bits
+        y = FPValue.from_float(FP32, 2.25).bits
+        direct, _ = fp_sub(FP32, x, y)
+        via_add, _ = fp_add(FP32, x, FPValue(FP32, y).__neg__().bits)
+        assert direct == via_add
+
+    def test_result_takes_larger_magnitude_sign(self):
+        small = FPValue.from_float(FP32, 1.0).bits
+        big_neg = FPValue.from_float(FP32, -4.0).bits
+        bits, _ = fp_add(FP32, small, big_neg)
+        assert FPValue(FP32, bits).to_float() == -3.0
+
+    def test_nan_in_subtrahend(self):
+        bits, flags = fp_sub(FP32, FP32.one(), FP32.nan())
+        assert FP32.is_nan(bits) and flags.invalid
+
+    def test_inf_subtrahend_sign_flips(self):
+        bits, _ = fp_sub(FP32, FP32.one(), FP32.inf(0))
+        assert bits == FP32.inf(1)

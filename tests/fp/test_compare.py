@@ -1,0 +1,129 @@
+"""Unit tests for FP comparison, min and max."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.compare import (
+    Ordering,
+    fp_compare,
+    fp_eq,
+    fp_le,
+    fp_lt,
+    fp_max,
+    fp_min,
+)
+from repro.fp.format import FP32
+from repro.fp.value import FPValue
+
+from tests.conftest import ALL_FORMATS, words
+
+
+def f(x: float) -> int:
+    return FPValue.from_float(FP32, x).bits
+
+
+class TestCompare:
+    def test_basic_orderings(self):
+        assert fp_compare(FP32, f(1.0), f(2.0)) is Ordering.LESS
+        assert fp_compare(FP32, f(2.0), f(1.0)) is Ordering.GREATER
+        assert fp_compare(FP32, f(1.5), f(1.5)) is Ordering.EQUAL
+
+    def test_negative_ordering(self):
+        assert fp_compare(FP32, f(-2.0), f(-1.0)) is Ordering.LESS
+        assert fp_compare(FP32, f(-1.0), f(1.0)) is Ordering.LESS
+        assert fp_compare(FP32, f(1.0), f(-1.0)) is Ordering.GREATER
+
+    def test_signed_zeros_equal(self):
+        assert fp_compare(FP32, FP32.zero(0), FP32.zero(1)) is Ordering.EQUAL
+
+    def test_zero_vs_signs(self):
+        assert fp_compare(FP32, FP32.zero(1), f(1.0)) is Ordering.LESS
+        assert fp_compare(FP32, FP32.zero(0), f(-1.0)) is Ordering.GREATER
+
+    def test_nan_unordered(self):
+        assert fp_compare(FP32, FP32.nan(), f(1.0)) is Ordering.UNORDERED
+        assert fp_compare(FP32, f(1.0), FP32.nan()) is Ordering.UNORDERED
+
+    def test_infinities(self):
+        assert fp_compare(FP32, FP32.inf(1), FP32.inf(0)) is Ordering.LESS
+        assert fp_compare(FP32, FP32.inf(0), FP32.max_finite()) is Ordering.GREATER
+
+    def test_predicates(self):
+        assert fp_lt(FP32, f(1.0), f(2.0))
+        assert fp_le(FP32, f(2.0), f(2.0))
+        assert fp_eq(FP32, f(3.0), f(3.0))
+        assert not fp_le(FP32, FP32.nan(), FP32.nan())
+
+    @settings(max_examples=300)
+    @given(
+        st.sampled_from(ALL_FORMATS).flatmap(
+            lambda fmt: st.tuples(st.just(fmt), words(fmt), words(fmt))
+        )
+    )
+    def test_matches_float_comparison(self, fab):
+        """The hardware key trick must agree with Python float ordering."""
+        fmt, a, b = fab
+        if fmt.is_nan(a) or fmt.is_nan(b):
+            assert fp_compare(fmt, a, b) is Ordering.UNORDERED
+            return
+        fa = FPValue(fmt, a).to_float()
+        fb = FPValue(fmt, b).to_float()
+        got = fp_compare(fmt, a, b)
+        if fa < fb:
+            assert got is Ordering.LESS
+        elif fa > fb:
+            assert got is Ordering.GREATER
+        else:
+            assert got is Ordering.EQUAL
+
+
+class TestMinMax:
+    def test_plain(self):
+        assert fp_min(FP32, f(1.0), f(2.0))[0] == f(1.0)
+        assert fp_max(FP32, f(1.0), f(2.0))[0] == f(2.0)
+        assert fp_min(FP32, f(-3.0), f(2.0))[0] == f(-3.0)
+
+    def test_nan_loses_to_number(self):
+        bits, flags = fp_min(FP32, FP32.nan(), f(5.0))
+        assert bits == f(5.0) and flags.invalid
+        bits, flags = fp_max(FP32, f(5.0), FP32.nan())
+        assert bits == f(5.0) and flags.invalid
+
+    def test_both_nan(self):
+        bits, flags = fp_min(FP32, FP32.nan(), FP32.nan())
+        assert FP32.is_nan(bits) and flags.invalid
+
+    def test_signed_zero_preference(self):
+        assert fp_min(FP32, FP32.zero(0), FP32.zero(1))[0] == FP32.zero(1)
+        assert fp_max(FP32, FP32.zero(1), FP32.zero(0))[0] == FP32.zero(0)
+
+    @settings(max_examples=200)
+    @given(
+        st.sampled_from(ALL_FORMATS).flatmap(
+            lambda fmt: st.tuples(st.just(fmt), words(fmt), words(fmt))
+        )
+    )
+    def test_min_le_max(self, fab):
+        fmt, a, b = fab
+        lo, _ = fp_min(fmt, a, b)
+        hi, _ = fp_max(fmt, a, b)
+        if fmt.is_nan(lo) or fmt.is_nan(hi):
+            return
+        assert fp_le(fmt, lo, hi)
+
+    @settings(max_examples=200)
+    @given(
+        st.sampled_from(ALL_FORMATS).flatmap(
+            lambda fmt: st.tuples(st.just(fmt), words(fmt), words(fmt))
+        )
+    )
+    def test_commutative_up_to_zero_sign(self, fab):
+        fmt, a, b = fab
+        m1, _ = fp_min(fmt, a, b)
+        m2, _ = fp_min(fmt, b, a)
+        if fmt.is_nan(m1):
+            assert fmt.is_nan(m2)
+        elif fmt.is_zero(m1):
+            assert fmt.is_zero(m2)
+        else:
+            assert m1 == m2

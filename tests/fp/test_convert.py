@@ -1,0 +1,120 @@
+"""Unit tests for format-to-format conversion."""
+
+import pytest
+from hypothesis import given, settings
+
+from repro.fp.convert import fp_convert, is_lossless, round_trip_exact
+from repro.fp.format import FP32, FP48, FP64, FPFormat
+from repro.fp.rounding import RoundingMode
+from repro.fp.value import FPValue
+
+from tests.conftest import finite_words, normal_words
+
+
+class TestLossless:
+    def test_subsumption_matrix(self):
+        assert is_lossless(FP32, FP64)
+        assert is_lossless(FP32, FP48)
+        assert is_lossless(FP48, FP64)
+        assert not is_lossless(FP64, FP32)
+        assert not is_lossless(FP48, FP32)
+        assert not is_lossless(FP64, FP48)
+        assert is_lossless(FP32, FP32)
+
+    @settings(max_examples=200)
+    @given(finite_words(FP32))
+    def test_widening_is_exact(self, bits):
+        for dst in (FP48, FP64):
+            out, flags = fp_convert(FP32, dst, bits)
+            assert not flags.inexact
+            if not FP32.is_zero(bits):
+                assert FPValue(dst, out).to_fraction() == FPValue(
+                    FP32, bits
+                ).to_fraction()
+
+    @settings(max_examples=200)
+    @given(normal_words(FP32))
+    def test_widening_round_trips(self, bits):
+        assert round_trip_exact(FP32, FP64, bits)
+        assert round_trip_exact(FP32, FP48, bits)
+
+
+class TestNarrowing:
+    def test_narrowing_rounds(self):
+        x = FPValue.from_float(FP64, 1.0 + 2.0**-40).bits
+        out, flags = fp_convert(FP64, FP32, x)
+        assert flags.inexact
+        assert out == FP32.one()
+
+    def test_narrowing_overflow_saturates(self):
+        x = FPValue.from_float(FP64, 1e300).bits
+        out, flags = fp_convert(FP64, FP32, x)
+        assert out == FP32.inf(0)
+        assert flags.overflow
+
+    def test_narrowing_underflow_flushes(self):
+        x = FPValue.from_float(FP64, 1e-300).bits
+        out, flags = fp_convert(FP64, FP32, x)
+        assert FP32.is_zero(out)
+        assert flags.underflow
+
+    def test_truncation_mode(self):
+        x = FPValue.from_float(FP64, 1.0 + 2.0**-24 + 2.0**-40).bits
+        rne, _ = fp_convert(FP64, FP32, x, RoundingMode.NEAREST_EVEN)
+        rtz, _ = fp_convert(FP64, FP32, x, RoundingMode.TRUNCATE)
+        assert FPValue(FP32, rtz).to_float() <= FPValue(FP32, rne).to_float()
+        assert rtz == FP32.one()
+
+    def test_fp64_to_fp32_matches_python_float_narrowing(self, rng):
+        import numpy as np
+
+        for _ in range(500):
+            x = rng.uniform(-1, 1) * 10.0 ** rng.randint(-30, 30)
+            src = FPValue.from_float(FP64, x).bits
+            out, _ = fp_convert(FP64, FP32, src)
+            expected = FPValue.from_float(FP32, float(np.float32(x))).bits
+            se, ee, me = FP32.unpack(expected)
+            del se
+            if ee == 0 and me:
+                continue  # denormal: flushed by design
+            assert out == expected
+
+
+class TestSpecials:
+    def test_nan(self):
+        out, flags = fp_convert(FP32, FP64, FP32.nan())
+        assert FP64.is_nan(out)
+        assert flags.invalid
+
+    def test_inf_keeps_sign(self):
+        out, _ = fp_convert(FP64, FP32, FP64.inf(1))
+        assert out == FP32.inf(1)
+
+    def test_zero_keeps_sign(self):
+        out, flags = fp_convert(FP32, FP64, FP32.zero(1))
+        assert out == FP64.zero(1)
+        assert flags.zero
+
+    def test_denormal_source_flushes(self):
+        denormal = FP32.pack(0, 0, 77)
+        out, _ = fp_convert(FP32, FP64, denormal)
+        assert FP64.is_zero(out)
+
+
+class TestCustomFormats:
+    def test_half_precision_conversion(self):
+        fp16 = FPFormat(exp_bits=5, man_bits=10, name="fp16")
+        x = FPValue.from_float(FP32, 1.5).bits
+        out, flags = fp_convert(FP32, fp16, x)
+        assert FPValue(fp16, out).to_float() == 1.5
+        assert not flags.inexact
+
+    def test_vendor_custom_format_shim(self):
+        """Model of the Table 3 conversion module: a custom 30-bit format
+        loses precision against IEEE single, detectably."""
+        custom = FPFormat(exp_bits=8, man_bits=21, name="nallatech30")
+        x = FPValue.from_float(FP32, 1.0 + 2.0**-23).bits
+        there, flags = fp_convert(FP32, custom, x)
+        assert flags.inexact
+        back, _ = fp_convert(custom, FP32, there)
+        assert back == FP32.one()  # precision lost in the shim

@@ -1,0 +1,173 @@
+"""Unit tests for the FP divider datapath (library extension)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.divider import FPDivider, fp_div
+from repro.fp.format import FP32, FP64
+from repro.fp.reference import ref_div
+from repro.fp.rounding import RoundingMode
+from repro.fp.value import FPValue
+
+from tests.conftest import ALL_FORMATS, bits_to_f32, f32_to_bits, words
+
+
+class TestSpecialValues:
+    def test_nan_propagates(self):
+        bits, flags = fp_div(FP32, FP32.nan(), FP32.one())
+        assert FP32.is_nan(bits) and flags.invalid
+
+    def test_inf_over_inf_invalid(self):
+        bits, flags = fp_div(FP32, FP32.inf(0), FP32.inf(1))
+        assert FP32.is_nan(bits) and flags.invalid
+
+    def test_zero_over_zero_invalid(self):
+        bits, flags = fp_div(FP32, FP32.zero(0), FP32.zero(1))
+        assert FP32.is_nan(bits) and flags.invalid
+
+    def test_finite_over_zero_raises_div_by_zero(self):
+        bits, flags = fp_div(FP32, FP32.one(), FP32.zero(1))
+        assert bits == FP32.inf(1)
+        assert flags.div_by_zero
+        assert not flags.invalid
+
+    def test_inf_over_finite(self):
+        bits, flags = fp_div(FP32, FP32.inf(1), FPValue.from_float(FP32, 2.0).bits)
+        assert bits == FP32.inf(1)
+        assert not flags.any_exception
+
+    def test_finite_over_inf_gives_zero(self):
+        bits, flags = fp_div(FP32, FP32.one(1), FP32.inf(0))
+        assert bits == FP32.zero(1)
+        assert flags.zero
+
+    def test_zero_over_finite(self):
+        bits, flags = fp_div(FP32, FP32.zero(0), FPValue.from_float(FP32, -3.0).bits)
+        assert bits == FP32.zero(1)
+        assert flags.zero
+
+
+class TestDirectedArithmetic:
+    @pytest.mark.parametrize(
+        "x,y,expected",
+        [
+            (6.0, 3.0, 2.0),
+            (1.0, 2.0, 0.5),
+            (1.0, 4.0, 0.25),
+            (-8.0, 2.0, -4.0),
+            (7.5, -2.5, -3.0),
+            (1.0, 1.0, 1.0),
+        ],
+    )
+    def test_exact_quotients(self, x, y, expected):
+        bits, flags = fp_div(
+            FP32, FPValue.from_float(FP32, x).bits, FPValue.from_float(FP32, y).bits
+        )
+        assert FPValue(FP32, bits).to_float() == expected
+        assert not flags.inexact
+
+    def test_one_third_is_inexact(self):
+        bits, flags = fp_div(FP32, FP32.one(), FPValue.from_float(FP32, 3.0).bits)
+        assert flags.inexact
+        assert abs(FPValue(FP32, bits).to_float() - 1 / 3) < 1e-7
+
+    def test_ratio_below_one_normalizes(self):
+        # 1/1.5 in (1/2, 1): exercises the one-position normalization path.
+        bits, _ = fp_div(FP32, FP32.one(), FPValue.from_float(FP32, 1.5).bits)
+        expected = np.float32(np.float32(1.0) / np.float32(1.5))
+        assert bits == f32_to_bits(float(expected))
+
+    def test_overflow(self):
+        bits, flags = fp_div(FP32, FP32.max_finite(), FP32.min_normal())
+        assert bits == FP32.inf(0)
+        assert flags.overflow
+
+    def test_underflow_flushes(self):
+        bits, flags = fp_div(FP32, FP32.min_normal(), FP32.max_finite())
+        assert FP32.is_zero(bits)
+        assert flags.underflow
+
+    def test_rounding_carry_path(self):
+        # Choose operands whose quotient rounds up to a power of two.
+        x = FP32.pack(0, FP32.bias + 1, FP32.man_mask)  # just under 4
+        y = FP32.pack(0, FP32.bias, FP32.man_mask)  # just under 2
+        bits, _ = fp_div(FP32, x, y)
+        expected = np.float32(
+            np.float32(bits_to_f32(x)) / np.float32(bits_to_f32(y))
+        )
+        assert bits == f32_to_bits(float(expected))
+
+
+class TestRandomCrossCheck:
+    def test_fp32_against_numpy(self, rng):
+        checked = 0
+        for _ in range(2500):
+            x = np.float32(rng.uniform(-1, 1) * 10.0 ** rng.randint(-12, 12))
+            y = np.float32(rng.uniform(-1, 1) * 10.0 ** rng.randint(-12, 12))
+            if x == 0 or y == 0 or not (np.isfinite(x) and np.isfinite(y)):
+                continue
+            with np.errstate(all="ignore"):
+                e = np.float32(x / y)
+            eb = f32_to_bits(float(e))
+            se, ee, me = FP32.unpack(eb)
+            if ee == 0 and me:
+                continue
+            got, _ = fp_div(FP32, f32_to_bits(float(x)), f32_to_bits(float(y)))
+            assert got == (FP32.inf(se) if np.isinf(e) else eb), (x, y)
+            checked += 1
+        assert checked > 2000
+
+    def test_fp64_against_reference(self, rng):
+        for _ in range(1200):
+            a = rng.randrange(FP64.word_mask + 1)
+            b = rng.randrange(FP64.word_mask + 1)
+            for mode in RoundingMode:
+                assert fp_div(FP64, a, b, mode)[0] == ref_div(FP64, a, b, mode)[0]
+
+
+format_st = st.sampled_from(ALL_FORMATS)
+
+
+@st.composite
+def fmt_and_two_words(draw):
+    fmt = draw(format_st)
+    return fmt, draw(words(fmt)), draw(words(fmt))
+
+
+class TestProperties:
+    @settings(max_examples=300)
+    @given(fmt_and_two_words(), st.sampled_from(list(RoundingMode)))
+    def test_matches_reference(self, fab, mode):
+        fmt, a, b = fab
+        assert fp_div(fmt, a, b, mode)[0] == ref_div(fmt, a, b, mode)[0]
+
+    @settings(max_examples=150)
+    @given(fmt_and_two_words())
+    def test_x_over_x_is_one(self, fab):
+        fmt, a, _ = fab
+        if not fmt.is_finite(a) or fmt.is_zero(a):
+            return
+        bits, flags = fp_div(fmt, a, a)
+        assert bits == fmt.one(0)
+        assert not flags.inexact
+
+    @settings(max_examples=150)
+    @given(fmt_and_two_words())
+    def test_div_by_one_is_identity(self, fab):
+        fmt, a, _ = fab
+        if not fmt.is_finite(a) or fmt.is_zero(a):
+            return
+        bits, flags = fp_div(fmt, a, fmt.one(0))
+        assert bits == a
+        assert not flags.inexact
+
+
+class TestWrapper:
+    def test_divider_object(self):
+        d = FPDivider(FP32)
+        six = FPValue.from_float(FP32, 6.0).bits
+        two = FPValue.from_float(FP32, 2.0).bits
+        assert FPValue(FP32, d.div(six, two)[0]).to_float() == 3.0
+        assert d(six, two)[0] == d.div(six, two)[0]

@@ -1,0 +1,65 @@
+"""Unit tests for the exception-flag sideband."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fp.flags import CLEAR, FPFlags
+
+
+class TestFlags:
+    def test_default_clear(self):
+        assert not CLEAR.any_exception
+        assert CLEAR.to_bits() == 0
+
+    def test_or_merges_sticky(self):
+        a = FPFlags(overflow=True)
+        b = FPFlags(inexact=True)
+        merged = a | b
+        assert merged.overflow and merged.inexact
+        assert not merged.underflow
+
+    def test_or_identity(self):
+        f = FPFlags(invalid=True, zero=True)
+        assert (f | CLEAR) == f
+        assert (CLEAR | f) == f
+
+    def test_or_idempotent(self):
+        f = FPFlags(underflow=True, inexact=True)
+        assert (f | f) == f
+
+    def test_any_exception_excludes_zero(self):
+        assert not FPFlags(zero=True).any_exception
+        assert FPFlags(invalid=True).any_exception
+        assert FPFlags(div_by_zero=True).any_exception
+        assert FPFlags(overflow=True).any_exception
+        assert FPFlags(underflow=True).any_exception
+        assert FPFlags(inexact=True).any_exception
+
+    @given(st.integers(0, 63))
+    def test_bits_roundtrip(self, bits):
+        assert FPFlags.from_bits(bits).to_bits() == bits
+
+    @given(
+        st.booleans(),
+        st.booleans(),
+        st.booleans(),
+        st.booleans(),
+        st.booleans(),
+        st.booleans(),
+    )
+    def test_fields_roundtrip(self, o, u, x, i, z, d):
+        f = FPFlags(
+            overflow=o, underflow=u, inexact=x, invalid=i, zero=z, div_by_zero=d
+        )
+        assert FPFlags.from_bits(f.to_bits()) == f
+
+    def test_from_bits_range_checked(self):
+        with pytest.raises(ValueError):
+            FPFlags.from_bits(64)
+        with pytest.raises(ValueError):
+            FPFlags.from_bits(-1)
+
+    def test_or_rejects_non_flags(self):
+        with pytest.raises(TypeError):
+            _ = FPFlags() | 1

@@ -1,0 +1,122 @@
+"""Unit tests for FPFormat geometry, packing and classification."""
+
+import pytest
+
+from repro.fp.format import FP32, FP48, FP64, PAPER_FORMATS, FPFormat
+
+
+class TestGeometry:
+    def test_fp32_matches_ieee_single(self):
+        assert FP32.width == 32
+        assert FP32.exp_bits == 8
+        assert FP32.man_bits == 23
+        assert FP32.bias == 127
+        assert FP32.emax == 127
+        assert FP32.emin == -126
+
+    def test_fp64_matches_ieee_double(self):
+        assert FP64.width == 64
+        assert FP64.exp_bits == 11
+        assert FP64.man_bits == 52
+        assert FP64.bias == 1023
+        assert FP64.emax == 1023
+        assert FP64.emin == -1022
+
+    def test_fp48_layout(self):
+        assert FP48.width == 48
+        assert FP48.exp_bits == 11
+        assert FP48.man_bits == 36
+        assert FP48.bias == 1023
+
+    def test_paper_formats_ordering(self):
+        assert [f.width for f in PAPER_FORMATS] == [32, 48, 64]
+
+    def test_sig_bits_includes_hidden_bit(self):
+        assert FP32.sig_bits == 24
+        assert FP64.sig_bits == 53
+
+    def test_custom_format_default_name(self):
+        f = FPFormat(exp_bits=5, man_bits=10)
+        assert f.name == "fp16"
+        assert f.width == 16
+
+    def test_invalid_exp_bits_rejected(self):
+        with pytest.raises(ValueError):
+            FPFormat(exp_bits=1, man_bits=4)
+
+    def test_invalid_man_bits_rejected(self):
+        with pytest.raises(ValueError):
+            FPFormat(exp_bits=4, man_bits=0)
+
+
+class TestPacking:
+    def test_pack_unpack_roundtrip(self):
+        fmt = FP32
+        for sign, exp, man in [(0, 0, 0), (1, 255, 1), (0, 127, 0x7FFFFF), (1, 1, 42)]:
+            bits = fmt.pack(sign, exp, man)
+            assert fmt.unpack(bits) == (sign, exp, man)
+
+    def test_pack_rejects_bad_sign(self):
+        with pytest.raises(ValueError):
+            FP32.pack(2, 0, 0)
+
+    def test_pack_rejects_exp_overflow(self):
+        with pytest.raises(ValueError):
+            FP32.pack(0, 256, 0)
+
+    def test_pack_rejects_man_overflow(self):
+        with pytest.raises(ValueError):
+            FP32.pack(0, 0, 1 << 23)
+
+    def test_unpack_rejects_out_of_range(self):
+        with pytest.raises(ValueError):
+            FP32.unpack(1 << 32)
+        with pytest.raises(ValueError):
+            FP32.unpack(-1)
+
+    def test_word_mask(self):
+        assert FP32.word_mask == 0xFFFFFFFF
+        assert FP64.word_mask == (1 << 64) - 1
+
+
+class TestCanonicalEncodings:
+    def test_zero_encodings(self):
+        assert FP32.zero(0) == 0x00000000
+        assert FP32.zero(1) == 0x80000000
+
+    def test_inf_encodings(self):
+        assert FP32.inf(0) == 0x7F800000
+        assert FP32.inf(1) == 0xFF800000
+
+    def test_nan_encoding_is_quiet(self):
+        assert FP32.nan() == 0x7FC00000
+
+    def test_one(self):
+        assert FP32.one(0) == 0x3F800000
+        assert FP32.one(1) == 0xBF800000
+
+    def test_max_finite(self):
+        assert FP32.max_finite() == 0x7F7FFFFF
+
+    def test_min_normal(self):
+        assert FP32.min_normal() == 0x00800000
+
+
+class TestClassification:
+    def test_zero_detection_ignores_fraction(self):
+        # Denormal encodings are classified as zero (flush-to-zero system).
+        denormal = FP32.pack(0, 0, 123)
+        assert FP32.is_zero(denormal)
+
+    def test_inf_and_nan(self):
+        assert FP32.is_inf(FP32.inf(0))
+        assert FP32.is_inf(FP32.inf(1))
+        assert not FP32.is_inf(FP32.nan())
+        assert FP32.is_nan(FP32.nan())
+        assert not FP32.is_nan(FP32.inf(0))
+
+    def test_finite(self):
+        assert FP32.is_finite(FP32.one())
+        assert FP32.is_finite(FP32.zero())
+        assert not FP32.is_finite(FP32.inf(0))
+        assert not FP32.is_finite(FP32.nan())

@@ -1,0 +1,128 @@
+"""Adversarial guard/round/sticky corner cases.
+
+The adder's exactness rests on a subtle argument: the saturating
+alignment shifter's residual becomes a *sticky borrow* in the
+subtraction, and the post-normalization result is provably never a
+rounding tie in the dangerous (large-exponent-difference, one-bit-
+normalization) region.  These tests enumerate that region exhaustively
+for a small format and probe it specifically for fp32, so a future
+"optimization" of the sticky handling cannot silently break RNE.
+"""
+
+from fractions import Fraction
+
+import pytest
+
+from repro.fp.adder import fp_add, fp_sub
+from repro.fp.format import FP32, FPFormat
+from repro.fp.reference import ref_add, ref_sub
+from repro.fp.rounding import RoundingMode
+from repro.fp.value import FPValue
+
+# A format small enough to enumerate mantissas exhaustively but with a
+# wide-enough exponent range to hit every alignment distance.
+GRS_FMT = FPFormat(exp_bits=6, man_bits=4, name="grs6x4")
+
+
+class TestStickyBorrowRegionExhaustive:
+    """Every (mantissa pair, alignment distance) in the sticky region."""
+
+    @pytest.mark.parametrize("mode", list(RoundingMode))
+    def test_subtraction_sticky_region(self, mode):
+        fmt = GRS_FMT
+        base = fmt.bias
+        # distances from 0 (no shift) past the full shifter width
+        for d in range(0, fmt.sig_bits + 6):
+            if base - d < 1:
+                break
+            for m1 in range(fmt.man_mask + 1):
+                for m2 in range(fmt.man_mask + 1):
+                    a = fmt.pack(0, base, m1)
+                    b = fmt.pack(1, base - d, m2)  # opposite sign: subtract
+                    assert fp_add(fmt, a, b, mode)[0] == ref_add(fmt, a, b, mode)[0], (
+                        d,
+                        m1,
+                        m2,
+                        mode,
+                    )
+
+    @pytest.mark.parametrize("mode", list(RoundingMode))
+    def test_addition_sticky_region(self, mode):
+        fmt = GRS_FMT
+        base = fmt.bias
+        for d in range(0, fmt.sig_bits + 6):
+            if base - d < 1:
+                break
+            for m1 in range(fmt.man_mask + 1):
+                for m2 in range(fmt.man_mask + 1):
+                    a = fmt.pack(0, base, m1)
+                    b = fmt.pack(0, base - d, m2)
+                    assert fp_add(fmt, a, b, mode)[0] == ref_add(fmt, a, b, mode)[0]
+
+
+class TestFp32DangerZone:
+    """fp32 probes of the d >= 4, one-bit-normalization window."""
+
+    def test_borrow_with_left_shift(self):
+        """Large operand at the binade floor minus a far, sticky-setting
+        subtrahend: the case where the normalize-by-one parity argument
+        is load-bearing."""
+        fmt = FP32
+        for d in (4, 5, 9, 24, 25, 26, 30):
+            for m2 in (1, 3, fmt.man_mask // 2, fmt.man_mask - 1, fmt.man_mask):
+                a = fmt.pack(0, fmt.bias, 0)  # exactly 1.0
+                b = fmt.pack(1, fmt.bias - d, m2)
+                got = fp_add(fmt, a, b)[0]
+                exact = Fraction(1) + FPValue(fmt, b).to_fraction()
+                expected = FPValue.from_fraction(fmt, exact).bits
+                assert got == expected, (d, m2)
+
+    def test_shift_exactly_beyond_grs_window(self):
+        """d = man_bits + 4: first distance where bits drop past R."""
+        fmt = FP32
+        d = fmt.man_bits + 4
+        a = fmt.pack(0, fmt.bias, 0)
+        for m2 in (0, 1, fmt.man_mask):
+            b = fmt.pack(1, fmt.bias - d, m2)
+            assert fp_add(fmt, a, b)[0] == ref_add(fmt, a, b)[0]
+
+    def test_saturated_shift_is_pure_sticky(self):
+        """Alignment beyond the shifter width: the subtrahend collapses
+        to a sticky bit.  1.0 - epsilon is within half an ulp of 1.0, so
+        RNE returns 1.0 exactly — but must still raise inexact (the
+        sticky is the only trace the tiny operand leaves)."""
+        fmt = FP32
+        a = fmt.pack(0, fmt.bias, 0)
+        b = fmt.pack(1, 2, 12345)  # astronomically smaller
+        got, flags = fp_add(fmt, a, b)
+        assert got == a
+        assert flags.inexact
+        # Truncation, by contrast, must step down one ulp.
+        got_rtz, _ = fp_add(fmt, a, b, RoundingMode.TRUNCATE)
+        assert got_rtz == fmt.pack(0, fmt.bias - 1, fmt.man_mask)
+
+    def test_tie_cannot_be_manufactured_across_the_window(self, rng):
+        """Random probes: results agree with the exact oracle at every
+        distance that interacts with the GRS window."""
+        fmt = FP32
+        for _ in range(2000):
+            d = rng.randint(0, fmt.man_bits + 6)
+            e1 = rng.randint(d + 1, fmt.exp_max - 2)
+            a = fmt.pack(rng.randint(0, 1), e1, rng.randrange(fmt.man_mask + 1))
+            b = fmt.pack(rng.randint(0, 1), e1 - d, rng.randrange(fmt.man_mask + 1))
+            for mode in RoundingMode:
+                assert fp_add(fmt, a, b, mode)[0] == ref_add(fmt, a, b, mode)[0]
+                assert fp_sub(fmt, a, b, mode)[0] == ref_sub(fmt, a, b, mode)[0]
+
+    def test_carry_then_round_then_carry(self):
+        """Addition whose pre-normalized sum carries AND whose rounding
+        carries again (the double-shift path)."""
+        fmt = FP32
+        # (2 - ulp) + (2 - ulp) = 4 - 2ulp -> exactly representable
+        x = fmt.pack(0, fmt.bias, fmt.man_mask)
+        got = fp_add(fmt, x, x)[0]
+        assert got == ref_add(fmt, x, x)[0]
+        # 1.111...1 + 1.111...1*2^-1: carry + round-up to the next binade
+        y = fmt.pack(0, fmt.bias - 1, fmt.man_mask)
+        got = fp_add(fmt, x, y)[0]
+        assert got == ref_add(fmt, x, y)[0]

@@ -1,0 +1,157 @@
+"""Unit tests for the fused multiply-add (single-rounding MAC)."""
+
+from fractions import Fraction
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.adder import fp_add
+from repro.fp.format import FP32
+from repro.fp.mac import FPMac, fp_fma
+from repro.fp.multiplier import fp_mul
+from repro.fp.rounding import RoundingMode
+from repro.fp.value import FPValue, encode_fraction
+
+from tests.conftest import ALL_FORMATS, moderate_words, words
+
+
+def f(x: float) -> int:
+    return FPValue.from_float(FP32, x).bits
+
+
+class TestSpecialValues:
+    def test_nan_propagates(self):
+        bits, flags = fp_fma(FP32, FP32.nan(), f(1.0), f(1.0))
+        assert FP32.is_nan(bits) and flags.invalid
+
+    def test_zero_times_inf_invalid(self):
+        bits, flags = fp_fma(FP32, FP32.zero(0), FP32.inf(0), f(1.0))
+        assert FP32.is_nan(bits) and flags.invalid
+
+    def test_inf_product_minus_inf_addend_invalid(self):
+        bits, flags = fp_fma(FP32, FP32.inf(0), f(1.0), FP32.inf(1))
+        assert FP32.is_nan(bits) and flags.invalid
+
+    def test_inf_product_propagates(self):
+        bits, _ = fp_fma(FP32, FP32.inf(0), f(-2.0), f(5.0))
+        assert bits == FP32.inf(1)
+
+    def test_inf_addend_propagates(self):
+        bits, _ = fp_fma(FP32, f(1.0), f(1.0), FP32.inf(1))
+        assert bits == FP32.inf(1)
+
+    def test_all_zero_sign_rules(self):
+        # (+0 * +0) + +0 = +0 ; (-0 * +0) + +0 = +0 ; (-0*+0) + -0 = -0
+        assert fp_fma(FP32, FP32.zero(0), FP32.zero(0), FP32.zero(0))[0] == FP32.zero(0)
+        assert fp_fma(FP32, FP32.zero(1), FP32.zero(0), FP32.zero(0))[0] == FP32.zero(0)
+        assert fp_fma(FP32, FP32.zero(1), FP32.zero(0), FP32.zero(1))[0] == FP32.zero(1)
+
+    def test_exact_cancellation_positive_zero(self):
+        bits, flags = fp_fma(FP32, f(2.0), f(3.0), f(-6.0))
+        assert bits == FP32.zero(0)
+        assert flags.zero
+
+
+class TestSingleRounding:
+    def test_fused_beats_chained(self):
+        """The canonical FMA case: (1+e)^2 - 1 with e = 2^-12.
+
+        Chained: the product 1 + 2^-11 + 2^-24 is a rounding tie that
+        drops the low term, so the subtraction returns 2^-11 exactly —
+        wrong by 2^-24.  Fused: the exact answer 2^-11 + 2^-24 =
+        2^-11 (1 + 2^-13) is representable, so the error is zero.
+        """
+        x = FP32.pack(0, FP32.bias, 1 << 11)  # 1 + 2^-12
+        minus_one = f(-1.0)
+        fused, _ = fp_fma(FP32, x, x, minus_one)
+        prod, _ = fp_mul(FP32, x, x)
+        chained, _ = fp_add(FP32, prod, minus_one)
+        exact = FPValue(FP32, x).to_fraction() ** 2 - 1
+        fused_err = abs(FPValue(FP32, fused).to_fraction() - exact)
+        chained_err = abs(FPValue(FP32, chained).to_fraction() - exact)
+        assert fused_err == 0
+        assert chained_err > 0
+
+    def test_matches_exact_oracle_directed(self):
+        a, b, c = f(1.5), f(2.5), f(0.125)
+        exact = Fraction(3, 2) * Fraction(5, 2) + Fraction(1, 8)
+        bits, _ = fp_fma(FP32, a, b, c)
+        assert bits == encode_fraction(FP32, exact)[0]
+
+
+format_st = st.sampled_from(ALL_FORMATS)
+
+
+@st.composite
+def fmt_and_three_words(draw, strategy=words):
+    fmt = draw(format_st)
+    return fmt, draw(strategy(fmt)), draw(strategy(fmt)), draw(strategy(fmt))
+
+
+class TestProperties:
+    @settings(max_examples=250)
+    @given(fmt_and_three_words(), st.sampled_from(list(RoundingMode)))
+    def test_matches_exact_oracle(self, fabc, mode):
+        fmt, a, b, c = fabc
+        if not (fmt.is_finite(a) and fmt.is_finite(b) and fmt.is_finite(c)):
+            return
+        got, _ = fp_fma(fmt, a, b, c, mode)
+        pa = Fraction(0) if fmt.is_zero(a) else FPValue(fmt, a).to_fraction()
+        pb = Fraction(0) if fmt.is_zero(b) else FPValue(fmt, b).to_fraction()
+        pc = Fraction(0) if fmt.is_zero(c) else FPValue(fmt, c).to_fraction()
+        exact = pa * pb + pc
+        if exact == 0:
+            assert fmt.is_zero(got)
+        else:
+            assert got == encode_fraction(fmt, exact, mode)[0]
+
+    @settings(max_examples=150)
+    @given(fmt_and_three_words(moderate_words))
+    def test_zero_addend_equals_multiply(self, fabc):
+        fmt, a, b, _ = fabc
+        fused, _ = fp_fma(fmt, a, b, fmt.zero(0))
+        product, _ = fp_mul(fmt, a, b)
+        assert fused == product
+
+    @settings(max_examples=150)
+    @given(fmt_and_three_words(moderate_words))
+    def test_one_multiplicand_equals_add(self, fabc):
+        fmt, a, _, c = fabc
+        fused, _ = fp_fma(fmt, a, fmt.one(0), c)
+        total, _ = fp_add(fmt, a, c)
+        assert fused == total
+
+    @settings(max_examples=150)
+    @given(fmt_and_three_words(moderate_words))
+    def test_fused_error_never_worse_than_chained(self, fabc):
+        fmt, a, b, c = fabc
+        fused, ff = fp_fma(fmt, a, b, c)
+        prod, _ = fp_mul(fmt, a, b)
+        chained, cf = fp_add(fmt, prod, c)
+        if not (fmt.is_finite(fused) and fmt.is_finite(chained)):
+            return
+        if ff.underflow or cf.underflow or fmt.is_zero(fused) or fmt.is_zero(chained):
+            return
+        exact = (
+            FPValue(fmt, a).to_fraction() * FPValue(fmt, b).to_fraction()
+            + FPValue(fmt, c).to_fraction()
+        )
+        fe = abs(FPValue(fmt, fused).to_fraction() - exact)
+        ce = abs(FPValue(fmt, chained).to_fraction() - exact)
+        assert fe <= ce
+
+
+class TestWrapper:
+    def test_mac_object(self):
+        mac = FPMac(FP32)
+        bits, _ = mac.fma(f(2.0), f(3.0), f(4.0))
+        assert FPValue(FP32, bits).to_float() == 10.0
+        assert mac(f(2.0), f(3.0), f(4.0))[0] == bits
+
+    def test_truncate_mode(self):
+        mac = FPMac(FP32, RoundingMode.TRUNCATE)
+        x = FP32.pack(0, FP32.bias, 1)
+        bits, _ = mac.fma(x, x, FP32.zero(0))
+        rne, _ = fp_fma(FP32, x, x, FP32.zero(0), RoundingMode.NEAREST_EVEN)
+        assert FPValue(FP32, bits).to_float() <= FPValue(FP32, rne).to_float()

@@ -1,0 +1,174 @@
+"""Unit tests for the FP multiplier datapath."""
+
+import numpy as np
+import pytest
+
+from repro.fp.format import FP32, FP64
+from repro.fp.multiplier import FPMultiplier, fp_mul
+from repro.fp.reference import ref_mul
+from repro.fp.rounding import RoundingMode
+from repro.fp.value import FPValue
+
+from tests.conftest import bits_to_f32, f32_to_bits
+
+
+def mul32(x: float, y: float) -> float:
+    bits, _ = fp_mul(FP32, f32_to_bits(x), f32_to_bits(y))
+    return bits_to_f32(bits)
+
+
+class TestSpecialValues:
+    def test_nan_propagates(self):
+        bits, flags = fp_mul(FP32, FP32.nan(), FP32.one())
+        assert FP32.is_nan(bits) and flags.invalid
+
+    def test_inf_times_finite(self):
+        bits, _ = fp_mul(FP32, FP32.inf(0), FPValue.from_float(FP32, -2.0).bits)
+        assert bits == FP32.inf(1)
+
+    def test_inf_times_inf(self):
+        bits, _ = fp_mul(FP32, FP32.inf(1), FP32.inf(1))
+        assert bits == FP32.inf(0)
+
+    def test_zero_times_inf_is_invalid(self):
+        bits, flags = fp_mul(FP32, FP32.zero(0), FP32.inf(0))
+        assert FP32.is_nan(bits) and flags.invalid
+
+    def test_zero_times_finite(self):
+        bits, flags = fp_mul(FP32, FP32.zero(1), FP32.one())
+        assert bits == FP32.zero(1)
+        assert flags.zero
+
+    def test_sign_of_zero_product(self):
+        neg = FPValue.from_float(FP32, -3.0).bits
+        bits, _ = fp_mul(FP32, FP32.zero(0), neg)
+        assert bits == FP32.zero(1)
+
+    def test_denormal_input_flushed(self):
+        denormal = FP32.pack(0, 0, 999)
+        bits, flags = fp_mul(FP32, denormal, FP32.one())
+        assert FP32.is_zero(bits) and flags.zero
+
+
+class TestDirectedArithmetic:
+    @pytest.mark.parametrize(
+        "x,y,expected",
+        [
+            (1.0, 1.0, 1.0),
+            (2.0, 3.0, 6.0),
+            (1.5, 1.5, 2.25),
+            (-2.0, 4.0, -8.0),
+            (-0.5, -0.5, 0.25),
+        ],
+    )
+    def test_exact_products(self, x, y, expected):
+        assert mul32(x, y) == expected
+
+    def test_product_in_two_four_range_normalizes(self):
+        # 1.5 * 1.5 = 2.25: product >= 2 requires the one-position shift.
+        bits, _ = fp_mul(
+            FP32,
+            FPValue.from_float(FP32, 1.5).bits,
+            FPValue.from_float(FP32, 1.5).bits,
+        )
+        assert FPValue(FP32, bits).to_float() == 2.25
+
+    def test_rounding_carry_second_shift(self):
+        # Choose operands whose rounded product carries out: (2 - ulp)^2
+        x = FP32.pack(0, FP32.bias, FP32.man_mask)  # just under 2
+        bits, _ = fp_mul(FP32, x, x)
+        got = FPValue(FP32, bits).to_float()
+        expected = float(
+            np.float32(np.float32(bits_to_f32(x)) * np.float32(bits_to_f32(x)))
+        )
+        assert got == expected
+
+    def test_overflow(self):
+        big = FP32.max_finite()
+        bits, flags = fp_mul(FP32, big, big)
+        assert bits == FP32.inf(0)
+        assert flags.overflow
+
+    def test_negative_overflow(self):
+        big = FP32.max_finite()
+        neg = FP32.max_finite(1)
+        bits, _ = fp_mul(FP32, big, neg)
+        assert bits == FP32.inf(1)
+
+    def test_underflow_flushes(self):
+        tiny = FP32.min_normal()
+        bits, flags = fp_mul(FP32, tiny, tiny)
+        assert FP32.is_zero(bits)
+        assert flags.underflow
+
+    def test_inexact_flag(self):
+        third = FPValue.from_float(FP32, 1 / 3).bits
+        bits, flags = fp_mul(FP32, third, third)
+        assert flags.inexact
+        del bits
+
+    def test_exact_power_of_two_scaling(self):
+        x = FPValue.from_float(FP32, 3.141592).bits
+        two = FPValue.from_float(FP32, 2.0).bits
+        bits, flags = fp_mul(FP32, x, two)
+        assert FPValue(FP32, bits).to_float() == 2 * FPValue(FP32, x).to_float()
+        assert not flags.inexact
+
+
+class TestRoundingModes:
+    def test_truncate_magnitude_not_larger(self, rng):
+        for _ in range(300):
+            a = FP32.pack(0, rng.randint(100, 150), rng.randrange(1 << 23))
+            b = FP32.pack(0, rng.randint(100, 150), rng.randrange(1 << 23))
+            rne, _ = fp_mul(FP32, a, b, RoundingMode.NEAREST_EVEN)
+            rtz, _ = fp_mul(FP32, a, b, RoundingMode.TRUNCATE)
+            if FP32.is_inf(rne) or FP32.is_inf(rtz):
+                continue
+            assert FPValue(FP32, rtz).to_float() <= FPValue(FP32, rne).to_float()
+
+    def test_truncate_equals_rne_when_exact(self):
+        two = FPValue.from_float(FP32, 2.0).bits
+        three = FPValue.from_float(FP32, 3.0).bits
+        assert (
+            fp_mul(FP32, two, three, RoundingMode.TRUNCATE)[0]
+            == fp_mul(FP32, two, three, RoundingMode.NEAREST_EVEN)[0]
+        )
+
+
+class TestRandomCrossCheck:
+    def test_fp32_against_numpy(self, rng):
+        checked = 0
+        for _ in range(3000):
+            x = np.float32(rng.uniform(-1, 1) * 10.0 ** rng.randint(-15, 15))
+            y = np.float32(rng.uniform(-1, 1) * 10.0 ** rng.randint(-15, 15))
+            if not (np.isfinite(x) and np.isfinite(y)) or x == 0 or y == 0:
+                continue
+            with np.errstate(all="ignore"):
+                expected = np.float32(x) * np.float32(y)
+            exp_bits = f32_to_bits(float(np.float32(expected)))
+            se, ee, me = FP32.unpack(exp_bits)
+            if ee == 0 and me != 0:
+                continue  # denormal result: flushed by design
+            got, _ = fp_mul(FP32, f32_to_bits(float(x)), f32_to_bits(float(y)))
+            if np.isinf(expected):
+                assert got == FP32.inf(se)
+            else:
+                assert got == exp_bits, (float(x), float(y))
+            checked += 1
+        assert checked > 2000
+
+    def test_fp64_against_reference(self, rng):
+        for _ in range(1500):
+            a = rng.randrange(FP64.word_mask + 1)
+            b = rng.randrange(FP64.word_mask + 1)
+            for mode in RoundingMode:
+                assert fp_mul(FP64, a, b, mode)[0] == ref_mul(FP64, a, b, mode)[0]
+
+
+class TestFPMultiplierWrapper:
+    def test_wrapper(self):
+        m = FPMultiplier(FP32)
+        a = FPValue.from_float(FP32, 1.5).bits
+        b = FPValue.from_float(FP32, 4.0).bits
+        assert FPValue(FP32, m.mul(a, b)[0]).to_float() == 6.0
+        assert m(a, b)[0] == m.mul(a, b)[0]

@@ -1,0 +1,236 @@
+"""Property-based tests on the FP datapaths (hypothesis).
+
+The central property is bit-identity with the exact rational reference on
+*arbitrary* bit patterns, for every format including a tiny stress format
+where corner cases are dense.  The remaining properties are algebraic
+laws the hardware semantics must satisfy.
+"""
+
+from fractions import Fraction
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.adder import fp_add, fp_sub
+from repro.fp.format import FP32, FPFormat
+from repro.fp.multiplier import fp_mul
+from repro.fp.reference import ref_add, ref_mul, ref_sub
+from repro.fp.rounding import RoundingMode
+from repro.fp.value import FPValue
+
+from tests.conftest import ALL_FORMATS, TINY, moderate_words, normal_words, words
+
+format_st = st.sampled_from(ALL_FORMATS)
+mode_st = st.sampled_from(list(RoundingMode))
+
+
+@st.composite
+def fmt_and_two_words(draw):
+    fmt = draw(format_st)
+    a = draw(words(fmt))
+    b = draw(words(fmt))
+    return fmt, a, b
+
+
+class TestReferenceIdentity:
+    """The datapaths agree bit-for-bit with the exact rational oracle."""
+
+    @settings(max_examples=400)
+    @given(fmt_and_two_words(), mode_st)
+    def test_add_matches_reference(self, fab, mode):
+        fmt, a, b = fab
+        assert fp_add(fmt, a, b, mode)[0] == ref_add(fmt, a, b, mode)[0]
+
+    @settings(max_examples=400)
+    @given(fmt_and_two_words(), mode_st)
+    def test_sub_matches_reference(self, fab, mode):
+        fmt, a, b = fab
+        assert fp_sub(fmt, a, b, mode)[0] == ref_sub(fmt, a, b, mode)[0]
+
+    @settings(max_examples=400)
+    @given(fmt_and_two_words(), mode_st)
+    def test_mul_matches_reference(self, fab, mode):
+        fmt, a, b = fab
+        assert fp_mul(fmt, a, b, mode)[0] == ref_mul(fmt, a, b, mode)[0]
+
+    @settings(max_examples=300)
+    @given(fmt_and_two_words(), mode_st)
+    def test_flags_match_reference_for_finite(self, fab, mode):
+        fmt, a, b = fab
+        if not (fmt.is_finite(a) and fmt.is_finite(b)):
+            return
+        got_bits, got_flags = fp_add(fmt, a, b, mode)
+        ref_bits, ref_flags = ref_add(fmt, a, b, mode)
+        assert got_bits == ref_bits
+        assert got_flags.overflow == ref_flags.overflow
+        assert got_flags.underflow == ref_flags.underflow
+        assert got_flags.inexact == ref_flags.inexact
+
+
+class TestAlgebraicLaws:
+    @settings(max_examples=200)
+    @given(fmt_and_two_words())
+    def test_add_commutative(self, fab):
+        fmt, a, b = fab
+        assert fp_add(fmt, a, b)[0] == fp_add(fmt, b, a)[0]
+
+    @settings(max_examples=200)
+    @given(fmt_and_two_words())
+    def test_mul_commutative(self, fab):
+        fmt, a, b = fab
+        assert fp_mul(fmt, a, b)[0] == fp_mul(fmt, b, a)[0]
+
+    @settings(max_examples=200)
+    @given(format_st.flatmap(lambda f: st.tuples(st.just(f), normal_words(f))))
+    def test_add_zero_identity(self, fa):
+        fmt, a = fa
+        assert fp_add(fmt, a, fmt.zero(0))[0] == a
+
+    @settings(max_examples=200)
+    @given(format_st.flatmap(lambda f: st.tuples(st.just(f), normal_words(f))))
+    def test_mul_one_identity(self, fa):
+        fmt, a = fa
+        bits, flags = fp_mul(fmt, a, fmt.one(0))
+        assert bits == a
+        assert not flags.inexact
+
+    @settings(max_examples=200)
+    @given(format_st.flatmap(lambda f: st.tuples(st.just(f), normal_words(f))))
+    def test_x_minus_x_is_positive_zero(self, fa):
+        fmt, a = fa
+        bits, flags = fp_sub(fmt, a, a)
+        assert bits == fmt.zero(0)
+        assert flags.zero
+
+    @settings(max_examples=200)
+    @given(fmt_and_two_words())
+    def test_sign_symmetry_of_multiplication(self, fab):
+        fmt, a, b = fab
+        if fmt.is_nan(a) or fmt.is_nan(b):
+            return
+        sa, ea, ma = fmt.unpack(a)
+        neg_a = fmt.pack(sa ^ 1, ea, ma)
+        p1, _ = fp_mul(fmt, a, b)
+        p2, _ = fp_mul(fmt, neg_a, b)
+        if fmt.is_nan(p1):
+            assert fmt.is_nan(p2)
+        else:
+            s1, e1, m1 = fmt.unpack(p1)
+            s2, e2, m2 = fmt.unpack(p2)
+            assert (e1, m1) == (e2, m2)
+            if not fmt.is_zero(p1):
+                assert s1 != s2
+
+    @settings(max_examples=200)
+    @given(fmt_and_two_words())
+    def test_negation_symmetry_of_addition(self, fab):
+        """-(a + b) == (-a) + (-b) up to the sign of zero."""
+        fmt, a, b = fab
+        if fmt.is_nan(a) or fmt.is_nan(b):
+            return
+        sa, ea, ma = fmt.unpack(a)
+        sb, eb, mb = fmt.unpack(b)
+        s, _ = fp_add(fmt, a, b)
+        sn, _ = fp_add(fmt, fmt.pack(sa ^ 1, ea, ma), fmt.pack(sb ^ 1, eb, mb))
+        if fmt.is_nan(s):
+            assert fmt.is_nan(sn)
+        elif fmt.is_zero(s):
+            assert fmt.is_zero(sn)
+        else:
+            ss, es, ms = fmt.unpack(s)
+            ssn, esn, msn = fmt.unpack(sn)
+            assert (es, ms) == (esn, msn) and ss != ssn
+
+
+class TestRoundingProperties:
+    @settings(max_examples=200)
+    @given(
+        format_st.flatmap(
+            lambda f: st.tuples(st.just(f), moderate_words(f), moderate_words(f))
+        )
+    )
+    def test_truncation_never_exceeds_magnitude_of_exact(self, fab):
+        fmt, a, b = fab
+        bits, _ = fp_mul(fmt, a, b, RoundingMode.TRUNCATE)
+        if not fmt.is_finite(bits) or fmt.is_zero(bits):
+            return
+        exact = FPValue(fmt, a).to_fraction() * FPValue(fmt, b).to_fraction()
+        got = FPValue(fmt, bits).to_fraction()
+        assert abs(got) <= abs(exact)
+
+    @settings(max_examples=200)
+    @given(
+        format_st.flatmap(
+            lambda f: st.tuples(st.just(f), moderate_words(f), moderate_words(f))
+        )
+    )
+    def test_rne_error_within_half_ulp(self, fab):
+        fmt, a, b = fab
+        bits, flags = fp_add(fmt, a, b, RoundingMode.NEAREST_EVEN)
+        if not fmt.is_finite(bits) or fmt.is_zero(bits) or flags.underflow:
+            return
+        exact = FPValue(fmt, a).to_fraction() + FPValue(fmt, b).to_fraction()
+        got = FPValue(fmt, bits).to_fraction()
+        _, exp, _ = fmt.unpack(bits)
+        ulp = Fraction(2) ** (exp - fmt.bias - fmt.man_bits)
+        assert abs(got - exact) <= ulp / 2
+
+    @settings(max_examples=150)
+    @given(format_st.flatmap(lambda f: st.tuples(st.just(f), normal_words(f))))
+    def test_double_is_exact(self, fa):
+        """x + x is always exact (pure exponent increment) unless it
+        overflows."""
+        fmt, a = fa
+        bits, flags = fp_add(fmt, a, a)
+        if flags.overflow:
+            return
+        assert not flags.inexact
+        exact = 2 * FPValue(fmt, a).to_fraction()
+        if flags.underflow:
+            return
+        assert FPValue(fmt, bits).to_fraction() == exact
+
+
+class TestResultsAreCanonical:
+    @settings(max_examples=300)
+    @given(fmt_and_two_words(), mode_st)
+    def test_add_result_is_normal_or_special(self, fab, mode):
+        """No operation ever produces a denormal encoding."""
+        fmt, a, b = fab
+        bits, _ = fp_add(fmt, a, b, mode)
+        _, exp, man = fmt.unpack(bits)
+        if exp == 0:
+            assert man == 0  # canonical zero, never a denormal pattern
+
+    @settings(max_examples=300)
+    @given(fmt_and_two_words(), mode_st)
+    def test_mul_result_is_normal_or_special(self, fab, mode):
+        fmt, a, b = fab
+        bits, _ = fp_mul(fmt, a, b, mode)
+        _, exp, man = fmt.unpack(bits)
+        if exp == 0:
+            assert man == 0
+
+
+class TestTinyFormatExhaustive:
+    """The tiny format is small enough to enumerate all operand pairs."""
+
+    def test_add_exhaustive_vs_reference(self):
+        n = TINY.word_mask + 1
+        for a in range(n):
+            for b in range(n):
+                assert fp_add(TINY, a, b)[0] == ref_add(TINY, a, b)[0], (a, b)
+
+    def test_mul_exhaustive_vs_reference(self):
+        n = TINY.word_mask + 1
+        for a in range(n):
+            for b in range(n):
+                assert fp_mul(TINY, a, b)[0] == ref_mul(TINY, a, b)[0], (a, b)
+
+    def test_truncate_exhaustive_vs_reference(self):
+        n = TINY.word_mask + 1
+        mode = RoundingMode.TRUNCATE
+        for a in range(0, n, 3):
+            for b in range(0, n, 3):
+                assert fp_add(TINY, a, b, mode)[0] == ref_add(TINY, a, b, mode)[0]
+                assert fp_mul(TINY, a, b, mode)[0] == ref_mul(TINY, a, b, mode)[0]

@@ -1,0 +1,111 @@
+"""Unit tests for the rounding primitive and GRS extraction."""
+
+import pytest
+
+from repro.fp.rounding import (
+    RoundingMode,
+    collapse_sticky,
+    extract_grs,
+    round_significand,
+)
+
+
+class TestRoundSignificand:
+    @pytest.mark.parametrize("grs", range(8))
+    def test_truncate_never_increments(self, grs):
+        sig, inexact = round_significand(0b1011, grs, RoundingMode.TRUNCATE)
+        assert sig == 0b1011
+        assert inexact == (grs != 0)
+
+    def test_rne_below_half_rounds_down(self):
+        for grs in (0b000, 0b001, 0b010, 0b011):
+            sig, _ = round_significand(10, grs, RoundingMode.NEAREST_EVEN)
+            assert sig == 10
+
+    def test_rne_above_half_rounds_up(self):
+        for grs in (0b101, 0b110, 0b111):
+            sig, _ = round_significand(10, grs, RoundingMode.NEAREST_EVEN)
+            assert sig == 11
+
+    def test_rne_tie_to_even(self):
+        # Exactly halfway (grs == 100): round to even significand.
+        even, _ = round_significand(10, 0b100, RoundingMode.NEAREST_EVEN)
+        odd, _ = round_significand(11, 0b100, RoundingMode.NEAREST_EVEN)
+        assert even == 10  # stays even
+        assert odd == 12  # bumps to even
+
+    def test_inexact_flag(self):
+        _, inexact = round_significand(5, 0, RoundingMode.NEAREST_EVEN)
+        assert not inexact
+        _, inexact = round_significand(5, 1, RoundingMode.NEAREST_EVEN)
+        assert inexact
+
+    def test_carry_out_possible(self):
+        sig, _ = round_significand(0b111, 0b101, RoundingMode.NEAREST_EVEN)
+        assert sig == 0b1000  # caller must renormalize
+
+    def test_bad_grs_rejected(self):
+        with pytest.raises(ValueError):
+            round_significand(1, 8, RoundingMode.NEAREST_EVEN)
+        with pytest.raises(ValueError):
+            round_significand(1, -1, RoundingMode.NEAREST_EVEN)
+
+
+class TestCollapseSticky:
+    def test_zero_bits(self):
+        assert collapse_sticky(0b1111, 0) == 0
+
+    def test_detects_any_low_bit(self):
+        assert collapse_sticky(0b1000, 3) == 0
+        assert collapse_sticky(0b1001, 3) == 1
+        assert collapse_sticky(0b0100, 3) == 1
+
+    def test_negative_bits(self):
+        assert collapse_sticky(0b1111, -1) == 0
+
+
+class TestExtractGrs:
+    def test_no_drop(self):
+        sig, grs = extract_grs(0b1011, 4, 4)
+        assert (sig, grs) == (0b1011, 0)
+
+    def test_drop_one_bit_becomes_guard(self):
+        sig, grs = extract_grs(0b10111, 4, 5)
+        assert sig == 0b1011
+        assert grs == 0b100
+
+    def test_drop_two_bits(self):
+        sig, grs = extract_grs(0b101101, 4, 6)
+        assert sig == 0b1011
+        assert grs == 0b010
+
+    def test_drop_many_bits_sticky(self):
+        # value = 1011_0101: keep 4, drop 4 -> G=0 R=1 sticky=1
+        sig, grs = extract_grs(0b10110101, 4, 8)
+        assert sig == 0b1011
+        assert grs == 0b011
+
+    def test_sticky_zero_when_clean(self):
+        sig, grs = extract_grs(0b10110000, 4, 8)
+        assert sig == 0b1011
+        assert grs == 0
+
+    def test_keep_exceeds_total_rejected(self):
+        with pytest.raises(ValueError):
+            extract_grs(0b1, 5, 4)
+
+    def test_grs_agrees_with_exact_fraction(self):
+        # Exhaustive for small widths: the GRS triple must place the value
+        # correctly relative to the half-ulp midpoints.
+        for value in range(1 << 8):
+            sig, grs = extract_grs(value, 4, 8)
+            frac = value & 0xF  # the dropped 4 bits
+            if frac == 0:
+                assert grs == 0
+            elif frac < 8:
+                assert grs < 0b100
+            elif frac == 8:
+                assert grs == 0b100
+            else:
+                assert grs > 0b100
+            assert sig == value >> 4

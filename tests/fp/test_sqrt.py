@@ -1,0 +1,144 @@
+"""Unit tests for the FP square-root datapath (library extension)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.format import FP32, FP64
+from repro.fp.rounding import RoundingMode
+from repro.fp.sqrt import FPSqrt, fp_sqrt, sqrt_recurrence
+from repro.fp.value import FPValue
+
+from tests.conftest import ALL_FORMATS, f32_to_bits, f64_to_bits, normal_words
+
+
+class TestSpecialValues:
+    def test_nan(self):
+        bits, flags = fp_sqrt(FP32, FP32.nan())
+        assert FP32.is_nan(bits) and flags.invalid
+
+    def test_negative_is_invalid(self):
+        bits, flags = fp_sqrt(FP32, FPValue.from_float(FP32, -4.0).bits)
+        assert FP32.is_nan(bits) and flags.invalid
+
+    def test_signed_zeros_pass_through(self):
+        assert fp_sqrt(FP32, FP32.zero(0))[0] == FP32.zero(0)
+        assert fp_sqrt(FP32, FP32.zero(1))[0] == FP32.zero(1)
+
+    def test_positive_inf(self):
+        bits, flags = fp_sqrt(FP32, FP32.inf(0))
+        assert bits == FP32.inf(0)
+        assert not flags.any_exception
+
+    def test_negative_inf_invalid(self):
+        bits, flags = fp_sqrt(FP32, FP32.inf(1))
+        assert FP32.is_nan(bits) and flags.invalid
+
+    def test_denormal_input_flushes(self):
+        denormal = FP32.pack(0, 0, 55)
+        bits, flags = fp_sqrt(FP32, denormal)
+        assert FP32.is_zero(bits)
+        del flags
+
+
+class TestDirected:
+    @pytest.mark.parametrize(
+        "x,expected",
+        [(1.0, 1.0), (4.0, 2.0), (9.0, 3.0), (0.25, 0.5), (2.25, 1.5), (1e4, 100.0)],
+    )
+    def test_exact_roots(self, x, expected):
+        bits, flags = fp_sqrt(FP32, FPValue.from_float(FP32, x).bits)
+        assert FPValue(FP32, bits).to_float() == expected
+        assert not flags.inexact
+
+    def test_sqrt2_inexact(self):
+        bits, flags = fp_sqrt(FP32, FPValue.from_float(FP32, 2.0).bits)
+        assert flags.inexact
+        assert FPValue(FP32, bits).to_float() == pytest.approx(math.sqrt(2), rel=1e-7)
+
+    def test_odd_exponent_path(self):
+        # 2.0 has an odd unbiased exponent (1): exercises the pre-double.
+        bits, _ = fp_sqrt(FP64, FPValue.from_float(FP64, 2.0).bits)
+        assert bits == f64_to_bits(math.sqrt(2.0))
+
+    def test_extreme_inputs_never_overflow(self):
+        big, flags = fp_sqrt(FP32, FP32.max_finite())
+        assert FP32.is_finite(big) and not flags.overflow
+        small, flags = fp_sqrt(FP32, FP32.min_normal())
+        assert not FP32.is_zero(small) and not flags.underflow
+
+
+class TestRandomCrossCheck:
+    def test_fp32_against_numpy(self, rng):
+        for _ in range(4000):
+            bits = FP32.pack(0, rng.randint(1, FP32.exp_max - 1),
+                             rng.randrange(FP32.man_mask + 1))
+            x = FPValue(FP32, bits).to_float()
+            expected = f32_to_bits(float(np.sqrt(np.float32(x))))
+            assert fp_sqrt(FP32, bits)[0] == expected, x
+
+    def test_fp64_against_math(self, rng):
+        for _ in range(1500):
+            bits = FP64.pack(0, rng.randint(1, FP64.exp_max - 1),
+                             rng.randrange(FP64.man_mask + 1))
+            x = FPValue(FP64, bits).to_float()
+            assert fp_sqrt(FP64, bits)[0] == f64_to_bits(math.sqrt(x))
+
+
+format_st = st.sampled_from(ALL_FORMATS)
+
+
+class TestProperties:
+    @settings(max_examples=250)
+    @given(format_st.flatmap(lambda f: st.tuples(st.just(f), normal_words(f))))
+    def test_result_squared_brackets_input(self, fa):
+        """RNE square root: the result is the representable value whose
+        square is nearest the input."""
+        fmt, a = fa
+        sign, _, _ = fmt.unpack(a)
+        if sign:
+            return
+        bits, _ = fp_sqrt(fmt, a)
+        root = FPValue(fmt, bits).to_fraction()
+        value = FPValue(fmt, a).to_fraction()
+        # Stepping one ulp either way must not get closer to the input.
+        _, exp, man = fmt.unpack(bits)
+        up = fmt.pack(0, exp + (man == fmt.man_mask), (man + 1) & fmt.man_mask)
+        down_man = man - 1 if man else fmt.man_mask
+        down_exp = exp if man else exp - 1
+        err = abs(root * root - value)
+        if fmt.is_finite(up):
+            up_v = FPValue(fmt, up).to_fraction()
+            assert abs(up_v * up_v - value) >= err
+        if down_exp >= 1:
+            down_v = FPValue(fmt, fmt.pack(0, down_exp, down_man)).to_fraction()
+            assert abs(down_v * down_v - value) >= err
+
+    @settings(max_examples=150)
+    @given(format_st.flatmap(lambda f: st.tuples(st.just(f), normal_words(f))))
+    def test_truncate_not_larger_than_rne(self, fa):
+        fmt, a = fa
+        if fmt.unpack(a)[0]:
+            return
+        rne, _ = fp_sqrt(fmt, a, RoundingMode.NEAREST_EVEN)
+        rtz, _ = fp_sqrt(fmt, a, RoundingMode.TRUNCATE)
+        assert FPValue(fmt, rtz).to_fraction() <= FPValue(fmt, rne).to_fraction()
+
+    @settings(max_examples=100)
+    @given(st.integers(0, 10**12))
+    def test_recurrence_matches_isqrt(self, n):
+        bits = max(1, (n.bit_length() + 1) // 2 + 1)
+        q, r = sqrt_recurrence(n, bits)
+        assert q == math.isqrt(n)
+        assert r == n - q * q
+
+
+class TestWrapper:
+    def test_sqrt_object(self):
+        s = FPSqrt(FP32)
+        bits, _ = s.sqrt(FPValue.from_float(FP32, 16.0).bits)
+        assert FPValue(FP32, bits).to_float() == 4.0
+        assert s(FPValue.from_float(FP32, 16.0).bits)[0] == bits

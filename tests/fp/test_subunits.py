@@ -1,0 +1,140 @@
+"""Unit tests for the Figure-1 hardware subunit primitives."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.fp.format import FP32
+from repro.fp.subunits import (
+    align_shift,
+    denormalize,
+    exponent_compare,
+    fixed_add,
+    fixed_mul,
+    fixed_sub,
+    leading_bits,
+    mantissa_compare,
+    normalize_shift_amount,
+    sign_xor,
+    split_priority_encoder,
+    swap,
+)
+
+
+class TestDenormalize:
+    def test_normal_operand_gets_hidden_one(self):
+        assert denormalize(FP32, exp=127, man=0) == 1 << 23
+
+    def test_zero_exponent_means_zero_significand_msb(self):
+        assert denormalize(FP32, exp=0, man=5) == 5  # hidden bit 0
+
+    def test_fraction_preserved(self):
+        assert denormalize(FP32, exp=1, man=0x7FFFFF) == (1 << 23) | 0x7FFFFF
+
+
+class TestCompareSwap:
+    def test_exponent_compare(self):
+        assert exponent_compare(5, 3) == (False, 2)
+        assert exponent_compare(3, 5) == (True, 2)
+        assert exponent_compare(4, 4) == (False, 0)
+
+    def test_mantissa_compare(self):
+        assert mantissa_compare(3, 5)
+        assert not mantissa_compare(5, 3)
+        assert not mantissa_compare(4, 4)
+
+    def test_swap(self):
+        assert swap(1, 2, False) == (1, 2)
+        assert swap(1, 2, True) == (2, 1)
+
+
+class TestAlignShift:
+    def test_no_shift(self):
+        assert align_shift(0b1010, 0, 8) == (0b1010, 0)
+
+    def test_clean_shift_no_sticky(self):
+        assert align_shift(0b1000, 3, 8) == (0b1, 0)
+
+    def test_dropped_bits_set_sticky(self):
+        assert align_shift(0b1001, 3, 8) == (0b1, 1)
+
+    def test_saturating_shift(self):
+        # shift >= width: everything becomes sticky
+        assert align_shift(0b1, 8, 8) == (0, 1)
+        assert align_shift(0, 8, 8) == (0, 0)
+        assert align_shift(0b1, 1000, 8) == (0, 1)
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(ValueError):
+            align_shift(1, -1, 8)
+
+    @given(st.integers(0, 255), st.integers(0, 20))
+    def test_value_conservation(self, value, shift):
+        shifted, sticky = align_shift(value, shift, 8)
+        if shift < 8:
+            assert shifted == value >> shift
+            assert sticky == (1 if value & ((1 << shift) - 1) else 0)
+        else:
+            assert shifted == 0
+            assert sticky == (1 if value else 0)
+
+
+class TestPriorityEncoder:
+    def test_msb_set(self):
+        assert normalize_shift_amount(0b10000000, 8) == 0
+
+    def test_lsb_only(self):
+        assert normalize_shift_amount(0b1, 8) == 7
+
+    def test_zero_returns_width(self):
+        assert normalize_shift_amount(0, 8) == 8
+
+    @given(st.integers(0, (1 << 16) - 1))
+    def test_split_encoder_matches_monolithic(self, value):
+        for parts in (1, 2, 3, 4):
+            assert split_priority_encoder(value, 16, parts) == normalize_shift_amount(
+                value, 16
+            )
+
+    def test_split_encoder_rejects_bad_parts(self):
+        with pytest.raises(ValueError):
+            split_priority_encoder(1, 8, 0)
+
+    @given(st.integers(1, (1 << 12) - 1))
+    def test_shift_amount_normalizes(self, value):
+        shift = normalize_shift_amount(value, 12)
+        assert (value << shift) >> 11 == 1
+
+
+class TestFixedPoint:
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_fixed_add(self, a, b):
+        total, carry = fixed_add(a, b, 8)
+        assert total + (carry << 8) == a + b
+        assert 0 <= total < 256
+
+    @given(st.integers(0, 255), st.integers(0, 255))
+    def test_fixed_sub(self, a, b):
+        diff, borrow = fixed_sub(a, b, 8)
+        assert (diff - (borrow << 8)) == a - b
+
+    def test_fixed_mul(self):
+        assert fixed_mul(0xFFFFFF, 0xFFFFFF) == 0xFFFFFF * 0xFFFFFF
+
+    def test_sign_xor(self):
+        assert sign_xor(0, 0) == 0
+        assert sign_xor(0, 1) == 1
+        assert sign_xor(1, 0) == 1
+        assert sign_xor(1, 1) == 0
+
+
+class TestLeadingBits:
+    def test_extracts_top_bits(self):
+        assert leading_bits(0b10110000, 8, 3) == 0b101
+
+    def test_full_width(self):
+        assert leading_bits(0b1011, 4, 4) == 0b1011
+
+    def test_rejects_count_over_width(self):
+        with pytest.raises(ValueError):
+            leading_bits(1, 4, 5)

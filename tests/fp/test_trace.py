@@ -1,0 +1,140 @@
+"""Unit tests for the datapath trace facility."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fp.adder import fp_add
+from repro.fp.format import FP32
+from repro.fp.multiplier import fp_mul
+from repro.fp.rounding import RoundingMode
+from repro.fp.trace import fp_add_trace, fp_mul_trace
+from repro.fp.value import FPValue
+
+from tests.conftest import ALL_FORMATS, words
+
+
+def f(x: float) -> int:
+    return FPValue.from_float(FP32, x).bits
+
+
+class TestAdderTrace:
+    def test_stage_sequence_normal_path(self):
+        t = fp_add_trace(FP32, f(1.5), f(2.25))
+        assert [s.name for s in t.stages] == [
+            "denorm",
+            "swap",
+            "align",
+            "add_sub",
+            "normalize",
+            "round",
+        ]
+        assert t.special is None
+
+    def test_signals_consistent(self):
+        t = fp_add_trace(FP32, f(3.0), f(1.0))
+        # 3.0 has exponent one above 1.0: the small operand aligns by 1.
+        assert t.find("swap", "exp_diff") == 1
+        assert t.find("swap", "swapped") == 0
+        assert t.find("add_sub", "subtract") == 0
+
+    def test_subtract_path(self):
+        t = fp_add_trace(FP32, f(1.0), f(-1.0))
+        assert t.special == "exact cancellation"
+
+    def test_zero_operand_short_circuit(self):
+        t = fp_add_trace(FP32, FP32.zero(0), f(2.0))
+        assert t.special == "zero operand"
+        assert t.result == f(2.0)
+
+    def test_special_operand(self):
+        t = fp_add_trace(FP32, FP32.inf(0), f(1.0))
+        assert t.special == "NaN/Inf operand"
+        assert t.result == FP32.inf(0)
+
+    def test_overflow_annotated(self):
+        t = fp_add_trace(FP32, FP32.max_finite(), FP32.max_finite())
+        assert t.special == "overflow saturate"
+
+    def test_render_mentions_stages(self):
+        out = fp_add_trace(FP32, f(1.5), f(2.5)).render()
+        assert "align" in out and "result" in out
+
+    def test_missing_signal_raises(self):
+        t = fp_add_trace(FP32, f(1.5), f(2.5))
+        try:
+            t.find("align", "nope")
+            raise AssertionError("expected KeyError")
+        except KeyError:
+            pass
+
+
+class TestMultiplierTrace:
+    def test_stage_sequence(self):
+        t = fp_mul_trace(FP32, f(1.5), f(2.5))
+        assert [s.name for s in t.stages] == [
+            "denorm",
+            "multiply",
+            "normalize",
+            "round",
+        ]
+
+    def test_normalize_shift_recorded(self):
+        # 1.5 * 1.5 = 2.25 >= 2: one-position shift
+        t = fp_mul_trace(FP32, f(1.5), f(1.5))
+        assert t.find("normalize", "shift") == 1
+        t = fp_mul_trace(FP32, f(1.25), f(1.25))
+        assert t.find("normalize", "shift") == 0
+
+    def test_zero_short_circuit(self):
+        t = fp_mul_trace(FP32, FP32.zero(0), f(5.0))
+        assert t.special == "zero operand"
+
+
+format_st = st.sampled_from(ALL_FORMATS)
+
+
+@st.composite
+def fmt_two_words_mode(draw):
+    fmt = draw(format_st)
+    return (
+        fmt,
+        draw(words(fmt)),
+        draw(words(fmt)),
+        draw(st.sampled_from(list(RoundingMode))),
+    )
+
+
+class TestTraceNeverDiverges:
+    """The trace re-implementation is pinned bit-for-bit to production."""
+
+    @settings(max_examples=300)
+    @given(fmt_two_words_mode())
+    def test_add_trace_result_matches(self, fabm):
+        fmt, a, b, mode = fabm
+        t = fp_add_trace(fmt, a, b, mode)
+        bits, flags = fp_add(fmt, a, b, mode)
+        assert t.result == bits
+        assert t.flags == flags
+
+    @settings(max_examples=300)
+    @given(fmt_two_words_mode())
+    def test_mul_trace_result_matches(self, fabm):
+        fmt, a, b, mode = fabm
+        t = fp_mul_trace(fmt, a, b, mode)
+        bits, flags = fp_mul(fmt, a, b, mode)
+        assert t.result == bits
+        assert t.flags == flags
+
+    @settings(max_examples=200)
+    @given(fmt_two_words_mode())
+    def test_trace_final_sig_matches_result(self, fabm):
+        """When the normal path completes, the traced rounded significand
+        must reconstruct the result mantissa."""
+        fmt, a, b, mode = fabm
+        t = fp_add_trace(fmt, a, b, mode)
+        if t.special is not None:
+            return
+        sig = t.find("round", "sig")
+        _, exp, man = fmt.unpack(t.result)
+        del exp
+        assert sig & fmt.man_mask == man

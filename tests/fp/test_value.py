@@ -1,0 +1,199 @@
+"""Unit tests for FPValue conversions and the shared encoder."""
+
+import math
+from fractions import Fraction
+
+import pytest
+from hypothesis import given
+
+from repro.fp.format import FP32, FP64
+from repro.fp.rounding import RoundingMode
+from repro.fp.value import FPValue, encode_fraction, _floor_log2
+
+from tests.conftest import (
+    bits_to_f32,
+    f32_to_bits,
+    f64_to_bits,
+    finite_words,
+    normal_words,
+)
+
+
+class TestFloorLog2:
+    @pytest.mark.parametrize(
+        "x,expected",
+        [
+            (Fraction(1), 0),
+            (Fraction(2), 1),
+            (Fraction(3), 1),
+            (Fraction(4), 2),
+            (Fraction(1, 2), -1),
+            (Fraction(1, 3), -2),
+            (Fraction(7, 8), -1),
+            (Fraction(255, 256), -1),
+            (Fraction(1, 1024), -10),
+        ],
+    )
+    def test_known_values(self, x, expected):
+        assert _floor_log2(x) == expected
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            _floor_log2(Fraction(0))
+
+
+class TestEncodeFraction:
+    def test_exact_values_raise_no_inexact(self):
+        bits, flags = encode_fraction(FP32, Fraction(3, 4))
+        assert not flags.inexact
+        assert FPValue(FP32, bits).to_float() == 0.75
+
+    def test_inexact_value(self):
+        bits, flags = encode_fraction(FP32, Fraction(1, 3))
+        assert flags.inexact
+        assert abs(FPValue(FP32, bits).to_float() - 1 / 3) < 1e-7
+
+    def test_overflow_saturates_to_inf(self):
+        bits, flags = encode_fraction(FP32, Fraction(2) ** 200)
+        assert flags.overflow
+        assert FP32.is_inf(bits)
+
+    def test_negative_overflow(self):
+        bits, _ = encode_fraction(FP32, -(Fraction(2) ** 200))
+        assert bits == FP32.inf(1)
+
+    def test_underflow_flushes_to_zero(self):
+        bits, flags = encode_fraction(FP32, Fraction(1, 2**200))
+        assert flags.underflow and flags.zero
+        assert FP32.is_zero(bits)
+
+    def test_underflow_keeps_sign(self):
+        bits, _ = encode_fraction(FP32, -Fraction(1, 2**200))
+        assert bits == FP32.zero(1)
+
+    def test_zero(self):
+        bits, flags = encode_fraction(FP32, Fraction(0))
+        assert bits == FP32.zero(0)
+        assert flags.zero
+
+    def test_tie_rounds_to_even(self):
+        # 1 + 2^-24 is exactly halfway between 1.0 and 1 + 2^-23 in fp32.
+        tie = Fraction(1) + Fraction(1, 1 << 24)
+        bits, _ = encode_fraction(FP32, tie, RoundingMode.NEAREST_EVEN)
+        assert bits == FP32.one()  # even mantissa (0) wins
+
+    def test_truncation_drops_tail(self):
+        tie = Fraction(1) + Fraction(1, 1 << 24)
+        bits, _ = encode_fraction(FP32, tie, RoundingMode.TRUNCATE)
+        assert bits == FP32.one()
+        just_under_two = Fraction(2) - Fraction(1, 1 << 30)
+        bits, _ = encode_fraction(FP32, just_under_two, RoundingMode.TRUNCATE)
+        sign, exp, man = FP32.unpack(bits)
+        assert (sign, exp, man) == (0, FP32.bias, FP32.man_mask)
+
+    def test_rounding_carry_bumps_exponent(self):
+        just_under_two = Fraction(2) - Fraction(1, 1 << 30)
+        bits, _ = encode_fraction(FP32, just_under_two, RoundingMode.NEAREST_EVEN)
+        assert FPValue(FP32, bits).to_float() == 2.0
+
+    def test_smallest_normal_boundary(self):
+        bits, flags = encode_fraction(FP32, Fraction(1, 2**126))
+        assert bits == FP32.min_normal()
+        assert not flags.underflow
+        bits, flags = encode_fraction(FP32, Fraction(1, 2**127))
+        assert FP32.is_zero(bits)
+        assert flags.underflow
+
+
+class TestFromToFloat:
+    @pytest.mark.parametrize(
+        "x", [0.0, -0.0, 1.0, -1.0, 0.5, 1.5, 3.141592653589793, 1e-30, -1e30]
+    )
+    def test_fp64_roundtrip_exact(self, x):
+        v = FPValue.from_float(FP64, x)
+        assert v.to_float() == x
+        # signed zero preserved
+        assert math.copysign(1.0, v.to_float()) == math.copysign(1.0, x)
+
+    def test_fp32_matches_struct_encoding(self):
+        for x in (1.0, -2.5, 3.14159, 1e38, 1.1754944e-38, 6.0e-39):
+            expected = f32_to_bits(bits_to_f32(f32_to_bits(x)))
+            got = FPValue.from_float(FP32, x).bits
+            se, ee, me = FP32.unpack(expected)
+            if ee == 0 and me != 0:
+                # denormal in IEEE: we flush to zero
+                assert got == FP32.zero(se)
+            else:
+                assert got == expected
+
+    def test_fp64_matches_struct_encoding(self):
+        for x in (1.0, -2.5, math.pi, 1e300, 5e-324 * 2**60):
+            v = FPValue.from_float(FP64, x)
+            assert v.bits == f64_to_bits(x)
+
+    def test_nan_and_inf(self):
+        assert FPValue.from_float(FP32, math.nan).is_nan
+        assert FPValue.from_float(FP32, math.inf).is_inf
+        v = FPValue.from_float(FP32, -math.inf)
+        assert v.is_inf and v.sign == 1
+        assert math.isnan(FPValue(FP32, FP32.nan()).to_float())
+        assert FPValue(FP32, FP32.inf(1)).to_float() == -math.inf
+
+    @given(finite_words(FP64))
+    def test_fp64_bits_float_bits_roundtrip(self, bits):
+        v = FPValue(FP64, bits)
+        x = v.to_float()
+        # Canonical: zero encodings all map to +-0.0.
+        if v.is_zero:
+            assert x == 0.0
+        else:
+            assert FPValue.from_float(FP64, x).bits == bits
+
+
+class TestFractionRoundtrip:
+    @given(normal_words(FP32))
+    def test_to_fraction_from_fraction_identity(self, bits):
+        v = FPValue(FP32, bits)
+        frac = v.to_fraction()
+        assert FPValue.from_fraction(FP32, frac).bits == bits
+
+    def test_specials_have_no_fraction(self):
+        with pytest.raises(ValueError):
+            FPValue(FP32, FP32.inf(0)).to_fraction()
+        with pytest.raises(ValueError):
+            FPValue(FP32, FP32.nan()).to_fraction()
+
+    def test_zero_fraction(self):
+        assert FPValue(FP32, FP32.zero(1)).to_fraction() == 0
+
+
+class TestOperatorsAndFields:
+    def test_neg_flips_sign_only(self):
+        v = FPValue.from_float(FP32, 1.5)
+        assert (-v).to_float() == -1.5
+        assert (-(-v)).bits == v.bits
+
+    def test_abs(self):
+        v = FPValue.from_float(FP32, -2.5)
+        assert abs(v).to_float() == 2.5
+
+    def test_arithmetic_operators(self):
+        a = FPValue.from_float(FP32, 1.5)
+        b = FPValue.from_float(FP32, 2.25)
+        assert (a + b).to_float() == 3.75
+        assert (a - b).to_float() == -0.75
+        assert (a * b).to_float() == 3.375
+
+    def test_significand_hidden_bit(self):
+        one = FPValue.from_float(FP32, 1.0)
+        assert one.significand == 1 << 23
+        zero = FPValue(FP32, FP32.zero())
+        assert zero.significand == 0
+
+    def test_out_of_range_bits_rejected(self):
+        with pytest.raises(ValueError):
+            FPValue(FP32, 1 << 32)
+
+    def test_field_accessors(self):
+        v = FPValue.from_fields(FP32, 1, 130, 7)
+        assert (v.sign, v.exp, v.man) == (1, 130, 7)

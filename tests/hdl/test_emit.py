@@ -1,0 +1,91 @@
+"""Structural tests for the VHDL skeleton emitter."""
+
+import re
+
+import pytest
+
+from repro.fabric.netlist import (
+    adder_datapath,
+    divider_datapath,
+    multiplier_datapath,
+)
+from repro.fabric.retiming import partition_chain
+from repro.fp.format import FP32, FP64
+from repro.hdl.emit import _identifier, emit_vhdl
+
+
+class TestIdentifier:
+    def test_sanitizes_labels(self):
+        assert _identifier("norm.priority_enc[hi]") == "norm_priority_enc_hi"
+        assert _identifier("swap.mux+exp_sub") == "swap_mux_exp_sub"
+
+    def test_leading_digit_prefixed(self):
+        assert _identifier("3stage")[0].isalpha()
+
+
+class TestEmission:
+    @pytest.fixture(scope="class")
+    def vhdl(self):
+        return emit_vhdl(adder_datapath(FP32), stages=8)
+
+    def test_entity_declared(self, vhdl):
+        assert "entity fpadd_fp32 is" in vhdl
+        assert "end entity fpadd_fp32;" in vhdl
+        assert "architecture pipelined of fpadd_fp32 is" in vhdl
+
+    def test_ports(self, vhdl):
+        assert "op_a     : in  std_logic_vector(31 downto 0);" in vhdl
+        assert "op_b     : in  std_logic_vector(31 downto 0);" in vhdl
+        assert "result   : out std_logic_vector(31 downto 0);" in vhdl
+        assert "done     : out std_logic" in vhdl
+        assert "flags    : out std_logic_vector(5 downto 0);" in vhdl
+
+    def test_one_process_per_stage(self, vhdl):
+        assert len(re.findall(r"stage\d+_proc : process \(clk\)", vhdl)) == 8
+
+    def test_register_signals_match_partition(self, vhdl):
+        dp = adder_datapath(FP32)
+        partition = partition_chain(dp.quanta, 8)
+        regs = re.findall(r"signal stage\d+_r : std_logic_vector\((\d+) downto 0\);",
+                          vhdl)
+        assert len(regs) == 8
+        declared_bits = sum(int(r) + 1 for r in regs)
+        assert declared_bits == partition.register_bits
+
+    def test_every_quantum_instantiated_once(self, vhdl):
+        dp = adder_datapath(FP32)
+        for q in dp.quanta:
+            assert vhdl.count(f"work.{_identifier(q.label)} ") == 1
+
+    def test_clock_comment_matches_model(self, vhdl):
+        m = re.search(r"->\s+([\d.]+) MHz", vhdl)
+        assert m
+        from repro.fabric.synthesis import synthesize
+
+        r = synthesize(adder_datapath(FP32), 8)
+        assert float(m.group(1)) == pytest.approx(r.clock_mhz, abs=0.1)
+
+    def test_custom_entity_name(self):
+        out = emit_vhdl(multiplier_datapath(FP64), 6, entity_name="my_mul")
+        assert "entity my_mul is" in out
+
+    def test_surplus_stages_emit_register_only(self):
+        dp = multiplier_datapath(FP32)
+        deep = emit_vhdl(dp, dp.natural_max_stages + 2)
+        assert "register only" in deep
+
+    def test_divider_emits_rows(self):
+        out = emit_vhdl(divider_datapath(FP32), 20)
+        assert "work.divide_row_0 " in out
+        # One 'work.' instance comment per recurrence row: the fabric
+        # model prices sig_bits + 3 rows (quotient bits incl. GRS).
+        assert out.count("work.divide_row_") == FP32.sig_bits + 3
+
+    def test_invalid_stages(self):
+        with pytest.raises(ValueError):
+            emit_vhdl(adder_datapath(FP32), 0)
+
+    def test_balanced_statement_structure(self, vhdl):
+        # every process closes; two 'end if's per stage (reset + edge)
+        assert vhdl.count("process (clk)") == vhdl.count("end process;") == 8
+        assert vhdl.count("end if;") == 16

@@ -1,0 +1,75 @@
+"""Unit tests for block-matmul schedule accounting."""
+
+import pytest
+
+from repro.kernels.blocking import blocked_schedule
+
+
+class TestScheduleConstruction:
+    def test_rejects_non_dividing_block(self):
+        with pytest.raises(ValueError, match="does not divide"):
+            blocked_schedule(16, 3, 10)
+
+    def test_rejects_block_bigger_than_problem(self):
+        with pytest.raises(ValueError, match="exceeds"):
+            blocked_schedule(4, 8, 10)
+
+    def test_rejects_non_positive(self):
+        with pytest.raises(ValueError):
+            blocked_schedule(0, 1, 10)
+        with pytest.raises(ValueError):
+            blocked_schedule(4, 0, 10)
+
+    def test_unblocked_degenerate_case(self):
+        s = blocked_schedule(8, 8, 5)
+        assert s.block_ops == 1
+        assert s.blocks_per_dim == 1
+        assert s.spacing == 8
+
+
+class TestCycleAccounting:
+    def test_spacing_is_latency_bound(self):
+        assert blocked_schedule(16, 4, 10).spacing == 10
+        assert blocked_schedule(16, 16, 10).spacing == 16
+
+    def test_padding_only_when_block_below_latency(self):
+        assert blocked_schedule(16, 4, 10).padded_cycles > 0
+        assert blocked_schedule(32, 16, 10).padded_cycles == 0
+
+    def test_wasted_fraction_decreases_with_block_size(self):
+        pl = 17
+        fractions = [
+            blocked_schedule(16, b, pl).wasted_fraction for b in (2, 4, 8, 16)
+        ]
+        assert fractions == sorted(fractions, reverse=True)
+        assert fractions[0] > 0.5  # b=2 vs PL=17: overwhelmingly padding
+
+    def test_block_ops_cubic(self):
+        s = blocked_schedule(16, 4, 10)
+        assert s.block_ops == 4**3
+
+    def test_useful_macs(self):
+        s = blocked_schedule(16, 4, 10)
+        assert s.useful_macs == 16**3 // 4
+
+    def test_total_energy_relevant_cycles_flat_beyond_latency(self):
+        """For b >= PL the steady-state schedule cycles scale as n^3/b
+        while the array has b PEs: PE-cycles are constant (paper Fig 6a
+        flattening)."""
+        pl = 8
+        pe_cycles = [
+            b * blocked_schedule(64, b, pl).block_ops
+            * blocked_schedule(64, b, pl).cycles_per_block_op
+            for b in (8, 16, 32)
+        ]
+        assert pe_cycles[0] == pytest.approx(pe_cycles[1], rel=0.01)
+        assert pe_cycles[1] == pytest.approx(pe_cycles[2], rel=0.01)
+
+    def test_latency_scaling(self):
+        pl = 8
+        lat = [blocked_schedule(64, b, pl).latency_us(100.0) for b in (8, 16, 32)]
+        assert lat == sorted(lat, reverse=True)
+
+    def test_drain_positive(self):
+        for b, pl in ((2, 17), (8, 8), (16, 10), (1, 1)):
+            assert blocked_schedule(16, b, pl).drain_cycles > 0

@@ -1,0 +1,90 @@
+"""Tests for design-space enumeration and Pareto analysis."""
+
+import pytest
+
+from repro.kernels.design_space import (
+    DesignConstraints,
+    best_design,
+    dominates,
+    enumerate_designs,
+    pareto_front,
+)
+
+
+@pytest.fixture(scope="module")
+def designs():
+    return enumerate_designs(n=32, block_sizes=(4, 8, 16, 32))
+
+
+class TestEnumeration:
+    def test_full_cartesian_product(self, designs):
+        assert len(designs) == 3 * 4  # configs x block sizes
+
+    def test_labels_unique(self, designs):
+        labels = [d.label for d in designs]
+        assert len(set(labels)) == len(labels)
+
+    def test_non_dividing_block_rejected(self):
+        with pytest.raises(ValueError, match="does not divide"):
+            enumerate_designs(n=32, block_sizes=(5,))
+
+
+class TestPareto:
+    def test_front_is_non_dominated(self, designs):
+        front = pareto_front(designs)
+        assert front
+        for a in front:
+            assert not any(dominates(b, a) for b in designs if b is not a)
+
+    def test_excluded_points_are_dominated(self, designs):
+        front = set(id(d) for d in pareto_front(designs))
+        for d in designs:
+            if id(d) not in front:
+                assert any(dominates(f, d) for f in designs)
+
+    def test_dominance_relation(self, designs):
+        # No design dominates itself; dominance is antisymmetric.
+        for d in designs[:6]:
+            assert not dominates(d, d)
+        for a in designs[:6]:
+            for b in designs[:6]:
+                if dominates(a, b):
+                    assert not dominates(b, a)
+
+    def test_front_contains_extremes(self, designs):
+        front = pareto_front(designs)
+        best_energy = min(designs, key=lambda d: d.estimate.energy_nj)
+        best_latency = min(designs, key=lambda d: d.estimate.latency_us)
+        front_labels = {d.label for d in front}
+        assert best_energy.label in front_labels
+        assert best_latency.label in front_labels
+
+
+class TestSelection:
+    def test_best_for_each_objective(self, designs):
+        e = best_design(designs, "energy")
+        lt = best_design(designs, "latency")
+        s = best_design(designs, "slices")
+        assert e.estimate.energy_nj == min(d.estimate.energy_nj for d in designs)
+        assert lt.estimate.latency_us == min(d.estimate.latency_us for d in designs)
+        assert s.estimate.slices == min(d.estimate.slices for d in designs)
+
+    def test_constraints_filter(self, designs):
+        tight = DesignConstraints(max_slices=min(d.estimate.slices for d in designs))
+        pick = best_design(designs, "energy", tight)
+        assert pick.estimate.slices == tight.max_slices
+
+    def test_infeasible_constraints_raise(self, designs):
+        impossible = DesignConstraints(max_slices=1)
+        with pytest.raises(ValueError, match="no design"):
+            best_design(designs, "energy", impossible)
+
+    def test_unknown_objective(self, designs):
+        with pytest.raises(ValueError, match="unknown objective"):
+            best_design(designs, "cost")
+
+    def test_latency_constraint(self, designs):
+        fastest = min(d.estimate.latency_us for d in designs)
+        c = DesignConstraints(max_latency_us=fastest * 1.01)
+        pick = best_design(designs, "energy", c)
+        assert pick.estimate.latency_us <= fastest * 1.01

@@ -1,0 +1,112 @@
+"""Tests for the latency-hiding dot-product kernel."""
+
+import numpy as np
+import pytest
+
+from repro.fp.format import FP32, FP64
+from repro.fp.rounding import RoundingMode
+from repro.fp.value import FPValue
+from repro.kernels.dotproduct import DotProductUnit, functional_dot
+
+
+def vec(fmt, values):
+    return [FPValue.from_float(fmt, v).bits for v in values]
+
+
+class TestFunctionalDot:
+    def test_simple_sum(self):
+        xs = vec(FP32, [1.0, 2.0, 3.0, 4.0])
+        ys = vec(FP32, [1.0, 1.0, 1.0, 1.0])
+        bits, flags = functional_dot(FP32, xs, ys, lanes=2)
+        assert FPValue(FP32, bits).to_float() == 10.0
+        assert not flags.any_exception
+
+    def test_empty_vector(self):
+        bits, flags = functional_dot(FP32, [], [], lanes=4)
+        assert FP32.is_zero(bits)
+        del flags
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            functional_dot(FP32, [FP32.one()], [], lanes=2)
+
+    def test_invalid_lanes(self):
+        with pytest.raises(ValueError):
+            functional_dot(FP32, [], [], lanes=0)
+
+    def test_lane_count_changes_rounding(self, rng):
+        """Interleaving changes the summation order, hence (slightly) the
+        result — a real property of latency-hidden accumulators."""
+        n = 64
+        xs = vec(FP32, [rng.uniform(-1, 1) for _ in range(n)])
+        ys = vec(FP32, [rng.uniform(-1, 1) for _ in range(n)])
+        results = {
+            functional_dot(FP32, xs, ys, lanes=lanes)[0] for lanes in (1, 4, 8, 16)
+        }
+        # Not asserting inequality for any single pair (could coincide),
+        # but across four lane counts at least two orders differ.
+        assert len(results) >= 2
+
+    def test_matches_float64_closely(self, rng):
+        n = 100
+        vals_x = [rng.uniform(-1, 1) for _ in range(n)]
+        vals_y = [rng.uniform(-1, 1) for _ in range(n)]
+        bits, _ = functional_dot(FP64, vec(FP64, vals_x), vec(FP64, vals_y), lanes=8)
+        expected = float(np.dot(vals_x, vals_y))
+        assert FPValue(FP64, bits).to_float() == pytest.approx(expected, rel=1e-12)
+
+
+class TestDotProductUnit:
+    @pytest.mark.parametrize("n", [1, 2, 7, 16, 33, 100])
+    def test_matches_functional_reference(self, n, rng):
+        unit = DotProductUnit(FP32, mul_latency=5, add_latency=8)
+        xs = vec(FP32, [rng.uniform(-2, 2) for _ in range(n)])
+        ys = vec(FP32, [rng.uniform(-2, 2) for _ in range(n)])
+        run = unit.run(xs, ys)
+        expected, _ = functional_dot(FP32, xs, ys, lanes=unit.lanes)
+        assert run.result == expected
+
+    def test_lane_count_is_adder_latency(self):
+        assert DotProductUnit(FP32, 3, 11).lanes == 11
+
+    def test_cycle_accounting(self, rng):
+        unit = DotProductUnit(FP32, mul_latency=4, add_latency=6)
+        n = 50
+        xs = vec(FP32, [1.0] * n)
+        ys = vec(FP32, [1.0] * n)
+        run = unit.run(xs, ys)
+        assert run.mac_cycles == (n - 1) + 4 + 6
+        assert run.reduce_cycles > 0
+        assert run.cycles == run.mac_cycles + run.reduce_cycles
+
+    def test_empty(self):
+        run = DotProductUnit(FP32, 2, 3).run([], [])
+        assert FP32.is_zero(run.result)
+        assert run.cycles == 0
+
+    def test_interleaving_beats_naive(self):
+        unit = DotProductUnit(FP32, mul_latency=7, add_latency=12)
+        assert unit.speedup_over_naive(1000) > 10.0
+
+    def test_speedup_grows_with_latency(self):
+        shallow = DotProductUnit(FP32, 2, 3)
+        deep = DotProductUnit(FP32, 7, 14)
+        assert deep.speedup_over_naive(500) > shallow.speedup_over_naive(500)
+
+    def test_truncation_mode_consistent(self, rng):
+        unit = DotProductUnit(FP32, 3, 5, mode=RoundingMode.TRUNCATE)
+        xs = vec(FP32, [rng.uniform(0, 2) for _ in range(20)])
+        ys = vec(FP32, [rng.uniform(0, 2) for _ in range(20)])
+        run = unit.run(xs, ys)
+        expected, _ = functional_dot(
+            FP32, xs, ys, lanes=unit.lanes, mode=RoundingMode.TRUNCATE
+        )
+        assert run.result == expected
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            DotProductUnit(FP32, 2, 3).run([FP32.one()], [])
+
+    def test_invalid_latencies(self):
+        with pytest.raises(ValueError):
+            DotProductUnit(FP32, 0, 3)

@@ -1,0 +1,93 @@
+"""Bit-identity of the vectorized kernels with the scalar references."""
+
+import numpy as np
+import pytest
+
+from repro.fp.format import FP32, FP48
+from repro.fp.rounding import RoundingMode
+from repro.fp.value import FPValue
+from repro.kernels.dotproduct import functional_dot
+from repro.kernels.fast import dot_vectorized, functional_matmul_vectorized
+from repro.kernels.matmul import functional_matmul
+
+
+def rand_matrix_bits(n, rng):
+    return [
+        [FPValue.from_float(FP32, rng.uniform(-8, 8)).bits for _ in range(n)]
+        for _ in range(n)
+    ]
+
+
+class TestVectorizedMatmul:
+    @pytest.mark.parametrize("n", [1, 2, 5, 8, 12])
+    @pytest.mark.parametrize("mode", list(RoundingMode))
+    def test_bit_identical_to_scalar_reference(self, n, mode, rng):
+        a = rand_matrix_bits(n, rng)
+        b = rand_matrix_bits(n, rng)
+        fast = functional_matmul_vectorized(
+            FP32, np.array(a, dtype=np.uint64), np.array(b, dtype=np.uint64), mode
+        )
+        slow = functional_matmul(FP32, a, b, mode)
+        assert fast.tolist() == slow
+
+    def test_handles_specials(self, rng):
+        n = 3
+        a = rand_matrix_bits(n, rng)
+        b = rand_matrix_bits(n, rng)
+        a[0][0] = FP32.inf(0)
+        a[1][1] = FP32.nan()
+        b[2][2] = FP32.zero(1)
+        fast = functional_matmul_vectorized(
+            FP32, np.array(a, dtype=np.uint64), np.array(b, dtype=np.uint64)
+        )
+        assert fast.tolist() == functional_matmul(FP32, a, b)
+
+    def test_shape_validation(self):
+        sq = np.zeros((3, 3), dtype=np.uint64)
+        rect = np.zeros((3, 4), dtype=np.uint64)
+        with pytest.raises(ValueError):
+            functional_matmul_vectorized(FP32, sq, rect)
+
+    def test_wide_format_rejected(self):
+        m = np.zeros((2, 2), dtype=np.uint64)
+        with pytest.raises(ValueError):
+            functional_matmul_vectorized(FP48, m, m)
+
+    def test_medium_problem_against_numpy(self, rng):
+        """n = 24: too slow for the scalar reference in bulk testing, but
+        the vectorized path must still track IEEE closely."""
+        n = 24
+        vals_a = np.array(
+            [[rng.uniform(-1, 1) for _ in range(n)] for _ in range(n)],
+            dtype=np.float32,
+        )
+        vals_b = np.array(
+            [[rng.uniform(-1, 1) for _ in range(n)] for _ in range(n)],
+            dtype=np.float32,
+        )
+        a = vals_a.view(np.uint32).astype(np.uint64)
+        b = vals_b.view(np.uint32).astype(np.uint64)
+        fast = functional_matmul_vectorized(FP32, a, b)
+        got = fast.astype(np.uint32).view(np.float32)
+        expected = vals_a.astype(np.float64) @ vals_b.astype(np.float64)
+        assert np.allclose(got, expected, rtol=1e-4, atol=1e-5)
+
+
+class TestVectorizedDot:
+    @pytest.mark.parametrize("n", [1, 5, 16, 33])
+    @pytest.mark.parametrize("lanes", [1, 3, 8])
+    def test_bit_identical_to_scalar_reference(self, n, lanes, rng):
+        xs = [FPValue.from_float(FP32, rng.uniform(-4, 4)).bits for _ in range(n)]
+        ys = [FPValue.from_float(FP32, rng.uniform(-4, 4)).bits for _ in range(n)]
+        fast = dot_vectorized(
+            FP32, np.array(xs, dtype=np.uint64), np.array(ys, dtype=np.uint64), lanes
+        )
+        slow, _ = functional_dot(FP32, xs, ys, lanes)
+        assert fast == slow
+
+    def test_validation(self):
+        v = np.zeros(4, dtype=np.uint64)
+        with pytest.raises(ValueError):
+            dot_vectorized(FP32, v, v[:-1], 2)
+        with pytest.raises(ValueError):
+            dot_vectorized(FP32, v, v, 0)

@@ -1,0 +1,64 @@
+"""Tests for the off-chip bandwidth model."""
+
+import pytest
+
+from repro.fp.format import FP32, FP64
+from repro.kernels.io_model import (
+    DDR_64_200,
+    IOChannel,
+    dot_sustained,
+    matmul_sustained,
+    max_io_bound_macs,
+)
+
+
+class TestChannel:
+    def test_bandwidth_math(self):
+        assert DDR_64_200.gbits_per_s == pytest.approx(25.6)
+
+    def test_words_per_cycle_scales_with_format(self):
+        w32 = DDR_64_200.words_per_cycle(FP32, 200.0)
+        w64 = DDR_64_200.words_per_cycle(FP64, 200.0)
+        assert w32 == pytest.approx(2 * w64)
+
+    def test_faster_kernel_clock_fewer_words(self):
+        slow = DDR_64_200.words_per_cycle(FP32, 100.0)
+        fast = DDR_64_200.words_per_cycle(FP32, 250.0)
+        assert fast < slow
+
+
+class TestMatmul:
+    def test_matmul_is_compute_bound_with_reuse(self):
+        """The linear array reuses each streamed A element across all
+        PEs, so a single DDR channel keeps even a full XC2VP125 fed."""
+        r = matmul_sustained(FP32, pes=40, kernel_clock_mhz=250.0)
+        assert r.bound_by == "compute"
+        assert r.gflops == pytest.approx(20.0)
+
+    def test_starved_channel_binds(self):
+        thin = IOChannel("thin", pins=8, clock_mhz=100.0)
+        r = matmul_sustained(FP32, pes=40, kernel_clock_mhz=250.0, channel=thin)
+        assert r.bound_by == "bandwidth"
+        assert r.gflops < r.compute_gflops
+
+
+class TestStreamingDot:
+    def test_no_reuse_binds_quickly(self):
+        r = dot_sustained(FP32, macs=40, kernel_clock_mhz=250.0)
+        assert r.bound_by == "bandwidth"
+        assert r.gflops < r.compute_gflops
+
+    def test_single_mac_is_compute_bound(self):
+        r = dot_sustained(FP32, macs=1, kernel_clock_mhz=200.0)
+        assert r.bound_by == "compute"
+
+    def test_max_io_bound_macs_consistent(self):
+        macs = max_io_bound_macs(FP32, 250.0)
+        assert macs >= 1
+        at_limit = dot_sustained(FP32, macs=macs, kernel_clock_mhz=250.0)
+        beyond = dot_sustained(FP32, macs=macs + 1, kernel_clock_mhz=250.0)
+        assert at_limit.bound_by == "compute"
+        assert beyond.bound_by == "bandwidth"
+
+    def test_wider_formats_bind_sooner(self):
+        assert max_io_bound_macs(FP64, 200.0) <= max_io_bound_macs(FP32, 200.0)

@@ -1,0 +1,149 @@
+"""Unit tests for the LU decomposition kernel extension."""
+
+import numpy as np
+import pytest
+
+from repro.fabric.netlist import adder_datapath, multiplier_datapath
+from repro.fabric.synthesis import synthesize
+from repro.fp.format import FP32, FP64
+from repro.fp.value import FPValue
+from repro.kernels.lu import LUPerformanceModel, functional_lu, split_lu
+from repro.power.energy import PEEnergyModel
+
+from tests.conftest import bits_to_f32
+
+
+def diag_dominant(fmt, n, rng):
+    """Random diagonally dominant matrix (LU without pivoting is stable)."""
+    vals = [[rng.uniform(-1.0, 1.0) for _ in range(n)] for _ in range(n)]
+    for i in range(n):
+        vals[i][i] = n + rng.uniform(1.0, 2.0)
+    bits = [[FPValue.from_float(fmt, v).bits for v in row] for row in vals]
+    return vals, bits
+
+
+def numpy_lu_float32(vals):
+    """The same Doolittle loop in numpy float32 (bit-comparable)."""
+    a = np.array(vals, dtype=np.float32)
+    n = a.shape[0]
+    for k in range(n):
+        for i in range(k + 1, n):
+            a[i, k] = np.float32(a[i, k] / a[k, k])
+            for j in range(k + 1, n):
+                a[i, j] = np.float32(a[i, j] - np.float32(a[i, k] * a[k, j]))
+    return a
+
+
+class TestFunctionalLU:
+    def test_bit_identical_to_numpy_float32(self, rng):
+        """Our FP ops are IEEE-correct, so running the same elimination
+        loop in numpy float32 must give bit-identical factors."""
+        n = 6
+        vals, bits = diag_dominant(FP32, n, rng)
+        lu, flags = functional_lu(FP32, bits)
+        expected = numpy_lu_float32(vals)
+        got = np.array(
+            [[bits_to_f32(lu[i][j]) for j in range(n)] for i in range(n)],
+            dtype=np.float32,
+        )
+        assert np.array_equal(got, expected)
+        assert not flags.invalid
+
+    def test_reconstruction_accuracy(self, rng):
+        n = 8
+        vals, bits = diag_dominant(FP64, n, rng)
+        lu, _ = functional_lu(FP64, bits)
+        lower_b, upper_b = split_lu(FP64, lu)
+        lower = np.array(
+            [[FPValue(FP64, b).to_float() for b in row] for row in lower_b]
+        )
+        upper = np.array(
+            [[FPValue(FP64, b).to_float() for b in row] for row in upper_b]
+        )
+        a = np.array(vals)
+        assert np.allclose(lower @ upper, a, rtol=1e-12, atol=1e-12)
+
+    def test_identity_factors_trivially(self):
+        n = 4
+        eye = [
+            [FP32.one() if i == j else FP32.zero() for j in range(n)]
+            for i in range(n)
+        ]
+        lu, flags = functional_lu(FP32, eye)
+        assert lu == eye
+        assert not flags.any_exception
+
+    def test_zero_pivot_rejected(self):
+        n = 2
+        singular = [
+            [FP32.zero(), FP32.one()],
+            [FP32.one(), FP32.one()],
+        ]
+        with pytest.raises(ZeroDivisionError, match="zero pivot"):
+            functional_lu(FP32, singular)
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError, match="square"):
+            functional_lu(FP32, [[FP32.one()] * 3, [FP32.one()] * 3])
+
+    def test_split_shapes(self):
+        n = 3
+        lu = [[FPValue.from_float(FP32, float(i * n + j + 1)).bits
+               for j in range(n)] for i in range(n)]
+        lower, upper = split_lu(FP32, lu)
+        for i in range(n):
+            assert lower[i][i] == FP32.one()
+            for j in range(i + 1, n):
+                assert FP32.is_zero(lower[i][j])
+                assert FP32.is_zero(upper[j][i])
+
+
+def make_lu_model(add_stages=8, mul_stages=6):
+    pe = PEEnergyModel(
+        FP32,
+        synthesize(adder_datapath(FP32), add_stages),
+        synthesize(multiplier_datapath(FP32), mul_stages),
+        frequency_mhz=150.0,
+    )
+    return LUPerformanceModel(pe)
+
+
+class TestLUPerformance:
+    def test_schedule_cycle_scaling(self):
+        m = make_lu_model()
+        c64, _ = m.schedule_cycles(64)
+        c128, _ = m.schedule_cycles(128)
+        # Step costs are divider-latency + max(m, PL): the quadratic term
+        # dominates at large n, so doubling n lands between 2x and 4x.
+        assert 2.5 < c128 / c64 < 4.2
+        # and the quadratic trend strengthens with n:
+        c256, _ = m.schedule_cycles(256)
+        assert c256 / c128 > c128 / c64
+
+    def test_padding_tail_always_present_for_deep_pipelines(self):
+        """LU's shrinking trailing matrices always re-enter the padded
+        regime — even huge problems pay a padding tail."""
+        m = make_lu_model(add_stages=18, mul_stages=9)  # PL = 27
+        _, padded = m.schedule_cycles(200)
+        assert padded > 0
+
+    def test_shallow_pipeline_less_padding(self):
+        deep = make_lu_model(18, 9)
+        shallow = make_lu_model(4, 3)
+        _, pad_deep = deep.schedule_cycles(32)
+        _, pad_shallow = shallow.schedule_cycles(32)
+        assert pad_deep > pad_shallow
+
+    def test_estimate_fields(self):
+        m = make_lu_model()
+        est = m.estimate(16)
+        assert est.cycles > 0
+        assert est.energy_nj > 0
+        assert est.slices == 16 * m.pe_model.pe_slices()
+        assert 0 <= est.padding_fraction < 1
+        assert est.latency_us == pytest.approx(est.cycles / 150.0)
+        assert est.gflops > 0
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            make_lu_model().schedule_cycles(0)

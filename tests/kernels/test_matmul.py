@@ -1,0 +1,168 @@
+"""Integration tests: the cycle-accurate array against references."""
+
+import numpy as np
+import pytest
+
+from repro.fp.format import FP32, FP64
+from repro.fp.rounding import RoundingMode
+from repro.fp.value import FPValue
+from repro.kernels.matmul import MatmulArray, RAWHazard, functional_matmul
+from repro.kernels.performance import kernel_schedule_cycles
+
+from tests.conftest import bits_to_f32
+
+
+def rand_matrix(fmt, n, rng, span=10.0):
+    return [
+        [FPValue.from_float(fmt, rng.uniform(-span, span)).bits for _ in range(n)]
+        for _ in range(n)
+    ]
+
+
+class TestBitExactness:
+    @pytest.mark.parametrize(
+        "n,lm,la",
+        [(1, 2, 3), (2, 1, 1), (4, 7, 10), (6, 3, 5), (9, 2, 2)],
+    )
+    def test_matches_functional_reference(self, n, lm, la, rng):
+        a = rand_matrix(FP32, n, rng)
+        b = rand_matrix(FP32, n, rng)
+        run = MatmulArray(FP32, n, lm, la).run(a, b)
+        assert run.c == functional_matmul(FP32, a, b)
+
+    def test_fp64_matches_reference(self, rng):
+        n = 5
+        a = rand_matrix(FP64, n, rng)
+        b = rand_matrix(FP64, n, rng)
+        run = MatmulArray(FP64, n, 4, 6).run(a, b)
+        assert run.c == functional_matmul(FP64, a, b)
+
+    def test_truncation_mode_consistent(self, rng):
+        n = 4
+        a = rand_matrix(FP32, n, rng)
+        b = rand_matrix(FP32, n, rng)
+        run = MatmulArray(FP32, n, 3, 4, mode=RoundingMode.TRUNCATE).run(a, b)
+        assert run.c == functional_matmul(FP32, a, b, mode=RoundingMode.TRUNCATE)
+
+    def test_against_numpy_float32(self, rng):
+        """Sequential-k accumulation equals numpy only when every partial
+        is exactly representable; use power-of-two values so it is."""
+        n = 5
+        a_vals = [[float(2 ** rng.randint(-3, 3)) for _ in range(n)] for _ in range(n)]
+        b_vals = [[float(2 ** rng.randint(-3, 3)) for _ in range(n)] for _ in range(n)]
+        a = [[FPValue.from_float(FP32, v).bits for v in row] for row in a_vals]
+        b = [[FPValue.from_float(FP32, v).bits for v in row] for row in b_vals]
+        run = MatmulArray(FP32, n, 2, 3).run(a, b)
+        expected = np.array(a_vals, dtype=np.float32) @ np.array(
+            b_vals, dtype=np.float32
+        )
+        got = np.array(
+            [[bits_to_f32(run.c[i][j]) for j in range(n)] for i in range(n)],
+            dtype=np.float32,
+        )
+        assert np.array_equal(got, expected)
+
+    def test_identity_matrix(self, rng):
+        n = 4
+        a = rand_matrix(FP32, n, rng)
+        eye = [
+            [FPValue.from_float(FP32, 1.0 if i == j else 0.0).bits for j in range(n)]
+            for i in range(n)
+        ]
+        run = MatmulArray(FP32, n, 2, 3).run(a, eye)
+        assert run.c == a
+
+
+class TestSchedule:
+    @pytest.mark.parametrize("n,pl", [(2, 9), (4, 17), (8, 8), (12, 5), (17, 17)])
+    def test_cycles_match_analytic_formula(self, n, pl, rng):
+        lm, la = pl // 2, pl - pl // 2
+        a = rand_matrix(FP32, n, rng)
+        b = rand_matrix(FP32, n, rng)
+        run = MatmulArray(FP32, n, lm, la).run(a, b)
+        assert run.cycles == kernel_schedule_cycles(n, pl)
+
+    def test_padding_reported(self, rng):
+        n, lm, la = 4, 7, 10  # PL = 17 > n
+        run = MatmulArray(FP32, n, lm, la).run(
+            rand_matrix(FP32, n, rng), rand_matrix(FP32, n, rng)
+        )
+        assert run.padded_cycles == (17 - 4) * 4
+
+    def test_no_padding_when_big_enough(self, rng):
+        n = 10
+        run = MatmulArray(FP32, n, 3, 5).run(
+            rand_matrix(FP32, n, rng), rand_matrix(FP32, n, rng)
+        )
+        assert run.padded_cycles == 0
+        assert run.pe_utilization > 0.5
+
+    def test_issued_macs(self, rng):
+        n = 4
+        run = MatmulArray(FP32, n, 2, 3).run(
+            rand_matrix(FP32, n, rng), rand_matrix(FP32, n, rng)
+        )
+        assert run.issued_macs == n * n * n
+
+
+class TestHazardRule:
+    """Paper: 'read-after-write hazards only if the matrix size is less
+    than the number of pipeline stages'."""
+
+    def test_unpadded_small_problem_raises(self, rng):
+        n, lm, la = 4, 7, 10
+        arr = MatmulArray(FP32, n, lm, la, pad_schedule=False)
+        with pytest.raises(RAWHazard, match="read-after-write"):
+            arr.run(rand_matrix(FP32, n, rng), rand_matrix(FP32, n, rng))
+
+    def test_unpadded_at_exact_latency_is_safe(self, rng):
+        n = 9
+        arr = MatmulArray(FP32, n, 4, 5, pad_schedule=False)  # PL == n
+        a, b = rand_matrix(FP32, n, rng), rand_matrix(FP32, n, rng)
+        run = arr.run(a, b)
+        assert run.hazards == 0
+        assert run.c == functional_matmul(FP32, a, b)
+
+    def test_unpadded_large_problem_is_safe(self, rng):
+        n = 12
+        arr = MatmulArray(FP32, n, 4, 5, pad_schedule=False)
+        a, b = rand_matrix(FP32, n, rng), rand_matrix(FP32, n, rng)
+        run = arr.run(a, b)
+        assert run.hazards == 0
+        assert run.c == functional_matmul(FP32, a, b)
+
+    def test_padded_schedule_hides_latency(self, rng):
+        n, lm, la = 3, 9, 9
+        arr = MatmulArray(FP32, n, lm, la, pad_schedule=True)
+        a, b = rand_matrix(FP32, n, rng), rand_matrix(FP32, n, rng)
+        run = arr.run(a, b)
+        assert run.hazards == 0
+        assert run.c == functional_matmul(FP32, a, b)
+
+
+class TestValidation:
+    def test_rejects_wrong_shape(self, rng):
+        arr = MatmulArray(FP32, 3, 2, 3)
+        bad = [[FP32.zero()] * 2] * 3
+        good = rand_matrix(FP32, 3, rng)
+        with pytest.raises(ValueError):
+            arr.run(bad, good)
+
+    def test_rejects_out_of_range_words(self):
+        arr = MatmulArray(FP32, 2, 2, 3)
+        bad = [[1 << 40, 0], [0, 0]]
+        good = [[FP32.zero()] * 2] * 2
+        with pytest.raises(ValueError):
+            arr.run(bad, good)
+
+    def test_rejects_bad_problem_size(self):
+        with pytest.raises(ValueError):
+            MatmulArray(FP32, 0, 2, 3)
+
+    def test_flags_aggregate_overflow(self, rng):
+        n = 2
+        big = FP32.max_finite()
+        a = [[big, big], [big, big]]
+        b = [[big, big], [big, big]]
+        run = MatmulArray(FP32, n, 2, 3).run(a, b)
+        assert run.flags.overflow

@@ -1,0 +1,78 @@
+"""Tests for the matrix-vector kernel."""
+
+import numpy as np
+import pytest
+
+from repro.fp.format import FP32, FP64
+from repro.fp.value import FPValue
+from repro.kernels.mvm import MVMArray, functional_mvm
+
+
+def mat(fmt, rows, cols, rng):
+    return [
+        [FPValue.from_float(fmt, rng.uniform(-2, 2)).bits for _ in range(cols)]
+        for _ in range(rows)
+    ]
+
+
+def vec(fmt, n, rng):
+    return [FPValue.from_float(fmt, rng.uniform(-2, 2)).bits for _ in range(n)]
+
+
+class TestMVM:
+    @pytest.mark.parametrize("rows,cols", [(1, 1), (3, 5), (8, 8), (5, 20)])
+    def test_matches_functional(self, rows, cols, rng):
+        arr = MVMArray(FP32, rows, mul_latency=4, add_latency=7)
+        a = mat(FP32, rows, cols, rng)
+        x = vec(FP32, cols, rng)
+        run = arr.run(a, x)
+        expected, _ = functional_mvm(FP32, a, x, lanes=arr.lanes)
+        assert run.y == expected
+
+    def test_matches_numpy_closely(self, rng):
+        rows, cols = 6, 40
+        arr = MVMArray(FP64, rows, 5, 9)
+        a = mat(FP64, rows, cols, rng)
+        x = vec(FP64, cols, rng)
+        run = arr.run(a, x)
+        a_np = np.array([[FPValue(FP64, b).to_float() for b in r] for r in a])
+        x_np = np.array([FPValue(FP64, b).to_float() for b in x])
+        y_np = a_np @ x_np
+        got = np.array([FPValue(FP64, b).to_float() for b in run.y])
+        assert np.allclose(got, y_np, rtol=1e-13)
+
+    def test_cycle_skew(self, rng):
+        arr = MVMArray(FP32, 4, 2, 3)
+        a = mat(FP32, 4, 10, rng)
+        x = vec(FP32, 10, rng)
+        run = arr.run(a, x)
+        single = arr.pes[0].run(a[0], x).cycles
+        assert run.cycles == (4 - 1) + single  # last PE's skew dominates
+
+    def test_shape_validation(self, rng):
+        arr = MVMArray(FP32, 3, 2, 3)
+        with pytest.raises(ValueError, match="rows"):
+            arr.run(mat(FP32, 2, 4, rng), vec(FP32, 4, rng))
+        bad = mat(FP32, 3, 4, rng)
+        bad[1] = bad[1][:-1]
+        with pytest.raises(ValueError, match="length"):
+            arr.run(bad, vec(FP32, 4, rng))
+
+    def test_invalid_rows(self):
+        with pytest.raises(ValueError):
+            MVMArray(FP32, 0, 2, 3)
+
+    def test_gflops_estimate(self):
+        arr = MVMArray(FP32, 16, 5, 9)
+        g = arr.sustained_gflops(n_cols=256, frequency_mhz=200.0)
+        # 16 PEs x 2 FLOP/cycle at 200 MHz = 6.4 GFLOPS ceiling.
+        assert 0 < g < 6.4
+        # Long vectors approach the ceiling.
+        g_long = arr.sustained_gflops(n_cols=10_000, frequency_mhz=200.0)
+        assert g_long > 0.95 * 6.4
+
+    def test_short_vectors_waste_throughput(self):
+        arr = MVMArray(FP32, 16, 5, 9)
+        short = arr.sustained_gflops(n_cols=16, frequency_mhz=200.0)
+        long = arr.sustained_gflops(n_cols=1024, frequency_mhz=200.0)
+        assert short < 0.5 * long

@@ -1,0 +1,93 @@
+"""Unit tests for the matrix-multiply processing element."""
+
+import pytest
+
+from repro.fp.format import FP32
+from repro.fp.value import FPValue
+from repro.kernels.pe import AToken, ProcessingElement
+
+
+def fbits(x: float) -> int:
+    return FPValue.from_float(FP32, x).bits
+
+
+def make_pe(rows=4, lm=2, la=3) -> ProcessingElement:
+    return ProcessingElement(FP32, col=0, rows=rows, mul_latency=lm, add_latency=la)
+
+
+class TestBasicOperation:
+    def test_single_mac(self):
+        pe = make_pe()
+        pe.load_b([fbits(2.0)] * 4)
+        pe.step(AToken(i=0, k=0, bits=fbits(3.0)))
+        for _ in range(10):
+            pe.step(None)
+        assert FPValue(FP32, pe.c_accum[0]).to_float() == 6.0
+
+    def test_accumulation_across_k(self):
+        pe = make_pe()
+        pe.load_b([fbits(1.0), fbits(2.0), fbits(3.0), fbits(4.0)])
+        # c_0 = 1*1 + 1*2 + 1*3 + 1*4 = 10, spaced >= PL apart
+        for k in range(4):
+            pe.step(AToken(i=0, k=k, bits=fbits(1.0)))
+            for _ in range(6):
+                pe.step(None)
+        assert FPValue(FP32, pe.c_accum[0]).to_float() == 10.0
+
+    def test_forwarding_delay_one_cycle(self):
+        pe = make_pe()
+        tok = AToken(i=1, k=2, bits=fbits(1.5))
+        assert pe.step(tok) is None
+        assert pe.step(None) is tok
+
+    def test_load_b_validates_length(self):
+        pe = make_pe(rows=4)
+        with pytest.raises(ValueError):
+            pe.load_b([fbits(1.0)] * 3)
+
+    def test_reset_c(self):
+        pe = make_pe()
+        pe.load_b([fbits(1.0)] * 4)
+        pe.step(AToken(i=0, k=0, bits=fbits(1.0)))
+        for _ in range(8):
+            pe.step(None)
+        pe.reset_c()
+        assert all(FP32.is_zero(c) for c in pe.c_accum)
+
+
+class TestHazardDetection:
+    def test_reuse_within_latency_is_hazard(self):
+        pe = make_pe(lm=3, la=4)  # PL = 7
+        pe.load_b([fbits(1.0)] * 4)
+        pe.step(AToken(i=0, k=0, bits=fbits(1.0)))
+        pe.step(AToken(i=0, k=1, bits=fbits(1.0)))  # 1 cycle later: hazard
+        assert pe.hazards == 1
+
+    def test_reuse_at_exactly_latency_is_safe(self):
+        pe = make_pe(lm=3, la=4)  # PL = 7
+        pe.load_b([fbits(1.0)] * 4)
+        pe.step(AToken(i=0, k=0, bits=fbits(1.0)))
+        for _ in range(6):
+            pe.step(None)
+        pe.step(AToken(i=0, k=1, bits=fbits(1.0)))  # exactly PL cycles later
+        assert pe.hazards == 0
+        for _ in range(10):
+            pe.step(None)
+        assert FPValue(FP32, pe.c_accum[0]).to_float() == 2.0
+
+    def test_different_accumulators_never_conflict(self):
+        pe = make_pe(lm=3, la=4)
+        pe.load_b([fbits(1.0)] * 4)
+        for i in range(4):
+            pe.step(AToken(i=i, k=0, bits=fbits(1.0)))
+        assert pe.hazards == 0
+
+    def test_busy_flag(self):
+        pe = make_pe(lm=1, la=1)
+        pe.load_b([fbits(1.0)] * 4)
+        assert not pe.busy
+        pe.step(AToken(i=0, k=0, bits=fbits(1.0)))
+        assert pe.busy
+        for _ in range(4):
+            pe.step(None)
+        assert not pe.busy

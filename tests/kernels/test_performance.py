@@ -1,0 +1,126 @@
+"""Unit tests for kernel-level performance/energy estimation."""
+
+import pytest
+
+from repro.fabric.device import XC2VP125, get_device
+from repro.fabric.netlist import adder_datapath, multiplier_datapath
+from repro.fabric.synthesis import synthesize
+from repro.fp.format import FP32, FP64
+from repro.kernels.performance import (
+    MatmulPerformanceModel,
+    kernel_schedule_cycles,
+)
+
+
+def make_model(fmt=FP32, add_stages=10, mul_stages=7, f=None):
+    return MatmulPerformanceModel(
+        fmt,
+        synthesize(adder_datapath(fmt), add_stages),
+        synthesize(multiplier_datapath(fmt), mul_stages),
+        frequency_mhz=f,
+    )
+
+
+class TestScheduleCycles:
+    def test_small_problem_dominated_by_latency(self):
+        assert kernel_schedule_cycles(2, 20) > kernel_schedule_cycles(2, 5)
+
+    def test_large_problem_quadratic(self):
+        c1 = kernel_schedule_cycles(50, 10)
+        c2 = kernel_schedule_cycles(100, 10)
+        assert 3.5 < c2 / c1 < 4.5
+
+    def test_invalid_n(self):
+        with pytest.raises(ValueError):
+            kernel_schedule_cycles(0, 10)
+
+
+class TestEstimates:
+    def test_default_frequency_respects_unit_clocks(self):
+        m = make_model()
+        assert m.frequency_mhz <= min(m.adder.clock_mhz, m.multiplier.clock_mhz)
+        assert m.frequency_mhz <= 250.0  # fp32 array ceiling
+
+    def test_estimate_fields(self):
+        m = make_model()
+        e = m.estimate(16)
+        assert e.n == e.b == 16
+        assert e.pes == 16
+        assert e.cycles == kernel_schedule_cycles(16, m.pipeline_latency)
+        assert e.energy_nj > 0
+        assert e.latency_us == pytest.approx(e.cycles / m.frequency_mhz)
+        assert e.slices > 0 and e.brams == 16 and e.mult18 == 16 * 4
+
+    def test_blocked_estimate_uses_b_pes(self):
+        m = make_model()
+        e = m.estimate(16, b=4)
+        assert e.pes == 4
+        assert e.brams == 4
+
+    def test_energy_grows_with_problem(self):
+        m = make_model()
+        energies = [m.estimate(n).energy_nj for n in (8, 16, 32)]
+        assert energies == sorted(energies)
+
+    def test_padding_penalty_small_problems(self):
+        """A deep pipeline wastes energy on problems below its latency."""
+        shallow = make_model(add_stages=4, mul_stages=3)  # PL = 7
+        deep = make_model(add_stages=18, mul_stages=9)  # PL = 27
+        n = 8  # below deep PL, above shallow PL
+        assert deep.pe_energy(n).total_nj > 1.5 * shallow.pe_energy(n).total_nj
+
+    def test_pe_energy_matches_estimate(self):
+        m = make_model()
+        n = 12
+        assert m.estimate(n).energy_nj == pytest.approx(
+            m.pe_energy(n).total_nj * n
+        )
+
+    def test_gflops_of_run(self):
+        m = make_model()
+        e = m.estimate(64)
+        assert 0 < e.gflops <= 2 * 64 * m.frequency_mhz / 1000.0
+
+
+class TestDeviceFill:
+    def test_fill_respects_all_budgets(self):
+        m = make_model()
+        fill = m.device_fill(XC2VP125)
+        assert fill.pes * fill.pe_slices <= XC2VP125.usable_slices()
+        assert fill.pes * fill.pe_mult18 <= XC2VP125.mult18
+        assert fill.pes * fill.pe_brams <= XC2VP125.bram
+        assert fill.bound_by in ("slices", "mult18", "bram")
+
+    def test_bigger_device_fits_more(self):
+        m = make_model()
+        small = m.device_fill(get_device("XC2VP30"))
+        large = m.device_fill(XC2VP125)
+        assert large.pes > small.pes
+
+    def test_double_precision_fits_fewer(self):
+        single = make_model(FP32).device_fill(XC2VP125)
+        double = make_model(FP64, add_stages=17, mul_stages=11).device_fill(XC2VP125)
+        assert double.pes < single.pes
+
+    def test_slice_utilization_sane(self):
+        fill = make_model().device_fill(XC2VP125)
+        assert 0.0 < fill.slice_utilization <= 0.95
+
+
+class TestDeviceThroughput:
+    def test_gflops_formula(self):
+        m = make_model(f=250.0)
+        fill = m.device_fill(XC2VP125)
+        assert m.peak_gflops(XC2VP125) == pytest.approx(
+            2 * fill.pes * 250.0 / 1000.0
+        )
+
+    def test_gflops_per_watt_positive(self):
+        m = make_model()
+        assert m.gflops_per_watt(XC2VP125) > 0
+
+    def test_device_power_includes_static(self):
+        m = make_model()
+        fill = m.device_fill(XC2VP125)
+        dynamic_w = fill.pes * m.pe_model.pe_power_mw() / 1000.0
+        assert m.device_power_w(XC2VP125) > dynamic_w

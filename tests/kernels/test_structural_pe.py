@@ -1,0 +1,179 @@
+"""Equivalence of the fully structural PE with the behavioural PE."""
+
+import pytest
+
+from repro.fp.adder import fp_add
+from repro.fp.format import FP32
+from repro.fp.multiplier import fp_mul
+from repro.fp.rounding import RoundingMode
+from repro.fp.value import FPValue
+from repro.kernels.pe import AToken, ProcessingElement
+from repro.kernels.structural_pe import (
+    StructuralMAC,
+    StructuralProcessingElement,
+    mac_micro_ops,
+)
+
+
+def fbits(x: float) -> int:
+    return FPValue.from_float(FP32, x).bits
+
+
+class TestMacMicroOps:
+    def test_matches_chained_scalar(self, rng):
+        mac = StructuralMAC(FP32, stages=5)
+        for _ in range(400):
+            a = rng.randrange(FP32.word_mask + 1)
+            b = rng.randrange(FP32.word_mask + 1)
+            c = rng.randrange(FP32.word_mask + 1)
+            got_bits, got_flags = mac.compute(c, a, b)
+            p, f1 = fp_mul(FP32, a, b)
+            exp_bits, f2 = fp_add(FP32, c, p)
+            assert got_bits == exp_bits, (hex(a), hex(b), hex(c))
+            assert got_flags == (f1 | f2)
+
+    def test_truncate_mode(self, rng):
+        mode = RoundingMode.TRUNCATE
+        mac = StructuralMAC(FP32, stages=3, mode=mode)
+        for _ in range(100):
+            a = rng.randrange(FP32.word_mask + 1)
+            b = rng.randrange(FP32.word_mask + 1)
+            c = rng.randrange(FP32.word_mask + 1)
+            p, f1 = fp_mul(FP32, a, b, mode)
+            exp_bits, f2 = fp_add(FP32, c, p, mode)
+            assert mac.compute(c, a, b) == (exp_bits, f1 | f2)
+
+    def test_special_bypass_through_junction(self):
+        mac = StructuralMAC(FP32, stages=4)
+        # 0 * x + c must produce c (mul bypasses to zero, add passes c).
+        c = fbits(3.5)
+        bits, _ = mac.compute(c, FP32.zero(0), fbits(7.0))
+        assert bits == c
+        # NaN propagates through both phases.
+        bits, flags = mac.compute(c, FP32.nan(), fbits(1.0))
+        assert FP32.is_nan(bits) and flags.invalid
+
+    def test_invalid_stages(self):
+        with pytest.raises(ValueError):
+            StructuralMAC(FP32, 0)
+
+    def test_micro_op_count(self):
+        ops = mac_micro_ops(FP32, RoundingMode.NEAREST_EVEN)
+        names = [op.name for op in ops]
+        assert names[0] == "mac.setup"
+        assert "mac.junction" in names
+        assert names[-1] == "mac.flags"
+
+
+class TestStructuralPE:
+    def _drive(self, pe, tokens, spacing):
+        """Feed tokens with fixed spacing, then drain."""
+        for tok in tokens:
+            pe.step(tok)
+            for _ in range(spacing - 1):
+                pe.step(None)
+        for _ in range(pe.latency + 4):
+            pe.step(None)
+
+    def test_matches_behavioural_pe(self, rng):
+        rows, mac_stages = 6, 9
+        b_col = [fbits(rng.uniform(-3, 3)) for _ in range(rows)]
+        tokens = []
+        for k in range(rows):
+            for i in range(rows):
+                tokens.append(AToken(i=i, k=k, bits=fbits(rng.uniform(-3, 3))))
+
+        behavioural = ProcessingElement(FP32, 0, rows, mul_latency=4, add_latency=5)
+        behavioural.load_b(b_col)
+        structural = StructuralProcessingElement(FP32, 0, rows, mac_stages=9)
+        structural.load_b(b_col)
+        assert mac_stages == 9  # same total MAC depth as 4 + 5
+
+        spacing = structural.latency + 1  # generous: no hazards anywhere
+        for tok in tokens:
+            behavioural.step(tok)
+            for _ in range(spacing - 1):
+                behavioural.step(None)
+        for _ in range(20):
+            behavioural.step(None)
+        self._drive(structural, tokens, spacing)
+
+        assert structural.c_accum == behavioural.c_accum
+        assert structural.hazards == behavioural.hazards == 0
+
+    def test_latency_includes_ram_read(self):
+        pe = StructuralProcessingElement(FP32, 0, 4, mac_stages=6)
+        assert pe.latency == 7
+        pe.load_b([fbits(2.0)] * 4)
+        pe.step(AToken(i=0, k=0, bits=fbits(3.0)))
+        # result lands exactly after `latency` cycles
+        for cycle in range(1, pe.latency + 1):
+            pe.step(None)
+            if cycle < pe.latency:
+                assert FP32.is_zero(pe.c_accum[0]), cycle
+        assert FPValue(FP32, pe.c_accum[0]).to_float() == 6.0
+
+    def test_forwarding_one_cycle(self):
+        pe = StructuralProcessingElement(FP32, 0, 4, mac_stages=3)
+        pe.load_b([fbits(1.0)] * 4)
+        tok = AToken(i=0, k=1, bits=fbits(1.0))
+        assert pe.step(tok) is None
+        assert pe.step(None) is tok
+
+    def test_hazard_detection(self):
+        pe = StructuralProcessingElement(FP32, 0, 4, mac_stages=8)
+        pe.load_b([fbits(1.0)] * 4)
+        pe.step(AToken(i=0, k=0, bits=fbits(1.0)))
+        pe.step(AToken(i=0, k=1, bits=fbits(1.0)))  # back-to-back: stale c
+        pe.step(None)  # second token issues this cycle (after its RAM read)
+        assert pe.hazards == 1
+
+    def test_load_b_validates(self):
+        pe = StructuralProcessingElement(FP32, 0, 4, mac_stages=3)
+        with pytest.raises(ValueError):
+            pe.load_b([fbits(1.0)] * 3)
+
+    def test_reset_c(self):
+        pe = StructuralProcessingElement(FP32, 0, 2, mac_stages=3)
+        pe.load_b([fbits(1.0)] * 2)
+        pe.step(AToken(i=0, k=0, bits=fbits(1.0)))
+        for _ in range(10):
+            pe.step(None)
+        pe.reset_c()
+        assert all(FP32.is_zero(c) for c in pe.c_accum)
+
+
+class TestStructuralMatmulArray:
+    def test_bit_identical_to_behavioural_array(self, rng):
+        from repro.kernels.matmul import MatmulArray, functional_matmul
+        from repro.kernels.structural_pe import StructuralMatmulArray
+
+        n, lm, la = 5, 3, 4
+        a = [[fbits(rng.uniform(-5, 5)) for _ in range(n)] for _ in range(n)]
+        b = [[fbits(rng.uniform(-5, 5)) for _ in range(n)] for _ in range(n)]
+        behavioural = MatmulArray(FP32, n, lm, la).run(a, b)
+        structural = StructuralMatmulArray(FP32, n, mac_stages=lm + la)
+        c, cycles, hazards = structural.run(a, b)
+        assert c == behavioural.c == functional_matmul(FP32, a, b)
+        assert hazards == 0
+        # the RAM-read register costs cycles but never correctness
+        assert cycles >= behavioural.cycles
+
+    def test_large_problem_unpadded(self, rng):
+        from repro.kernels.matmul import functional_matmul
+        from repro.kernels.structural_pe import StructuralMatmulArray
+
+        n = 9  # n >= PL + 1 = 8: no padding needed
+        arr = StructuralMatmulArray(FP32, n, mac_stages=7)
+        assert arr.hazard_spacing == n
+        a = [[fbits(rng.uniform(-2, 2)) for _ in range(n)] for _ in range(n)]
+        b = [[fbits(rng.uniform(-2, 2)) for _ in range(n)] for _ in range(n)]
+        c, _, hazards = arr.run(a, b)
+        assert hazards == 0
+        assert c == functional_matmul(FP32, a, b)
+
+    def test_invalid_size(self):
+        from repro.kernels.structural_pe import StructuralMatmulArray
+
+        with pytest.raises(ValueError):
+            StructuralMatmulArray(FP32, 0, mac_stages=4)

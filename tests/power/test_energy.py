@@ -1,0 +1,113 @@
+"""Unit tests for the domain-specific PE energy model."""
+
+import pytest
+
+from repro.fabric.netlist import adder_datapath, multiplier_datapath
+from repro.fabric.synthesis import synthesize
+from repro.fp.format import FP32, FP64
+from repro.power.energy import EnergyBreakdown, PEEnergyModel
+
+
+def make_model(add_stages=8, mul_stages=6, fmt=FP32, f=100.0):
+    return PEEnergyModel(
+        fmt,
+        synthesize(adder_datapath(fmt), add_stages),
+        synthesize(multiplier_datapath(fmt), mul_stages),
+        frequency_mhz=f,
+    )
+
+
+class TestEnergyBreakdown:
+    def test_total(self):
+        e = EnergyBreakdown(1.0, 2.0, 3.0, 4.0)
+        assert e.total_nj == 10.0
+
+    def test_add(self):
+        a = EnergyBreakdown(1.0, 1.0, 1.0, 1.0)
+        b = EnergyBreakdown(2.0, 2.0, 2.0, 2.0)
+        assert (a + b).total_nj == 12.0
+
+    def test_scaled(self):
+        e = EnergyBreakdown(1.0, 2.0, 3.0, 4.0).scaled(2.0)
+        assert e.mac_nj == 2.0 and e.io_nj == 8.0
+
+    def test_as_dict(self):
+        d = EnergyBreakdown(1.0, 2.0, 3.0, 4.0).as_dict()
+        assert d["total"] == 10.0
+        assert set(d) == {"mac", "storage", "misc", "io", "total"}
+
+    def test_add_rejects_other_types(self):
+        with pytest.raises(TypeError):
+            EnergyBreakdown(1, 1, 1, 1) + 3
+
+
+class TestPEEnergyModel:
+    def test_pl_is_sum_of_latencies(self):
+        assert make_model(8, 6).pipeline_latency == 14
+
+    def test_component_powers_positive(self):
+        m = make_model()
+        assert m.mac_power_mw() > 0
+        assert m.storage_power_mw() > 0
+        assert m.misc_power_mw() > 0
+        assert m.io_power_mw() > 0
+        assert m.pe_power_mw() == pytest.approx(
+            m.mac_power_mw()
+            + m.storage_power_mw()
+            + m.misc_power_mw()
+            + m.io_power_mw()
+        )
+
+    def test_mac_dominates(self):
+        """The FP units dominate the PE budget (paper Fig 4)."""
+        m = make_model()
+        assert m.mac_power_mw() > m.storage_power_mw()
+        assert m.mac_power_mw() > m.misc_power_mw() + m.io_power_mw()
+
+    def test_misc_grows_with_pipeline_depth(self):
+        """Control shift registers track the unit latency."""
+        shallow = make_model(4, 3)
+        deep = make_model(16, 10)
+        assert deep.misc_power_mw() > shallow.misc_power_mw()
+
+    def test_mac_power_grows_with_depth(self):
+        shallow = make_model(4, 3)
+        deep = make_model(16, 10)
+        assert deep.mac_power_mw() > shallow.mac_power_mw()
+
+    def test_energy_linear_in_cycles(self):
+        m = make_model()
+        e1 = m.energy_for_cycles(100)
+        e2 = m.energy_for_cycles(200)
+        assert e2.total_nj == pytest.approx(2 * e1.total_nj)
+
+    def test_energy_independent_of_frequency(self):
+        """Dynamic energy: P grows with f, time shrinks by 1/f."""
+        slow = make_model(f=50.0)
+        fast = make_model(f=200.0)
+        assert slow.energy_for_cycles(1000).total_nj == pytest.approx(
+            fast.energy_for_cycles(1000).total_nj
+        )
+
+    def test_zero_cycles_zero_energy(self):
+        assert make_model().energy_for_cycles(0).total_nj == 0.0
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            make_model().energy_for_cycles(-1)
+
+
+class TestPEResources:
+    def test_pe_slices_exceed_unit_sum(self):
+        m = make_model()
+        assert m.pe_slices() > m.adder.slices + m.multiplier.slices
+
+    def test_pe_mult18(self):
+        assert make_model(fmt=FP32).pe_mult18() == 4
+        assert make_model(fmt=FP64).pe_mult18() == 16
+
+    def test_pe_brams(self):
+        assert make_model().pe_brams() == 1
+
+    def test_deeper_pe_is_bigger(self):
+        assert make_model(16, 10).pe_slices() > make_model(4, 3).pe_slices()

@@ -1,0 +1,87 @@
+"""Unit tests for the XPower-style dynamic power model."""
+
+import pytest
+
+from repro.fabric.netlist import adder_datapath, multiplier_datapath
+from repro.fabric.synthesis import synthesize
+from repro.fp.format import FP32, FP64, PAPER_FORMATS
+from repro.power.xpower import (
+    device_power_mw,
+    estimate_power,
+    raw_power_mw,
+)
+
+
+class TestEstimatePower:
+    def test_components_positive(self):
+        impl = synthesize(adder_datapath(FP32), 8)
+        p = estimate_power(impl, 100.0)
+        assert p.clock_mw > 0
+        assert p.signal_mw > 0
+        assert p.logic_mw > 0
+        assert p.total_mw == pytest.approx(
+            p.clock_mw + p.signal_mw + p.logic_mw + p.mult_mw
+        )
+
+    def test_linear_in_frequency(self):
+        impl = synthesize(adder_datapath(FP32), 8)
+        p100 = estimate_power(impl, 100.0).total_mw
+        p200 = estimate_power(impl, 200.0).total_mw
+        assert p200 == pytest.approx(2 * p100)
+
+    def test_grows_with_pipeline_depth(self):
+        """The Figure 3 invariant: more stages, more power at fixed f."""
+        dp = adder_datapath(FP64)
+        powers = [
+            estimate_power(synthesize(dp, s), 100.0).total_mw for s in (2, 8, 16)
+        ]
+        assert powers == sorted(powers)
+        assert powers[0] < powers[-1]
+
+    def test_wider_formats_burn_more(self):
+        values = [
+            estimate_power(synthesize(adder_datapath(f), 8), 100.0).total_mw
+            for f in PAPER_FORMATS
+        ]
+        assert values == sorted(values)
+
+    def test_multiplier_includes_mult18_power(self):
+        impl = synthesize(multiplier_datapath(FP32), 8)
+        p = estimate_power(impl, 100.0)
+        assert p.mult_mw > 0
+
+    def test_activity_scaling(self):
+        impl = synthesize(adder_datapath(FP32), 8)
+        quiet = estimate_power(impl, 100.0, activity=0.05)
+        loud = estimate_power(impl, 100.0, activity=0.4)
+        assert loud.total_mw > quiet.total_mw
+        assert loud.clock_mw == pytest.approx(quiet.clock_mw)  # f-only term
+
+    def test_invalid_inputs(self):
+        impl = synthesize(adder_datapath(FP32), 4)
+        with pytest.raises(ValueError):
+            estimate_power(impl, 0.0)
+        with pytest.raises(ValueError):
+            estimate_power(impl, 100.0, activity=1.5)
+
+    def test_unit_level_magnitude_sane(self):
+        """A deeply pipelined double adder lands in the 100 mW - 1 W band
+        at 100 MHz, consistent with XPower-era reports."""
+        impl = synthesize(adder_datapath(FP64), 19)
+        total = estimate_power(impl, 100.0).total_mw
+        assert 100.0 < total < 1000.0
+
+
+class TestRawAndDevicePower:
+    def test_raw_power_components(self):
+        base = raw_power_mw(flipflops=100, luts=50, frequency_mhz=100.0)
+        with_bram = raw_power_mw(
+            flipflops=100, luts=50, frequency_mhz=100.0, bram_ports=2
+        )
+        assert with_bram > base
+
+    def test_device_power_adds_static_terms(self):
+        assert device_power_mw(1000.0) > 1000.0
+
+    def test_zero_resources_zero_dynamic(self):
+        assert raw_power_mw(flipflops=0, luts=0, frequency_mhz=100.0) == 0.0

@@ -1,0 +1,105 @@
+"""Tests for the block RAM model."""
+
+import pytest
+
+from repro.rtl.memory import BRAM_BITS, BlockRAM, ReadDuringWrite
+
+
+class TestBasicOperation:
+    def test_synchronous_read_one_cycle(self):
+        ram = BlockRAM(depth=16, width=8)
+        ram.load([10, 20, 30])
+        ram.port(0, 1)
+        assert ram.read_data(0) is None  # nothing captured yet
+        ram.clock()
+        assert ram.read_data(0) == 20
+
+    def test_write_then_read(self):
+        ram = BlockRAM(depth=8, width=8)
+        ram.port(0, 3, wdata=0x5A)
+        ram.clock()
+        ram.port(0, 3)
+        ram.clock()
+        assert ram.read_data(0) == 0x5A
+        assert ram.peek(3) == 0x5A
+
+    def test_output_holds_without_request(self):
+        ram = BlockRAM(depth=8, width=8)
+        ram.load([7])
+        ram.port(0, 0)
+        ram.clock()
+        ram.clock()  # no request: registered output keeps its value
+        assert ram.read_data(0) == 7
+
+    def test_dual_ports_independent(self):
+        ram = BlockRAM(depth=8, width=8)
+        ram.load([1, 2, 3, 4])
+        ram.port(0, 0)
+        ram.port(1, 3)
+        ram.clock()
+        assert ram.read_data(0) == 1
+        assert ram.read_data(1) == 4
+
+    def test_stats(self):
+        ram = BlockRAM(depth=8, width=8)
+        ram.port(0, 0, wdata=1)
+        ram.clock()
+        ram.port(0, 0)
+        ram.clock()
+        assert ram.writes == 1
+        assert ram.reads == 2
+
+
+class TestReadDuringWrite:
+    def test_read_first_returns_old(self):
+        ram = BlockRAM(depth=8, width=8, mode=ReadDuringWrite.READ_FIRST)
+        ram.load([11])
+        ram.port(0, 0, wdata=22)
+        ram.clock()
+        assert ram.read_data(0) == 11  # old data
+        assert ram.peek(0) == 22  # memory updated
+
+    def test_write_first_returns_new(self):
+        ram = BlockRAM(depth=8, width=8, mode=ReadDuringWrite.WRITE_FIRST)
+        ram.load([11])
+        ram.port(0, 0, wdata=22)
+        ram.clock()
+        assert ram.read_data(0) == 22
+
+
+class TestValidation:
+    def test_address_range(self):
+        ram = BlockRAM(depth=4, width=8)
+        with pytest.raises(ValueError):
+            ram.port(0, 4)
+
+    def test_width_checked(self):
+        ram = BlockRAM(depth=4, width=8)
+        with pytest.raises(ValueError):
+            ram.port(0, 0, wdata=256)
+
+    def test_bad_port(self):
+        ram = BlockRAM(depth=4, width=8)
+        with pytest.raises(ValueError):
+            ram.port(2, 0)
+        with pytest.raises(ValueError):
+            ram.read_data(3)
+
+    def test_bad_geometry(self):
+        with pytest.raises(ValueError):
+            BlockRAM(depth=0, width=8)
+
+    def test_load_overflow(self):
+        ram = BlockRAM(depth=2, width=8)
+        with pytest.raises(ValueError):
+            ram.load([1, 2, 3])
+        with pytest.raises(ValueError):
+            ram.load([256])
+
+
+class TestCapacity:
+    def test_physical_bram_count(self):
+        # 512 x 36 = 18 Kb exactly -> 1 block; one more word -> 2 blocks.
+        assert BlockRAM(depth=512, width=36).physical_brams == 1
+        assert BlockRAM(depth=513, width=36).physical_brams == 2
+        assert BRAM_BITS == 18 * 1024

@@ -1,0 +1,152 @@
+"""Unit and property tests for pipeline registers and pipelined units."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rtl.pipeline import PipelinedFunction, PipelineRegister
+
+
+class TestPipelineRegister:
+    def test_depth_zero_is_passthrough(self):
+        r = PipelineRegister(0)
+        assert r.step("x") == "x"
+        assert r.occupancy == 0
+
+    def test_latency_matches_depth(self):
+        r = PipelineRegister(3)
+        outs = [r.step(i) for i in range(6)]
+        assert outs == [None, None, None, 0, 1, 2]
+
+    def test_bubbles_travel(self):
+        r = PipelineRegister(2)
+        r.step("a")
+        r.step(None)
+        assert r.step("b") == "a"
+        assert r.step(None) is None
+        assert r.step(None) == "b"
+
+    def test_occupancy(self):
+        r = PipelineRegister(3)
+        r.step("a")
+        assert r.occupancy == 1
+        r.step("b")
+        assert r.occupancy == 2
+        r.step(None)
+        assert r.occupancy == 2
+
+    def test_flush(self):
+        r = PipelineRegister(3)
+        r.step("a")
+        r.flush()
+        assert r.occupancy == 0
+        assert r.step(None) is None
+
+    def test_negative_depth_rejected(self):
+        with pytest.raises(ValueError):
+            PipelineRegister(-1)
+
+    def test_len(self):
+        assert len(PipelineRegister(4)) == 4
+
+
+class TestPipelinedFunction:
+    def test_latency_exact(self):
+        pf = PipelinedFunction(lambda x: x * 2, latency=5)
+        results = []
+        for i in range(10):
+            operands = (i,) if i < 3 else None
+            results.append(pf.step(operands))
+        # issue at cycles 0,1,2 -> done at cycles 5,6,7
+        dones = [i for i, (_, d) in enumerate(results) if d]
+        assert dones == [5, 6, 7]
+        assert [r for (r, d) in results if d] == [0, 2, 4]
+
+    def test_initiation_interval_one(self):
+        pf = PipelinedFunction(lambda x: x, latency=3)
+        out = [pf.step((i,)) for i in range(20)]
+        values = [r for (r, d) in out if d]
+        assert values == list(range(17))
+        assert pf.issued == 20
+        assert pf.completed == 17
+
+    def test_drain(self):
+        pf = PipelinedFunction(lambda x: -x, latency=4)
+        for i in range(3):
+            pf.step((i,))
+        assert pf.drain() == [0, -1, -2]
+        assert pf.in_flight == 0
+
+    def test_stats(self):
+        pf = PipelinedFunction(lambda x: x, latency=2)
+        pf.step((1,))
+        pf.step(None)
+        pf.step(None)
+        pf.step(None)
+        assert pf.issued == 1
+        assert pf.completed == 1
+        assert pf.busy_cycles == 2
+        assert pf.cycles == 4
+        assert pf.utilization == 0.5
+
+    def test_reset(self):
+        pf = PipelinedFunction(lambda x: x, latency=2)
+        pf.step((1,))
+        pf.reset()
+        assert pf.in_flight == 0
+        assert pf.cycles == 0
+        _, done = pf.step(None)
+        assert not done
+
+    def test_latency_must_be_positive(self):
+        with pytest.raises(ValueError):
+            PipelinedFunction(lambda x: x, latency=0)
+
+    def test_two_phase_protocol_enforced(self):
+        pf = PipelinedFunction(lambda x: x, latency=2)
+        pf.begin_cycle()
+        with pytest.raises(RuntimeError):
+            pf.begin_cycle()
+        pf.end_cycle(None)
+        with pytest.raises(RuntimeError):
+            pf.end_cycle(None)
+
+    def test_two_phase_equivalent_to_step(self):
+        a = PipelinedFunction(lambda x: x + 1, latency=3)
+        b = PipelinedFunction(lambda x: x + 1, latency=3)
+        for i in range(10):
+            operands = (i,) if i % 2 == 0 else None
+            ra = a.step(operands)
+            rb = b.begin_cycle()
+            b.end_cycle(operands)
+            assert ra == rb
+
+    @settings(max_examples=100)
+    @given(
+        st.integers(1, 8),
+        st.lists(st.one_of(st.none(), st.integers(0, 100)), max_size=40),
+    )
+    def test_stream_is_delayed_map(self, latency, stream):
+        """Output stream == input stream mapped by fn, delayed by latency."""
+        pf = PipelinedFunction(lambda x: x * 3 + 1, latency=latency)
+        outs = []
+        for item in stream + [None] * latency:
+            payload, done = pf.step((item,) if item is not None else None)
+            outs.append(payload if done else None)
+        expected = [None] * latency + [
+            (x * 3 + 1) if x is not None else None for x in stream
+        ]
+        assert outs == expected
+
+    @settings(max_examples=60)
+    @given(st.integers(1, 6), st.integers(0, 30))
+    def test_conservation(self, latency, count):
+        """Everything issued eventually completes, exactly once."""
+        pf = PipelinedFunction(lambda x: x, latency=latency)
+        seen = []
+        for i in range(count):
+            payload, done = pf.step((i,))
+            if done:
+                seen.append(payload)
+        seen.extend(pf.drain())
+        assert seen == list(range(count))

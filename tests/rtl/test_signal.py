@@ -1,0 +1,54 @@
+"""Unit tests for width-checked two-phase signals."""
+
+import pytest
+
+from repro.rtl.signal import Signal
+
+
+class TestSignal:
+    def test_reset_value(self):
+        s = Signal("s", 8, reset=5)
+        assert s.value == 5
+        assert int(s) == 5
+
+    def test_drive_is_invisible_until_latch(self):
+        s = Signal("s", 8)
+        s.drive(42)
+        assert s.value == 0
+        s.latch()
+        assert s.value == 42
+
+    def test_latch_without_drive_holds(self):
+        s = Signal("s", 8, reset=7)
+        s.latch()
+        assert s.value == 7
+
+    def test_width_checked_on_drive(self):
+        s = Signal("s", 4)
+        with pytest.raises(ValueError):
+            s.drive(16)
+        with pytest.raises(ValueError):
+            s.drive(-1)
+
+    def test_width_checked_on_reset(self):
+        with pytest.raises(ValueError):
+            Signal("s", 4, reset=16)
+
+    def test_zero_width_rejected(self):
+        with pytest.raises(ValueError):
+            Signal("s", 0)
+
+    def test_toggle_counting(self):
+        s = Signal("s", 8)
+        s.drive(0b1111)  # 4 toggles
+        s.latch()
+        s.drive(0b1010)  # 2 toggles
+        s.latch()
+        assert s.toggles == 6
+
+    def test_redrive_overwrites_pending(self):
+        s = Signal("s", 8)
+        s.drive(1)
+        s.drive(2)
+        s.latch()
+        assert s.value == 2

@@ -1,0 +1,83 @@
+"""Unit tests for the two-phase cycle scheduler."""
+
+import pytest
+
+from repro.rtl.signal import Signal
+from repro.rtl.simulator import Simulator, SynchronousComponent
+
+
+class Counter(SynchronousComponent):
+    """Increments a signal every cycle."""
+
+    def __init__(self, name: str = "count") -> None:
+        self.out = Signal(name, 16)
+
+    def evaluate(self, cycle: int) -> None:
+        self.out.drive((self.out.value + 1) & 0xFFFF)
+
+    def latch(self) -> None:
+        self.out.latch()
+
+
+class Follower(SynchronousComponent):
+    """Registers another signal (one-cycle delay)."""
+
+    def __init__(self, src: Signal) -> None:
+        self.src = src
+        self.out = Signal(f"{src.name}_d", src.width)
+
+    def evaluate(self, cycle: int) -> None:
+        self.out.drive(self.src.value)
+
+    def latch(self) -> None:
+        self.out.latch()
+
+
+class TestSimulator:
+    def test_step_advances_cycle(self):
+        sim = Simulator([Counter()])
+        sim.step()
+        sim.step()
+        assert sim.cycle == 2
+
+    def test_counter_counts(self):
+        c = Counter()
+        sim = Simulator([c])
+        sim.run(5)
+        assert c.out.value == 5
+
+    def test_two_phase_order_independence(self):
+        """Follower sees the pre-edge value regardless of registration order."""
+        for order in ("cf", "fc"):
+            c = Counter()
+            f = Follower(c.out)
+            comps = [c, f] if order == "cf" else [f, c]
+            sim = Simulator(comps)
+            sim.run(4)
+            assert c.out.value == 4
+            assert f.out.value == 3  # exactly one cycle behind
+
+    def test_run_until(self):
+        c = Counter()
+        sim = Simulator([c])
+        used = sim.run_until(lambda: c.out.value >= 10)
+        assert used == 10
+        assert c.out.value == 10
+
+    def test_run_until_limit(self):
+        c = Counter()
+        sim = Simulator([c])
+        with pytest.raises(RuntimeError):
+            sim.run_until(lambda: False, limit=5)
+
+    def test_max_cycles_guard(self):
+        sim = Simulator([Counter()], max_cycles=3)
+        with pytest.raises(RuntimeError):
+            sim.run(10)
+
+    def test_add_component(self):
+        sim = Simulator()
+        c = Counter()
+        sim.add(c)
+        sim.step()
+        assert c.out.value == 1

@@ -1,0 +1,54 @@
+"""Protocol tests for the two-phase staged pipeline."""
+
+import pytest
+
+from repro.rtl.staged import MicroOp, StagedPipeline
+
+
+def inc_ops():
+    return [MicroOp("inc", lambda s: {"x": s["x"] + 1})]
+
+
+class TestTwoPhaseProtocol:
+    def test_double_begin_rejected(self):
+        pipe = StagedPipeline(inc_ops(), 2)
+        pipe.begin_cycle()
+        with pytest.raises(RuntimeError, match="begin_cycle"):
+            pipe.begin_cycle()
+
+    def test_end_without_begin_rejected(self):
+        pipe = StagedPipeline(inc_ops(), 2)
+        with pytest.raises(RuntimeError, match="end_cycle"):
+            pipe.end_cycle(None)
+
+    def test_step_composes_phases(self):
+        a = StagedPipeline(inc_ops(), 3)
+        b = StagedPipeline(inc_ops(), 3)
+        for i in range(8):
+            bundle = {"x": i} if i % 2 == 0 else None
+            ra = a.step(bundle)
+            rb = b.begin_cycle()
+            b.end_cycle(bundle)
+            assert ra == rb
+
+    def test_reset_clears_mid_cycle(self):
+        pipe = StagedPipeline(inc_ops(), 2)
+        pipe.begin_cycle()
+        pipe.reset()
+        # after reset a fresh begin must be legal again
+        out, done = pipe.begin_cycle()
+        assert out is None and not done
+        pipe.end_cycle(None)
+
+    def test_writeback_visible_before_issue(self):
+        """An issuer reading state between the phases sees this edge's
+        completion — the accumulator write-before-read discipline."""
+        pipe = StagedPipeline(inc_ops(), 1)
+        accumulator = {"value": 0}
+        pipe.step({"x": 10})
+        out, done = pipe.begin_cycle()
+        assert done
+        accumulator["value"] = out["x"]  # writeback: 11
+        pipe.end_cycle({"x": accumulator["value"]})  # issue reads fresh value
+        final = pipe.drain()[0]
+        assert final["x"] == 12

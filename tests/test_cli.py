@@ -1,0 +1,56 @@
+"""Unit tests for the command-line runner."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "table1" in out and "fig5" in out
+
+    def test_default_is_list(self, capsys):
+        assert main([]) == 0
+        assert "available experiments" in capsys.readouterr().out
+
+    def test_unknown_experiment(self, capsys):
+        assert main(["nope"]) == 2
+        err = capsys.readouterr().err
+        assert "unknown experiments: nope" in err
+
+    def test_run_single_experiment(self, capsys):
+        assert main(["table3"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out
+        assert "Nallatech" in out
+
+    def test_run_multiple(self, capsys):
+        assert main(["table3", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 3" in out and "Table 4" in out
+
+    def test_csv_mode_table(self, capsys):
+        assert main(["--csv", "table4"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("Unit,Source")
+
+    def test_csv_mode_figure_bundle(self, capsys):
+        assert main(["--csv", "fig6"]) == 0
+        out = capsys.readouterr().out
+        # all three panels exported (energy, resources, latency)
+        assert sum(1 for line in out.splitlines() if line.startswith("b,")) == 3
+
+    def test_results_writer(self, tmp_path, capsys):
+        from repro.cli import main as cli_main
+
+        out = tmp_path / "artifacts"
+        assert cli_main(["results", "--outdir", str(out)]) == 0
+        files = sorted(p.name for p in out.iterdir())
+        # every experiment leaves a .txt, tables/figures also leave CSVs
+        assert "table1.txt" in files
+        assert "table1.csv" in files
+        assert "fig5_energy.csv" in files
+        assert "sec4_2.txt" in files
+        assert (out / "table1.csv").read_text().startswith("Precision,")

@@ -1,0 +1,90 @@
+"""Tests for the coverage-directed verification harness — and, through
+it, a full class-pair sweep of every datapath on every paper format."""
+
+import pytest
+
+from repro.fp.format import FP32, FP48, FP64
+from repro.fp.rounding import RoundingMode
+from repro.verify.testbench import (
+    OperandClass,
+    OperandGenerator,
+    run_testbench,
+)
+
+
+class TestOperandGenerator:
+    def test_every_class_produces_valid_words(self):
+        gen = OperandGenerator(FP32, seed=1)
+        for cls in OperandClass:
+            for _ in range(5):
+                bits = gen.sample(cls)
+                assert 0 <= bits <= FP32.word_mask
+
+    def test_classes_classify_correctly(self):
+        gen = OperandGenerator(FP32, seed=2)
+        assert FP32.is_zero(gen.sample(OperandClass.POS_ZERO))
+        assert FP32.is_zero(gen.sample(OperandClass.NEG_ZERO))
+        assert FP32.is_inf(gen.sample(OperandClass.POS_INF))
+        assert FP32.is_nan(gen.sample(OperandClass.NAN))
+        assert FP32.is_zero(gen.sample(OperandClass.DENORMAL_PATTERN))
+        assert FP32.is_finite(gen.sample(OperandClass.RANDOM_NORMAL))
+
+    def test_deterministic_with_seed(self):
+        a = OperandGenerator(FP32, seed=7)
+        b = OperandGenerator(FP32, seed=7)
+        for cls in OperandClass:
+            assert a.sample(cls) == b.sample(cls)
+
+
+class TestTestbenchRuns:
+    @pytest.mark.parametrize("op", ["add", "sub", "mul", "div"])
+    @pytest.mark.parametrize("fmt", [FP32, FP48, FP64], ids=lambda f: f.name)
+    def test_all_ops_pass_with_full_coverage(self, op, fmt):
+        report = run_testbench(fmt, op=op, samples_per_pair=2, seed=13)
+        assert report.passed, report.mismatches[:3]
+        assert report.full_coverage
+        assert report.cases == report.total_pairs * 2
+
+    def test_truncation_mode(self):
+        report = run_testbench(FP32, op="mul", samples_per_pair=2,
+                               mode=RoundingMode.TRUNCATE)
+        assert report.passed
+
+    def test_flag_histogram_populated(self):
+        report = run_testbench(FP32, op="add", samples_per_pair=3)
+        assert report.flag_histogram.get("invalid", 0) > 0  # NaN pairs
+        assert report.flag_histogram.get("zero", 0) > 0
+
+    def test_div_by_zero_flag_observed(self):
+        report = run_testbench(FP32, op="div", samples_per_pair=3)
+        assert report.flag_histogram.get("div_by_zero", 0) > 0
+
+    def test_summary_format(self):
+        report = run_testbench(FP32, op="add", samples_per_pair=1)
+        s = report.summary()
+        assert "PASS" in s and "fp32" in s
+
+    def test_unknown_op_rejected(self):
+        with pytest.raises(ValueError, match="unknown op"):
+            run_testbench(FP32, op="cbrt")
+
+
+class TestUnarySqrt:
+    @pytest.mark.parametrize("fmt", [FP32, FP48, FP64], ids=lambda f: f.name)
+    def test_sqrt_passes_with_full_coverage(self, fmt):
+        report = run_testbench(fmt, op="sqrt", samples_per_pair=3, seed=21)
+        assert report.passed, report.mismatches[:3]
+        assert report.arity == 1
+        assert report.full_coverage
+        assert report.cases == len(OperandClass) * 3
+
+    def test_sqrt_flags_observed(self):
+        report = run_testbench(FP32, op="sqrt", samples_per_pair=3)
+        # negative operands and NaNs raise invalid; roots are inexact
+        assert report.flag_histogram.get("invalid", 0) > 0
+        assert report.flag_histogram.get("inexact", 0) > 0
+
+    def test_sqrt_truncation_mode(self):
+        report = run_testbench(FP32, op="sqrt", samples_per_pair=2,
+                               mode=RoundingMode.TRUNCATE)
+        assert report.passed
