@@ -1,0 +1,61 @@
+"""Benchmarks for the evaluation engine: cold-serial vs cold-parallel vs
+warm-cache ``repro all``.
+
+``pytest benchmarks/test_bench_engine.py --benchmark-only`` times the
+three regimes; the plain (non-benchmark) test at the bottom asserts the
+headline property — a warm-cache run is far faster than a cold one —
+so the speedup is enforced, not just reported.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.engine import Engine, ResultCache
+from repro.experiments import experiment_jobs
+
+
+def _run_all(cache_dir=None, workers: int = 1) -> Engine:
+    engine = Engine(
+        cache=ResultCache(cache_dir) if cache_dir else None,
+        workers=workers,
+    )
+    engine.run(experiment_jobs())
+    return engine
+
+
+def test_cold_serial(benchmark):
+    benchmark.pedantic(_run_all, rounds=3, warmup_rounds=0)
+
+
+def test_cold_parallel(benchmark):
+    benchmark.pedantic(_run_all, kwargs={"workers": 4}, rounds=3, warmup_rounds=0)
+
+
+def test_warm_cache(benchmark, tmp_path):
+    cache_dir = tmp_path / "cache"
+    _run_all(cache_dir=cache_dir)  # prime
+    engine = benchmark.pedantic(
+        _run_all, kwargs={"cache_dir": cache_dir}, rounds=3, warmup_rounds=1
+    )
+    assert engine.metrics.hit_rate == 1.0
+
+
+def test_warm_is_much_faster_than_cold(tmp_path):
+    cache_dir = tmp_path / "cache"
+
+    t0 = time.perf_counter()
+    cold = _run_all(cache_dir=cache_dir)
+    cold_s = time.perf_counter() - t0
+    assert cold.metrics.cache_hits == 0
+
+    t0 = time.perf_counter()
+    warm = _run_all(cache_dir=cache_dir)
+    warm_s = time.perf_counter() - t0
+    assert warm.metrics.hit_rate == 1.0
+
+    # The acceptance bar is "warm ≪ cold"; 3x leaves headroom for noisy
+    # CI boxes (locally the ratio is >10x).
+    assert warm_s < cold_s / 3, (
+        f"warm cache run not faster: cold={cold_s:.3f}s warm={warm_s:.3f}s"
+    )

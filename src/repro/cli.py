@@ -4,65 +4,148 @@ Usage::
 
     repro list                # enumerate experiments
     repro all                 # run everything, in paper order
+    repro all --parallel 4    # same results, evaluated across cores
+    repro all --cache-dir .repro-cache   # persist results; reruns are warm
     repro table1 fig2a ...    # run specific experiments
     repro --csv fig5          # CSV output where supported
+    repro results --outdir results/      # write all artifacts
+    repro cache stats         # inspect the persistent cache
+    repro cache clear         # drop it
 
 Each experiment prints rows/series directly comparable to the paper's
-table or figure of the same number.
+table or figure of the same number.  Experiments are evaluated through
+:mod:`repro.engine`: output order is always REGISTRY order regardless of
+``--parallel`` completion order, and the engine's run summary (per-job
+wall time, cache hit/miss counters) is printed to stderr so stdout stays
+byte-identical to a serial, uncached run.
 """
 
 from __future__ import annotations
 
 import argparse
+import os
+import pathlib
 import sys
 from typing import Any, Sequence
 
-from repro.experiments import REGISTRY
+from repro.engine import (
+    CACHE_DIR_ENV,
+    CACHE_VERSION,
+    Engine,
+    ResultCache,
+    configure_default_engine,
+)
+from repro.experiments import REGISTRY, experiment_jobs
+
+#: Cache directory used when ``repro cache`` is invoked without an
+#: explicit ``--cache-dir`` or ``$REPRO_CACHE_DIR``.
+DEFAULT_CACHE_DIR = ".repro-cache"
+
+
+def discover_panels(result: Any) -> list[tuple[str, Any]]:
+    """CSV-exportable panels of a result, as ``(suffix, panel)`` pairs.
+
+    Plain tables/sweeps export themselves (empty suffix); figure bundles
+    (Figures 5/6) export one panel per metric attribute.
+    """
+    if hasattr(result, "to_csv"):
+        return [("", result)]
+    panels = []
+    for attr in ("energy", "resources", "latency"):
+        panel = getattr(result, attr, None)
+        if panel is not None and hasattr(panel, "to_csv"):
+            panels.append((attr, panel))
+    return panels
 
 
 def _emit(result: Any, csv: bool) -> None:
-    if csv and hasattr(result, "to_csv"):
-        print(result.to_csv())
-        return
     if csv:
-        # Bundles (Figure 5/6) expose panels; fall through panel-wise.
-        for attr in ("energy", "resources", "latency"):
-            panel = getattr(result, attr, None)
-            if panel is not None and hasattr(panel, "to_csv"):
-                print(panel.to_csv())
+        for _suffix, panel in discover_panels(result):
+            print(panel.to_csv())
         return
     print(result)
 
 
-def write_results(outdir: str) -> int:
-    """Run every experiment, writing text and CSV artifacts to ``outdir``."""
-    import pathlib
+def _resolve_cache_dir(args: argparse.Namespace, default: str | None = None) -> str | None:
+    if getattr(args, "no_cache", False):
+        return None
+    return args.cache_dir or os.environ.get(CACHE_DIR_ENV) or default
 
+
+def build_engine(args: argparse.Namespace) -> Engine:
+    """Engine configured from ``--parallel/--cache-dir/--no-cache``."""
+    cache_dir = _resolve_cache_dir(args)
+    cache = ResultCache(cache_dir) if cache_dir else None
+    if cache_dir:
+        # Propagate to process-pool workers and the in-library default
+        # engine, so nested sweeps (explorer, kernel design space) share
+        # the same persistent store.
+        os.environ[CACHE_DIR_ENV] = cache_dir
+        configure_default_engine(None)
+    return Engine(
+        cache=cache,
+        workers=args.parallel,
+        timeout_s=args.timeout,
+        retries=args.retries,
+    )
+
+
+def run_experiments(names: list[str], args: argparse.Namespace) -> int:
+    engine = build_engine(args)
+    results = engine.run(experiment_jobs(names))
+    for i, result in enumerate(results):
+        if i:
+            print()
+        _emit(result, args.csv)
+    print(engine.metrics.summary(), file=sys.stderr)
+    return 0
+
+
+def write_results(outdir: str, args: argparse.Namespace) -> int:
+    """Run every experiment, writing text and CSV artifacts to ``outdir``."""
     root = pathlib.Path(outdir)
     root.mkdir(parents=True, exist_ok=True)
+    engine = build_engine(args)
+    results = engine.run(experiment_jobs())
     written = []
-    for name, fn in REGISTRY.items():
-        result = fn()
+    for name, result in zip(REGISTRY, results):
         stem = name.replace(".", "_")
-        panels: list[tuple[str, Any]] = []
-        if hasattr(result, "to_csv"):
-            panels.append((stem, result))
-        else:  # figure bundles
-            for attr in ("energy", "resources", "latency"):
-                panel = getattr(result, attr, None)
-                if panel is not None and hasattr(panel, "to_csv"):
-                    panels.append((f"{stem}_{attr}", panel))
         text_path = root / f"{stem}.txt"
         text_path.write_text(str(result) + "\n")
         written.append(text_path)
-        for panel_name, panel in panels:
-            csv_path = root / f"{panel_name}.csv"
+        for suffix, panel in discover_panels(result):
+            csv_path = root / (f"{stem}_{suffix}.csv" if suffix else f"{stem}.csv")
             csv_path.write_text(panel.to_csv())
             written.append(csv_path)
     print(f"wrote {len(written)} artifacts to {root}/")
-    for path in written:
+    for path in sorted(written):
         print(f"  {path}")
+    print(engine.metrics.summary(), file=sys.stderr)
     return 0
+
+
+def cache_command(action: str, args: argparse.Namespace) -> int:
+    if action not in ("stats", "clear"):
+        print(
+            f"unknown cache action {action!r} (expected: stats, clear)",
+            file=sys.stderr,
+        )
+        return 2
+    cache_dir = _resolve_cache_dir(args, default=DEFAULT_CACHE_DIR)
+    assert cache_dir is not None
+    cache = ResultCache(cache_dir)
+    if action == "stats":
+        print(cache.stats().render())
+        return 0
+    if action == "clear":
+        if getattr(args, "stale", False):
+            removed = cache.clear(stale_only=True, current_version=CACHE_VERSION)
+            print(f"removed {removed} stale entr{'y' if removed == 1 else 'ies'}")
+        else:
+            removed = cache.clear()
+            print(f"removed {removed} entr{'y' if removed == 1 else 'ies'}")
+        return 0
+    raise AssertionError(action)  # pragma: no cover - validated above
 
 
 def main(argv: Sequence[str] | None = None) -> int:
@@ -76,8 +159,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "experiments",
         nargs="*",
         default=["list"],
-        help="experiment names (see 'repro list'), 'all', or 'results' to "
-        "write every artifact to --outdir",
+        help="experiment names (see 'repro list'), 'all', 'results' to "
+        "write every artifact to --outdir, or 'cache {stats,clear}'",
     )
     parser.add_argument(
         "--csv", action="store_true", help="emit CSV instead of text tables"
@@ -87,16 +170,65 @@ def main(argv: Sequence[str] | None = None) -> int:
         default="results",
         help="output directory for the 'results' command (default: results/)",
     )
+    parser.add_argument(
+        "--parallel",
+        "-j",
+        type=int,
+        default=1,
+        metavar="N",
+        help="evaluate experiments on N worker processes (default: 1, serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="persist results under DIR and reuse them on reruns "
+        f"(also via ${CACHE_DIR_ENV}; 'repro cache' defaults to "
+        f"{DEFAULT_CACHE_DIR}/)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="ignore any configured cache directory",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="S",
+        help="per-experiment wall-time cap in seconds (parallel runs)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=1,
+        metavar="K",
+        help="re-attempts per failing experiment (default: 1)",
+    )
+    parser.add_argument(
+        "--stale",
+        action="store_true",
+        help="with 'cache clear': only drop entries from older versions",
+    )
     args = parser.parse_args(argv)
+    if args.parallel < 1:
+        parser.error(f"--parallel must be >= 1, got {args.parallel}")
+    if args.retries < 0:
+        parser.error(f"--retries must be >= 0, got {args.retries}")
 
     names = list(args.experiments)
+    if names and names[0] == "cache":
+        if len(names) != 2:
+            print("usage: repro cache {stats,clear}", file=sys.stderr)
+            return 2
+        return cache_command(names[1], args)
     if names == ["list"]:
         print("available experiments:")
         for name in REGISTRY:
             print(f"  {name}")
         return 0
     if names == ["results"]:
-        return write_results(args.outdir)
+        return write_results(args.outdir, args)
     if names == ["all"]:
         names = list(REGISTRY)
 
@@ -106,11 +238,7 @@ def main(argv: Sequence[str] | None = None) -> int:
         print(f"known: {', '.join(REGISTRY)}", file=sys.stderr)
         return 2
 
-    for i, name in enumerate(names):
-        if i:
-            print()
-        _emit(REGISTRY[name](), args.csv)
-    return 0
+    return run_experiments(names, args)
 
 
 if __name__ == "__main__":  # pragma: no cover

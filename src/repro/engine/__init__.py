@@ -1,0 +1,94 @@
+"""repro.engine — parallel, cached, observable evaluation engine.
+
+Every figure/table of the reproduction is driven by the same expensive
+inner loop — synthesis sweeps across pipeline depths, formats and kernel
+configs.  This package turns each such evaluation into a :class:`Job`
+(a pure callable plus canonicalized parameters, content-addressed by a
+SHA-256 key), runs batches of jobs through pluggable serial or
+process-pool executors with per-job timeout and retry, memoizes results
+in-process and in a persistent on-disk cache, and reports per-job
+wall-time and cache hit/miss counters via :class:`EngineMetrics`.
+
+Layering::
+
+    job.py       Job + canonical config hashing (content-addressed keys)
+    cache.py     persistent on-disk result cache (JSON blobs, versioned)
+    executor.py  serial / process-pool backends, timeout, retry, fallback
+    metrics.py   per-job records, counters, run summary report
+    core.py      Engine: cache -> executor -> metrics orchestration
+
+The module-level *default engine* (serial, in-process memo, disk cache
+from ``$REPRO_CACHE_DIR`` when set) is what the design-space explorers
+route their sweeps through; the CLI builds explicit engines from
+``--parallel/--cache-dir/--no-cache``.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Optional
+
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.core import Engine
+from repro.engine.executor import (
+    ExecutionOutcome,
+    JobFailure,
+    ParallelExecutor,
+    SerialExecutor,
+)
+from repro.engine.job import CACHE_VERSION, Job, canonicalize, job_key
+from repro.engine.metrics import EngineMetrics, JobRecord
+
+#: Environment variable naming the persistent cache directory.  Set by
+#: the CLI when ``--cache-dir`` is given so that process-pool workers
+#: (which build their own default engines) share the same cache.
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+
+_default_engine: Optional[Engine] = None
+_default_lock = threading.Lock()
+
+
+def default_engine() -> Engine:
+    """The shared in-process engine used by the library's sweep layers.
+
+    Serial (the CLI parallelizes at experiment granularity; nested
+    process pools would oversubscribe), with in-process memoization so
+    repeated sweeps of the same design space — e.g. Table 1 and Figure
+    2a both exploring the adders — are evaluated once per process.  A
+    disk cache is attached when ``$REPRO_CACHE_DIR`` is set.
+    """
+    global _default_engine
+    with _default_lock:
+        if _default_engine is None:
+            cache_dir = os.environ.get(CACHE_DIR_ENV)
+            cache = ResultCache(cache_dir) if cache_dir else None
+            _default_engine = Engine(cache=cache)
+        return _default_engine
+
+
+def configure_default_engine(engine: Optional[Engine]) -> None:
+    """Replace (or with ``None``, reset) the shared default engine."""
+    global _default_engine
+    with _default_lock:
+        _default_engine = engine
+
+
+__all__ = [
+    "CACHE_DIR_ENV",
+    "CACHE_VERSION",
+    "CacheStats",
+    "Engine",
+    "EngineMetrics",
+    "ExecutionOutcome",
+    "Job",
+    "JobFailure",
+    "JobRecord",
+    "ParallelExecutor",
+    "ResultCache",
+    "SerialExecutor",
+    "canonicalize",
+    "configure_default_engine",
+    "default_engine",
+    "job_key",
+]

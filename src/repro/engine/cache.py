@@ -1,0 +1,195 @@
+"""Persistent on-disk result cache.
+
+One JSON blob per cached result, named ``<key>.json`` under the cache
+directory (sharded by the first two hex digits of the key to keep
+directories small).  The blob carries the full job description, the
+version stamp, provenance (wall time of the original computation) and
+the result payload — pickled and base64-armoured, because experiment
+results are rich dataclasses (``Table``, ``SweepResult``, figure
+bundles) whose rendering must round-trip *byte-identically*.
+
+Consistency properties:
+
+* **Content addressing** — the key already encodes config + version, so
+  a lookup can never return a result computed from different inputs.
+* **Versioned invalidation** — ``get`` re-checks the stored version
+  stamp against the job's; stale blobs read as misses (and are swept by
+  ``clear(stale_only=True)``).
+* **Crash safety** — writes go to a temp file in the same directory and
+  are ``os.replace``d into place, so concurrent workers and interrupted
+  runs can never leave a torn blob behind; corrupt or unreadable blobs
+  degrade to misses, never to errors.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import os
+import pickle
+import tempfile
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Iterator, Optional, Tuple
+
+from repro.engine.job import Job
+
+#: Bump when the blob layout changes (independent of the model version).
+BLOB_FORMAT = 1
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Aggregate state of a cache directory (for ``repro cache stats``)."""
+
+    path: str
+    entries: int
+    total_bytes: int
+    by_version: Tuple[Tuple[str, int], ...]
+    oldest_unix: Optional[float]
+    newest_unix: Optional[float]
+
+    def render(self) -> str:
+        lines = [
+            f"cache {self.path}",
+            f"  entries:     {self.entries}",
+            f"  size:        {_human_bytes(self.total_bytes)}",
+        ]
+        for version, count in self.by_version:
+            lines.append(f"  version {version}: {count} entries")
+        if self.oldest_unix is not None and self.newest_unix is not None:
+            span_h = (self.newest_unix - self.oldest_unix) / 3600.0
+            lines.append(f"  age span:    {span_h:.2f} h")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def _human_bytes(n: int) -> str:
+    for unit in ("B", "KiB", "MiB", "GiB"):
+        if n < 1024 or unit == "GiB":
+            return f"{n:.1f} {unit}" if unit != "B" else f"{n} B"
+        n /= 1024
+    return f"{n} B"  # pragma: no cover - unreachable
+
+
+class ResultCache:
+    """Content-addressed result store under a single directory."""
+
+    def __init__(self, path: str | os.PathLike[str]) -> None:
+        # The directory is created lazily on first write, so read-only
+        # operations (stats on a mistyped path, lookups with no prior
+        # runs) never litter the filesystem.
+        self.root = Path(path)
+
+    # ----------------------------------------------------------------- #
+    # lookup / store
+    # ----------------------------------------------------------------- #
+    def _blob_path(self, key: str) -> Path:
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, job: Job) -> Tuple[bool, Any]:
+        """``(hit, result)``; misses (absent/corrupt/stale) are ``(False, None)``."""
+        path = self._blob_path(job.key)
+        try:
+            doc = json.loads(path.read_text())
+        except (OSError, ValueError):
+            return False, None
+        if doc.get("format") != BLOB_FORMAT or doc.get("version") != job.version:
+            return False, None
+        try:
+            payload = base64.b64decode(doc["payload"])
+            return True, pickle.loads(payload)
+        except Exception:
+            # A torn or unpicklable blob is a miss; recompute overwrites it.
+            return False, None
+
+    def put(self, job: Job, result: Any, wall_s: float = 0.0) -> None:
+        payload = base64.b64encode(
+            pickle.dumps(result, protocol=pickle.HIGHEST_PROTOCOL)
+        ).decode("ascii")
+        doc = {
+            "format": BLOB_FORMAT,
+            "key": job.key,
+            "version": job.version,
+            "job": job.describe(),
+            "created_unix": time.time(),
+            "wall_s": wall_s,
+            "payload_encoding": "pickle+base64",
+            "payload": payload,
+        }
+        path = self._blob_path(job.key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=path.parent, suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+
+    # ----------------------------------------------------------------- #
+    # maintenance
+    # ----------------------------------------------------------------- #
+    def _iter_blobs(self) -> Iterator[Path]:
+        yield from sorted(self.root.glob("*/*.json"))
+
+    def stats(self) -> CacheStats:
+        entries = 0
+        total = 0
+        by_version: dict[str, int] = {}
+        oldest: Optional[float] = None
+        newest: Optional[float] = None
+        for path in self._iter_blobs():
+            try:
+                doc = json.loads(path.read_text())
+            except (OSError, ValueError):
+                continue
+            entries += 1
+            total += path.stat().st_size
+            version = str(doc.get("version", "?"))
+            by_version[version] = by_version.get(version, 0) + 1
+            created = doc.get("created_unix")
+            if isinstance(created, (int, float)):
+                oldest = created if oldest is None else min(oldest, created)
+                newest = created if newest is None else max(newest, created)
+        return CacheStats(
+            path=str(self.root),
+            entries=entries,
+            total_bytes=total,
+            by_version=tuple(sorted(by_version.items())),
+            oldest_unix=oldest,
+            newest_unix=newest,
+        )
+
+    def clear(self, stale_only: bool = False,
+              current_version: Optional[str] = None) -> int:
+        """Delete blobs; with ``stale_only`` keep the current version. Returns count."""
+        removed = 0
+        for path in self._iter_blobs():
+            if stale_only:
+                try:
+                    doc = json.loads(path.read_text())
+                    if doc.get("version") == current_version:
+                        continue
+                except (OSError, ValueError):
+                    pass  # unreadable blobs are stale by definition
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                continue
+        # Prune now-empty shard directories.
+        for shard in sorted(self.root.glob("*")):
+            if shard.is_dir():
+                try:
+                    shard.rmdir()
+                except OSError:
+                    pass
+        return removed

@@ -1,0 +1,149 @@
+"""The Engine: cache -> executor -> metrics orchestration.
+
+:meth:`Engine.run` takes jobs in a caller-chosen order and returns
+results *in that order*, whatever the completion order on the parallel
+backend — experiment output stays deterministic under ``--parallel N``.
+
+Resolution order per job:
+
+1. **in-process memo** — same engine, same key, same process: free;
+2. **persistent cache** — a disk hit skips execution entirely;
+3. **executor** — serial or process-pool, with retry and (on the
+   parallel backend) timeout + fallback-to-serial;
+4. successful computations are written back to memo and disk cache.
+
+Failures are strict by default: a job that exhausts its retries raises
+:class:`~repro.engine.executor.JobFailure` after all sibling jobs have
+settled, so one bad experiment cannot silently truncate a sweep.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.engine.cache import ResultCache
+from repro.engine.executor import (
+    ExecutionOutcome,
+    JobFailure,
+    ParallelExecutor,
+    SerialExecutor,
+)
+from repro.engine.job import Job
+from repro.engine.metrics import (
+    STATUS_COMPUTED,
+    STATUS_FAILED,
+    STATUS_HIT,
+    STATUS_MEMO,
+    EngineMetrics,
+    JobRecord,
+)
+
+
+class Engine:
+    """Parallel, cached, observable evaluator for :class:`Job` batches."""
+
+    def __init__(
+        self,
+        cache: Optional[ResultCache] = None,
+        workers: int = 1,
+        timeout_s: float | None = None,
+        retries: int = 1,
+        memoize: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.cache = cache
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.retries = retries
+        self.memoize = memoize
+        self.metrics = EngineMetrics()
+        self._memo: Dict[str, Any] = {}
+
+    # ----------------------------------------------------------------- #
+    # execution
+    # ----------------------------------------------------------------- #
+    def _executor(self, pending: int):
+        if self.workers > 1 and pending > 1:
+            return ParallelExecutor(
+                workers=self.workers, timeout_s=self.timeout_s,
+                retries=self.retries,
+            )
+        return SerialExecutor(retries=self.retries)
+
+    def run(self, jobs: Sequence[Job]) -> List[Any]:
+        """Evaluate ``jobs``; results are returned in submission order."""
+        results: Dict[int, Any] = {}
+        pending: List[tuple[int, Job]] = []
+        first_of: Dict[str, int] = {}  # key -> first pending index
+        duplicates: List[tuple[int, Job]] = []
+
+        for index, job in enumerate(jobs):
+            if self.memoize and job.key in self._memo:
+                results[index] = self._memo[job.key]
+                self.metrics.record(
+                    JobRecord(job.name, job.key, STATUS_MEMO)
+                )
+                continue
+            if self.cache is not None:
+                hit, cached = self.cache.get(job)
+                if hit:
+                    results[index] = cached
+                    if self.memoize:
+                        self._memo[job.key] = cached
+                    self.metrics.record(
+                        JobRecord(job.name, job.key, STATUS_HIT)
+                    )
+                    continue
+            if job.key in first_of:
+                # Same key submitted twice in one batch: evaluate once,
+                # share the result.
+                duplicates.append((index, job))
+                continue
+            first_of[job.key] = index
+            pending.append((index, job))
+
+        failures: List[ExecutionOutcome] = []
+        if pending:
+            for outcome in self._executor(len(pending)).run(pending):
+                job = outcome.job
+                if not outcome.ok:
+                    failures.append(outcome)
+                    self.metrics.record(
+                        JobRecord(
+                            job.name, job.key, STATUS_FAILED,
+                            wall_s=outcome.wall_s, retries=outcome.retries,
+                            backend=outcome.backend,
+                        )
+                    )
+                    continue
+                results[outcome.index] = outcome.result
+                if self.memoize:
+                    self._memo[job.key] = outcome.result
+                if self.cache is not None:
+                    self.cache.put(job, outcome.result, wall_s=outcome.wall_s)
+                self.metrics.record(
+                    JobRecord(
+                        job.name, job.key, STATUS_COMPUTED,
+                        wall_s=outcome.wall_s, retries=outcome.retries,
+                        backend=outcome.backend,
+                    )
+                )
+
+        for index, job in duplicates:
+            source = first_of[job.key]
+            if source in results:
+                results[index] = results[source]
+                self.metrics.record(JobRecord(job.name, job.key, STATUS_MEMO))
+            else:
+                self.metrics.record(JobRecord(job.name, job.key, STATUS_FAILED))
+
+        if failures:
+            worst = failures[0]
+            raise JobFailure(worst.job, worst.retries + 1, worst.error)
+
+        return [results[i] for i in range(len(jobs))]
+
+    def evaluate(self, job: Job) -> Any:
+        """Evaluate a single job (memo/cache-aware)."""
+        return self.run([job])[0]

@@ -1,0 +1,163 @@
+"""Execution backends: serial and process-pool, with timeout and retry.
+
+Both backends consume a list of (index, :class:`~repro.engine.job.Job`)
+pairs and produce an :class:`ExecutionOutcome` per job.  Ordering is the
+caller's concern — outcomes are keyed by the submitted index, so the
+engine can reassemble results deterministically regardless of completion
+order.
+
+Failure policy (the robustness contract):
+
+* every failed attempt is retried up to ``retries`` times;
+* on the parallel backend, a job that times out, dies with its worker
+  (``BrokenProcessPool``) or fails to pickle is *re-run serially in the
+  parent process* — the fallback-to-serial path — before counting as
+  failed;
+* a job that exhausts its retries surfaces as :class:`JobFailure`
+  carrying the original exception.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures as cf
+import time
+from dataclasses import dataclass
+from typing import Any, List, Sequence, Tuple
+
+from repro.engine.job import Job
+
+
+class JobFailure(RuntimeError):
+    """A job exhausted its retries; ``__cause__`` is the last exception."""
+
+    def __init__(self, job: Job, attempts: int, cause: BaseException) -> None:
+        super().__init__(
+            f"job {job.name!r} failed after {attempts} attempt(s): "
+            f"{type(cause).__name__}: {cause}"
+        )
+        self.job = job
+        self.attempts = attempts
+        self.cause = cause
+
+
+@dataclass(frozen=True)
+class ExecutionOutcome:
+    """Result of executing one job (success or terminal failure)."""
+
+    index: int
+    job: Job
+    result: Any
+    wall_s: float
+    retries: int
+    backend: str  # "serial" | "parallel" | "parallel+serial-fallback"
+    error: BaseException | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+
+def _timed_call(job: Job) -> Tuple[Any, float]:
+    """Worker entry point: evaluate and report the in-worker wall time."""
+    t0 = time.perf_counter()
+    result = job.run()
+    return result, time.perf_counter() - t0
+
+
+def _attempt_serial(job: Job, retries: int) -> Tuple[Any, float, int, BaseException | None]:
+    """Run ``job`` in-process with up to ``retries`` re-attempts."""
+    last: BaseException | None = None
+    for attempt in range(retries + 1):
+        t0 = time.perf_counter()
+        try:
+            return job.run(), time.perf_counter() - t0, attempt, None
+        except Exception as exc:  # noqa: BLE001 - retry any job error
+            last = exc
+    return None, 0.0, retries, last
+
+
+class SerialExecutor:
+    """In-process execution, one job at a time, with retry."""
+
+    name = "serial"
+
+    def __init__(self, retries: int = 1) -> None:
+        self.retries = retries
+
+    def run(self, submissions: Sequence[Tuple[int, Job]]) -> List[ExecutionOutcome]:
+        outcomes = []
+        for index, job in submissions:
+            result, wall, used, error = _attempt_serial(job, self.retries)
+            outcomes.append(
+                ExecutionOutcome(
+                    index=index, job=job, result=result, wall_s=wall,
+                    retries=used, backend=self.name, error=error,
+                )
+            )
+        return outcomes
+
+
+class ParallelExecutor:
+    """Bounded :class:`~concurrent.futures.ProcessPoolExecutor` backend.
+
+    ``timeout_s`` is the default per-job wall-time cap (a job's own
+    ``timeout_s`` overrides it).  Jobs that time out, crash their worker
+    or fail remotely fall back to serial retry in the parent.
+    """
+
+    name = "parallel"
+
+    def __init__(self, workers: int, timeout_s: float | None = None,
+                 retries: int = 1) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        self.workers = workers
+        self.timeout_s = timeout_s
+        self.retries = retries
+
+    def _deadline_for(self, job: Job) -> float | None:
+        return job.timeout_s if job.timeout_s is not None else self.timeout_s
+
+    def run(self, submissions: Sequence[Tuple[int, Job]]) -> List[ExecutionOutcome]:
+        outcomes: List[ExecutionOutcome] = []
+        fallback: List[Tuple[int, Job, BaseException]] = []
+        pool_workers = min(self.workers, max(1, len(submissions)))
+        pool = cf.ProcessPoolExecutor(max_workers=pool_workers)
+        try:
+            futures = {}
+            for index, job in submissions:
+                try:
+                    futures[pool.submit(_timed_call, job)] = (index, job)
+                except Exception as exc:  # unpicklable job, pool broken
+                    fallback.append((index, job, exc))
+            # Collect in submission order; each future gets the job's own
+            # wall-time budget from the moment we start waiting on it.
+            for future, (index, job) in futures.items():
+                try:
+                    result, wall = future.result(timeout=self._deadline_for(job))
+                    outcomes.append(
+                        ExecutionOutcome(
+                            index=index, job=job, result=result,
+                            wall_s=wall, retries=0, backend=self.name,
+                        )
+                    )
+                except Exception as exc:  # timeout, remote error, pool crash
+                    future.cancel()
+                    fallback.append((index, job, exc))
+        finally:
+            # Don't block on hung or abandoned workers: pending futures
+            # are cancelled, running ones are orphaned to finish (or be
+            # reaped) in the background while we fall back serially.
+            pool.shutdown(wait=False, cancel_futures=True)
+
+        for index, job, _first_error in fallback:
+            result, wall, used, error = _attempt_serial(job, self.retries)
+            outcomes.append(
+                ExecutionOutcome(
+                    index=index, job=job, result=result, wall_s=wall,
+                    retries=used + 1,  # the failed parallel attempt counts
+                    backend=f"{self.name}+serial-fallback",
+                    error=error,
+                )
+            )
+        return outcomes

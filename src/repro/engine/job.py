@@ -1,0 +1,148 @@
+"""Jobs: pure, hashable units of evaluation.
+
+A :class:`Job` wraps a module-level callable plus keyword arguments.  Its
+identity is a *content-addressed key*: the SHA-256 of a canonical JSON
+rendering of the callable's qualified name, the canonicalized arguments,
+and the model version.  Two jobs with the same key are guaranteed to
+compute the same result (the callables are pure functions of their
+arguments), which is what makes the on-disk cache and cross-process
+deduplication sound.
+
+Canonicalization (:func:`canonicalize`) maps the configuration objects
+that appear in this codebase — enums (``UnitKind``, ``Objective``,
+``SpeedGrade``), frozen dataclasses (``FPFormat``,
+``ImplementationReport``, ``PipeliningConfig``), tuples and plain
+scalars — onto deterministic JSON-compatible structures.  Floats are
+rendered with ``repr`` (shortest round-trip form) so equal values always
+hash equally.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from dataclasses import dataclass, field
+from typing import Any, Callable, Mapping, Tuple
+
+#: Model version, spelled out (not imported from :mod:`repro`) because
+#: the engine sits below the package root in the import graph.  Must
+#: match ``repro.__version__``; a test pins the two together.
+MODEL_VERSION = "1.0.0"
+
+#: Version stamp folded into every job key.  Bumping the package version
+#: (or the engine schema suffix) invalidates every cached result — the
+#: "versioned invalidation" contract: results computed by an older model
+#: are never served to a newer one.
+CACHE_VERSION = f"{MODEL_VERSION}/engine-1"
+
+
+def _qualname(fn: Callable[..., Any]) -> str:
+    """Stable ``module:qualname`` identifier for a module-level callable."""
+    module = getattr(fn, "__module__", None)
+    qual = getattr(fn, "__qualname__", None)
+    if not module or not qual or "<locals>" in qual:
+        raise TypeError(
+            f"job callables must be importable module-level functions, got {fn!r}"
+        )
+    return f"{module}:{qual}"
+
+
+def canonicalize(obj: Any) -> Any:
+    """Render ``obj`` as a deterministic JSON-compatible structure."""
+    if obj is None or isinstance(obj, (bool, int, str)):
+        return obj
+    if isinstance(obj, float):
+        return {"$float": repr(obj)}
+    if isinstance(obj, enum.Enum):
+        return {"$enum": f"{type(obj).__module__}.{type(obj).__qualname__}",
+                "value": canonicalize(obj.value)}
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        return {
+            "$dataclass": f"{type(obj).__module__}.{type(obj).__qualname__}",
+            "fields": {
+                f.name: canonicalize(getattr(obj, f.name))
+                for f in dataclasses.fields(obj)
+            },
+        }
+    if isinstance(obj, (list, tuple)):
+        return [canonicalize(v) for v in obj]
+    if isinstance(obj, (set, frozenset)):
+        items = [canonicalize(v) for v in obj]
+        return {"$set": sorted(items, key=lambda v: json.dumps(v, sort_keys=True))}
+    if isinstance(obj, Mapping):
+        return {"$dict": sorted(
+            ([canonicalize(k), canonicalize(v)] for k, v in obj.items()),
+            key=lambda kv: json.dumps(kv[0], sort_keys=True),
+        )}
+    if isinstance(obj, bytes):
+        return {"$bytes": obj.hex()}
+    if callable(obj):
+        return {"$fn": _qualname(obj)}
+    raise TypeError(
+        f"cannot canonicalize {type(obj).__name__!r} for job hashing: {obj!r}"
+    )
+
+
+def job_key(name: str, fn: Callable[..., Any],
+            kwargs: Mapping[str, Any], version: str) -> str:
+    """Content-addressed key: SHA-256 over the canonical job description."""
+    doc = {
+        "name": name,
+        "fn": _qualname(fn),
+        "kwargs": {k: canonicalize(v) for k, v in sorted(kwargs.items())},
+        "version": version,
+    }
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+@dataclass(frozen=True)
+class Job:
+    """One pure evaluation: ``fn(**kwargs)`` under a content-addressed key.
+
+    ``fn`` must be a module-level callable (picklable, so jobs can cross
+    into :class:`~concurrent.futures.ProcessPoolExecutor` workers) and a
+    pure function of its arguments.  ``timeout_s`` caps wall time on the
+    parallel backend; it is deliberately *excluded* from the key — how
+    long we are willing to wait does not change what is computed.
+    """
+
+    name: str
+    fn: Callable[..., Any]
+    kwargs: Tuple[Tuple[str, Any], ...] = ()
+    version: str = CACHE_VERSION
+    timeout_s: float | None = None
+    key: str = field(init=False, compare=False, repr=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self, "key", job_key(self.name, self.fn, dict(self.kwargs), self.version)
+        )
+
+    @classmethod
+    def create(cls, name: str, fn: Callable[..., Any], *,
+               version: str | None = None, timeout_s: float | None = None,
+               **kwargs: Any) -> "Job":
+        """Build a job from keyword arguments (sorted for determinism)."""
+        return cls(
+            name=name,
+            fn=fn,
+            kwargs=tuple(sorted(kwargs.items())),
+            version=version if version is not None else CACHE_VERSION,
+            timeout_s=timeout_s,
+        )
+
+    def run(self) -> Any:
+        """Evaluate the job in the current process."""
+        return self.fn(**dict(self.kwargs))
+
+    def describe(self) -> dict[str, Any]:
+        """JSON-compatible description (stored alongside cached results)."""
+        return {
+            "name": self.name,
+            "fn": _qualname(self.fn),
+            "kwargs": {k: canonicalize(v) for k, v in sorted(self.kwargs)},
+            "version": self.version,
+        }

@@ -1,0 +1,119 @@
+"""Observability: per-job records and the post-run summary report.
+
+Every job the engine touches leaves a :class:`JobRecord` — how it was
+satisfied (disk hit, in-process memo, computed), on which backend, how
+long it took, how many retries it needed.  :class:`EngineMetrics`
+aggregates the records into the counters the acceptance criteria talk
+about (cache hit rate, total/per-job wall time) and renders the summary
+printed to stderr after ``repro all``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+#: How a job was satisfied.
+STATUS_HIT = "hit"  # persistent cache
+STATUS_MEMO = "memo"  # in-process memo
+STATUS_COMPUTED = "computed"
+STATUS_FAILED = "failed"
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One engine decision about one job."""
+
+    name: str
+    key: str
+    status: str  # STATUS_*
+    wall_s: float = 0.0
+    retries: int = 0
+    backend: str = "-"
+
+
+@dataclass
+class EngineMetrics:
+    """Counters and per-job timings for one engine lifetime."""
+
+    records: List[JobRecord] = field(default_factory=list)
+    started_unix: float = field(default_factory=time.time)
+
+    def record(self, record: JobRecord) -> None:
+        self.records.append(record)
+
+    # ----------------------------------------------------------------- #
+    # counters
+    # ----------------------------------------------------------------- #
+    @property
+    def jobs(self) -> int:
+        return len(self.records)
+
+    def _count(self, status: str) -> int:
+        return sum(1 for r in self.records if r.status == status)
+
+    @property
+    def cache_hits(self) -> int:
+        return self._count(STATUS_HIT)
+
+    @property
+    def memo_hits(self) -> int:
+        return self._count(STATUS_MEMO)
+
+    @property
+    def computed(self) -> int:
+        return self._count(STATUS_COMPUTED)
+
+    @property
+    def failed(self) -> int:
+        return self._count(STATUS_FAILED)
+
+    @property
+    def misses(self) -> int:
+        return self.computed + self.failed
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of jobs served from cache or memo (0 when idle)."""
+        if not self.records:
+            return 0.0
+        return (self.cache_hits + self.memo_hits) / self.jobs
+
+    @property
+    def retries(self) -> int:
+        return sum(r.retries for r in self.records)
+
+    @property
+    def total_wall_s(self) -> float:
+        return sum(r.wall_s for r in self.records)
+
+    def slowest(self, n: int = 3) -> Tuple[JobRecord, ...]:
+        return tuple(
+            sorted(self.records, key=lambda r: r.wall_s, reverse=True)[:n]
+        )
+
+    # ----------------------------------------------------------------- #
+    # report
+    # ----------------------------------------------------------------- #
+    def summary(self) -> str:
+        """Multi-line human-readable run report."""
+        head = (
+            f"engine: {self.jobs} job(s), {self.total_wall_s:.2f}s compute"
+            f" | cache: {self.cache_hits} hit(s), {self.memo_hits} memo,"
+            f" {self.misses} miss(es) ({self.hit_rate:.0%} hit rate)"
+        )
+        if self.retries:
+            head += f" | retries: {self.retries}"
+        if self.failed:
+            head += f" | FAILED: {self.failed}"
+        lines = [head]
+        for r in self.slowest():
+            if r.status == STATUS_COMPUTED and r.wall_s > 0:
+                lines.append(
+                    f"  {r.name}: {r.wall_s:.3f}s ({r.backend})"
+                )
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.summary()

@@ -3,12 +3,17 @@
 Each experiment module exposes ``run(...)`` returning a printable result
 (:class:`~repro.analysis.tables.Table` or
 :class:`~repro.analysis.series.SweepResult` bundle).  :data:`REGISTRY`
-maps CLI names to zero-argument callables with the paper's defaults.
+maps CLI names to zero-argument callables with the paper's defaults;
+:func:`experiment_job` wraps a registry entry as an engine
+:class:`~repro.engine.job.Job` so the CLI can run experiments through
+the parallel/cached evaluation engine.
 """
 
 from __future__ import annotations
 
 from typing import Any, Callable
+
+from repro.engine import Job
 
 from repro.experiments import (
     ablations,
@@ -65,8 +70,30 @@ REGISTRY: dict[str, Callable[[], Any]] = {
     "ablation-registers": ablations.register_sharing_ablation,
 }
 
+def experiment_job(name: str) -> Job:
+    """The engine job for one registry entry.
+
+    The registry callables are module-level functions of no arguments
+    (the paper's defaults are baked in), so the job key reduces to
+    (experiment name, callable identity, model version) — exactly the
+    inputs that determine the emitted table/figure.
+    """
+    if name not in REGISTRY:
+        raise KeyError(
+            f"unknown experiment {name!r}; known: {', '.join(REGISTRY)}"
+        )
+    return Job.create(f"experiment.{name}", REGISTRY[name])
+
+
+def experiment_jobs(names: list[str] | None = None) -> list[Job]:
+    """Jobs for ``names`` (default: every experiment, in REGISTRY order)."""
+    return [experiment_job(n) for n in (names if names is not None else REGISTRY)]
+
+
 __all__ = [
     "REGISTRY",
+    "experiment_job",
+    "experiment_jobs",
     "ablations",
     "ext_units",
     "fig2_freq_area",

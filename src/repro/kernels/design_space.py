@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
+from repro.engine import Engine, Job, default_engine
 from repro.experiments.configs import PipeliningConfig, kernel_configs
 from repro.fp.format import FP32, FPFormat
 from repro.kernels.performance import KernelEstimate
@@ -64,27 +65,53 @@ class DesignEvaluation:
         )
 
 
-def enumerate_designs(
+def _evaluate_grid(
     n: int,
-    block_sizes: Sequence[int],
-    fmt: FPFormat = FP32,
-    configs: Optional[Sequence[PipeliningConfig]] = None,
-) -> list[DesignEvaluation]:
-    """Evaluate every (config, block size) combination for an n x n matmul."""
-    if configs is None:
-        configs = kernel_configs(fmt)
+    block_sizes: tuple[int, ...],
+    configs: tuple[PipeliningConfig, ...],
+) -> tuple[DesignEvaluation, ...]:
+    """Engine job body: evaluate the full (config, block size) grid."""
     designs = []
     for config in configs:
         model = config.performance_model()
         for b in block_sizes:
-            if n % b:
-                raise ValueError(f"block size {b} does not divide n={n}")
             designs.append(
                 DesignEvaluation(
                     config=config, block_size=b, estimate=model.estimate(n, b)
                 )
             )
-    return designs
+    return tuple(designs)
+
+
+def enumerate_designs(
+    n: int,
+    block_sizes: Sequence[int],
+    fmt: FPFormat = FP32,
+    configs: Optional[Sequence[PipeliningConfig]] = None,
+    engine: Engine | None = None,
+) -> list[DesignEvaluation]:
+    """Evaluate every (config, block size) combination for an n x n matmul.
+
+    The grid evaluation is a single engine job keyed on (n, block sizes,
+    configs), so Figures 5/6 and repeated Pareto analyses over the same
+    space reuse one evaluation — in memory, and persistently when a
+    cache directory is configured.
+    """
+    if configs is None:
+        configs = kernel_configs(fmt)
+    block_sizes = tuple(block_sizes)
+    for b in block_sizes:
+        if n % b:
+            raise ValueError(f"block size {b} does not divide n={n}")
+    job = Job.create(
+        "kernels.design_space.grid",
+        _evaluate_grid,
+        n=n,
+        block_sizes=block_sizes,
+        configs=tuple(configs),
+    )
+    designs = (engine if engine is not None else default_engine()).evaluate(job)
+    return list(designs)
 
 
 def dominates(a: DesignEvaluation, b: DesignEvaluation) -> bool:

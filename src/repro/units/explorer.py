@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from repro.engine import Engine, Job, default_engine
 from repro.fabric.device import SpeedGrade
 from repro.fabric.netlist import (
     Datapath,
@@ -136,14 +137,62 @@ class DesignSpace:
         return [self.minimum, self.maximum, self.optimal]
 
 
+def _run_sweep(
+    fmt: FPFormat,
+    kind: UnitKind,
+    objective: Objective,
+    grade: SpeedGrade,
+    max_stages: int,
+) -> tuple[ImplementationReport, ...]:
+    """Engine job body: the raw stage sweep for one (format, unit) pair."""
+    dp = kind.datapath(fmt)
+    return tuple(
+        sweep_stages(dp, max_stages=max_stages, objective=objective, grade=grade)
+    )
+
+
+def sweep_job(
+    fmt: FPFormat,
+    kind: UnitKind,
+    objective: Objective = Objective.BALANCED,
+    grade: SpeedGrade = SpeedGrade.MINUS_7,
+    max_stages: int | None = None,
+) -> Job:
+    """The content-addressed engine job for one design-space sweep.
+
+    ``max_stages`` is resolved to its concrete default *before* hashing,
+    so ``explore(fmt, kind)`` and ``explore(fmt, kind, max_stages=<same
+    default>)`` share one cache entry.
+    """
+    if max_stages is None:
+        max_stages = kind.datapath(fmt).natural_max_stages + 4
+    return Job.create(
+        f"fabric.sweep_stages.{kind.value}",
+        _run_sweep,
+        fmt=fmt,
+        kind=kind,
+        objective=objective,
+        grade=grade,
+        max_stages=max_stages,
+    )
+
+
 def explore(
     fmt: FPFormat,
     kind: UnitKind,
     objective: Objective = Objective.BALANCED,
     grade: SpeedGrade = SpeedGrade.MINUS_7,
     max_stages: int | None = None,
+    engine: Engine | None = None,
 ) -> DesignSpace:
-    """Sweep all pipeline depths for one unit; see :class:`DesignSpace`."""
-    dp = kind.datapath(fmt)
-    reports = sweep_stages(dp, max_stages=max_stages, objective=objective, grade=grade)
+    """Sweep all pipeline depths for one unit; see :class:`DesignSpace`.
+
+    The sweep runs through the evaluation engine (default: the shared
+    in-process engine), so repeated explorations of the same design
+    space — Table 1 and Figure 2a both sweep the adders — are computed
+    once and reused, in memory and, when a cache directory is
+    configured, across runs.
+    """
+    job = sweep_job(fmt, kind, objective=objective, grade=grade, max_stages=max_stages)
+    reports = (engine if engine is not None else default_engine()).evaluate(job)
     return DesignSpace(fmt=fmt, kind=kind, reports=tuple(reports))

@@ -1,0 +1,47 @@
+"""Module-level job bodies for the engine tests.
+
+Jobs must wrap importable module-level callables (they cross into
+process-pool workers by name), so the failure-injection functions live
+here rather than inline in the tests.  State that must survive process
+boundaries and retries is carried through marker files.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+
+def add(a: int, b: int) -> int:
+    return a + b
+
+
+def slow_square(x: int, delay_s: float = 0.0) -> int:
+    time.sleep(delay_s)
+    return x * x
+
+
+def always_fails(message: str = "injected failure") -> None:
+    raise RuntimeError(message)
+
+
+def fails_first_time(marker: str, value: int = 42) -> int:
+    """Fail on the first invocation, succeed on any retry.
+
+    The marker file makes the flakiness visible across retries and
+    across process boundaries.
+    """
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("attempted")
+        raise RuntimeError("flaky: first attempt fails")
+    return value
+
+
+def sleeps_first_time(marker: str, delay_s: float, value: int = 7) -> int:
+    """Sleep past any reasonable timeout once, then return promptly."""
+    if not os.path.exists(marker):
+        with open(marker, "w") as fh:
+            fh.write("attempted")
+        time.sleep(delay_s)
+    return value

@@ -1,0 +1,116 @@
+"""Persistent cache: round-trips, versioned invalidation, maintenance."""
+
+import json
+
+from repro.engine import Job, ResultCache
+from repro.engine.job import CACHE_VERSION
+from repro.experiments import experiment_job
+
+from tests.engine import helpers
+
+
+def _job(**kwargs):
+    return Job.create("t.add", helpers.add, **kwargs)
+
+
+class TestRoundTrip:
+    def test_miss_on_empty_cache(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        hit, result = cache.get(_job(a=1, b=2))
+        assert not hit and result is None
+
+    def test_put_then_get(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        job = _job(a=1, b=2)
+        cache.put(job, 3, wall_s=0.5)
+        hit, result = cache.get(job)
+        assert hit and result == 3
+
+    def test_experiment_result_round_trips_byte_identically(self, tmp_path):
+        # The acceptance contract: a warm run renders exactly what the
+        # cold run rendered, text and CSV alike.
+        cache = ResultCache(tmp_path / "c")
+        job = experiment_job("table1")
+        table = job.run()
+        cache.put(job, table)
+        hit, restored = cache.get(job)
+        assert hit
+        assert str(restored) == str(table)
+        assert restored.to_csv() == table.to_csv()
+
+    def test_distinct_jobs_do_not_collide(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(_job(a=1, b=2), 3)
+        hit, _ = cache.get(_job(a=1, b=3))
+        assert not hit
+
+
+class TestInvalidation:
+    def test_version_bump_invalidates(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        old = Job.create("t.add", helpers.add, a=1, b=2, version="1.0.0/engine-1")
+        cache.put(old, 3)
+        new = Job.create("t.add", helpers.add, a=1, b=2, version="2.0.0/engine-1")
+        hit, _ = cache.get(new)
+        assert not hit
+        # the old version is still served to old-version jobs
+        assert cache.get(old) == (True, 3)
+
+    def test_corrupt_blob_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        job = _job(a=1, b=2)
+        cache.put(job, 3)
+        blob = next((tmp_path / "c").glob("*/*.json"))
+        blob.write_text("{ not json")
+        hit, result = cache.get(job)
+        assert not hit and result is None
+
+    def test_torn_payload_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        job = _job(a=1, b=2)
+        cache.put(job, 3)
+        blob = next((tmp_path / "c").glob("*/*.json"))
+        doc = json.loads(blob.read_text())
+        doc["payload"] = doc["payload"][: len(doc["payload"]) // 2]
+        blob.write_text(json.dumps(doc))
+        hit, _ = cache.get(job)
+        assert not hit
+
+
+class TestMaintenance:
+    def test_stats(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(_job(a=1, b=2), 3)
+        cache.put(_job(a=2, b=3), 5)
+        stats = cache.stats()
+        assert stats.entries == 2
+        assert stats.total_bytes > 0
+        assert dict(stats.by_version) == {CACHE_VERSION: 2}
+        assert "entries:     2" in stats.render()
+
+    def test_clear_all(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(_job(a=1, b=2), 3)
+        cache.put(_job(a=2, b=3), 5)
+        assert cache.clear() == 2
+        assert cache.stats().entries == 0
+
+    def test_clear_stale_only_keeps_current_version(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(_job(a=1, b=2), 3)  # current version
+        stale = Job.create("t.add", helpers.add, a=9, b=9, version="0.9/engine-0")
+        cache.put(stale, 18)
+        removed = cache.clear(stale_only=True, current_version=CACHE_VERSION)
+        assert removed == 1
+        assert cache.get(_job(a=1, b=2)) == (True, 3)
+        assert cache.get(stale)[0] is False
+
+    def test_blob_records_job_description(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        job = _job(a=1, b=2)
+        cache.put(job, 3)
+        doc = json.loads(next((tmp_path / "c").glob("*/*.json")).read_text())
+        assert doc["key"] == job.key
+        assert doc["version"] == CACHE_VERSION
+        assert doc["job"]["name"] == "t.add"
+        assert doc["job"]["kwargs"] == {"a": 1, "b": 2}

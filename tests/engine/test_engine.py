@@ -1,0 +1,152 @@
+"""Engine orchestration: ordering, memoization, parallel equivalence,
+retry/timeout robustness, and metrics."""
+
+import pytest
+
+from repro.engine import Engine, Job, JobFailure, ResultCache
+from repro.experiments import experiment_job, experiment_jobs
+
+from tests.engine import helpers
+
+
+def _add_jobs(n):
+    return [Job.create(f"t.add{i}", helpers.add, a=i, b=i) for i in range(n)]
+
+
+class TestOrdering:
+    def test_results_in_submission_order_serial(self):
+        results = Engine().run(_add_jobs(5))
+        assert results == [0, 2, 4, 6, 8]
+
+    def test_results_in_submission_order_parallel(self):
+        # Completion order is scrambled by making early jobs slow.
+        jobs = [
+            Job.create(f"t.sq{x}", helpers.slow_square, x=x,
+                       delay_s=0.3 if x == 0 else 0.0)
+            for x in range(4)
+        ]
+        assert Engine(workers=2).run(jobs) == [0, 1, 4, 9]
+
+
+class TestMemoAndCache:
+    def test_in_process_memo_deduplicates(self):
+        engine = Engine()
+        job = Job.create("t.add", helpers.add, a=1, b=2)
+        assert engine.run([job, job]) == [3, 3]
+        assert engine.metrics.computed == 1
+        assert engine.metrics.memo_hits == 1
+
+    def test_cold_then_warm_run(self, tmp_path):
+        job = Job.create("t.add", helpers.add, a=1, b=2)
+        cold = Engine(cache=ResultCache(tmp_path / "c"))
+        assert cold.evaluate(job) == 3
+        assert cold.metrics.cache_hits == 0 and cold.metrics.computed == 1
+        warm = Engine(cache=ResultCache(tmp_path / "c"))
+        assert warm.evaluate(job) == 3
+        assert warm.metrics.cache_hits == 1 and warm.metrics.computed == 0
+
+    def test_version_bump_forces_recompute(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        Engine(cache=cache).evaluate(Job.create("t.add", helpers.add, a=1, b=2))
+        bumped = Engine(cache=cache)
+        bumped.evaluate(
+            Job.create("t.add", helpers.add, a=1, b=2, version="2.0.0/engine-1")
+        )
+        assert bumped.metrics.cache_hits == 0
+        assert bumped.metrics.computed == 1
+
+
+class TestParallelEquivalence:
+    """--parallel must not change a single byte of any experiment."""
+
+    @pytest.mark.parametrize("name", ["fig2a", "table1"])
+    def test_parallel_matches_serial(self, name):
+        serial = Engine().evaluate(experiment_job(name))
+        # Two jobs so the parallel path actually engages the pool.
+        other = "table1" if name == "fig2a" else "fig2a"
+        par_results = Engine(workers=2).run(
+            [experiment_job(name), experiment_job(other)]
+        )
+        assert str(par_results[0]) == str(serial)
+        assert par_results[0].to_csv() == serial.to_csv()
+
+    def test_warm_cache_matches_cold_byte_identically(self, tmp_path):
+        names = ["fig2a", "table1"]
+        cold = Engine(cache=ResultCache(tmp_path / "c"), workers=2)
+        cold_results = cold.run(experiment_jobs(names))
+        warm = Engine(cache=ResultCache(tmp_path / "c"))
+        warm_results = warm.run(experiment_jobs(names))
+        assert warm.metrics.hit_rate == 1.0
+        for a, b in zip(cold_results, warm_results):
+            assert str(a) == str(b)
+            assert a.to_csv() == b.to_csv()
+
+
+class TestRetryAndTimeout:
+    def test_serial_retry_recovers_flaky_job(self, tmp_path):
+        marker = tmp_path / "flaky.marker"
+        job = Job.create("t.flaky", helpers.fails_first_time, marker=str(marker))
+        engine = Engine(retries=1)
+        assert engine.evaluate(job) == 42
+        assert engine.metrics.retries == 1
+
+    def test_exhausted_retries_raise_job_failure(self):
+        engine = Engine(retries=2)
+        job = Job.create("t.boom", helpers.always_fails, message="kaput")
+        with pytest.raises(JobFailure, match="kaput"):
+            engine.evaluate(job)
+        assert engine.metrics.failed == 1
+        # sibling jobs still complete before the failure surfaces
+        engine2 = Engine(retries=0)
+        with pytest.raises(JobFailure):
+            engine2.run([Job.create("t.boom", helpers.always_fails)] + _add_jobs(2))
+        assert engine2.metrics.computed == 2
+
+    def test_parallel_failure_falls_back_to_serial(self, tmp_path):
+        # Fails in the worker, succeeds on the in-parent serial retry.
+        marker = tmp_path / "flaky.marker"
+        jobs = [
+            Job.create("t.flaky", helpers.fails_first_time, marker=str(marker)),
+            Job.create("t.add", helpers.add, a=1, b=1),
+        ]
+        engine = Engine(workers=2, retries=1)
+        assert engine.run(jobs) == [42, 2]
+        record = next(r for r in engine.metrics.records if r.name == "t.flaky")
+        assert "serial-fallback" in record.backend
+
+    def test_parallel_timeout_falls_back_to_serial(self, tmp_path):
+        # Sleeps past the deadline in the worker; the serial fallback
+        # (marker now present) returns promptly.
+        marker = tmp_path / "slow.marker"
+        jobs = [
+            Job.create("t.slow", helpers.sleeps_first_time,
+                       marker=str(marker), delay_s=5.0, timeout_s=0.5),
+            Job.create("t.add", helpers.add, a=2, b=3),
+        ]
+        engine = Engine(workers=2)
+        assert engine.run(jobs) == [7, 5]
+        record = next(r for r in engine.metrics.records if r.name == "t.slow")
+        assert "serial-fallback" in record.backend
+
+
+class TestMetrics:
+    def test_summary_reports_counters(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        Engine(cache=cache).run(_add_jobs(3))
+        warm = Engine(cache=cache)
+        warm.run(_add_jobs(3))
+        summary = warm.metrics.summary()
+        assert "3 job(s)" in summary
+        assert "3 hit(s)" in summary
+        assert "100% hit rate" in summary
+
+    def test_per_job_wall_time_recorded(self):
+        engine = Engine()
+        engine.evaluate(Job.create("t.sq", helpers.slow_square, x=3, delay_s=0.05))
+        (record,) = engine.metrics.records
+        assert record.wall_s >= 0.05
+        assert engine.metrics.total_wall_s >= 0.05
+
+    def test_invalid_worker_count_rejected(self):
+        with pytest.raises(ValueError):
+            Engine(workers=0)

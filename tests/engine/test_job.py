@@ -1,0 +1,125 @@
+"""Job identity: canonicalization and content-addressed keys."""
+
+import pytest
+
+import repro
+from repro.engine import Job, canonicalize, job_key
+from repro.engine.job import CACHE_VERSION, MODEL_VERSION
+from repro.fabric.device import SpeedGrade
+from repro.fabric.toolchain import Objective
+from repro.fp.format import FP32, FP64
+from repro.units.explorer import UnitKind, sweep_job
+
+from tests.engine import helpers
+
+
+class TestCanonicalize:
+    def test_scalars_pass_through(self):
+        assert canonicalize(None) is None
+        assert canonicalize(True) is True
+        assert canonicalize(3) == 3
+        assert canonicalize("x") == "x"
+
+    def test_floats_use_shortest_repr(self):
+        assert canonicalize(0.1) == {"$float": "0.1"}
+        assert canonicalize(1.0) == {"$float": "1.0"}
+
+    def test_enum(self):
+        doc = canonicalize(UnitKind.ADDER)
+        assert doc["$enum"].endswith("UnitKind")
+        assert doc["value"] == "adder"
+
+    def test_dataclass_recurses_fields(self):
+        doc = canonicalize(FP32)
+        assert doc["$dataclass"].endswith("FPFormat")
+        assert doc["fields"]["exp_bits"] == 8
+        assert doc["fields"]["man_bits"] == 23
+
+    def test_dict_order_independent(self):
+        assert canonicalize({"a": 1, "b": 2}) == canonicalize({"b": 2, "a": 1})
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError, match="canonicalize"):
+            canonicalize(object())
+
+    def test_local_function_rejected(self):
+        with pytest.raises(TypeError, match="module-level"):
+            canonicalize(lambda: None)
+
+
+class TestJobKey:
+    def test_kwarg_order_does_not_matter(self):
+        a = Job.create("t", helpers.add, a=1, b=2)
+        b = Job.create("t", helpers.add, b=2, a=1)
+        assert a.key == b.key
+
+    def test_key_is_stable_across_instances(self):
+        assert (
+            Job.create("t", helpers.add, a=1, b=2).key
+            == Job.create("t", helpers.add, a=1, b=2).key
+        )
+
+    def test_params_change_key(self):
+        assert (
+            Job.create("t", helpers.add, a=1, b=2).key
+            != Job.create("t", helpers.add, a=1, b=3).key
+        )
+
+    def test_name_and_fn_change_key(self):
+        a = Job.create("t", helpers.add, a=1, b=2)
+        assert a.key != Job.create("u", helpers.add, a=1, b=2).key
+        assert a.key != Job.create("t", helpers.slow_square, x=1).key
+
+    def test_version_changes_key(self):
+        a = Job.create("t", helpers.add, a=1, b=2)
+        b = Job.create("t", helpers.add, a=1, b=2, version="999.0/engine-1")
+        assert a.version == CACHE_VERSION
+        assert a.key != b.key
+
+    def test_timeout_excluded_from_key(self):
+        a = Job.create("t", helpers.add, a=1, b=2)
+        b = Job.create("t", helpers.add, a=1, b=2, timeout_s=5.0)
+        assert a.key == b.key
+
+    def test_rich_config_objects_hash(self):
+        key = job_key(
+            "sweep",
+            helpers.add,
+            {
+                "fmt": FP64,
+                "kind": UnitKind.MULTIPLIER,
+                "objective": Objective.BALANCED,
+                "grade": SpeedGrade.MINUS_7,
+            },
+            CACHE_VERSION,
+        )
+        assert len(key) == 64
+        int(key, 16)  # valid hex digest
+
+    def test_run_evaluates_kwargs(self):
+        assert Job.create("t", helpers.add, a=2, b=5).run() == 7
+
+    def test_model_version_matches_package(self):
+        # job.py spells the version out to stay below repro.__init__ in
+        # the import graph; this pin keeps the two from drifting.
+        assert MODEL_VERSION == repro.__version__
+
+
+class TestSweepJob:
+    def test_default_max_stages_resolved_before_hashing(self):
+        dp = UnitKind.ADDER.datapath(FP32)
+        implicit = sweep_job(FP32, UnitKind.ADDER)
+        explicit = sweep_job(
+            FP32, UnitKind.ADDER, max_stages=dp.natural_max_stages + 4
+        )
+        assert implicit.key == explicit.key
+
+    def test_distinct_spaces_get_distinct_keys(self):
+        assert (
+            sweep_job(FP32, UnitKind.ADDER).key
+            != sweep_job(FP32, UnitKind.MULTIPLIER).key
+        )
+        assert (
+            sweep_job(FP32, UnitKind.ADDER).key
+            != sweep_job(FP64, UnitKind.ADDER).key
+        )

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import main
+from repro.engine import CACHE_DIR_ENV, configure_default_engine
 
 
 class TestCli:
@@ -54,3 +55,77 @@ class TestCli:
         assert "fig5_energy.csv" in files
         assert "sec4_2.txt" in files
         assert (out / "table1.csv").read_text().startswith("Precision,")
+
+    def test_results_artifact_listing_is_sorted(self, tmp_path, capsys):
+        out = tmp_path / "artifacts"
+        assert main(["results", "--outdir", str(out)]) == 0
+        lines = [
+            line.strip()
+            for line in capsys.readouterr().out.splitlines()
+            if line.startswith("  ")
+        ]
+        assert lines == sorted(lines)
+
+
+class TestCliEngine:
+    """The --parallel/--cache-dir surface and the cache subcommand."""
+
+    @pytest.fixture(autouse=True)
+    def _isolate_engine_state(self, monkeypatch):
+        # build_engine() publishes --cache-dir via the environment (for
+        # pool workers) and resets the default engine; keep both from
+        # leaking across tests.
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        yield
+        import os
+
+        os.environ.pop(CACHE_DIR_ENV, None)
+        configure_default_engine(None)
+
+    def test_parallel_output_matches_serial(self, capsys):
+        assert main(["table1", "fig2a"]) == 0
+        serial = capsys.readouterr().out
+        assert main(["table1", "fig2a", "--parallel", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_engine_summary_on_stderr(self, capsys):
+        assert main(["table3"]) == 0
+        err = capsys.readouterr().err
+        assert "engine: 1 job(s)" in err
+        assert "miss(es)" in err
+
+    def test_warm_cache_run_hits(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["table3", "table4", "--cache-dir", cache]) == 0
+        cold = capsys.readouterr()
+        assert "2 miss(es)" in cold.err
+        assert main(["table3", "table4", "--cache-dir", cache]) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out  # byte-identical rendering
+        assert "2 hit(s)" in warm.err
+        assert "100% hit rate" in warm.err
+
+    def test_no_cache_flag_disables_cache(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["table3", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["table3", "--cache-dir", cache, "--no-cache"]) == 0
+        assert "0 hit(s)" in capsys.readouterr().err
+
+    def test_cache_stats_and_clear(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        assert main(["table3", "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        out = capsys.readouterr().out
+        assert "entries:" in out and "version" in out
+        assert main(["cache", "clear", "--cache-dir", cache]) == 0
+        assert "removed" in capsys.readouterr().out
+        assert main(["cache", "stats", "--cache-dir", cache]) == 0
+        assert "entries:     0" in capsys.readouterr().out
+
+    def test_cache_usage_error(self, capsys):
+        assert main(["cache"]) == 2
+        assert "usage: repro cache" in capsys.readouterr().err
+        assert main(["cache", "defrost"]) == 2
+        assert "unknown cache action" in capsys.readouterr().err
