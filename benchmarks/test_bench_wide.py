@@ -1,0 +1,93 @@
+"""Benchmarks for the wide-format (fp48/fp64) vectorized datapaths.
+
+``pytest benchmarks/test_bench_wide.py --benchmark-only`` times the
+two-limb array pipelines; the plain test at the bottom asserts the
+headline acceptance property — the fp64 vectorized matmul at n = 32 is
+at least 20x faster than the scalar datapath — so the speedup is
+enforced, not just reported.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+import numpy as np
+
+from repro.fp.format import FP48, FP64
+from repro.fp.rounding import RoundingMode
+from repro.fp.vectorized import vec_add, vec_mul
+from repro.kernels.fast import functional_matmul_vectorized
+from repro.kernels.matmul import functional_matmul
+
+
+def _word_array(fmt, count, seed=11):
+    rng = random.Random(seed)
+    return np.array(
+        [rng.randrange(fmt.word_mask + 1) for _ in range(count)],
+        dtype=np.uint64,
+    )
+
+
+def _word_matrix(fmt, n, seed):
+    rng = random.Random(seed)
+    return [[rng.randrange(fmt.word_mask + 1) for _ in range(n)] for _ in range(n)]
+
+
+def test_fp64_vec_add_throughput(benchmark):
+    a = _word_array(FP64, 4096, seed=1)
+    b = _word_array(FP64, 4096, seed=2)
+    benchmark(lambda: vec_add(FP64, a, b))
+
+
+def test_fp64_vec_mul_throughput(benchmark):
+    a = _word_array(FP64, 4096, seed=3)
+    b = _word_array(FP64, 4096, seed=4)
+    benchmark(lambda: vec_mul(FP64, a, b))
+
+
+def test_fp48_vec_mul_throughput(benchmark):
+    a = _word_array(FP48, 4096, seed=5)
+    b = _word_array(FP48, 4096, seed=6)
+    benchmark(lambda: vec_mul(FP48, a, b))
+
+
+def test_fp64_vectorized_matmul_n32(benchmark):
+    n = 32
+    a = np.array(_word_matrix(FP64, n, seed=7), dtype=np.uint64)
+    b = np.array(_word_matrix(FP64, n, seed=8), dtype=np.uint64)
+    benchmark(lambda: functional_matmul_vectorized(FP64, a, b))
+
+
+def test_fp64_fast_matmul_speedup_over_scalar():
+    """Acceptance gate: >= 20x at n = 32, double precision.
+
+    Measured locally the ratio is far higher (the scalar path pays
+    ~30 us per MAC across 32^3 MACs); 20x leaves generous headroom for
+    slow CI boxes while still proving the vectorization carries its
+    weight for the wide formats.
+    """
+    n = 32
+    mode = RoundingMode.NEAREST_EVEN
+    a = _word_matrix(FP64, n, seed=9)
+    b = _word_matrix(FP64, n, seed=10)
+    a_arr = np.array(a, dtype=np.uint64)
+    b_arr = np.array(b, dtype=np.uint64)
+
+    fast_out = functional_matmul_vectorized(FP64, a_arr, b_arr, mode)  # warm up
+    t0 = time.perf_counter()
+    fast_out = functional_matmul_vectorized(FP64, a_arr, b_arr, mode)
+    fast_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    slow_out = functional_matmul(FP64, a, b, mode)
+    slow_s = time.perf_counter() - t0
+
+    # Speed means nothing without bit-identity.
+    assert fast_out.tolist() == slow_out
+
+    speedup = slow_s / fast_s
+    assert speedup >= 20.0, (
+        f"fp64 vectorized matmul speedup {speedup:.1f}x < 20x "
+        f"(scalar {slow_s:.3f}s, vectorized {fast_s:.4f}s)"
+    )

@@ -1,6 +1,12 @@
 """Reporting helpers: text tables, figure series, CSV export, ulp stats."""
 
-from repro.analysis.accuracy import ErrorStats, batch_ulp_errors, ulp, ulp_error
+from repro.analysis.accuracy import (
+    ErrorStats,
+    batch_ulp_errors,
+    matmul_ulp_errors,
+    ulp,
+    ulp_error,
+)
 from repro.analysis.series import Series, SweepResult
 from repro.analysis.tables import Table, format_table
 
@@ -11,6 +17,7 @@ __all__ = [
     "Table",
     "batch_ulp_errors",
     "format_table",
+    "matmul_ulp_errors",
     "ulp",
     "ulp_error",
 ]

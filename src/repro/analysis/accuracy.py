@@ -13,8 +13,12 @@ from dataclasses import dataclass
 from fractions import Fraction
 from typing import Iterable, Sequence
 
+import numpy as np
+
 from repro.fp.format import FPFormat
+from repro.fp.rounding import RoundingMode
 from repro.fp.value import FPValue
+from repro.fp.vectorized import supports_vectorized
 
 
 def ulp(fmt: FPFormat, bits: int) -> Fraction:
@@ -86,3 +90,46 @@ def batch_ulp_errors(
             continue
         errors.append(ulp_error(fmt, bits, exact))
     return ErrorStats.collect(errors)
+
+
+def matmul_ulp_errors(
+    fmt: FPFormat,
+    a: Sequence[Sequence[int]],
+    b: Sequence[Sequence[int]],
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> ErrorStats:
+    """Ulp errors of the functional matmul against exact rational dot
+    products.
+
+    The delivered result is computed through the vectorized fast path
+    whenever the format supports it — which since the wide-limb datapaths
+    now includes every paper format, fp64 included — and falls back to
+    the scalar reference kernel otherwise.  The fast and scalar paths are
+    bit-identical (the differential campaign proves it), so the routing
+    changes wall time, never the statistics.
+
+    Operands must be finite words (exact dot products are undefined for
+    NaN/Inf inputs).
+    """
+    from repro.kernels.fast import functional_matmul_vectorized
+    from repro.kernels.matmul import functional_matmul
+
+    n = len(a)
+    if supports_vectorized(fmt):
+        got = functional_matmul_vectorized(
+            fmt, np.array(a, dtype=np.uint64), np.array(b, dtype=np.uint64), mode
+        )
+        rows = [[int(x) for x in row] for row in got]
+    else:
+        rows = functional_matmul(fmt, a, b, mode)
+    results: list[int] = []
+    exacts: list[Fraction] = []
+    frac_a = [[FPValue(fmt, int(x)).to_fraction() for x in row] for row in a]
+    frac_b = [[FPValue(fmt, int(x)).to_fraction() for x in row] for row in b]
+    for i in range(n):
+        for j in range(n):
+            results.append(rows[i][j])
+            exacts.append(
+                sum((frac_a[i][k] * frac_b[k][j] for k in range(n)), Fraction(0))
+            )
+    return batch_ulp_errors(fmt, results, exacts)

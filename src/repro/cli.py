@@ -11,6 +11,7 @@ Usage::
     repro results --outdir results/      # write all artifacts
     repro cache stats         # inspect the persistent cache
     repro cache clear         # drop it
+    repro verify --pairs 1000000 --parallel 8   # differential campaign
 
 Each experiment prints rows/series directly comparable to the paper's
 table or figure of the same number.  Experiments are evaluated through
@@ -148,6 +149,60 @@ def cache_command(action: str, args: argparse.Namespace) -> int:
     raise AssertionError(action)  # pragma: no cover - validated above
 
 
+def verify_command(args: argparse.Namespace) -> int:
+    """Run the vectorized-vs-scalar-vs-oracle differential campaign."""
+    from repro.fp.format import PAPER_FORMATS
+    from repro.fp.rounding import RoundingMode
+    from repro.verify.differential import CAMPAIGN_OPS, run_campaign
+
+    by_name = {f.name: f for f in PAPER_FORMATS}
+    if args.formats:
+        names = [n.strip() for n in args.formats.split(",") if n.strip()]
+        unknown = [n for n in names if n not in by_name]
+        if unknown:
+            print(
+                f"unknown formats: {', '.join(unknown)} "
+                f"(known: {', '.join(by_name)})",
+                file=sys.stderr,
+            )
+            return 2
+        formats = [by_name[n] for n in names]
+    else:
+        formats = list(PAPER_FORMATS)
+    if args.ops:
+        ops = [o.strip() for o in args.ops.split(",") if o.strip()]
+        bad = [o for o in ops if o not in CAMPAIGN_OPS]
+        if bad:
+            print(
+                f"unknown ops: {', '.join(bad)} "
+                f"(known: {', '.join(CAMPAIGN_OPS)})",
+                file=sys.stderr,
+            )
+            return 2
+    else:
+        ops = list(CAMPAIGN_OPS)
+
+    engine = build_engine(args)
+    report = run_campaign(
+        formats=formats,
+        ops=ops,
+        modes=tuple(RoundingMode),
+        pairs_per_format=args.pairs,
+        chunk_pairs=args.chunk,
+        seed=args.seed,
+        engine=engine,
+    )
+    print(report.summary())
+    for ex in report.examples():
+        print(
+            f"  counterexample [{ex.against}] {ex.op}/{ex.mode}: "
+            f"a={ex.a:#x} b={ex.b:#x} got={ex.got_bits:#x}/{ex.got_flags:#06b} "
+            f"want={ex.want_bits:#x}/{ex.want_flags:#06b}"
+        )
+    print(engine.metrics.summary(), file=sys.stderr)
+    return 0 if report.passed else 1
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -160,7 +215,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         nargs="*",
         default=["list"],
         help="experiment names (see 'repro list'), 'all', 'results' to "
-        "write every artifact to --outdir, or 'cache {stats,clear}'",
+        "write every artifact to --outdir, 'cache {stats,clear}', or "
+        "'verify' for the differential verification campaign",
     )
     parser.add_argument(
         "--csv", action="store_true", help="emit CSV instead of text tables"
@@ -210,6 +266,39 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="with 'cache clear': only drop entries from older versions",
     )
+    parser.add_argument(
+        "--formats",
+        default=None,
+        metavar="F,F",
+        help="with 'verify': comma-separated formats (default: all paper formats)",
+    )
+    parser.add_argument(
+        "--ops",
+        default=None,
+        metavar="OP,OP",
+        help="with 'verify': comma-separated ops among add,sub,mul (default: all)",
+    )
+    parser.add_argument(
+        "--pairs",
+        type=int,
+        default=1_000_000,
+        metavar="N",
+        help="with 'verify': operand pairs per format (default: 1000000)",
+    )
+    parser.add_argument(
+        "--chunk",
+        type=int,
+        default=50_000,
+        metavar="N",
+        help="with 'verify': pairs per engine job (default: 50000)",
+    )
+    parser.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="S",
+        help="with 'verify': base campaign seed (default: 0)",
+    )
     args = parser.parse_args(argv)
     if args.parallel < 1:
         parser.error(f"--parallel must be >= 1, got {args.parallel}")
@@ -217,6 +306,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         parser.error(f"--retries must be >= 0, got {args.retries}")
 
     names = list(args.experiments)
+    if names == ["verify"]:
+        if args.pairs < 1 or args.chunk < 1:
+            parser.error("--pairs and --chunk must be >= 1")
+        return verify_command(args)
     if names and names[0] == "cache":
         if len(names) != 2:
             print("usage: repro cache {stats,clear}", file=sys.stderr)

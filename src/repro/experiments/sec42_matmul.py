@@ -13,10 +13,15 @@ of the GFLOPS/W metric".
 
 from __future__ import annotations
 
+import random
+
+import numpy as np
+
 from repro.analysis.tables import Table
 from repro.baselines.processors import PENTIUM4_2_53, POWERPC_G4_1000
 from repro.fabric.device import XC2VP125, Device
 from repro.fp.format import FP32, FP64, FPFormat
+from repro.fp.rounding import RoundingMode
 from repro.kernels.performance import ARRAY_CLOCK_MHZ, MatmulPerformanceModel
 from repro.units.explorer import UnitKind, explore
 
@@ -39,6 +44,49 @@ def model_for(fmt: FPFormat) -> MatmulPerformanceModel:
     adder = explore(fmt, UnitKind.ADDER).cheapest_at_least(target)
     multiplier = explore(fmt, UnitKind.MULTIPLIER).cheapest_at_least(target)
     return MatmulPerformanceModel(fmt, adder, multiplier, frequency_mhz=target)
+
+
+def kernel_selfcheck(
+    fmt: FPFormat = FP64,
+    n: int = 16,
+    seed: int = 0,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> dict:
+    """Bit-identity check of the fast matmul path at a Section 4.2 precision.
+
+    Multiplies two random ``n x n`` matrices through both the scalar
+    reference kernel and the vectorized fast path (which now serves the
+    64-bit hot path as well) and reports whether every output word is
+    identical.  Pure function of its arguments, so it runs as a cached
+    :class:`repro.engine.Job`; it does not feed the ``run()`` table —
+    results artifacts stay byte-identical — but gates the fast-path
+    routing in the test suite.
+    """
+    from repro.kernels.fast import functional_matmul_vectorized
+    from repro.kernels.matmul import functional_matmul
+
+    rng = random.Random(seed)
+    a = [[rng.randrange(fmt.word_mask + 1) for _ in range(n)] for _ in range(n)]
+    b = [[rng.randrange(fmt.word_mask + 1) for _ in range(n)] for _ in range(n)]
+    scalar = functional_matmul(fmt, a, b, mode)
+    fast = functional_matmul_vectorized(
+        fmt, np.array(a, dtype=np.uint64), np.array(b, dtype=np.uint64), mode
+    )
+    mismatches = sum(
+        1
+        for i in range(n)
+        for j in range(n)
+        if scalar[i][j] != int(fast[i][j])
+    )
+    return {
+        "fmt": fmt.name,
+        "n": n,
+        "seed": seed,
+        "mode": mode.value,
+        "checked": n * n,
+        "mismatches": mismatches,
+        "identical": mismatches == 0,
+    }
 
 
 def run(device: Device = XC2VP125) -> Table:

@@ -11,11 +11,12 @@ comparable bit-for-bit.
 
 from __future__ import annotations
 
+import math
 from fractions import Fraction
 
 from repro.fp.flags import FPFlags
 from repro.fp.format import FPFormat
-from repro.fp.rounding import RoundingMode
+from repro.fp.rounding import RoundingMode, round_significand
 from repro.fp.value import FPValue, encode_fraction
 
 
@@ -117,3 +118,61 @@ def ref_mul(
     # encode_fraction derives the sign from the exact value, which is
     # already correct here; nothing to patch.
     return bits, flags
+
+
+def ref_sqrt(
+    fmt: FPFormat,
+    a: int,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> tuple[int, FPFlags]:
+    """Exactly-rounded reference square root.
+
+    Unlike a fixed-precision approximation, this is *provably* correctly
+    rounded: the operand is written as ``M * 2^E`` with ``E`` even, and
+    ``math.isqrt(M << 2t)`` with a remainder-driven sticky bit is an
+    exact truncation of the true root on a grid strictly finer than the
+    round bit — truncation plus honest sticky decides RNE ties and RTZ
+    exactly, for rational and irrational roots alike.
+    """
+    if fmt.is_nan(a):
+        return fmt.nan(), FPFlags(invalid=True)
+    sign, exp, man = fmt.unpack(a)
+    if exp == 0:  # signed zero (denormal patterns read as zero)
+        return fmt.zero(sign), FPFlags(zero=True)
+    if sign:
+        return fmt.nan(), FPFlags(invalid=True)
+    if fmt.is_inf(a):
+        return fmt.inf(0), FPFlags()
+
+    # a = M * 2^E exactly; force E even so the exponent halves cleanly.
+    m_int = (1 << fmt.man_bits) | man
+    e_int = exp - fmt.bias - fmt.man_bits
+    if e_int & 1:
+        m_int <<= 1
+        e_int -= 1
+    t = fmt.man_bits + 2
+    scaled = m_int << (2 * t)
+    root = math.isqrt(scaled)
+    sticky = 1 if root * root != scaled else 0
+
+    # Reduce the root to significand + guard/round, folding the dropped
+    # low bits into sticky; the leading-bit position fixes the exponent.
+    rb = root.bit_length()
+    sh = rb - (fmt.man_bits + 3)
+    if sh > 0:
+        if root & ((1 << sh) - 1):
+            sticky = 1
+        root >>= sh
+    elif sh < 0:  # pragma: no cover - t is chosen large enough
+        root <<= -sh
+    e_res = (e_int >> 1) - t + rb - 1
+    sig = root >> 2
+    grs = ((root & 0b11) << 1) | sticky
+    sig, inexact = round_significand(sig, grs, mode)
+    if sig >> fmt.sig_bits:  # rounding carry
+        sig >>= 1
+        e_res += 1
+    # The square root of a normal number is always strictly normal.
+    return fmt.pack(0, e_res + fmt.bias, sig & fmt.man_mask), FPFlags(
+        inexact=inexact
+    )

@@ -4,16 +4,23 @@ Simulating large kernels one scalar op at a time is the bottleneck of
 the cycle-accurate models; this module re-implements the adder and
 multiplier datapaths as vectorized NumPy pipelines over ``uint64``
 arrays, bit-for-bit identical to the scalar datapaths (the test suite
-proves it element-wise, specials included).
+and the :mod:`repro.verify.differential` campaign prove it element-wise,
+specials included).
 
-Supported formats: total width <= 32 bits and at least 3 fraction bits
-(intermediates — double-width products, GRS-extended sums — must fit in
-``uint64``).  That covers fp32, fp16-style custom formats and every
-narrow DSP format; fp48/fp64 stay on the scalar path.
+Supported formats: total width <= 64 bits with 3..59 fraction bits —
+every format the paper studies (fp32, fp48, fp64) plus fp16-style and
+custom DSP formats.  Narrow formats (double-width product <= 64 bits)
+run on a single ``uint64`` limb; wide formats split the mantissa product
+across two 64-bit limbs, exactly as a 128-bit datapath would.  The
+GRS-extended adder path needs ``man_bits + 5`` bits and therefore always
+fits one limb.
 
 Semantics match :mod:`repro.fp.adder` / :mod:`repro.fp.multiplier`
 exactly: denormal-free (flush to zero), round-to-nearest-even or
-truncation, IEEE special handling, canonical NaN.
+truncation, IEEE special handling, canonical NaN.  With
+``with_flags=True`` each op also returns the per-element exception
+sideband in the 6-bit :meth:`repro.fp.flags.FPFlags.to_bits` layout,
+bit-identical to the scalar datapaths' flags.
 """
 
 from __future__ import annotations
@@ -25,15 +32,46 @@ from repro.fp.rounding import RoundingMode
 
 _U = np.uint64
 
+#: Widest total format width the vectorized datapaths accept.
+MAX_WIDTH = 64
+#: Fraction-bit bounds: >= 3 so GRS extraction is well-defined, <= 59 so
+#: the GRS-extended sum (``man_bits + 5`` bits) fits one uint64 limb and
+#: the double-width product fits two.
+MIN_MAN_BITS = 3
+MAX_MAN_BITS = 59
 
-def _check_format(fmt: FPFormat) -> None:
-    if fmt.width > 32:
+# FPFlags.to_bits() bit positions (the 6-bit RTL sideband layout).
+_FL_ZERO = 1
+_FL_INVALID = 2
+_FL_INEXACT = 4
+_FL_UNDERFLOW = 8
+_FL_OVERFLOW = 16
+
+
+def supports_vectorized(fmt: FPFormat) -> bool:
+    """True when ``fmt`` can run on the vectorized datapaths."""
+    return fmt.width <= MAX_WIDTH and MIN_MAN_BITS <= fmt.man_bits <= MAX_MAN_BITS
+
+
+def check_vectorized_format(fmt: FPFormat) -> None:
+    """Shared format guard for every vectorized op and kernel.
+
+    Raises one precise :class:`ValueError` naming the supported bounds,
+    so callers of :func:`vec_add`/:func:`vec_mul` and of the fast kernels
+    in :mod:`repro.kernels.fast` all see the same message.
+    """
+    if not supports_vectorized(fmt):
         raise ValueError(
-            f"vectorized ops support widths <= 32 bits, got {fmt.width} "
-            f"({fmt.name}); use the scalar datapaths for wide formats"
+            f"vectorized ops support total width <= {MAX_WIDTH} bits with "
+            f"{MIN_MAN_BITS} <= fraction bits <= {MAX_MAN_BITS}; got "
+            f"{fmt.name} (width {fmt.width}, {fmt.man_bits} fraction bits)"
+            " — use the scalar datapaths for unsupported formats"
         )
-    if fmt.man_bits < 3:
-        raise ValueError("vectorized ops require at least 3 fraction bits")
+
+
+# Backwards-compatible internal alias (historically three slightly
+# different guards lived here and in kernels/fast.py).
+_check_format = check_vectorized_format
 
 
 def _as_u64(fmt: FPFormat, a: np.ndarray, name: str) -> np.ndarray:
@@ -81,8 +119,12 @@ def _pack_result(
     sign: np.ndarray,
     exp: np.ndarray,  # int64, may be out of range
     sig: np.ndarray,  # includes hidden bit
-) -> np.ndarray:
-    """Saturate/flush out-of-range exponents and pack."""
+):
+    """Saturate/flush out-of-range exponents and pack.
+
+    Returns ``(bits, overflow, underflow)`` so callers can raise the
+    matching exception flags.
+    """
     overflow = exp >= fmt.exp_max
     underflow = exp <= 0
     exp_c = np.clip(exp, 1, fmt.exp_max - 1).astype(np.uint64)
@@ -95,7 +137,52 @@ def _pack_result(
     zero = sign << _U(fmt.width - 1)
     out = np.where(overflow, inf, out)
     out = np.where(underflow, zero, out)
-    return out
+    return out, overflow, underflow
+
+
+def _wide_mul_grs(fmt: FPFormat, m1: np.ndarray, m2: np.ndarray):
+    """Double-width mantissa product reduced to (sig, guard, rnd, sticky, top).
+
+    For products wider than 64 bits the multiply runs on two uint64
+    limbs: each significand splits at bit 32, the four 32x32 partial
+    products are recombined with an explicit carry, and the GRS
+    extraction indexes into the (hi, lo) limb pair.  Bit-exact with the
+    scalar ``fixed_mul`` + ``extract_grs`` composition.
+    """
+    prod_bits = 2 * fmt.sig_bits
+    mask32 = _U(0xFFFFFFFF)
+    if prod_bits <= 64:
+        product = m1 * m2
+        top = (product >> _U(prod_bits - 1)) & _U(1)
+        dropped = _U(fmt.sig_bits - 1) + top
+        sig = product >> dropped
+        guard = (product >> (dropped - _U(1))) & _U(1)
+        rnd = (product >> (dropped - _U(2))) & _U(1)
+        sticky_mask = (_U(1) << (dropped - _U(2))) - _U(1)
+        sticky = ((product & sticky_mask) != 0).astype(np.uint64)
+        return sig, guard, rnd, sticky, top
+
+    a_lo, a_hi = m1 & mask32, m1 >> _U(32)
+    b_lo, b_hi = m2 & mask32, m2 >> _U(32)
+    ll = a_lo * b_lo
+    mid = a_lo * b_hi + a_hi * b_lo  # < 2^(sig_bits+1) <= 2^61: no overflow
+    hh = a_hi * b_hi
+    p_lo = ll + (mid << _U(32))  # wraps mod 2^64 by construction
+    carry = ((ll >> _U(32)) + (mid & mask32)) >> _U(32)
+    p_hi = hh + (mid >> _U(32)) + carry
+
+    # Leading product bit lives in the high limb (prod_bits - 1 >= 64).
+    top = (p_hi >> _U(prod_bits - 1 - 64)) & _U(1)
+    # Kept significand boundary: sig_bits - 1 + top bits are dropped.
+    # 33 <= dropped <= 60 for supported formats, so guard/round/sticky
+    # all index into the low limb while the significand straddles both.
+    dropped = _U(fmt.sig_bits - 1) + top
+    sig = (p_lo >> dropped) | (p_hi << (_U(64) - dropped))
+    guard = (p_lo >> (dropped - _U(1))) & _U(1)
+    rnd = (p_lo >> (dropped - _U(2))) & _U(1)
+    sticky_mask = (_U(1) << (dropped - _U(2))) - _U(1)
+    sticky = ((p_lo & sticky_mask) != 0).astype(np.uint64)
+    return sig, guard, rnd, sticky, top
 
 
 def vec_mul(
@@ -103,9 +190,15 @@ def vec_mul(
     a: np.ndarray,
     b: np.ndarray,
     mode: RoundingMode = RoundingMode.NEAREST_EVEN,
-) -> np.ndarray:
-    """Element-wise FP multiply; returns the result bit patterns."""
-    _check_format(fmt)
+    with_flags: bool = False,
+):
+    """Element-wise FP multiply; returns the result bit patterns.
+
+    With ``with_flags=True`` returns ``(bits, flags)`` where ``flags`` is
+    a ``uint8`` array in the :meth:`FPFlags.to_bits` layout, element-wise
+    identical to the scalar :func:`repro.fp.multiplier.fp_mul` flags.
+    """
+    check_vectorized_format(fmt)
     a = _as_u64(fmt, a, "a")
     b = _as_u64(fmt, b, "b")
     s1, e1, f1 = _unpack(fmt, a)
@@ -118,26 +211,15 @@ def vec_mul(
     m1 = np.where(z1, _U(0), f1 | hidden)
     m2 = np.where(z2, _U(0), f2 | hidden)
 
-    product = m1 * m2
-    exp = e1.astype(np.int64) + e2.astype(np.int64) - fmt.bias
+    sig, guard, rnd, sticky, top = _wide_mul_grs(fmt, m1, m2)
+    exp = e1.astype(np.int64) + e2.astype(np.int64) - fmt.bias + top.astype(np.int64)
 
-    prod_bits = 2 * fmt.sig_bits
-    top = ((product >> _U(prod_bits - 1)) & _U(1)).astype(np.int64)
-    exp = exp + top
-    dropped = (np.int64(fmt.man_bits) + top).astype(np.uint64)  # sig_bits-1+top
-    dropped = dropped + _U(fmt.sig_bits - 1 - fmt.man_bits)  # == sig-1+top
-    sig = product >> dropped
-    guard = (product >> (dropped - _U(1))) & _U(1)
-    rnd = (product >> (dropped - _U(2))) & _U(1)
-    sticky_mask = (_U(1) << (dropped - _U(2))) - _U(1)
-    sticky = (product & sticky_mask) != 0
-
-    sig, _ = _round_vec(sig, guard, rnd, sticky.astype(np.uint64), mode)
+    sig, inexact = _round_vec(sig, guard, rnd, sticky, mode)
     carry = (sig >> _U(fmt.sig_bits)) & _U(1)
     sig = np.where(carry != 0, sig >> _U(1), sig)
     exp = exp + carry.astype(np.int64)
 
-    out = _pack_result(fmt, sign, exp, sig)
+    out, overflow, underflow = _pack_result(fmt, sign, exp, sig)
 
     # Specials, in priority order (NaN > 0*Inf > Inf > zero).
     any_nan = n1 | n2
@@ -149,7 +231,16 @@ def vec_mul(
     out = np.where(any_zero, signed_zero, out)
     out = np.where(any_inf, signed_inf, out)
     out = np.where(zero_times_inf | any_nan, _U(fmt.nan()), out)
-    return out
+    if not with_flags:
+        return out
+
+    flags = np.where(inexact, _FL_INEXACT, 0)
+    flags = np.where(overflow, _FL_OVERFLOW | _FL_INEXACT, flags)
+    flags = np.where(underflow, _FL_UNDERFLOW | _FL_INEXACT | _FL_ZERO, flags)
+    flags = np.where(any_zero, _FL_ZERO, flags)
+    flags = np.where(any_inf, 0, flags)
+    flags = np.where(zero_times_inf | any_nan, _FL_INVALID, flags)
+    return out, flags.astype(np.uint8)
 
 
 def vec_add(
@@ -157,9 +248,14 @@ def vec_add(
     a: np.ndarray,
     b: np.ndarray,
     mode: RoundingMode = RoundingMode.NEAREST_EVEN,
-) -> np.ndarray:
-    """Element-wise FP add; returns the result bit patterns."""
-    _check_format(fmt)
+    with_flags: bool = False,
+):
+    """Element-wise FP add; returns the result bit patterns.
+
+    With ``with_flags=True`` returns ``(bits, flags)``, flags being the
+    scalar :func:`repro.fp.adder.fp_add` sideband per element.
+    """
+    check_vectorized_format(fmt)
     a = _as_u64(fmt, a, "a")
     b = _as_u64(fmt, b, "b")
     s1, e1, f1 = _unpack(fmt, a)
@@ -180,7 +276,7 @@ def vec_add(
     s_big = np.where(swap, s2, s1)
     s_small = np.where(swap, s1, s2)
 
-    wide = fmt.sig_bits + 3
+    wide = fmt.sig_bits + 3  # <= 63 for supported formats: one uint64 limb
     diff = e_big - e_small
     shift = np.minimum(diff, _U(wide))
     big = m_big << _U(3)
@@ -208,10 +304,10 @@ def vec_add(
     # Normalize left: distance of the leading one from bit (wide-1).
     safe_total = np.where(total == 0, _U(1), total)
     # bit_length via float log2 is unsafe; use a shift loop over the
-    # fixed, small width instead (wide <= 35 for 32-bit formats).
+    # fixed, small width instead (wide <= 63 for supported formats).
     lz = np.zeros_like(total, dtype=np.int64)
     probe = safe_total
-    for step in (16, 8, 4, 2, 1):
+    for step in (32, 16, 8, 4, 2, 1):
         if step >= wide:
             continue
         mask = probe < (_U(1) << _U(wide - step))
@@ -224,17 +320,18 @@ def vec_add(
     rnd = (total_n >> _U(1)) & _U(1)
     st_bit = (total_n & _U(1)) | sticky
     sig = total_n >> _U(3)
-    sig, _ = _round_vec(sig, guard, rnd, st_bit, mode)
+    sig, inexact = _round_vec(sig, guard, rnd, st_bit, mode)
     carry2 = (sig >> _U(fmt.sig_bits)) & _U(1)
     sig = np.where(carry2 != 0, sig >> _U(1), sig)
     exp = exp + carry2.astype(np.int64)
 
     result_sign = s_big
-    out = _pack_result(fmt, result_sign, exp, sig)
+    out, overflow, underflow = _pack_result(fmt, result_sign, exp, sig)
     out = np.where(cancel, _U(0), out)  # exact cancellation -> +0
 
     # Zero-operand fast paths (the denormal-free zero semantics).
     both_zero = z1 & z2
+    one_zero = z1 ^ z2
     zero_sign = np.where(s1 == s2, s1, _U(0)) << _U(fmt.width - 1)
     pass_b = (s2 << _U(fmt.width - 1)) | (e2 << _U(fmt.man_bits)) | f2
     pass_a = (s1 << _U(fmt.width - 1)) | (e1 << _U(fmt.man_bits)) | f1
@@ -248,8 +345,20 @@ def vec_add(
     signed_inf2 = (s2 << _U(fmt.width - 1)) | _U(fmt.inf(0))
     out = np.where(i1, signed_inf1, out)
     out = np.where(i2 & ~i1, signed_inf2, out)
-    out = np.where(inf_conflict | n1 | n2, _U(fmt.nan()), out)
-    return out
+    any_nan = n1 | n2
+    out = np.where(inf_conflict | any_nan, _U(fmt.nan()), out)
+    if not with_flags:
+        return out
+
+    flags = np.where(inexact, _FL_INEXACT, 0)
+    flags = np.where(underflow, _FL_UNDERFLOW | _FL_INEXACT | _FL_ZERO, flags)
+    flags = np.where(overflow, _FL_OVERFLOW | _FL_INEXACT, flags)
+    flags = np.where(cancel, _FL_ZERO, flags)
+    flags = np.where(one_zero, 0, flags)
+    flags = np.where(both_zero, _FL_ZERO, flags)
+    flags = np.where(i1 | i2, 0, flags)
+    flags = np.where(inf_conflict | any_nan, _FL_INVALID, flags)
+    return out, flags.astype(np.uint8)
 
 
 def vec_sub(
@@ -257,12 +366,16 @@ def vec_sub(
     a: np.ndarray,
     b: np.ndarray,
     mode: RoundingMode = RoundingMode.NEAREST_EVEN,
-) -> np.ndarray:
+    with_flags: bool = False,
+):
     """Element-wise FP subtract: sign-flip feeding :func:`vec_add`."""
-    _check_format(fmt)
+    check_vectorized_format(fmt)
     b = _as_u64(fmt, b, "b")
     _, eb, fb = _unpack(fmt, b)
     nan_b = (eb == fmt.exp_max) & (fb != 0)
     flipped = b ^ (_U(1) << _U(fmt.width - 1))
-    out = vec_add(fmt, a, flipped, mode)
-    return np.where(nan_b, _U(fmt.nan()), out)
+    if not with_flags:
+        out = vec_add(fmt, a, flipped, mode)
+        return np.where(nan_b, _U(fmt.nan()), out)
+    out, flags = vec_add(fmt, a, flipped, mode, with_flags=True)
+    return np.where(nan_b, _U(fmt.nan()), out), flags

@@ -1,12 +1,14 @@
 """Array-scale functional kernels on the vectorized FP ops.
 
-For formats of width <= 32 the whole ``n x n`` accumulation step can run
-as one NumPy array operation per ``k`` (:mod:`repro.fp.vectorized`),
-turning the O(n^3) scalar-Python reference into O(n) array calls — the
+For every paper format (total width <= 64, so fp32/fp48/fp64 alike) the
+whole ``n x n`` accumulation step can run as one NumPy array operation
+per ``k`` (:mod:`repro.fp.vectorized`), turning the O(n^3)
+scalar-Python reference into O(n) array calls — the
 profile-then-vectorize workflow applied to the library's own bottleneck.
 Results are bit-identical to :func:`repro.kernels.matmul.
 functional_matmul` because the accumulation order (ascending ``k``) is
-preserved exactly.
+preserved exactly.  Format support is delegated to the one shared guard,
+:func:`repro.fp.vectorized.check_vectorized_format`.
 """
 
 from __future__ import annotations
@@ -15,7 +17,7 @@ import numpy as np
 
 from repro.fp.format import FPFormat
 from repro.fp.rounding import RoundingMode
-from repro.fp.vectorized import vec_add, vec_mul
+from repro.fp.vectorized import check_vectorized_format, vec_add, vec_mul
 
 
 def functional_matmul_vectorized(
@@ -24,13 +26,14 @@ def functional_matmul_vectorized(
     b: np.ndarray,
     mode: RoundingMode = RoundingMode.NEAREST_EVEN,
 ) -> np.ndarray:
-    """Bit-exact matmul reference at array speed (widths <= 32).
+    """Bit-exact matmul reference at array speed (widths <= 64).
 
     ``a`` and ``b`` are ``(n, n)`` unsigned arrays of bit patterns; the
     result has the same dtype/shape.  Accumulation order matches the
     linear-array schedule: for each output, products are added in
     ascending ``k``.
     """
+    check_vectorized_format(fmt)
     a = np.asarray(a, dtype=np.uint64)
     b = np.asarray(b, dtype=np.uint64)
     if a.ndim != 2 or a.shape[0] != a.shape[1] or a.shape != b.shape:
@@ -58,6 +61,7 @@ def dot_vectorized(
     partials each accumulate every ``lanes``-th element in index order
     (vectorized across lanes per round), then reduce pairwise.
     """
+    check_vectorized_format(fmt)
     xs = np.asarray(xs, dtype=np.uint64)
     ys = np.asarray(ys, dtype=np.uint64)
     if xs.shape != ys.shape or xs.ndim != 1:

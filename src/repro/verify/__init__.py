@@ -8,6 +8,13 @@ tie-prone patterns, specials, ...) against the exact rational oracle and
 report coverage plus mismatch counts.
 """
 
+from repro.verify.differential import (
+    CampaignReport,
+    ChunkReport,
+    campaign_jobs,
+    diff_chunk,
+    run_campaign,
+)
 from repro.verify.faults import Fault, MutationReport, inject, mutation_campaign
 from repro.verify.testbench import (
     CoverageReport,
@@ -17,12 +24,17 @@ from repro.verify.testbench import (
 )
 
 __all__ = [
+    "CampaignReport",
+    "ChunkReport",
     "CoverageReport",
     "Fault",
     "MutationReport",
     "OperandClass",
     "OperandGenerator",
+    "campaign_jobs",
+    "diff_chunk",
     "inject",
     "mutation_campaign",
+    "run_campaign",
     "run_testbench",
 ]

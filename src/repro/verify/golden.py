@@ -1,0 +1,122 @@
+"""Golden-vector regression corpus: seed-pinned oracle outputs on disk.
+
+The differential campaign regenerates its operands every run; the golden
+corpus is the complement — a small, *checked-in* set of vectors whose
+operands and exactly-rounded results (bits **and** flags, both rounding
+modes) were produced once from the rational oracle and are replayed
+through the scalar and vectorized datapaths on every test run.  If a
+future refactor changes any rounding/flag behavior, the corpus diff
+shows exactly which operand class pair moved.
+
+Corpus files live in ``tests/vectors/<fmt>_<op>.json``; regenerate them
+(only when semantics are *intended* to change) with::
+
+    PYTHONPATH=src python -m repro.verify.golden tests/vectors
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+from typing import Iterable
+
+from repro.fp.format import FP32, FP48, FP64, FPFormat, PAPER_FORMATS
+from repro.fp.reference import ref_add, ref_mul
+from repro.fp.rounding import RoundingMode
+from repro.verify.testbench import OperandClass, OperandGenerator
+
+#: Pinned generator seed — corpus files are reproducible artifacts.
+GOLDEN_SEED = 0xD1FF
+#: Operand samples drawn per (class, class) pair.
+SAMPLES_PER_PAIR = 2
+#: Operations covered by the corpus.
+GOLDEN_OPS = ("add", "mul")
+
+_ORACLE = {"add": ref_add, "mul": ref_mul}
+
+
+def generate_corpus(
+    fmt: FPFormat,
+    op: str,
+    seed: int = GOLDEN_SEED,
+    samples_per_pair: int = SAMPLES_PER_PAIR,
+) -> dict:
+    """Build one corpus document from the exact rational oracle."""
+    if op not in _ORACLE:
+        raise ValueError(f"unknown golden op {op!r}; known: {sorted(_ORACLE)}")
+    oracle = _ORACLE[op]
+    gen = OperandGenerator(fmt, seed)
+    cases = []
+    for cls_a in OperandClass:
+        for cls_b in OperandClass:
+            for _ in range(samples_per_pair):
+                a = gen.sample(cls_a)
+                b = gen.sample(cls_b)
+                case = {
+                    "classes": [cls_a.value, cls_b.value],
+                    "a": f"{a:#x}",
+                    "b": f"{b:#x}",
+                }
+                for mode in RoundingMode:
+                    bits, flags = oracle(fmt, a, b, mode)
+                    case[mode.value] = {
+                        "bits": f"{bits:#x}",
+                        "flags": flags.to_bits(),
+                    }
+                cases.append(case)
+    return {
+        "format": fmt.name,
+        "exp_bits": fmt.exp_bits,
+        "man_bits": fmt.man_bits,
+        "op": op,
+        "seed": seed,
+        "samples_per_pair": samples_per_pair,
+        "cases": cases,
+    }
+
+
+def corpus_filename(fmt: FPFormat, op: str) -> str:
+    return f"{fmt.name}_{op}.json"
+
+
+def load_corpus(path: str | Path) -> dict:
+    """Load a corpus file, parsing hex words back to integers."""
+    doc = json.loads(Path(path).read_text())
+    fmt = FPFormat(doc["exp_bits"], doc["man_bits"], doc["format"])
+    cases = []
+    for case in doc["cases"]:
+        parsed = {
+            "classes": tuple(case["classes"]),
+            "a": int(case["a"], 16),
+            "b": int(case["b"], 16),
+        }
+        for mode in RoundingMode:
+            entry = case[mode.value]
+            parsed[mode.value] = (int(entry["bits"], 16), int(entry["flags"]))
+        cases.append(parsed)
+    return {"fmt": fmt, "op": doc["op"], "seed": doc["seed"], "cases": cases}
+
+
+def write_corpora(
+    outdir: str | Path,
+    formats: Iterable[FPFormat] = (FP32, FP48, FP64),
+    ops: Iterable[str] = GOLDEN_OPS,
+) -> list[Path]:
+    """Write every (format, op) corpus file under ``outdir``."""
+    root = Path(outdir)
+    root.mkdir(parents=True, exist_ok=True)
+    written = []
+    for fmt in formats:
+        for op in ops:
+            doc = generate_corpus(fmt, op)
+            path = root / corpus_filename(fmt, op)
+            path.write_text(json.dumps(doc, indent=1) + "\n")
+            written.append(path)
+    return written
+
+
+if __name__ == "__main__":  # pragma: no cover - regeneration utility
+    target = sys.argv[1] if len(sys.argv) > 1 else "tests/vectors"
+    for p in write_corpora(target, formats=PAPER_FORMATS):
+        print(p)

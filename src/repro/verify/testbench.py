@@ -14,18 +14,14 @@ import random
 from dataclasses import dataclass, field
 from typing import Callable
 
-import math
-from fractions import Fraction
-
 from repro.fp.adder import fp_add, fp_sub
 from repro.fp.divider import fp_div
 from repro.fp.flags import FPFlags
 from repro.fp.format import FPFormat
 from repro.fp.multiplier import fp_mul
-from repro.fp.reference import ref_add, ref_div, ref_mul, ref_sub
+from repro.fp.reference import ref_add, ref_div, ref_mul, ref_sqrt, ref_sub
 from repro.fp.rounding import RoundingMode
 from repro.fp.sqrt import fp_sqrt
-from repro.fp.value import FPValue, encode_fraction
 
 
 class OperandClass(enum.Enum):
@@ -46,33 +42,6 @@ class OperandClass(enum.Enum):
     NAN = "nan"
 
 
-def _ref_sqrt(
-    fmt: FPFormat, a: int, mode: RoundingMode = RoundingMode.NEAREST_EVEN
-) -> tuple[int, FPFlags]:
-    """High-precision square-root oracle.
-
-    sqrt(p/q) is approximated by isqrt(p*q*4^T)/(q*2^T) with T far beyond
-    the target precision; exact squares come out exact (zero remainder),
-    rational ties are therefore honoured, and irrational roots are
-    approximated well inside the rounding decision boundary.
-    """
-    if fmt.is_nan(a):
-        return fmt.nan(), FPFlags(invalid=True)
-    sign, exp, _ = fmt.unpack(a)
-    if exp == 0:
-        return fmt.zero(sign), FPFlags(zero=True)
-    if sign:
-        return fmt.nan(), FPFlags(invalid=True)
-    if fmt.is_inf(a):
-        return fmt.inf(0), FPFlags()
-    v = FPValue(fmt, a).to_fraction()
-    precision = fmt.man_bits + 40
-    p, q = v.numerator, v.denominator
-    root = math.isqrt((p * q) << (2 * precision))
-    approx = Fraction(root, q << precision)
-    return encode_fraction(fmt, approx, mode)
-
-
 #: Binary operation name -> (implementation, oracle).
 OPERATIONS: dict[str, tuple[Callable, Callable]] = {
     "add": (fp_add, ref_add),
@@ -83,7 +52,7 @@ OPERATIONS: dict[str, tuple[Callable, Callable]] = {
 
 #: Unary operation name -> (implementation, oracle).
 UNARY_OPERATIONS: dict[str, tuple[Callable, Callable]] = {
-    "sqrt": (fp_sqrt, _ref_sqrt),
+    "sqrt": (fp_sqrt, ref_sqrt),
 }
 
 

@@ -4,9 +4,15 @@ from fractions import Fraction
 
 import pytest
 
-from repro.analysis.accuracy import ErrorStats, batch_ulp_errors, ulp, ulp_error
+from repro.analysis.accuracy import (
+    ErrorStats,
+    batch_ulp_errors,
+    matmul_ulp_errors,
+    ulp,
+    ulp_error,
+)
 from repro.fp.adder import fp_add
-from repro.fp.format import FP32
+from repro.fp.format import FP32, FP64
 from repro.fp.value import FPValue
 
 
@@ -76,3 +82,40 @@ class TestBatch:
     def test_length_mismatch(self):
         with pytest.raises(ValueError):
             batch_ulp_errors(FP32, [FP32.one()], [])
+
+
+class TestMatmulUlpErrors:
+    @pytest.mark.parametrize("fmt", [FP32, FP64], ids=lambda f: f.name)
+    def test_fast_routed_matches_scalar_routed(self, fmt, rng, monkeypatch):
+        """The fast-path routing (now serving fp64 too) must not change
+        the statistics — only the wall time."""
+        import repro.analysis.accuracy as acc
+
+        n = 4
+        a = [
+            [FPValue.from_float(fmt, rng.uniform(-4, 4)).bits for _ in range(n)]
+            for _ in range(n)
+        ]
+        b = [
+            [FPValue.from_float(fmt, rng.uniform(-4, 4)).bits for _ in range(n)]
+            for _ in range(n)
+        ]
+        fast = matmul_ulp_errors(fmt, a, b)
+        monkeypatch.setattr(acc, "supports_vectorized", lambda _fmt: False)
+        slow = matmul_ulp_errors(fmt, a, b)
+        assert fast == slow
+        assert fast.count == n * n
+
+    def test_errors_are_small_for_benign_inputs(self, rng):
+        n = 3
+        a = [
+            [FPValue.from_float(FP64, rng.uniform(0.5, 2)).bits for _ in range(n)]
+            for _ in range(n)
+        ]
+        b = [
+            [FPValue.from_float(FP64, rng.uniform(0.5, 2)).bits for _ in range(n)]
+            for _ in range(n)
+        ]
+        stats = matmul_ulp_errors(FP64, a, b)
+        # n - 1 chained RNE adds bound the error well under n/2 ulp.
+        assert stats.max_ulp < n

@@ -209,6 +209,25 @@ class TestSec42:
         assert s["GFLOPS"] > 2 * d["GFLOPS"]
         assert s["PEs"] > d["PEs"]
 
+    def test_kernel_selfcheck_fp64_fast_path(self):
+        """The Section 4.2 hot path (fp64 matmul) runs on the vectorized
+        kernel and is bit-identical to the scalar reference."""
+        from repro.fp.format import FP64
+
+        check = sec42_matmul.kernel_selfcheck(fmt=FP64, n=8, seed=1)
+        assert check["identical"], check
+        assert check["checked"] == 64
+
+    def test_kernel_selfcheck_runs_as_engine_job(self):
+        from repro.engine import Engine, Job
+        from repro.fp.format import FP32
+
+        job = Job.create(
+            "sec42.selfcheck", sec42_matmul.kernel_selfcheck, fmt=FP32, n=6, seed=2
+        )
+        result = Engine().evaluate(job)
+        assert result["identical"], result
+
 
 class TestConfigs:
     def test_three_levels_with_paper_pl_values(self):

@@ -1,0 +1,87 @@
+"""Golden-vector regression corpus: replay the checked-in oracle vectors
+through the scalar AND vectorized datapaths on every run."""
+
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.fp.adder import fp_add
+from repro.fp.multiplier import fp_mul
+from repro.fp.rounding import RoundingMode
+from repro.fp.vectorized import vec_add, vec_mul
+from repro.verify.golden import (
+    GOLDEN_OPS,
+    GOLDEN_SEED,
+    corpus_filename,
+    generate_corpus,
+    load_corpus,
+)
+
+VECTOR_DIR = Path(__file__).resolve().parent.parent / "vectors"
+
+SCALAR = {"add": fp_add, "mul": fp_mul}
+VECTORIZED = {"add": vec_add, "mul": vec_mul}
+
+CORPUS_FILES = sorted(VECTOR_DIR.glob("*.json"))
+
+
+def test_corpus_is_checked_in():
+    names = {p.name for p in CORPUS_FILES}
+    for fmt_name in ("fp32", "fp48", "fp64"):
+        for op in GOLDEN_OPS:
+            assert f"{fmt_name}_{op}.json" in names
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+def test_scalar_datapaths_match_golden(path):
+    doc = load_corpus(path)
+    fmt, op = doc["fmt"], doc["op"]
+    impl = SCALAR[op]
+    assert doc["cases"], "corpus must not be empty"
+    for case in doc["cases"]:
+        for mode in RoundingMode:
+            want_bits, want_flags = case[mode.value]
+            got_bits, got_flags = impl(fmt, case["a"], case["b"], mode)
+            assert got_bits == want_bits, (path.name, case, mode.value)
+            assert got_flags.to_bits() == want_flags, (path.name, case, mode.value)
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+def test_vectorized_datapaths_match_golden(path):
+    doc = load_corpus(path)
+    fmt, op = doc["fmt"], doc["op"]
+    vec = VECTORIZED[op]
+    a = np.array([c["a"] for c in doc["cases"]], dtype=np.uint64)
+    b = np.array([c["b"] for c in doc["cases"]], dtype=np.uint64)
+    for mode in RoundingMode:
+        bits, flags = vec(fmt, a, b, mode, with_flags=True)
+        for i, case in enumerate(doc["cases"]):
+            want_bits, want_flags = case[mode.value]
+            assert int(bits[i]) == want_bits, (path.name, case, mode.value)
+            assert int(flags[i]) == want_flags, (path.name, case, mode.value)
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+def test_corpus_is_seed_pinned(path):
+    """Regenerating from the pinned seed reproduces the file exactly."""
+    doc = load_corpus(path)
+    assert doc["seed"] == GOLDEN_SEED
+    regenerated = generate_corpus(doc["fmt"], doc["op"])
+    # Generation is deterministic, so compare case i with case i.
+    assert len(doc["cases"]) == len(regenerated["cases"])
+    for got, want in zip(doc["cases"], regenerated["cases"]):
+        assert got["classes"] == tuple(want["classes"])
+        assert got["a"] == int(want["a"], 16)
+        assert got["b"] == int(want["b"], 16)
+        for mode in RoundingMode:
+            assert got[mode.value] == (
+                int(want[mode.value]["bits"], 16),
+                want[mode.value]["flags"],
+            )
+
+
+def test_corpus_filename_roundtrip():
+    from repro.fp.format import FP48
+
+    assert corpus_filename(FP48, "add") == "fp48_add.json"

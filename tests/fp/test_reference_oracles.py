@@ -1,0 +1,83 @@
+"""Differential tests of fp_div/fp_sqrt against the exactly-rounded
+rational oracles (ref_div/ref_sqrt), including flag agreement."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from tests.conftest import ALL_FORMATS, words
+from repro.fp.divider import fp_div
+from repro.fp.flags import FPFlags
+from repro.fp.format import FP32, FP64
+from repro.fp.reference import ref_div, ref_sqrt
+from repro.fp.rounding import RoundingMode
+from repro.fp.sqrt import fp_sqrt
+from repro.fp.value import FPValue
+from repro.verify.testbench import OperandClass, OperandGenerator
+
+
+class TestSqrtOracle:
+    @pytest.mark.parametrize("mode", list(RoundingMode))
+    def test_class_directed_agreement(self, fmt, mode):
+        gen = OperandGenerator(fmt, seed=0x507)
+        for cls in OperandClass:
+            for _ in range(20):
+                a = gen.sample(cls)
+                got_bits, got_flags = fp_sqrt(fmt, a, mode)
+                want_bits, want_flags = ref_sqrt(fmt, a, mode)
+                assert got_bits == want_bits, (fmt.name, cls, hex(a))
+                assert got_flags == want_flags, (fmt.name, cls, hex(a))
+
+    @settings(max_examples=300)
+    @given(a=words(FP32), mode=st.sampled_from(list(RoundingMode)))
+    def test_fp32_property(self, a, mode):
+        assert fp_sqrt(FP32, a, mode) == ref_sqrt(FP32, a, mode)
+
+    def test_exact_squares_are_exact(self):
+        # sqrt(4) == 2 with no inexact flag, in every format.
+        for fmt in ALL_FORMATS:
+            four = FPValue.from_float(fmt, 4.0).bits
+            bits, flags = ref_sqrt(fmt, four)
+            assert bits == FPValue.from_float(fmt, 2.0).bits
+            assert flags == FPFlags()
+
+    def test_specials(self):
+        fmt = FP64
+        assert ref_sqrt(fmt, fmt.nan()) == (fmt.nan(), FPFlags(invalid=True))
+        assert ref_sqrt(fmt, fmt.inf(0)) == (fmt.inf(0), FPFlags())
+        assert ref_sqrt(fmt, fmt.inf(1)) == (fmt.nan(), FPFlags(invalid=True))
+        assert ref_sqrt(fmt, fmt.zero(0)) == (fmt.zero(0), FPFlags(zero=True))
+        assert ref_sqrt(fmt, fmt.zero(1)) == (fmt.zero(1), FPFlags(zero=True))
+        neg = FPValue.from_float(fmt, -1.0).bits
+        assert ref_sqrt(fmt, neg) == (fmt.nan(), FPFlags(invalid=True))
+        # Denormal patterns read as (signed) zero before the sign check.
+        neg_denormal = fmt.pack(1, 0, 1)
+        assert ref_sqrt(fmt, neg_denormal) == (fmt.zero(1), FPFlags(zero=True))
+
+
+class TestDivOracle:
+    @pytest.mark.parametrize("mode", list(RoundingMode))
+    def test_class_directed_agreement(self, fmt, mode):
+        gen = OperandGenerator(fmt, seed=0xD1F)
+        for cls_a in OperandClass:
+            for cls_b in OperandClass:
+                for _ in range(3):
+                    a = gen.sample(cls_a)
+                    b = gen.sample(cls_b)
+                    got_bits, got_flags = fp_div(fmt, a, b, mode)
+                    want_bits, want_flags = ref_div(fmt, a, b, mode)
+                    assert got_bits == want_bits, (fmt.name, hex(a), hex(b))
+                    assert got_flags == want_flags, (fmt.name, hex(a), hex(b))
+
+    @settings(max_examples=300)
+    @given(a=words(FP32), b=words(FP32), mode=st.sampled_from(list(RoundingMode)))
+    def test_fp32_property(self, a, b, mode):
+        assert fp_div(FP32, a, b, mode) == ref_div(FP32, a, b, mode)
+
+    def test_flag_cases(self):
+        fmt = FP32
+        one, zero = fmt.one(0), fmt.zero(0)
+        assert ref_div(fmt, one, zero)[1] == FPFlags(div_by_zero=True)
+        assert ref_div(fmt, zero, zero)[1] == FPFlags(invalid=True)
+        assert ref_div(fmt, fmt.inf(0), fmt.inf(0))[1] == FPFlags(invalid=True)
+        assert ref_div(fmt, one, fmt.inf(0))[1] == FPFlags(zero=True)

@@ -98,13 +98,19 @@ class TestShapeAndValidation:
         b = random_words(FP32, 12, rng).reshape(3, 4)
         assert vec_mul(FP32, a, b).shape == (3, 4)
 
-    def test_wide_formats_rejected(self):
-        with pytest.raises(ValueError, match="widths <= 32"):
-            vec_add(FP48, np.zeros(2, dtype=np.uint64), np.zeros(2, dtype=np.uint64))
+    def test_fp48_accepted(self):
+        # Wide paper formats run on the two-limb datapaths now.
+        zeros = np.zeros(2, dtype=np.uint64)
+        assert np.array_equal(vec_add(FP48, zeros, zeros), zeros)
+
+    def test_too_wide_formats_rejected(self):
+        fp65 = FPFormat(exp_bits=12, man_bits=52, name="fp65")
+        with pytest.raises(ValueError, match="width <= 64"):
+            vec_add(fp65, np.zeros(2, dtype=np.uint64), np.zeros(2, dtype=np.uint64))
 
     def test_tiny_mantissa_rejected(self):
         small = FPFormat(exp_bits=4, man_bits=2)
-        with pytest.raises(ValueError, match="3 fraction bits"):
+        with pytest.raises(ValueError, match="fraction bits <= 59"):
             vec_mul(small, np.zeros(1, dtype=np.uint64), np.zeros(1, dtype=np.uint64))
 
     def test_float_arrays_rejected(self):

@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro.fp.format import FP32, FP48
+from repro.fp.format import FP32, FP48, FP64, FPFormat
 from repro.fp.rounding import RoundingMode
 from repro.fp.value import FPValue
 from repro.kernels.dotproduct import functional_dot
@@ -11,9 +11,9 @@ from repro.kernels.fast import dot_vectorized, functional_matmul_vectorized
 from repro.kernels.matmul import functional_matmul
 
 
-def rand_matrix_bits(n, rng):
+def rand_matrix_bits(n, rng, fmt=FP32):
     return [
-        [FPValue.from_float(FP32, rng.uniform(-8, 8)).bits for _ in range(n)]
+        [FPValue.from_float(fmt, rng.uniform(-8, 8)).bits for _ in range(n)]
         for _ in range(n)
     ]
 
@@ -48,10 +48,37 @@ class TestVectorizedMatmul:
         with pytest.raises(ValueError):
             functional_matmul_vectorized(FP32, sq, rect)
 
-    def test_wide_format_rejected(self):
+    @pytest.mark.parametrize("fmt", [FP48, FP64], ids=lambda f: f.name)
+    @pytest.mark.parametrize("mode", list(RoundingMode))
+    def test_wide_formats_bit_identical_to_scalar(self, fmt, mode, rng):
+        n = 6
+        a = rand_matrix_bits(n, rng, fmt)
+        b = rand_matrix_bits(n, rng, fmt)
+        fast = functional_matmul_vectorized(
+            fmt, np.array(a, dtype=np.uint64), np.array(b, dtype=np.uint64), mode
+        )
+        assert fast.tolist() == functional_matmul(fmt, a, b, mode)
+
+    def test_fp64_randomized_byte_identity(self, rng):
+        # The acceptance check: random fp64 word matrices (specials and
+        # denormal patterns included), byte-identical to the scalar path.
+        n = 8
+        a = [[rng.randrange(FP64.word_mask + 1) for _ in range(n)] for _ in range(n)]
+        b = [[rng.randrange(FP64.word_mask + 1) for _ in range(n)] for _ in range(n)]
+        fast = functional_matmul_vectorized(
+            FP64, np.array(a, dtype=np.uint64), np.array(b, dtype=np.uint64)
+        )
+        slow = functional_matmul(FP64, a, b)
+        assert np.array(slow, dtype=np.uint64).tobytes() == fast.tobytes()
+
+    def test_unsupported_format_rejected(self):
         m = np.zeros((2, 2), dtype=np.uint64)
-        with pytest.raises(ValueError):
-            functional_matmul_vectorized(FP48, m, m)
+        fp65 = FPFormat(exp_bits=12, man_bits=52, name="fp65")
+        with pytest.raises(ValueError, match="width <= 64"):
+            functional_matmul_vectorized(fp65, m, m)
+        with pytest.raises(ValueError, match="width <= 64"):
+            dot_vectorized(fp65, np.zeros(4, dtype=np.uint64),
+                           np.zeros(4, dtype=np.uint64), 2)
 
     def test_medium_problem_against_numpy(self, rng):
         """n = 24: too slow for the scalar reference in bulk testing, but
@@ -83,6 +110,17 @@ class TestVectorizedDot:
             FP32, np.array(xs, dtype=np.uint64), np.array(ys, dtype=np.uint64), lanes
         )
         slow, _ = functional_dot(FP32, xs, ys, lanes)
+        assert fast == slow
+
+    @pytest.mark.parametrize("fmt", [FP48, FP64], ids=lambda f: f.name)
+    def test_wide_formats_bit_identical_to_scalar(self, fmt, rng):
+        n, lanes = 21, 4
+        xs = [FPValue.from_float(fmt, rng.uniform(-4, 4)).bits for _ in range(n)]
+        ys = [FPValue.from_float(fmt, rng.uniform(-4, 4)).bits for _ in range(n)]
+        fast = dot_vectorized(
+            fmt, np.array(xs, dtype=np.uint64), np.array(ys, dtype=np.uint64), lanes
+        )
+        slow, _ = functional_dot(fmt, xs, ys, lanes)
         assert fast == slow
 
     def test_validation(self):

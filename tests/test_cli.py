@@ -129,3 +129,52 @@ class TestCliEngine:
         assert "usage: repro cache" in capsys.readouterr().err
         assert main(["cache", "defrost"]) == 2
         assert "unknown cache action" in capsys.readouterr().err
+
+
+class TestCliVerify:
+    """The 'repro verify' differential-campaign subcommand."""
+
+    @pytest.fixture(autouse=True)
+    def _isolate_engine_state(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        yield
+        import os
+
+        os.environ.pop(CACHE_DIR_ENV, None)
+        configure_default_engine(None)
+
+    def test_scaled_campaign_passes(self, capsys):
+        assert main(["verify", "--pairs", "800", "--chunk", "400"]) == 0
+        captured = capsys.readouterr()
+        assert "differential campaign" in captured.out
+        assert "PASS" in captured.out
+        assert "0 mismatches" in captured.out
+        assert "engine:" in captured.err  # runs through repro.engine
+
+    def test_format_and_op_selection(self, capsys):
+        assert main(
+            ["verify", "--formats", "fp48", "--ops", "mul",
+             "--pairs", "400", "--chunk", "200"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "fp48" in out
+        assert "fp32" not in out
+
+    def test_warm_cache_campaign_hits(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["verify", "--formats", "fp32", "--pairs", "400",
+                "--chunk", "200", "--cache-dir", cache]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "100% hit rate" in warm.err
+
+    def test_unknown_format_rejected(self, capsys):
+        assert main(["verify", "--formats", "fp128"]) == 2
+        assert "unknown formats" in capsys.readouterr().err
+
+    def test_unknown_op_rejected(self, capsys):
+        assert main(["verify", "--ops", "fma"]) == 2
+        assert "unknown ops" in capsys.readouterr().err
