@@ -1,0 +1,139 @@
+"""Kernel micro-benchmarks as data: the ``repro bench`` snapshot.
+
+The benchmark suite under ``benchmarks/`` gates relative performance in
+CI, but its numbers die in the job log.  This module runs the kernel
+micro-benchmarks — stepped vs wavefront-batched array simulation at
+small sizes, batched-only scaling at Fig 5/6-style sizes — and emits one
+machine-readable JSON snapshot, so the repo's perf trajectory can
+accumulate over time (``repro bench --json BENCH_kernel.json``).
+
+Timings are wall-clock and machine-dependent by design; the *speedups*
+are the portable quantity, and the batched-vs-stepped ratio at n = 32 is
+the one the benchmark suite asserts (>= 10x).
+"""
+
+from __future__ import annotations
+
+import json
+import platform
+import random
+import sys
+import time
+from typing import Callable
+
+from repro.fp.format import FP32, FPFormat
+from repro.fp.rounding import RoundingMode
+from repro.kernels.batched import make_matmul_array
+
+#: Snapshot schema identifier; bump when the JSON layout changes.
+SCHEMA = "repro-bench/1"
+
+#: Stepped-vs-batched comparison sizes (stepped is O(n^3) scalar ops,
+#: so these stay small) and batched-only scaling sizes.
+DEFAULT_SIZES = (16, 32)
+DEFAULT_SCAN_SIZES = (64, 128, 256)
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Best wall time of ``repeats`` runs (min filters scheduler noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - t0)
+    return best
+
+
+def _rand_matrix(fmt: FPFormat, n: int, rng: random.Random) -> list[list[int]]:
+    return [[rng.randrange(fmt.word_mask + 1) for _ in range(n)] for _ in range(n)]
+
+
+def kernel_bench(
+    sizes: tuple[int, ...] = DEFAULT_SIZES,
+    scan_sizes: tuple[int, ...] = DEFAULT_SCAN_SIZES,
+    fmt: FPFormat = FP32,
+    mul_latency: int = 3,
+    add_latency: int = 5,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Run the kernel micro-benchmarks; return the snapshot dict.
+
+    For each n in ``sizes`` both simulators run on the same matrices
+    (results cross-checked bit-for-bit, so a benchmark run doubles as an
+    equivalence check); for each n in ``scan_sizes`` only the batched
+    simulator runs.
+    """
+    import numpy as np
+
+    rng = random.Random(seed)
+    benchmarks: list[dict] = []
+    speedups: dict[str, float] = {}
+    for n in sizes:
+        a = _rand_matrix(fmt, n, rng)
+        b = _rand_matrix(fmt, n, rng)
+        stepped = make_matmul_array(fmt, n, mul_latency, add_latency,
+                                    mode=mode, backend="stepped")
+        batched = make_matmul_array(fmt, n, mul_latency, add_latency,
+                                    mode=mode, backend="batched")
+        runs = {}
+        t_stepped = _best_of(lambda: runs.__setitem__("s", stepped.run(a, b)), 1)
+        t_batched = _best_of(lambda: runs.__setitem__("b", batched.run(a, b)),
+                             repeats)
+        if runs["s"] != runs["b"]:
+            raise AssertionError(
+                f"batched run diverged from stepped at n={n} ({fmt.name})"
+            )
+        benchmarks.append({"name": f"matmul.stepped.{fmt.name}.n{n}",
+                           "seconds": t_stepped})
+        benchmarks.append({"name": f"matmul.batched.{fmt.name}.n{n}",
+                           "seconds": t_batched})
+        speedups[f"batched_vs_stepped.{fmt.name}.n{n}"] = t_stepped / t_batched
+    for n in scan_sizes:
+        a = _rand_matrix(fmt, n, rng)
+        b = _rand_matrix(fmt, n, rng)
+        batched = make_matmul_array(fmt, n, mul_latency, add_latency,
+                                    mode=mode, backend="batched")
+        t = _best_of(lambda: batched.run(a, b), 1)
+        benchmarks.append({"name": f"matmul.batched.{fmt.name}.n{n}",
+                           "seconds": t})
+    return {
+        "schema": SCHEMA,
+        "suite": "kernel",
+        "config": {
+            "fmt": fmt.name,
+            "mul_latency": mul_latency,
+            "add_latency": add_latency,
+            "mode": mode.value,
+            "sizes": list(sizes),
+            "scan_sizes": list(scan_sizes),
+            "repeats": repeats,
+            "seed": seed,
+        },
+        "context": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "numpy": np.__version__,
+        },
+        "benchmarks": benchmarks,
+        "speedups": speedups,
+    }
+
+
+def render(snapshot: dict) -> str:
+    """Human-readable summary of a snapshot (stdout companion to JSON)."""
+    lines = [f"kernel bench ({snapshot['config']['fmt']}, "
+             f"PL={snapshot['config']['mul_latency'] + snapshot['config']['add_latency']})"]
+    for entry in snapshot["benchmarks"]:
+        lines.append(f"  {entry['name']:<32} {entry['seconds'] * 1000.0:>10.2f} ms")
+    for name, ratio in snapshot["speedups"].items():
+        lines.append(f"  {name:<32} {ratio:>9.1f}x")
+    return "\n".join(lines)
+
+
+def write_snapshot(snapshot: dict, path: str) -> None:
+    """Write one snapshot as pretty-printed JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(snapshot, handle, indent=2, sort_keys=True)
+        handle.write("\n")

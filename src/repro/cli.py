@@ -12,6 +12,8 @@ Usage::
     repro cache stats         # inspect the persistent cache
     repro cache clear         # drop it
     repro verify --pairs 1000000 --parallel 8   # differential campaign
+    repro verify --kernels    # batched-vs-stepped array differential matrix
+    repro bench --json BENCH_kernel.json        # kernel perf snapshot
 
 Each experiment prints rows/series directly comparable to the paper's
 table or figure of the same number.  Experiments are evaluated through
@@ -149,11 +151,69 @@ def cache_command(action: str, args: argparse.Namespace) -> int:
     raise AssertionError(action)  # pragma: no cover - validated above
 
 
+def _parse_sizes(text: str, flag: str) -> tuple[int, ...] | None:
+    try:
+        sizes = tuple(int(part) for part in text.split(",") if part.strip())
+    except ValueError:
+        sizes = ()
+    if not sizes or any(n < 1 for n in sizes):
+        print(f"{flag} expects a comma-separated list of sizes >= 1",
+              file=sys.stderr)
+        return None
+    return sizes
+
+
+def bench_command(args: argparse.Namespace) -> int:
+    """Run the kernel micro-benchmarks; optionally write the JSON snapshot."""
+    from repro.bench import kernel_bench, render, write_snapshot
+
+    sizes = _parse_sizes(args.bench_sizes, "--bench-sizes")
+    if sizes is None:
+        return 2
+    scan_sizes: tuple[int, ...] = ()
+    if args.scan_sizes:
+        parsed = _parse_sizes(args.scan_sizes, "--scan-sizes")
+        if parsed is None:
+            return 2
+        scan_sizes = parsed
+    snapshot = kernel_bench(
+        sizes=sizes,
+        scan_sizes=scan_sizes,
+        repeats=args.repeats,
+        seed=args.seed,
+    )
+    print(render(snapshot))
+    if args.json:
+        write_snapshot(snapshot, args.json)
+        print(f"wrote {args.json}")
+    return 0
+
+
+def verify_kernels_command(args: argparse.Namespace) -> int:
+    """Run the batched-vs-stepped array differential matrix."""
+    from repro.verify.kernels import run_matrix
+
+    engine = build_engine(args)
+    report = run_matrix(seed=args.seed, engine=engine)
+    print(report.summary())
+    for case in report.failures():
+        print(
+            f"  mismatch {case['fmt']}/{case['mode']} n={case['n']} "
+            f"PL={case['mul_latency'] + case['add_latency']} "
+            f"pad={case['pad_schedule']}: fields {', '.join(case['mismatched'])}"
+        )
+    print(engine.metrics.summary(), file=sys.stderr)
+    return 0 if report.passed else 1
+
+
 def verify_command(args: argparse.Namespace) -> int:
     """Run the vectorized-vs-scalar-vs-oracle differential campaign."""
     from repro.fp.format import PAPER_FORMATS
     from repro.fp.rounding import RoundingMode
     from repro.verify.differential import CAMPAIGN_OPS, run_campaign
+
+    if args.kernels:
+        return verify_kernels_command(args)
 
     by_name = {f.name: f for f in PAPER_FORMATS}
     if args.formats:
@@ -215,8 +275,9 @@ def main(argv: Sequence[str] | None = None) -> int:
         nargs="*",
         default=["list"],
         help="experiment names (see 'repro list'), 'all', 'results' to "
-        "write every artifact to --outdir, 'cache {stats,clear}', or "
-        "'verify' for the differential verification campaign",
+        "write every artifact to --outdir, 'cache {stats,clear}', "
+        "'verify' for the differential verification campaigns, or "
+        "'bench' for the kernel perf snapshot",
     )
     parser.add_argument(
         "--csv", action="store_true", help="emit CSV instead of text tables"
@@ -297,7 +358,39 @@ def main(argv: Sequence[str] | None = None) -> int:
         type=int,
         default=0,
         metavar="S",
-        help="with 'verify': base campaign seed (default: 0)",
+        help="with 'verify'/'bench': base seed (default: 0)",
+    )
+    parser.add_argument(
+        "--kernels",
+        action="store_true",
+        help="with 'verify': run the batched-vs-stepped array "
+        "differential matrix instead of the datapath campaign",
+    )
+    parser.add_argument(
+        "--json",
+        default=None,
+        metavar="FILE",
+        help="with 'bench': write the machine-readable snapshot to FILE",
+    )
+    parser.add_argument(
+        "--bench-sizes",
+        default="16,32",
+        metavar="N,N",
+        help="with 'bench': stepped-vs-batched sizes (default: 16,32)",
+    )
+    parser.add_argument(
+        "--scan-sizes",
+        default="64,128,256",
+        metavar="N,N",
+        help="with 'bench': batched-only scaling sizes "
+        "(default: 64,128,256; empty string to skip)",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        metavar="K",
+        help="with 'bench': batched timing repeats, best-of (default: 3)",
     )
     args = parser.parse_args(argv)
     if args.parallel < 1:
@@ -310,6 +403,11 @@ def main(argv: Sequence[str] | None = None) -> int:
         if args.pairs < 1 or args.chunk < 1:
             parser.error("--pairs and --chunk must be >= 1")
         return verify_command(args)
+    if names == ["bench"]:
+        if args.repeats < 1:
+            print(f"--repeats must be >= 1, got {args.repeats}", file=sys.stderr)
+            return 2
+        return bench_command(args)
     if names and names[0] == "cache":
         if len(names) != 2:
             print("usage: repro cache {stats,clear}", file=sys.stderr)

@@ -51,24 +51,30 @@ def kernel_selfcheck(
     n: int = 16,
     seed: int = 0,
     mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    mul_latency: int = 3,
+    add_latency: int = 5,
+    backend: str = "batched",
 ) -> dict:
-    """Bit-identity check of the fast matmul path at a Section 4.2 precision.
+    """Bit-identity check of the cycle-accurate array at a §4.2 precision.
 
-    Multiplies two random ``n x n`` matrices through both the scalar
-    reference kernel and the vectorized fast path (which now serves the
-    64-bit hot path as well) and reports whether every output word is
-    identical.  Pure function of its arguments, so it runs as a cached
-    :class:`repro.engine.Job`; it does not feed the ``run()`` table —
-    results artifacts stay byte-identical — but gates the fast-path
-    routing in the test suite.
+    Multiplies two random ``n x n`` matrices through the selected
+    cycle-accurate simulator (``backend="batched"`` by default, so sizes
+    in the hundreds stay cheap; ``"stepped"`` selects the clock-by-clock
+    reference model) and through the vectorized functional reference,
+    and reports whether every output word is identical.  Pure function
+    of its arguments, so it runs as a cached :class:`repro.engine.Job`;
+    it does not feed the ``run()`` table — results artifacts stay
+    byte-identical — but gates the fast-path routing in the test suite.
     """
+    from repro.kernels.batched import make_matmul_array
     from repro.kernels.fast import functional_matmul_vectorized
-    from repro.kernels.matmul import functional_matmul
 
     rng = random.Random(seed)
     a = [[rng.randrange(fmt.word_mask + 1) for _ in range(n)] for _ in range(n)]
     b = [[rng.randrange(fmt.word_mask + 1) for _ in range(n)] for _ in range(n)]
-    scalar = functional_matmul(fmt, a, b, mode)
+    array = make_matmul_array(fmt, n, mul_latency, add_latency, mode=mode,
+                              backend=backend)
+    timed = array.run(a, b)
     fast = functional_matmul_vectorized(
         fmt, np.array(a, dtype=np.uint64), np.array(b, dtype=np.uint64), mode
     )
@@ -76,17 +82,112 @@ def kernel_selfcheck(
         1
         for i in range(n)
         for j in range(n)
-        if scalar[i][j] != int(fast[i][j])
+        if timed.c[i][j] != int(fast[i][j])
     )
     return {
         "fmt": fmt.name,
         "n": n,
         "seed": seed,
         "mode": mode.value,
+        "backend": backend,
+        "cycles": timed.cycles,
+        "pe_utilization": timed.pe_utilization,
         "checked": n * n,
         "mismatches": mismatches,
         "identical": mismatches == 0,
     }
+
+
+def scan_point(
+    fmt: FPFormat,
+    n: int,
+    mul_latency: int,
+    add_latency: int,
+    seed: int = 0,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    backend: str = "batched",
+) -> dict:
+    """One problem size of the measured kernel scan (module-level, so it
+    runs as a cached engine job).  Simulates an actual bit-level run and
+    returns the measured schedule statistics alongside the analytic
+    throughput at the array clock for this precision."""
+    from repro.kernels.batched import make_matmul_array
+
+    rng = random.Random(seed)
+    a = [[rng.randrange(fmt.word_mask + 1) for _ in range(n)] for _ in range(n)]
+    b = [[rng.randrange(fmt.word_mask + 1) for _ in range(n)] for _ in range(n)]
+    run_ = make_matmul_array(fmt, n, mul_latency, add_latency, mode=mode,
+                             backend=backend).run(a, b)
+    mhz = ARRAY_CLOCK_MHZ.get(fmt.name, 200.0)
+    latency_us = run_.cycles / mhz
+    return {
+        "n": n,
+        "cycles": run_.cycles,
+        "issued_macs": run_.issued_macs,
+        "padded_cycles": run_.padded_cycles,
+        "pe_utilization": run_.pe_utilization,
+        "flags": run_.flags.to_bits(),
+        "latency_us": latency_us,
+        "gflops": 2.0 * n**3 / (latency_us * 1000.0),
+    }
+
+
+#: Default problem sizes of the measured scan — Figure 5's x-range
+#: extended an order of magnitude past the paper's few tens.
+SCAN_SIZES = (8, 16, 32, 64, 128, 256)
+
+
+def problem_size_scan(
+    fmt: FPFormat = FP32,
+    sizes: tuple[int, ...] = SCAN_SIZES,
+    mul_latency: int = 3,
+    add_latency: int = 5,
+    seed: int = 0,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    backend: str = "batched",
+    engine=None,
+) -> Table:
+    """Figure 5/6-style problem-size scan on *measured* runs.
+
+    Where Figure 5 sweeps the analytic performance model, this scan
+    actually executes every problem size bit-exactly on the selected
+    cycle-accurate simulator — one cached :class:`repro.engine.Job` per
+    size, evaluated through the shared engine — which the batched
+    backend makes affordable up to ``n = 256`` in seconds.
+    """
+    from repro.engine import Job, default_engine
+
+    jobs = [
+        Job.create(
+            f"sec42.scan.{fmt.name}.n{n}",
+            scan_point,
+            fmt=fmt,
+            n=n,
+            mul_latency=mul_latency,
+            add_latency=add_latency,
+            seed=seed,
+            mode=mode,
+            backend=backend,
+        )
+        for n in sizes
+    ]
+    points = (engine if engine is not None else default_engine()).run(jobs)
+    table = Table(
+        title=f"Section 4.2 extension: measured {fmt.name} kernel scan "
+        f"(PL={mul_latency + add_latency}, {backend} backend)",
+        columns=("n", "Cycles", "Padded cycles", "PE utilization",
+                 "Latency (us)", "GFLOPS"),
+    )
+    for p in points:
+        table.add_row(
+            p["n"],
+            p["cycles"],
+            p["padded_cycles"],
+            p["pe_utilization"],
+            p["latency_us"],
+            p["gflops"],
+        )
+    return table
 
 
 def run(device: Device = XC2VP125) -> Table:

@@ -27,6 +27,7 @@ from __future__ import annotations
 
 import numpy as np
 
+from repro.fp.flags import FPFlags
 from repro.fp.format import FPFormat
 from repro.fp.rounding import RoundingMode
 
@@ -72,6 +73,24 @@ def check_vectorized_format(fmt: FPFormat) -> None:
 # Backwards-compatible internal alias (historically three slightly
 # different guards lived here and in kernels/fast.py).
 _check_format = check_vectorized_format
+
+
+def reduce_flags(*flag_words) -> FPFlags:
+    """OR-reduce vectorized exception sidebands into one flag bundle.
+
+    Accepts any number of ``uint8`` arrays (or scalars) in the
+    :meth:`FPFlags.to_bits` layout — the ``with_flags=True`` output of
+    :func:`vec_add`/:func:`vec_sub`/:func:`vec_mul` — and returns the
+    sticky OR over every element as an :class:`FPFlags`, exactly what a
+    hardware accumulator's sticky flag register would hold after the
+    same sequence of operations.
+    """
+    word = 0
+    for arr in flag_words:
+        a = np.asarray(arr)
+        if a.size:
+            word |= int(np.bitwise_or.reduce(a, axis=None))
+    return FPFlags.from_bits(word)
 
 
 def _as_u64(fmt: FPFormat, a: np.ndarray, name: str) -> np.ndarray:

@@ -12,13 +12,18 @@ and small problems must be zero-padded (the energy waste Figures 4-6
 quantify).
 """
 
-from repro.kernels.blocking import BlockSchedule, blocked_schedule
+from repro.kernels.batched import (
+    MATMUL_BACKENDS,
+    BatchedMatmulArray,
+    make_matmul_array,
+)
+from repro.kernels.blocking import BlockSchedule, blocked_schedule, check_block_cycles
 from repro.kernels.dotproduct import DotProductUnit, functional_dot
 from repro.kernels.fast import dot_vectorized, functional_matmul_vectorized
 from repro.kernels.io_model import IOChannel, dot_sustained, matmul_sustained
 from repro.kernels.mvm import MVMArray, functional_mvm
 from repro.kernels.lu import LUPerformanceModel, functional_lu, split_lu
-from repro.kernels.matmul import MatmulArray, RAWHazard, functional_matmul
+from repro.kernels.matmul import MatmulArray, MatmulRun, RAWHazard, functional_matmul
 from repro.kernels.pe import ProcessingElement
 from repro.kernels.structural_pe import StructuralMAC, StructuralProcessingElement
 from repro.kernels.performance import (
@@ -29,20 +34,25 @@ from repro.kernels.performance import (
 )
 
 __all__ = [
+    "BatchedMatmulArray",
     "BlockSchedule",
     "DeviceFill",
     "DotProductUnit",
     "IOChannel",
+    "MATMUL_BACKENDS",
     "MVMArray",
     "KernelEstimate",
     "LUPerformanceModel",
     "MatmulArray",
     "MatmulPerformanceModel",
+    "MatmulRun",
     "ProcessingElement",
     "RAWHazard",
     "StructuralMAC",
     "StructuralProcessingElement",
     "blocked_schedule",
+    "check_block_cycles",
+    "make_matmul_array",
     "dot_sustained",
     "dot_vectorized",
     "functional_dot",

@@ -5,6 +5,12 @@ For large problems the architecture of [5] processes the matrix in
 applies to the *block* size: when ``b < PL`` every inner accumulation
 loop must be zero-padded out to ``PL`` cycles, which burns energy without
 doing work — the effect Figure 6 sweeps block size to expose.
+
+:func:`check_block_cycles` keeps this algebra honest against the
+cycle-accurate simulators: a block op is a ``b x b`` matmul on ``b``
+PEs, so the schedule's steady-state and drain terms must agree with a
+simulated run.  The check routes through the wavefront-batched
+simulator by default, so it stays cheap at block sizes in the hundreds.
 """
 
 from __future__ import annotations
@@ -86,3 +92,42 @@ def blocked_schedule(n: int, b: int, pipeline_latency: int) -> BlockSchedule:
         padded_cycles_per_block_op=b * (spacing - b),
         drain_cycles=drain,
     )
+
+
+def check_block_cycles(
+    n: int,
+    b: int,
+    pipeline_latency: int,
+    backend: str = "batched",
+) -> BlockSchedule:
+    """Cross-check the schedule algebra against a simulated block op.
+
+    Runs one ``b x b`` matmul (an identity product, so any format works)
+    through the selected cycle-accurate simulator and asserts that the
+    schedule's steady-state-plus-drain accounting reproduces the
+    simulator's cycle count exactly:
+    ``cycles_per_block_op + drain_cycles == simulated cycles``.
+    Returns the validated schedule.
+    """
+    from repro.fp.format import FP32
+    from repro.kernels.batched import make_matmul_array
+
+    schedule = blocked_schedule(n, b, pipeline_latency)
+    if pipeline_latency < 2:
+        raise ValueError(
+            f"pipeline latency {pipeline_latency} too shallow to split "
+            "across multiplier and adder; use PL >= 2"
+        )
+    lm = pipeline_latency // 2
+    la = pipeline_latency - lm
+    eye = [[FP32.one() if i == j else FP32.zero() for j in range(b)]
+           for i in range(b)]
+    run = make_matmul_array(FP32, b, lm, la, backend=backend).run(eye, eye)
+    expected = schedule.cycles_per_block_op + schedule.drain_cycles
+    if run.cycles != expected:
+        raise AssertionError(
+            f"block schedule accounting drifted from the {backend} "
+            f"simulator: schedule says {expected} cycles per block op, "
+            f"simulated {run.cycles} (n={n}, b={b}, PL={pipeline_latency})"
+        )
+    return schedule

@@ -18,6 +18,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+import numpy as np
+
 from repro.fp.adder import fp_add
 from repro.fp.flags import FPFlags
 from repro.fp.format import FPFormat
@@ -32,6 +34,31 @@ class RAWHazard(RuntimeError):
     """Raised when an unpadded schedule reads a stale accumulator."""
 
 
+def validate_matrix(fmt: FPFormat, n: int, m: Matrix, name: str) -> None:
+    """Shape/range validation shared by the stepped and batched arrays.
+
+    Accepts nested sequences or a NumPy array; the error messages are
+    identical either way, so the two simulators reject bad input the
+    same.
+    """
+    if isinstance(m, np.ndarray):
+        if m.shape != (n, n):
+            raise ValueError(f"{name} must be {n}x{n}")
+        if m.dtype.kind not in "ui":
+            raise ValueError(f"{name} contains out-of-range words")
+        if m.size and (
+            int(m.min()) < 0 or int(m.max()) > fmt.word_mask
+        ):
+            raise ValueError(f"{name} contains out-of-range words")
+        return
+    if len(m) != n or any(len(row) != n for row in m):
+        raise ValueError(f"{name} must be {n}x{n}")
+    for row in m:
+        for bits in row:
+            if not 0 <= bits <= fmt.word_mask:
+                raise ValueError(f"{name} contains out-of-range words")
+
+
 @dataclass(frozen=True)
 class MatmulRun:
     """Result of one array run."""
@@ -42,13 +69,14 @@ class MatmulRun:
     padded_cycles: int
     hazards: int
     flags: FPFlags
+    pes: int
 
     @property
     def pe_utilization(self) -> float:
-        """Issued MACs per PE per cycle (1.0 = fully busy)."""
-        if self.cycles == 0:
+        """Issued MACs per PE per cycle (1.0 = every PE busy every cycle)."""
+        if self.cycles == 0 or self.pes == 0:
             return 0.0
-        return self.issued_macs / self.cycles
+        return self.issued_macs / (self.pes * self.cycles)
 
 
 class MatmulArray:
@@ -89,12 +117,7 @@ class MatmulArray:
         return self.n
 
     def _check_matrix(self, m: Matrix, name: str) -> None:
-        if len(m) != self.n or any(len(row) != self.n for row in m):
-            raise ValueError(f"{name} must be {self.n}x{self.n}")
-        for row in m:
-            for bits in row:
-                if not 0 <= bits <= self.fmt.word_mask:
-                    raise ValueError(f"{name} contains out-of-range words")
+        validate_matrix(self.fmt, self.n, m, name)
 
     def run(self, a: Matrix, b: Matrix) -> MatmulRun:
         """Execute the full schedule and return bit-exact results."""
@@ -151,6 +174,7 @@ class MatmulArray:
             padded_cycles=padded,
             hazards=hazards,
             flags=flags,
+            pes=len(self.pes),
         )
 
 

@@ -16,6 +16,13 @@ from repro.verify.differential import (
     run_campaign,
 )
 from repro.verify.faults import Fault, MutationReport, inject, mutation_campaign
+from repro.verify.kernels import (
+    KERNEL_CORNERS,
+    KernelMatrixReport,
+    matmul_case,
+    matrix_jobs,
+    run_matrix,
+)
 from repro.verify.testbench import (
     CoverageReport,
     OperandClass,
@@ -28,13 +35,17 @@ __all__ = [
     "ChunkReport",
     "CoverageReport",
     "Fault",
+    "KERNEL_CORNERS",
+    "KernelMatrixReport",
     "MutationReport",
     "OperandClass",
     "OperandGenerator",
     "campaign_jobs",
     "diff_chunk",
     "inject",
+    "matmul_case",
+    "matrix_jobs",
     "mutation_campaign",
     "run_campaign",
-    "run_testbench",
+    "run_matrix",
 ]

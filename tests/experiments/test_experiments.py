@@ -228,6 +228,34 @@ class TestSec42:
         result = Engine().evaluate(job)
         assert result["identical"], result
 
+    def test_kernel_selfcheck_backends_agree(self):
+        """The selfcheck must pass — and report the same schedule — on
+        both the batched default and the stepped reference array."""
+        from repro.fp.format import FP32
+
+        batched = sec42_matmul.kernel_selfcheck(fmt=FP32, n=6, seed=3)
+        stepped = sec42_matmul.kernel_selfcheck(
+            fmt=FP32, n=6, seed=3, backend="stepped"
+        )
+        assert batched["backend"] == "batched"
+        assert stepped["backend"] == "stepped"
+        for key in ("identical", "checked", "cycles", "pe_utilization"):
+            assert batched[key] == stepped[key], key
+
+    def test_problem_size_scan_small(self):
+        from repro.engine import Engine
+        from repro.kernels.performance import kernel_schedule_cycles
+
+        table = sec42_matmul.problem_size_scan(
+            sizes=(4, 8), engine=Engine(workers=1)
+        )
+        ns = [row[table.columns.index("n")] for row in table.rows]
+        assert ns == [4, 8]
+        cyc = table.columns.index("Cycles")
+        for row in table.rows:
+            n = row[table.columns.index("n")]
+            assert row[cyc] == kernel_schedule_cycles(n, 8)  # PL = 3 + 5
+
 
 class TestConfigs:
     def test_three_levels_with_paper_pl_values(self):

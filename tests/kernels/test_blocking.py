@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.kernels.blocking import blocked_schedule
+from repro.kernels.blocking import blocked_schedule, check_block_cycles
 
 
 class TestScheduleConstruction:
@@ -73,3 +73,26 @@ class TestCycleAccounting:
     def test_drain_positive(self):
         for b, pl in ((2, 17), (8, 8), (16, 10), (1, 1)):
             assert blocked_schedule(16, b, pl).drain_cycles > 0
+
+
+class TestCycleCheck:
+    """check_block_cycles: the analytic per-block accounting, confirmed
+    by actually running a b x b op through a cycle-accurate array."""
+
+    @pytest.mark.parametrize("n,b,pl", [(16, 4, 10), (16, 8, 8), (32, 16, 5)])
+    def test_schedule_confirmed_by_batched_array(self, n, b, pl):
+        s = check_block_cycles(n, b, pl)
+        assert s.blocks_per_dim == n // b
+
+    def test_stepped_backend_agrees(self):
+        batched = check_block_cycles(16, 4, 10, backend="batched")
+        stepped = check_block_cycles(16, 4, 10, backend="stepped")
+        assert batched == stepped
+
+    def test_rejects_unsplittable_latency(self):
+        with pytest.raises(ValueError, match="too shallow"):
+            check_block_cycles(16, 4, 1)
+
+    def test_rejects_unknown_backend(self):
+        with pytest.raises(ValueError, match="unknown matmul backend"):
+            check_block_cycles(16, 4, 10, backend="nope")

@@ -95,7 +95,7 @@ class TestSchedule:
             rand_matrix(FP32, n, rng), rand_matrix(FP32, n, rng)
         )
         assert run.padded_cycles == 0
-        assert run.pe_utilization > 0.5
+        assert 0.5 < run.pe_utilization <= 1.0
 
     def test_issued_macs(self, rng):
         n = 4

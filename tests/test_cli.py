@@ -178,3 +178,71 @@ class TestCliVerify:
     def test_unknown_op_rejected(self, capsys):
         assert main(["verify", "--ops", "fma"]) == 2
         assert "unknown ops" in capsys.readouterr().err
+
+
+class TestCliVerifyKernels:
+    """The 'repro verify --kernels' stepped-vs-batched matrix."""
+
+    @pytest.fixture(autouse=True)
+    def _isolate_engine_state(self, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        yield
+        import os
+
+        os.environ.pop(CACHE_DIR_ENV, None)
+        configure_default_engine(None)
+
+    def test_kernel_matrix_passes(self, capsys):
+        assert main(["verify", "--kernels"]) == 0
+        captured = capsys.readouterr()
+        assert "kernel differential matrix: PASS" in captured.out
+        assert "RAW-hazard raise(s)" in captured.out
+        assert "engine:" in captured.err  # runs through repro.engine
+
+    def test_warm_cache_matrix_hits(self, tmp_path, capsys):
+        cache = str(tmp_path / "cache")
+        args = ["verify", "--kernels", "--cache-dir", cache]
+        assert main(args) == 0
+        cold = capsys.readouterr()
+        assert main(args) == 0
+        warm = capsys.readouterr()
+        assert warm.out == cold.out
+        assert "100% hit rate" in warm.err
+
+
+class TestCliBench:
+    """The 'repro bench' machine-readable perf snapshot."""
+
+    def test_bench_prints_summary(self, capsys):
+        assert main(["bench", "--bench-sizes", "2,4", "--scan-sizes", "8",
+                     "--repeats", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "kernel bench" in out
+        assert "matmul.stepped.fp32.n4" in out
+        assert "matmul.batched.fp32.n8" in out
+        assert "batched_vs_stepped.fp32.n4" in out
+
+    def test_bench_writes_json_snapshot(self, tmp_path, capsys):
+        import json
+
+        path = tmp_path / "BENCH_kernel.json"
+        assert main(["bench", "--bench-sizes", "2", "--scan-sizes", "",
+                     "--repeats", "1", "--json", str(path)]) == 0
+        assert f"wrote {path}" in capsys.readouterr().out
+        snapshot = json.loads(path.read_text())
+        assert snapshot["schema"] == "repro-bench/1"
+        assert snapshot["suite"] == "kernel"
+        assert snapshot["config"]["sizes"] == [2]
+        assert snapshot["config"]["scan_sizes"] == []
+        names = [entry["name"] for entry in snapshot["benchmarks"]]
+        assert "matmul.stepped.fp32.n2" in names
+        assert "matmul.batched.fp32.n2" in names
+        assert "batched_vs_stepped.fp32.n2" in snapshot["speedups"]
+
+    def test_bench_rejects_bad_sizes(self, capsys):
+        assert main(["bench", "--bench-sizes", "2,zap"]) == 2
+        assert "--bench-sizes" in capsys.readouterr().err
+
+    def test_bench_rejects_bad_repeats(self, capsys):
+        assert main(["bench", "--repeats", "0"]) == 2
+        assert "--repeats" in capsys.readouterr().err

@@ -77,6 +77,11 @@ PUBLIC_API = {
     ],
     "repro.kernels": [
         "MatmulArray",
+        "MatmulRun",
+        "BatchedMatmulArray",
+        "MATMUL_BACKENDS",
+        "make_matmul_array",
+        "check_block_cycles",
         "RAWHazard",
         "ProcessingElement",
         "StructuralProcessingElement",
@@ -93,7 +98,13 @@ PUBLIC_API = {
     "repro.power": ["EnergyBreakdown", "PEEnergyModel", "PowerReport", "estimate_power"],
     "repro.baselines": ["PENTIUM4_2_53", "POWERPC_G4_1000", "VendorCore"],
     "repro.analysis": ["Table", "SweepResult", "ErrorStats", "ulp", "ulp_error"],
-    "repro.verify": ["run_testbench", "mutation_campaign", "OperandClass"],
+    "repro.verify": [
+        "run_testbench",
+        "mutation_campaign",
+        "OperandClass",
+        "run_matrix",
+        "KernelMatrixReport",
+    ],
     "repro.hdl": ["emit_vhdl"],
     "repro.experiments": ["REGISTRY"],
 }

@@ -1,0 +1,101 @@
+"""The stepped-vs-batched kernel differential matrix: passing subsets,
+report plumbing, engine-job integration, and mismatch *detection*."""
+
+import pytest
+
+from repro.engine import Engine
+from repro.fp.format import FP32, FP48
+from repro.fp.rounding import RoundingMode
+from repro.verify.kernels import (
+    KERNEL_CORNERS,
+    KernelMatrixReport,
+    matmul_case,
+    matrix_jobs,
+    run_matrix,
+)
+
+# A small slice of the full matrix keeps the unit suite fast; the CLI
+# (`repro verify --kernels`) runs the whole thing.
+SMALL_CORNERS = ((1, 2, 3), (4, 7, 10), (6, 3, 5))
+
+
+class TestMatmulCase:
+    def test_padded_case_passes(self):
+        report = matmul_case(FP32, 6, 3, 5)
+        assert report["ok"], report
+        assert report["mismatched"] == []
+        assert report["raised"] is None
+
+    def test_unpadded_hazard_case_raises_identically(self):
+        report = matmul_case(FP32, 4, 7, 10, pad_schedule=False)
+        assert report["ok"], report
+        assert "read-after-write" in report["raised"]
+
+    def test_case_is_deterministic(self):
+        r1 = matmul_case(FP48, 4, 7, 10, seed=3)
+        r2 = matmul_case(FP48, 4, 7, 10, seed=3)
+        assert r1 == r2
+
+    def test_detects_divergence(self, monkeypatch):
+        """Corrupt the batched side; the case must report the mismatch."""
+        import repro.verify.kernels as vk
+        from repro.kernels.batched import BatchedMatmulArray
+
+        class Corrupted(BatchedMatmulArray):
+            def run(self, a, b):
+                run = super().run(a, b)
+                bad_c = [row[:] for row in run.c]
+                bad_c[0][0] ^= 1
+                import dataclasses
+
+                return dataclasses.replace(run, c=bad_c)
+
+        monkeypatch.setattr(vk, "BatchedMatmulArray", Corrupted)
+        report = matmul_case(FP32, 4, 2, 3)
+        assert not report["ok"]
+        assert "c" in report["mismatched"]
+
+
+class TestMatrix:
+    def test_small_matrix_passes_serial(self):
+        report = run_matrix(
+            formats=(FP32,), corners=SMALL_CORNERS, engine=Engine(workers=1)
+        )
+        assert isinstance(report, KernelMatrixReport)
+        assert report.passed
+        assert len(report.cases) == 1 * 2 * len(SMALL_CORNERS) * 2
+        # (4, 7, 10) and (6, 3, 5) have n < PL: one identical raise per
+        # hazardous corner per rounding mode.
+        assert report.hazard_cases == 4
+        assert report.failures() == []
+        assert report.summary().startswith("kernel differential matrix: PASS")
+
+    def test_jobs_cover_full_grid(self):
+        jobs = matrix_jobs()
+        # 3 formats x 2 modes x corners x {padded, unpadded}
+        assert len(jobs) == 3 * 2 * len(KERNEL_CORNERS) * 2
+        names = [job.name for job in jobs]
+        assert len(set(names)) == len(names)
+        assert any(".nopad" in name for name in names)
+
+    def test_failure_reported_in_summary(self):
+        bad_case = {"ok": False, "raised": None, "mismatched": ["cycles"]}
+        report = KernelMatrixReport(cases=(bad_case,))
+        assert not report.passed
+        assert report.failures() == [bad_case]
+        assert "FAIL" in report.summary()
+
+    def test_parallel_matches_serial(self):
+        serial = run_matrix(
+            formats=(FP32,),
+            modes=(RoundingMode.NEAREST_EVEN,),
+            corners=SMALL_CORNERS,
+            engine=Engine(workers=1),
+        )
+        parallel = run_matrix(
+            formats=(FP32,),
+            modes=(RoundingMode.NEAREST_EVEN,),
+            corners=SMALL_CORNERS,
+            engine=Engine(workers=2),
+        )
+        assert serial == parallel
