@@ -1,0 +1,63 @@
+"""Serving-layer perf gates: micro-batching must pay for itself.
+
+The gated quantity is self-relative and socket-free: the same request
+lifecycle (``ReproService.dispatch_op`` — admit → batch → vectorized
+execute → scatter) driven by 64 concurrent closed-loop workers, once
+with ``max_batch=64`` and once with ``max_batch=1``.  Identical
+machinery on both sides, so the ratio isolates exactly what coalescing
+requests into vectorized datapath calls buys, independent of host speed
+or loopback quality.  Full-stack HTTP numbers are recorded for the
+snapshot but not gated — they measure the wire, not the batcher.
+"""
+
+from repro.bench import dispatch_rps, service_bench
+
+#: The issue's gate: batched dispatch at the service's default batching
+#: policy must beat the batch-size-1 configuration by at least 5x on
+#: 64-way concurrent fp32 multiplies.
+MIN_BATCHED_SPEEDUP = 5.0
+CONCURRENCY = 64
+REQUESTS = 4096
+
+
+def test_batched_dispatch_beats_sequential(show_once):
+    batched_rps, mean_batch = dispatch_rps(
+        64, concurrency=CONCURRENCY, requests=REQUESTS
+    )
+    solo_rps, _ = dispatch_rps(
+        1, concurrency=CONCURRENCY, requests=REQUESTS
+    )
+    speedup = batched_rps / solo_rps
+    show_once(
+        "bench.service",
+        f"service dispatch @ {CONCURRENCY}-way fp32 mul: "
+        f"batched {batched_rps:.0f} req/s (mean batch {mean_batch:.1f}) "
+        f"vs batch=1 {solo_rps:.0f} req/s -> {speedup:.1f}x",
+    )
+    assert mean_batch > CONCURRENCY / 2, (
+        f"batches are not coalescing (mean {mean_batch:.1f})"
+    )
+    assert speedup >= MIN_BATCHED_SPEEDUP, (
+        f"batched dispatch only {speedup:.1f}x over sequential "
+        f"(gate: {MIN_BATCHED_SPEEDUP}x)"
+    )
+
+
+def test_service_snapshot_roundtrip(show_once):
+    """The `repro bench --service` snapshot carries both measurements."""
+    snapshot = service_bench(
+        concurrency=32, requests=1024, http_requests=512, http_concurrency=32
+    )
+    assert snapshot["schema"] == "repro-bench/1"
+    assert snapshot["suite"] == "service"
+    dispatch = snapshot["dispatch"]
+    assert dispatch["batched_rps"] > dispatch["batch1_rps"] > 0
+    http = snapshot["http"]
+    assert http["statuses"].get("200", 0) == 512
+    assert http["errors"] == 0
+    show_once(
+        "bench.service.http",
+        f"http loopback {http['concurrency']}-way: "
+        f"{http['achieved_rps']:.0f} req/s "
+        f"(p50 {http['p50_ms']:.2f} ms, p99 {http['p99_ms']:.2f} ms)",
+    )

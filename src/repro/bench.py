@@ -121,6 +121,162 @@ def kernel_bench(
     }
 
 
+def dispatch_rps(
+    max_batch: int,
+    *,
+    concurrency: int = 64,
+    requests: int = 4096,
+    seed: int = 0,
+) -> tuple[float, float]:
+    """Requests/s of the in-process dispatch path at one batch policy.
+
+    Drives :meth:`repro.service.server.ReproService.dispatch_op` — the
+    exact coroutine the HTTP handler awaits: admit → batch → vectorized
+    execute → scatter — with ``concurrency`` closed-loop workers, no
+    sockets.  Self-relative by construction: the same path at
+    ``max_batch=1`` is the unbatched baseline, so the ratio isolates
+    what micro-batching buys.  Returns ``(rps, mean_batch_size)``.
+    """
+    import asyncio
+
+    from repro.service import ReproService, ServiceConfig
+
+    config = ServiceConfig(
+        max_batch=max_batch,
+        linger_ms=2.0,
+        queue_depth=max(256, 4 * concurrency),
+    )
+
+    async def _run() -> tuple[float, float]:
+        service = ReproService(config)
+        rng = random.Random(seed)
+        words = [rng.randrange(FP32.word_mask + 1) for _ in range(4096)]
+        mode = RoundingMode.NEAREST_EVEN
+        statuses: dict[int, int] = {}
+        per_worker = [
+            requests // concurrency
+            + (1 if i < requests % concurrency else 0)
+            for i in range(concurrency)
+        ]
+
+        async def worker(index: int, quota: int) -> None:
+            pos = index
+            for _ in range(quota):
+                status, _body, _ctype, _extra = await service.dispatch_op(
+                    "mul",
+                    FP32,
+                    mode,
+                    words[pos % 4096],
+                    words[(pos * 131 + 1) % 4096],
+                )
+                statuses[status] = statuses.get(status, 0) + 1
+                pos += concurrency
+        t0 = time.perf_counter()
+        await asyncio.gather(
+            *(worker(i, quota) for i, quota in enumerate(per_worker))
+        )
+        duration = time.perf_counter() - t0
+        mean_batch = service.telemetry.batch_size.mean
+        await service.batcher.close()
+        service.compute_pool.shutdown(wait=False)
+        service.sweep_pool.shutdown(wait=False)
+        if statuses.get(200, 0) != requests:
+            raise AssertionError(
+                f"dispatch bench expected {requests} 200s, got {statuses}"
+            )
+        return requests / duration, mean_batch
+
+    return asyncio.run(_run())
+
+
+def service_bench(
+    *,
+    concurrency: int = 64,
+    requests: int = 4096,
+    max_batch: int = 64,
+    http_requests: int = 2048,
+    http_concurrency: int = 64,
+    seed: int = 0,
+) -> dict:
+    """Benchmark the serving layer; return the snapshot dict.
+
+    Two measurements: the gated one — batched vs unbatched dispatch on
+    the in-process request lifecycle (machine-independent because it is
+    self-relative) — and an informational full-stack number, a loopback
+    HTTP loadgen run against a live server (wall-clock, machine- and
+    loopback-dependent, recorded for trajectory only).
+    """
+    from repro.service import ServiceConfig, ServiceThread, run_load_blocking
+
+    batched_rps, mean_batch = dispatch_rps(
+        max_batch, concurrency=concurrency, requests=requests, seed=seed
+    )
+    solo_rps, _ = dispatch_rps(
+        1, concurrency=concurrency, requests=requests, seed=seed
+    )
+
+    config = ServiceConfig(port=0, max_batch=max_batch,
+                           queue_depth=max(256, 4 * http_concurrency))
+    with ServiceThread(config) as server:
+        report = run_load_blocking(
+            config.host,
+            server.port,
+            concurrency=http_concurrency,
+            requests=http_requests,
+            seed=seed,
+        )
+
+    return {
+        "schema": SCHEMA,
+        "suite": "service",
+        "config": {
+            "op": "mul",
+            "fmt": FP32.name,
+            "mode": RoundingMode.NEAREST_EVEN.value,
+            "concurrency": concurrency,
+            "requests": requests,
+            "max_batch": max_batch,
+            "http_concurrency": http_concurrency,
+            "http_requests": http_requests,
+            "seed": seed,
+        },
+        "context": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "dispatch": {
+            "batched_rps": round(batched_rps, 1),
+            "batch1_rps": round(solo_rps, 1),
+            "mean_batch_size": round(mean_batch, 2),
+        },
+        "http": report.to_json(),
+        "speedups": {
+            f"dispatch.batch{max_batch}_vs_batch1.fp32.mul":
+                batched_rps / solo_rps,
+        },
+    }
+
+
+def render_service(snapshot: dict) -> str:
+    """Human-readable summary of a service snapshot."""
+    cfg = snapshot["config"]
+    dispatch = snapshot["dispatch"]
+    http = snapshot["http"]
+    lines = [
+        f"service bench ({cfg['concurrency']}-way {cfg['op']}/{cfg['fmt']}"
+        f"/{cfg['mode']}, max_batch={cfg['max_batch']})",
+        f"  dispatch batched                 {dispatch['batched_rps']:>10.0f} req/s"
+        f" (mean batch {dispatch['mean_batch_size']:.1f})",
+        f"  dispatch batch=1                 {dispatch['batch1_rps']:>10.0f} req/s",
+        f"  {'http loopback ' + str(cfg['http_concurrency']) + '-way':<33}"
+        f"{http['achieved_rps']:>10.0f} req/s"
+        f" (p50 {http['p50_ms']:.2f} ms, p99 {http['p99_ms']:.2f} ms)",
+    ]
+    for name, ratio in snapshot["speedups"].items():
+        lines.append(f"  {name:<32} {ratio:>9.1f}x")
+    return "\n".join(lines)
+
+
 def render(snapshot: dict) -> str:
     """Human-readable summary of a snapshot (stdout companion to JSON)."""
     lines = [f"kernel bench ({snapshot['config']['fmt']}, "

@@ -14,6 +14,10 @@ Usage::
     repro verify --pairs 1000000 --parallel 8   # differential campaign
     repro verify --kernels    # batched-vs-stepped array differential matrix
     repro bench --json BENCH_kernel.json        # kernel perf snapshot
+    repro bench --service --json BENCH_service.json  # serving perf snapshot
+    repro serve --port 8080   # micro-batching evaluation service
+    repro loadgen --port 8080 --requests 2000   # drive a running server
+    repro --version           # print the package version
 
 Each experiment prints rows/series directly comparable to the paper's
 table or figure of the same number.  Experiments are evaluated through
@@ -31,6 +35,7 @@ import pathlib
 import sys
 from typing import Any, Sequence
 
+from repro import __version__
 from repro.engine import (
     CACHE_DIR_ENV,
     CACHE_VERSION,
@@ -167,6 +172,16 @@ def bench_command(args: argparse.Namespace) -> int:
     """Run the kernel micro-benchmarks; optionally write the JSON snapshot."""
     from repro.bench import kernel_bench, render, write_snapshot
 
+    if args.service:
+        from repro.bench import render_service, service_bench
+
+        snapshot = service_bench(seed=args.seed)
+        print(render_service(snapshot))
+        if args.json:
+            write_snapshot(snapshot, args.json)
+            print(f"wrote {args.json}")
+        return 0
+
     sizes = _parse_sizes(args.bench_sizes, "--bench-sizes")
     if sizes is None:
         return 2
@@ -263,7 +278,140 @@ def verify_command(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def serve_command(argv: Sequence[str]) -> int:
+    """Run the micro-batching evaluation service (blocks until signal)."""
+    from repro.service import ServiceConfig, serve
+
+    parser = argparse.ArgumentParser(
+        prog="repro serve",
+        description="Serve the FP evaluation surface over HTTP with "
+        "micro-batching, admission control and live /metrics.  Every "
+        "flag falls back to its REPRO_SERVE_* environment variable, "
+        "then to the documented default.",
+    )
+    parser.add_argument("--host", default=None,
+                        help="bind address (default: 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=None,
+                        help="bind port; 0 picks an ephemeral port "
+                        "(default: 8080)")
+    parser.add_argument("--max-batch", type=int, default=None, metavar="N",
+                        help="largest op batch per vectorized call "
+                        "(default: 64)")
+    parser.add_argument("--linger-ms", type=float, default=None, metavar="MS",
+                        help="how long an open batch waits for company "
+                        "(default: 2.0)")
+    parser.add_argument("--queue-depth", type=int, default=None, metavar="N",
+                        help="admitted requests in flight before shedding "
+                        "429s (default: 256)")
+    parser.add_argument("--request-timeout", type=float, default=None,
+                        metavar="S", dest="request_timeout_s",
+                        help="per-op deadline in seconds (default: 10)")
+    parser.add_argument("--sweep-timeout", type=float, default=None,
+                        metavar="S", dest="sweep_timeout_s",
+                        help="unit/experiment sweep deadline (default: 120)")
+    parser.add_argument("--drain-timeout", type=float, default=None,
+                        metavar="S", dest="drain_timeout_s",
+                        help="graceful-shutdown drain budget (default: 5)")
+    parser.add_argument("--no-spot-check", action="store_true",
+                        help="skip the per-batch scalar spot check")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist engine results under DIR "
+                        f"(also via ${CACHE_DIR_ENV})")
+    args = parser.parse_args(argv)
+    try:
+        config = ServiceConfig.from_env(
+            host=args.host,
+            port=args.port,
+            max_batch=args.max_batch,
+            linger_ms=args.linger_ms,
+            queue_depth=args.queue_depth,
+            request_timeout_s=args.request_timeout_s,
+            sweep_timeout_s=args.sweep_timeout_s,
+            drain_timeout_s=args.drain_timeout_s,
+            spot_check=False if args.no_spot_check else None,
+            cache_dir=args.cache_dir,
+        )
+    except ValueError as exc:
+        print(f"repro serve: {exc}", file=sys.stderr)
+        return 2
+    return serve(config)
+
+
+def loadgen_command(argv: Sequence[str]) -> int:
+    """Drive a running server with closed-loop concurrent load."""
+    from repro.fp.rounding import RoundingMode
+    from repro.service.loadgen import (
+        resolve_load_format,
+        run_load_blocking,
+        write_report,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro loadgen",
+        description="Closed-loop load generator for a running "
+        "'repro serve' instance.  429s count as shed load (the "
+        "backpressure contract working), not failures.",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--concurrency", "-c", type=int, default=16,
+                        metavar="N", help="concurrent workers (default: 16)")
+    parser.add_argument("--requests", "-n", type=int, default=1000,
+                        metavar="N", help="total requests (default: 1000)")
+    parser.add_argument("--op", choices=("add", "sub", "mul"), default="mul")
+    parser.add_argument("--format", default="fp32", dest="fmt",
+                        help="named paper format (default: fp32)")
+    parser.add_argument("--mode", default=RoundingMode.NEAREST_EVEN.value,
+                        choices=[m.value for m in RoundingMode])
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--timeout", type=float, default=120.0, metavar="S",
+                        help="whole-run deadline (default: 120)")
+    parser.add_argument("--json", default=None, metavar="FILE",
+                        help="write the machine-readable report to FILE")
+    args = parser.parse_args(argv)
+    fmt = resolve_load_format(args.fmt)
+    if fmt is None:
+        print(f"repro loadgen: unknown format {args.fmt!r}", file=sys.stderr)
+        return 2
+    mode = {m.value: m for m in RoundingMode}[args.mode]
+    try:
+        report = run_load_blocking(
+            args.host,
+            args.port,
+            concurrency=args.concurrency,
+            requests=args.requests,
+            op=args.op,
+            fmt=fmt,
+            mode=mode,
+            seed=args.seed,
+            timeout_s=args.timeout,
+        )
+    except ValueError as exc:
+        print(f"repro loadgen: {exc}", file=sys.stderr)
+        return 2
+    except OSError as exc:
+        print(f"repro loadgen: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    print(report.render())
+    if args.json:
+        write_report(report, args.json)
+        print(f"wrote {args.json}")
+    # Only 2xx (served) and 429 (deliberately shed) are healthy under
+    # load; anything else — transport errors included — fails the run.
+    unhealthy = report.requests - report.ok - report.shed
+    return 1 if (report.errors or unhealthy) else 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
+    argv = list(sys.argv[1:] if argv is None else argv)
+    if argv and argv[0] == "--version":
+        print(__version__)
+        return 0
+    if argv and argv[0] == "serve":
+        return serve_command(argv[1:])
+    if argv and argv[0] == "loadgen":
+        return loadgen_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the tables and figures of Govindu et al., "
@@ -278,6 +426,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         "write every artifact to --outdir, 'cache {stats,clear}', "
         "'verify' for the differential verification campaigns, or "
         "'bench' for the kernel perf snapshot",
+    )
+    parser.add_argument(
+        "--version", action="version", version=__version__,
+        help="print the package version and exit",
     )
     parser.add_argument(
         "--csv", action="store_true", help="emit CSV instead of text tables"
@@ -391,6 +543,13 @@ def main(argv: Sequence[str] | None = None) -> int:
         default=3,
         metavar="K",
         help="with 'bench': batched timing repeats, best-of (default: 3)",
+    )
+    parser.add_argument(
+        "--service",
+        action="store_true",
+        help="with 'bench': benchmark the serving layer (batched vs "
+        "unbatched dispatch, plus full-HTTP loopback throughput) "
+        "instead of the kernels",
     )
     args = parser.parse_args(argv)
     if args.parallel < 1:

@@ -1,0 +1,229 @@
+"""Micro-batching: coalesce concurrent scalar op requests into vector calls.
+
+A single :func:`~repro.fp.vectorized.vec_mul` call costs ~150µs of NumPy
+dispatch whether it multiplies 1 pair or 64 — the service's whole
+throughput story is amortizing that fixed cost.  Concurrent requests for
+the *same* (op, format, rounding mode) lane are queued and flushed as
+one vectorized call under a max-batch-size / max-linger policy:
+
+* a batch flushes as soon as ``max_batch`` requests are waiting;
+* a non-full batch flushes ``linger_ms`` after its first request, so a
+  lone request never waits longer than the linger;
+* a burst larger than ``max_batch`` splits into consecutive full
+  batches (the lane worker just keeps draining);
+* requests for different formats or rounding modes **never** share a
+  batch — lanes are keyed by the exact datapath configuration.
+
+Each request gets its own element of the result array and its own
+element of the ``with_flags=True`` exception sideband, so responses are
+bit- and flag-identical to scalar :func:`~repro.fp.adder.fp_add` /
+:func:`~repro.fp.multiplier.fp_mul` calls on the same operands — one
+neighbour's overflow cannot leak into another's flags.  As an integrity
+guard, every batch optionally replays one sampled element through the
+scalar datapath and fails the whole batch on any mismatch (cost
+amortized across the batch, like the bit cross-checks in
+``repro.bench``).
+
+Batch execution runs on a dedicated single worker thread
+(``run_in_executor``) so a 300µs+ wide-format vector call never blocks
+the event loop's accept/parse work.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import Executor
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.fp.adder import fp_add, fp_sub
+from repro.fp.format import FPFormat
+from repro.fp.multiplier import fp_mul
+from repro.fp.rounding import RoundingMode
+from repro.fp.vectorized import vec_add, vec_mul, vec_sub
+from repro.service.config import ServiceConfig
+from repro.service.telemetry import Telemetry
+
+#: Servable op name -> (scalar reference, vectorized implementation).
+OPS = {
+    "add": (fp_add, vec_add),
+    "sub": (fp_sub, vec_sub),
+    "mul": (fp_mul, vec_mul),
+}
+
+#: Lane identity: exact datapath configuration.  Formats hash by
+#: geometry (``name`` is compare=False), so only bit-identical datapaths
+#: can ever share a batch.
+LaneKey = Tuple[str, FPFormat, RoundingMode]
+
+
+class BatchIntegrityError(Exception):
+    """A batch's sampled element disagreed with the scalar datapath."""
+
+
+def execute_batch(
+    op: str,
+    fmt: FPFormat,
+    mode: RoundingMode,
+    pairs: List[Tuple[int, int]],
+    spot_check: bool = True,
+) -> List[Tuple[int, int]]:
+    """Run one homogeneous batch through the vectorized datapath.
+
+    Returns one ``(bits, flags)`` pair per request, in request order.
+    Runs on the executor thread; everything it touches is local.
+    """
+    scalar_fn, vec_fn = OPS[op]
+    n = len(pairs)
+    a = np.fromiter((p[0] for p in pairs), dtype=np.uint64, count=n)
+    b = np.fromiter((p[1] for p in pairs), dtype=np.uint64, count=n)
+    bits, flags = vec_fn(fmt, a, b, mode, with_flags=True)
+    if spot_check:
+        # One sampled element per batch, replayed through the scalar
+        # datapath: a cheap, always-on differential probe whose cost the
+        # batch amortizes.  Rotate the sample with the batch size so
+        # repeated identical batches don't pin one index forever.
+        i = n // 2
+        want_bits, want_flags = scalar_fn(fmt, pairs[i][0], pairs[i][1], mode)
+        if int(bits[i]) != want_bits or int(flags[i]) != want_flags.to_bits():
+            raise BatchIntegrityError(
+                f"{op}/{fmt.name}/{mode.value}: batch element {i} "
+                f"(a={pairs[i][0]:#x} b={pairs[i][1]:#x}) got "
+                f"{int(bits[i]):#x}/{int(flags[i]):#04x}, scalar says "
+                f"{want_bits:#x}/{want_flags.to_bits():#04x}"
+            )
+    return list(zip(bits.tolist(), flags.tolist()))
+
+
+@dataclass
+class _Lane:
+    queue: "asyncio.Queue[Tuple[int, int, asyncio.Future]]"
+    worker: asyncio.Task = field(repr=False, default=None)  # type: ignore[assignment]
+
+
+class MicroBatcher:
+    """Per-lane queues plus one coalescing worker task per lane."""
+
+    def __init__(
+        self,
+        config: ServiceConfig,
+        telemetry: Optional[Telemetry] = None,
+        executor: Optional[Executor] = None,
+    ) -> None:
+        self.config = config
+        self.telemetry = telemetry
+        self.executor = executor
+        self._lanes: Dict[LaneKey, _Lane] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------ #
+    # submission
+    # ------------------------------------------------------------------ #
+    async def submit(
+        self, op: str, fmt: FPFormat, mode: RoundingMode, a: int, b: int
+    ) -> Tuple[int, int]:
+        """Queue one request; resolves to its ``(bits, flags)``.
+
+        Admission control (and the per-request deadline) live with the
+        caller; the batcher itself never rejects.
+        """
+        if op not in OPS:
+            raise KeyError(f"unknown op {op!r}; known: {', '.join(OPS)}")
+        if self._closed:
+            raise RuntimeError("batcher is closed")
+        loop = asyncio.get_running_loop()
+        lane = self._lanes.get((op, fmt, mode))
+        if lane is None:
+            lane = _Lane(queue=asyncio.Queue())
+            lane.worker = loop.create_task(
+                self._run_lane((op, fmt, mode), lane.queue)
+            )
+            self._lanes[(op, fmt, mode)] = lane
+        future: asyncio.Future = loop.create_future()
+        lane.queue.put_nowait((a, b, future))
+        return await future
+
+    # ------------------------------------------------------------------ #
+    # lane worker
+    # ------------------------------------------------------------------ #
+    async def _run_lane(self, key: LaneKey, queue: asyncio.Queue) -> None:
+        op, fmt, mode = key
+        max_batch = self.config.max_batch
+        linger_s = self.config.linger_s
+        loop = asyncio.get_running_loop()
+        while True:
+            first = await queue.get()
+            batch = [first]
+            # Drain whatever is already waiting — no timers involved.
+            while len(batch) < max_batch and not queue.empty():
+                batch.append(queue.get_nowait())
+            # Linger for stragglers, re-draining after each arrival.
+            if len(batch) < max_batch and linger_s > 0:
+                deadline = loop.time() + linger_s
+                while len(batch) < max_batch:
+                    remaining = deadline - loop.time()
+                    if remaining <= 0:
+                        break
+                    try:
+                        batch.append(
+                            await asyncio.wait_for(queue.get(), remaining)
+                        )
+                    except asyncio.TimeoutError:
+                        break
+                    while len(batch) < max_batch and not queue.empty():
+                        batch.append(queue.get_nowait())
+            await self._flush(op, fmt, mode, batch)
+
+    async def _flush(
+        self,
+        op: str,
+        fmt: FPFormat,
+        mode: RoundingMode,
+        batch: List[Tuple[int, int, asyncio.Future]],
+    ) -> None:
+        pairs = [(a, b) for a, b, _ in batch]
+        if self.telemetry is not None:
+            self.telemetry.batch_size.observe(len(batch))
+            self.telemetry.batches_total.inc((op, fmt.name, mode.value))
+            if self.config.spot_check:
+                self.telemetry.spot_checks_total.inc()
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self.executor,
+                execute_batch,
+                op,
+                fmt,
+                mode,
+                pairs,
+                self.config.spot_check,
+            )
+        except Exception as exc:  # noqa: BLE001 - fan the failure out
+            for _, _, future in batch:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, _, future), result in zip(batch, results):
+            # A future may already be cancelled by the caller's
+            # per-request deadline; its slot was still computed (the
+            # batch was in flight), we just have nobody to tell.
+            if not future.done():
+                future.set_result(result)
+
+    # ------------------------------------------------------------------ #
+    # shutdown
+    # ------------------------------------------------------------------ #
+    async def close(self) -> None:
+        """Cancel lane workers.  Call after admission has drained."""
+        self._closed = True
+        workers = [lane.worker for lane in self._lanes.values() if lane.worker]
+        for worker in workers:
+            worker.cancel()
+        for worker in workers:
+            try:
+                await worker
+            except (asyncio.CancelledError, Exception):  # noqa: BLE001
+                pass
+        self._lanes.clear()

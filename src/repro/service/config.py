@@ -1,0 +1,161 @@
+"""Service configuration: every serving knob in one validated dataclass.
+
+The batching/admission/timeout knobs all live here so the CLI, the
+tests and the benchmarks configure the server the same way.  Each knob
+has a documented default, an environment-variable override
+(``REPRO_SERVE_<KNOB>``), and a validation error that names the
+offending knob and its environment variable.
+
+Precedence: explicit keyword overrides (the CLI flags) beat environment
+variables, which beat the defaults below.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, fields
+from typing import Any, Optional
+
+#: Prefix of every serving environment variable.
+ENV_PREFIX = "REPRO_SERVE_"
+
+
+def _env_name(knob: str) -> str:
+    return ENV_PREFIX + knob.upper()
+
+
+def _parse_bool(raw: str) -> bool:
+    lowered = raw.strip().lower()
+    if lowered in ("1", "true", "yes", "on"):
+        return True
+    if lowered in ("0", "false", "no", "off"):
+        return False
+    raise ValueError(f"expected a boolean, got {raw!r}")
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Knobs of one ``repro serve`` instance.
+
+    Attributes
+    ----------
+    host / port:
+        Listen address.  ``port=0`` binds an ephemeral port (the server
+        prints the resolved one on startup, which the CI smoke and the
+        benchmarks parse).
+    max_batch:
+        Largest number of FP op requests coalesced into one vectorized
+        call.  ``1`` degenerates to sequential per-request dispatch —
+        the self-relative baseline the service benchmark compares
+        against.
+    linger_ms:
+        How long a non-full batch waits for companions before it is
+        flushed.  ``0`` flushes immediately (whatever is queued when the
+        lane worker wakes still shares a batch).
+    queue_depth:
+        Admission bound: maximum requests in flight (queued + executing)
+        before the server sheds load with ``429 Retry-After``.
+    request_timeout_s:
+        Per-request deadline for the FP op endpoints; expiring requests
+        answer ``504``.
+    sweep_timeout_s:
+        Deadline for the slow characterisation endpoints (``/v1/unit``,
+        ``/v1/experiment/*``), which may run multi-second design-space
+        sweeps on a cold cache.
+    drain_timeout_s:
+        On SIGTERM, how long to wait for admitted requests to finish
+        before exiting anyway.
+    spot_check:
+        When True every executed batch replays one sampled element
+        through the scalar datapath and fails the batch on any bit or
+        flag mismatch — an always-on integrity guard whose cost is
+        amortized across the batch.
+    cache_dir:
+        Persistent result cache for the experiment/unit endpoints
+        (``REPRO_SERVE_CACHE_DIR``, falling back to ``$REPRO_CACHE_DIR``
+        so the server shares the CLI's cache).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8080
+    max_batch: int = 64
+    linger_ms: float = 2.0
+    queue_depth: int = 256
+    request_timeout_s: float = 10.0
+    sweep_timeout_s: float = 120.0
+    drain_timeout_s: float = 5.0
+    spot_check: bool = True
+    cache_dir: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        self._require(self.port >= 0, "port", "must be >= 0 (0 = ephemeral)", self.port)
+        self._require(self.max_batch >= 1, "max_batch", "must be >= 1", self.max_batch)
+        self._require(self.linger_ms >= 0, "linger_ms", "must be >= 0", self.linger_ms)
+        self._require(
+            self.queue_depth >= 1, "queue_depth", "must be >= 1", self.queue_depth
+        )
+        self._require(
+            self.request_timeout_s > 0,
+            "request_timeout_s",
+            "must be > 0",
+            self.request_timeout_s,
+        )
+        self._require(
+            self.sweep_timeout_s > 0,
+            "sweep_timeout_s",
+            "must be > 0",
+            self.sweep_timeout_s,
+        )
+        self._require(
+            self.drain_timeout_s >= 0,
+            "drain_timeout_s",
+            "must be >= 0",
+            self.drain_timeout_s,
+        )
+
+    @staticmethod
+    def _require(ok: bool, knob: str, rule: str, got: Any) -> None:
+        if not ok:
+            raise ValueError(
+                f"{knob} ({_env_name(knob)}) {rule}, got {got!r}"
+            )
+
+    @property
+    def linger_s(self) -> float:
+        return self.linger_ms / 1000.0
+
+    @classmethod
+    def from_env(cls, environ: Optional[dict] = None, **overrides: Any) -> "ServiceConfig":
+        """Build a config from the environment plus explicit overrides.
+
+        ``overrides`` entries whose value is ``None`` are ignored, so CLI
+        code can pass every flag unconditionally and let unset flags fall
+        through to the environment/defaults.  Malformed environment
+        values raise a :class:`ValueError` naming the variable.
+        """
+        env = os.environ if environ is None else environ
+        values: dict[str, Any] = {}
+        for f in fields(cls):
+            raw = env.get(_env_name(f.name))
+            if raw is None:
+                continue
+            try:
+                if f.name in ("host", "cache_dir"):
+                    values[f.name] = raw
+                elif f.name == "spot_check":
+                    values[f.name] = _parse_bool(raw)
+                elif f.name in ("port", "max_batch", "queue_depth"):
+                    values[f.name] = int(raw)
+                else:
+                    values[f.name] = float(raw)
+            except ValueError as exc:
+                raise ValueError(
+                    f"invalid {_env_name(f.name)}={raw!r} for knob "
+                    f"{f.name}: {exc}"
+                ) from exc
+        if "cache_dir" not in values:
+            fallback = env.get("REPRO_CACHE_DIR")
+            if fallback:
+                values["cache_dir"] = fallback
+        values.update({k: v for k, v in overrides.items() if v is not None})
+        return cls(**values)

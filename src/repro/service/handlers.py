@@ -1,0 +1,324 @@
+"""Endpoint implementations and routing.
+
+Request lifecycle: **accept → admit → batch → vectorized execute →
+scatter** (see ``docs/ARCHITECTURE.md``).  The handlers split into two
+tiers:
+
+* **hot** — ``POST /v1/op/{add,sub,mul}``: parse, admit, hand to the
+  micro-batcher, await the scattered ``(bits, flags)``, respond.  These
+  are the requests the batching layer exists for.
+* **slow** — ``GET /v1/unit``, ``GET /v1/kernel/matmul``,
+  ``GET /v1/experiment/{name}``: unit characterisation sweeps, analytic
+  kernel schedules and full experiment artifacts.  Sweeps and
+  experiments evaluate on a dedicated thread through the server's
+  :class:`repro.engine.Engine`, so repeat queries are in-process memo or
+  disk-cache hits; results are serialized by one lock (the engine is
+  single-threaded by design).
+
+Plus the operational pair: ``GET /healthz`` (JSON liveness + version)
+and ``GET /metrics`` (Prometheus text exposition).
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Dict, Optional, Tuple
+
+from repro.engine.metrics import JobRecord
+from repro.experiments import REGISTRY, experiment_job
+from repro.service.admission import ADMIT_DRAINING, ADMIT_OK
+from repro.fp.format import FPFormat, PAPER_FORMATS
+from repro.fp.rounding import RoundingMode
+from repro.fp.vectorized import check_vectorized_format
+from repro.kernels.batched import array_cycles, hazard_count
+from repro.service.batcher import OPS
+from repro.service.http import (
+    ProtocolError,
+    Request,
+    build_response,
+    error_body,
+    json_body,
+)
+from repro.units.explorer import UnitKind, explore
+
+#: (status, body, content-type, extra headers) — what a handler returns.
+Reply = Tuple[int, bytes, str, Tuple[Tuple[str, str], ...]]
+
+_FORMATS_BY_NAME: Dict[str, FPFormat] = {f.name: f for f in PAPER_FORMATS}
+_MODES = {m.value: m for m in RoundingMode}
+_CUSTOM_FORMATS: Dict[Tuple[int, int], FPFormat] = {}
+
+
+def resolve_format(spec: object) -> FPFormat:
+    """A format from its request spelling: name or explicit geometry."""
+    if isinstance(spec, str):
+        fmt = _FORMATS_BY_NAME.get(spec)
+        if fmt is None:
+            raise ProtocolError(
+                400,
+                f"unknown format {spec!r} (named formats: "
+                f"{', '.join(_FORMATS_BY_NAME)}; or pass "
+                '{"exp_bits": E, "man_bits": M})',
+            )
+        return fmt
+    if isinstance(spec, dict):
+        try:
+            key = (int(spec["exp_bits"]), int(spec["man_bits"]))
+        except (KeyError, TypeError, ValueError) as exc:
+            raise ProtocolError(
+                400, "custom format needs integer exp_bits and man_bits"
+            ) from exc
+        fmt = _CUSTOM_FORMATS.get(key)
+        if fmt is None:
+            try:
+                fmt = FPFormat(*key)
+                check_vectorized_format(fmt)
+            except ValueError as exc:
+                raise ProtocolError(400, str(exc)) from exc
+            _CUSTOM_FORMATS[key] = fmt
+        return fmt
+    raise ProtocolError(400, "format must be a name or a geometry object")
+
+
+def resolve_mode(spec: object) -> RoundingMode:
+    mode = _MODES.get(spec if isinstance(spec, str) else "")
+    if mode is None:
+        raise ProtocolError(
+            400, f"unknown rounding mode {spec!r} (known: {', '.join(_MODES)})"
+        )
+    return mode
+
+
+def parse_word(fmt: FPFormat, value: object, name: str) -> int:
+    """An operand word from its request spelling: int or 0x-string."""
+    if isinstance(value, bool):
+        raise ProtocolError(400, f"operand {name!r} must be an integer word")
+    if isinstance(value, int):
+        word = value
+    elif isinstance(value, str):
+        try:
+            word = int(value, 0)
+        except ValueError as exc:
+            raise ProtocolError(
+                400, f"operand {name!r} is not a valid integer: {value!r}"
+            ) from exc
+    else:
+        raise ProtocolError(400, f"operand {name!r} must be an integer word")
+    if not 0 <= word <= fmt.word_mask:
+        raise ProtocolError(
+            400,
+            f"operand {name!r} ({word:#x}) outside {fmt.name} "
+            f"({fmt.width} bits)",
+        )
+    return word
+
+
+def _json_reply(status: int, payload: dict, extra=()) -> Reply:
+    return status, json_body(payload), "application/json", tuple(extra)
+
+
+def _error_reply(status: int, message: str, extra=()) -> Reply:
+    return status, error_body(status, message), "application/json", tuple(extra)
+
+
+class Handlers:
+    """Routing table bound to one server instance."""
+
+    def __init__(self, service) -> None:
+        self.service = service
+        self._sweep_lock = asyncio.Lock()
+
+    # ------------------------------------------------------------------ #
+    # dispatch
+    # ------------------------------------------------------------------ #
+    async def handle(self, request: Request) -> Reply:
+        path = request.path
+        if path.startswith("/v1/op/"):
+            if request.method != "POST":
+                return _error_reply(405, "op endpoints are POST")
+            return await self.handle_op(path[len("/v1/op/"):], request)
+        if path == "/healthz":
+            return self.handle_healthz(request)
+        if path == "/metrics":
+            return self.handle_metrics(request)
+        if path == "/v1/unit":
+            if request.method != "GET":
+                return _error_reply(405, "/v1/unit is GET")
+            return await self.handle_unit(request)
+        if path == "/v1/kernel/matmul":
+            if request.method != "GET":
+                return _error_reply(405, "/v1/kernel/matmul is GET")
+            return self.handle_kernel_matmul(request)
+        if path.startswith("/v1/experiment/"):
+            if request.method != "GET":
+                return _error_reply(405, "experiment endpoints are GET")
+            return await self.handle_experiment(path[len("/v1/experiment/"):])
+        return _error_reply(404, f"no route for {path}")
+
+    # ------------------------------------------------------------------ #
+    # hot path: FP ops
+    # ------------------------------------------------------------------ #
+    async def handle_op(self, op: str, request: Request) -> Reply:
+        if op not in OPS:
+            return _error_reply(
+                404, f"unknown op {op!r} (known: {', '.join(OPS)})"
+            )
+        doc = request.json()
+        fmt = resolve_format(doc.get("format", "fp32"))
+        mode = resolve_mode(doc.get("mode", RoundingMode.NEAREST_EVEN.value))
+        if "a" not in doc or "b" not in doc:
+            raise ProtocolError(400, "op request needs operands 'a' and 'b'")
+        a = parse_word(fmt, doc["a"], "a")
+        b = parse_word(fmt, doc["b"], "b")
+        return await self.service.dispatch_op(op, fmt, mode, a, b)
+
+    # ------------------------------------------------------------------ #
+    # operational endpoints
+    # ------------------------------------------------------------------ #
+    def handle_healthz(self, request: Request) -> Reply:
+        service = self.service
+        payload = {
+            "status": "draining" if service.admission.draining else "ok",
+            **service.telemetry.snapshot(),
+        }
+        return _json_reply(200, payload)
+
+    def handle_metrics(self, request: Request) -> Reply:
+        text = self.service.telemetry.render().encode()
+        return 200, text, "text/plain; version=0.0.4", ()
+
+    # ------------------------------------------------------------------ #
+    # slow path: characterisation and experiments
+    # ------------------------------------------------------------------ #
+    async def handle_unit(self, request: Request) -> Reply:
+        query = request.query
+        kinds = {k.value: k for k in UnitKind}
+        kind = kinds.get(query.get("kind", "adder"))
+        if kind is None:
+            return _error_reply(
+                400, f"unknown unit kind (known: {', '.join(kinds)})"
+            )
+        try:
+            fmt = resolve_format(query.get("format", "fp32"))
+        except ProtocolError as exc:
+            return _error_reply(exc.status, str(exc))
+        space, _ = await self._run_sweep(
+            lambda: explore(fmt, kind, engine=self.service.engine)
+        )
+        points = [
+            {
+                "label": point.label,
+                "stages": point.report.stages,
+                "slices": point.report.slices,
+                "luts": point.report.luts,
+                "flipflops": point.report.flipflops,
+                "mult18": point.report.mult18,
+                "clock_mhz": round(point.report.clock_mhz, 2),
+                "mhz_per_slice": round(point.report.freq_per_area, 4),
+                "latency_ns": round(point.report.latency_ns, 2),
+            }
+            for point in space.table_rows()
+        ]
+        return _json_reply(
+            200,
+            {
+                "kind": kind.value,
+                "format": fmt.name,
+                "peak_clock_mhz": round(space.peak_clock_mhz, 2),
+                "points": points,
+            },
+        )
+
+    def handle_kernel_matmul(self, request: Request) -> Reply:
+        query = request.query
+
+        def _int(name: str, default: int, floor: int) -> int:
+            raw = query.get(name)
+            if raw is None:
+                return default
+            try:
+                value = int(raw, 0)
+            except ValueError as exc:
+                raise ProtocolError(400, f"{name} must be an integer") from exc
+            if value < floor:
+                raise ProtocolError(400, f"{name} must be >= {floor}")
+            return value
+
+        n = _int("n", 64, 1)
+        mul_latency = _int("mul_latency", 3, 1)
+        add_latency = _int("add_latency", 5, 1)
+        padded = query.get("pad", "1") not in ("0", "false", "no")
+        pl = mul_latency + add_latency
+        spacing = max(n, pl) if padded else n
+        cycles = array_cycles(n, pl, spacing)
+        issued = n * n * n
+        return _json_reply(
+            200,
+            {
+                "n": n,
+                "pipeline_latency": pl,
+                "pad_schedule": padded,
+                "hazard_spacing": spacing,
+                "cycles": cycles,
+                "issued_macs": issued,
+                "hazards": hazard_count(n, pl, spacing),
+                "pe_utilization": round(issued / (n * cycles), 6),
+            },
+        )
+
+    async def handle_experiment(self, name: str) -> Reply:
+        if name not in REGISTRY:
+            return _error_reply(
+                404,
+                f"unknown experiment {name!r} (known: {', '.join(REGISTRY)})",
+            )
+        engine = self.service.engine
+        result, records = await self._run_sweep(
+            lambda: engine.evaluate(experiment_job(name))
+        )
+        source = records[-1].status if records else "memo"
+        return _json_reply(
+            200,
+            {
+                "name": name,
+                "source": source,  # hit | memo | computed
+                "rendered": str(result),
+            },
+        )
+
+    async def _run_sweep(self, fn):
+        """Evaluate a sweep on the slow-path thread, engine-serialized.
+
+        Sweeps occupy an admission slot like any other request — a
+        drain waits for them, and a full queue sheds them — but are
+        serialized on their own thread so they can never starve op
+        batches.  Returns ``(result, new_records)`` — the engine
+        :class:`~repro.engine.metrics.JobRecord` entries this evaluation
+        added, already mirrored into the service telemetry so
+        ``/metrics`` reports the characterisation cache hit rate.
+        """
+        service = self.service
+        verdict = service.admission.admit()
+        if verdict is not ADMIT_OK:
+            if verdict is ADMIT_DRAINING:
+                raise ProtocolError(503, "server is draining")
+            raise ProtocolError(429, "queue full; retry later")
+        try:
+            return await self._run_sweep_admitted(fn)
+        finally:
+            service.admission.release()
+
+    async def _run_sweep_admitted(self, fn):
+        service = self.service
+        async with self._sweep_lock:
+            before = len(service.engine.metrics.records)
+            result = await asyncio.wait_for(
+                asyncio.get_running_loop().run_in_executor(
+                    service.sweep_pool, fn
+                ),
+                service.config.sweep_timeout_s,
+            )
+            records: list[JobRecord] = service.engine.metrics.records[before:]
+            for record in records:
+                service.telemetry.record_engine(record.status)
+            return result, records

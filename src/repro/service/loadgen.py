@@ -1,0 +1,200 @@
+"""Closed-loop concurrent load generator (``repro loadgen``).
+
+``concurrency`` workers each hold one keep-alive connection and issue
+requests back-to-back — a *closed loop*: a worker's next request departs
+only when its previous response lands, so offered load adapts to what
+the server sustains and the achieved rate **is** the throughput
+measurement.  Operands are drawn from a seeded RNG per worker, so runs
+are reproducible.
+
+Status codes are tallied rather than treated as failures: a ``429``
+from admission control is the server working as designed (the burst
+tests drive the queue past capacity on purpose).  Transport errors
+count separately as ``errors``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.fp.format import FP32, FPFormat, PAPER_FORMATS
+from repro.fp.rounding import RoundingMode
+
+
+@dataclass
+class LoadReport:
+    """What one load run achieved."""
+
+    requests: int
+    duration_s: float
+    concurrency: int
+    op: str
+    format: str
+    mode: str
+    statuses: Dict[int, int] = field(default_factory=dict)
+    errors: int = 0
+    p50_ms: float = 0.0
+    p99_ms: float = 0.0
+
+    @property
+    def achieved_rps(self) -> float:
+        return self.requests / self.duration_s if self.duration_s > 0 else 0.0
+
+    @property
+    def ok(self) -> int:
+        return sum(n for code, n in self.statuses.items() if 200 <= code < 300)
+
+    @property
+    def shed(self) -> int:
+        return self.statuses.get(429, 0)
+
+    def to_json(self) -> dict:
+        return {
+            "schema": "repro-loadgen/1",
+            "requests": self.requests,
+            "duration_s": round(self.duration_s, 4),
+            "achieved_rps": round(self.achieved_rps, 1),
+            "concurrency": self.concurrency,
+            "op": self.op,
+            "format": self.format,
+            "mode": self.mode,
+            "statuses": {str(k): v for k, v in sorted(self.statuses.items())},
+            "errors": self.errors,
+            "p50_ms": round(self.p50_ms, 3),
+            "p99_ms": round(self.p99_ms, 3),
+        }
+
+    def render(self) -> str:
+        statuses = " ".join(
+            f"{code}:{n}" for code, n in sorted(self.statuses.items())
+        )
+        return (
+            f"loadgen: {self.requests} requests in {self.duration_s:.2f}s "
+            f"({self.achieved_rps:.0f} req/s, {self.concurrency}-way "
+            f"{self.op}/{self.format}/{self.mode})\n"
+            f"  statuses: {statuses or '-'} | errors: {self.errors}\n"
+            f"  latency: p50 {self.p50_ms:.2f} ms, p99 {self.p99_ms:.2f} ms"
+        )
+
+
+async def _read_response(reader: asyncio.StreamReader) -> int:
+    """Read one response off the wire; returns its status code."""
+    head = await reader.readuntil(b"\r\n\r\n")
+    status = int(head.split(b" ", 2)[1])
+    length = 0
+    for line in head[:-4].split(b"\r\n")[1:]:
+        if line[:15].lower() == b"content-length:":
+            length = int(line[15:])
+            break
+    if length:
+        await reader.readexactly(length)
+    return status
+
+
+def _request_bytes(op: str, fmt: FPFormat, mode: str, a: int, b: int) -> bytes:
+    body = (
+        f'{{"a":"{a:#x}","b":"{b:#x}","format":"{fmt.name}","mode":"{mode}"}}'
+    ).encode()
+    return (
+        f"POST /v1/op/{op} HTTP/1.1\r\nHost: loadgen\r\n"
+        f"Content-Type: application/json\r\n"
+        f"Content-Length: {len(body)}\r\n\r\n"
+    ).encode() + body
+
+
+async def run_load(
+    host: str,
+    port: int,
+    *,
+    concurrency: int = 16,
+    requests: int = 1000,
+    op: str = "mul",
+    fmt: FPFormat = FP32,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    seed: int = 0,
+    timeout_s: float = 120.0,
+) -> LoadReport:
+    """Drive the server and measure achieved throughput and latency."""
+    if concurrency < 1:
+        raise ValueError(f"concurrency must be >= 1, got {concurrency}")
+    if requests < 1:
+        raise ValueError(f"requests must be >= 1, got {requests}")
+    statuses: Dict[int, int] = {}
+    latencies: List[float] = []
+    errors = 0
+    per_worker = [
+        requests // concurrency + (1 if i < requests % concurrency else 0)
+        for i in range(concurrency)
+    ]
+
+    async def worker(index: int, quota: int) -> None:
+        nonlocal errors
+        rng = random.Random((seed << 8) ^ index)
+        word_max = fmt.word_mask
+        reader = writer = None
+        try:
+            reader, writer = await asyncio.open_connection(host, port)
+            for _ in range(quota):
+                payload = _request_bytes(
+                    op,
+                    fmt,
+                    mode.value,
+                    rng.randrange(word_max + 1),
+                    rng.randrange(word_max + 1),
+                )
+                t0 = time.perf_counter()
+                writer.write(payload)
+                await writer.drain()
+                status = await _read_response(reader)
+                latencies.append(time.perf_counter() - t0)
+                statuses[status] = statuses.get(status, 0) + 1
+        except (OSError, asyncio.IncompleteReadError, ValueError):
+            errors += 1
+        finally:
+            if writer is not None:
+                writer.close()
+
+    t0 = time.perf_counter()
+    await asyncio.wait_for(
+        asyncio.gather(
+            *(worker(i, quota) for i, quota in enumerate(per_worker))
+        ),
+        timeout_s,
+    )
+    duration = time.perf_counter() - t0
+
+    report = LoadReport(
+        requests=sum(statuses.values()),
+        duration_s=duration,
+        concurrency=concurrency,
+        op=op,
+        format=fmt.name,
+        mode=mode.value,
+        statuses=statuses,
+        errors=errors,
+    )
+    if latencies:
+        ordered = sorted(latencies)
+        report.p50_ms = ordered[len(ordered) // 2] * 1e3
+        report.p99_ms = ordered[min(len(ordered) - 1, (len(ordered) * 99) // 100)] * 1e3
+    return report
+
+
+def run_load_blocking(host: str, port: int, **kwargs) -> LoadReport:
+    """Synchronous wrapper: run the load on a private event loop."""
+    return asyncio.run(run_load(host, port, **kwargs))
+
+
+def resolve_load_format(name: str) -> Optional[FPFormat]:
+    return {f.name: f for f in PAPER_FORMATS}.get(name)
+
+
+def write_report(report: LoadReport, path: str) -> None:
+    with open(path, "w") as fh:
+        json.dump(report.to_json(), fh, indent=2, sort_keys=True)
+        fh.write("\n")

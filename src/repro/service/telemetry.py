@@ -1,0 +1,275 @@
+"""Live service metrics: counters, gauges and bucketed histograms.
+
+Everything here is mutated from the event loop and the batch-executor
+thread without locks — "lock-free-ish": each mutation is a single
+integer add on a dict slot, atomic under the GIL, and readers tolerate
+being a request behind.  That keeps the hot path at ~1µs per
+observation, which matters because every request observes latency and
+every batch observes its size.
+
+Rendering follows the Prometheus text exposition format at ``/metrics``
+(counters, gauges, cumulative histogram buckets) and a JSON snapshot at
+``/healthz``; quantiles (p50/p99) are interpolated from the histogram
+buckets the same way a Prometheus ``histogram_quantile`` would, so the
+numbers agree between the two views.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+Labels = Tuple[str, ...]
+
+#: Request latency buckets (seconds) — sub-millisecond to 10 s.
+LATENCY_BUCKETS_S = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+#: Batch-size buckets (requests per vectorized call).
+BATCH_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0)
+
+
+class Counter:
+    """Monotonic counter with optional labels."""
+
+    def __init__(self, name: str, help: str, label_names: Sequence[str] = ()) -> None:
+        self.name = name
+        self.help = help
+        self.label_names = tuple(label_names)
+        self._series: Dict[Labels, int] = {}
+
+    def inc(self, labels: Labels = (), n: int = 1) -> None:
+        self._series[labels] = self._series.get(labels, 0) + n
+
+    def value(self, labels: Labels = ()) -> int:
+        return self._series.get(labels, 0)
+
+    @property
+    def total(self) -> int:
+        return sum(self._series.values())
+
+    def series(self) -> Iterable[Tuple[Labels, int]]:
+        return sorted(self._series.items())
+
+
+class Gauge:
+    """Point-in-time value, tracking its high-water mark."""
+
+    def __init__(self, name: str, help: str) -> None:
+        self.name = name
+        self.help = help
+        self.value = 0.0
+        self.max_seen = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+        if value > self.max_seen:
+            self.max_seen = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with interpolated quantiles.
+
+    ``buckets`` are inclusive upper bounds; an implicit +Inf bucket
+    catches the tail.  ``quantile`` linearly interpolates inside the
+    winning bucket (and clamps tail observations to the largest finite
+    bound), which is exactly the estimate Prometheus makes — good to a
+    bucket width, plenty for p50/p99 health reporting.
+    """
+
+    def __init__(self, name: str, help: str, buckets: Sequence[float]) -> None:
+        if list(buckets) != sorted(buckets) or len(set(buckets)) != len(buckets):
+            raise ValueError(f"histogram {name} buckets must be strictly increasing")
+        self.name = name
+        self.help = help
+        self.bounds = tuple(float(b) for b in buckets)
+        self.counts = [0] * (len(self.bounds) + 1)  # + the +Inf bucket
+        self.total = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        i = 0
+        bounds = self.bounds
+        n = len(bounds)
+        # Linear scan beats bisect for the short, front-loaded bucket
+        # lists used here (latency lives in the first few buckets).
+        while i < n and value > bounds[i]:
+            i += 1
+        self.counts[i] += 1
+        self.count += 1
+        self.total += value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def quantile(self, q: float) -> float:
+        """Estimated ``q``-quantile (0 <= q <= 1); 0.0 when empty."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        rank = q * self.count
+        cumulative = 0
+        for i, upper in enumerate(self.bounds):
+            prev_cumulative = cumulative
+            cumulative += self.counts[i]
+            if cumulative >= rank:
+                lower = self.bounds[i - 1] if i else 0.0
+                if self.counts[i] == 0:  # pragma: no cover - defensive
+                    return upper
+                frac = (rank - prev_cumulative) / self.counts[i]
+                return lower + (upper - lower) * min(max(frac, 0.0), 1.0)
+        return self.bounds[-1]  # tail (+Inf bucket): clamp to last bound
+
+
+class Telemetry:
+    """The service's metric registry.
+
+    One instance per server; handlers and the batcher mutate it
+    directly.  ``render()`` produces the ``/metrics`` exposition,
+    ``snapshot()`` the ``/healthz`` JSON body.
+    """
+
+    def __init__(self, version: str = "") -> None:
+        self.version = version
+        self.started_unix = time.time()
+        self.started_monotonic = time.monotonic()
+        self.requests_total = Counter(
+            "repro_requests_total",
+            "Requests by route and status code.",
+            ("route", "status"),
+        )
+        self.request_latency_s = Histogram(
+            "repro_request_latency_seconds",
+            "Server-side request latency (admit to response ready).",
+            LATENCY_BUCKETS_S,
+        )
+        self.batch_size = Histogram(
+            "repro_batch_size",
+            "FP op requests coalesced per vectorized call.",
+            BATCH_BUCKETS,
+        )
+        self.batches_total = Counter(
+            "repro_batches_total",
+            "Executed vectorized batches by lane.",
+            ("op", "format", "mode"),
+        )
+        self.queue_depth = Gauge(
+            "repro_queue_depth", "Admitted requests currently in flight."
+        )
+        self.shed_total = Counter(
+            "repro_shed_total", "Requests rejected with 429 (queue full)."
+        )
+        self.timeout_total = Counter(
+            "repro_timeout_total", "Requests that hit the per-request deadline."
+        )
+        self.spot_checks_total = Counter(
+            "repro_spot_checks_total",
+            "Sampled scalar cross-checks executed against batches.",
+        )
+        self.engine_jobs = Counter(
+            "repro_engine_jobs_total",
+            "Characterisation engine jobs by resolution.",
+            ("status",),
+        )
+
+    # ------------------------------------------------------------------ #
+    # views
+    # ------------------------------------------------------------------ #
+    @property
+    def uptime_s(self) -> float:
+        return time.monotonic() - self.started_monotonic
+
+    def engine_hit_rate(self) -> float:
+        """Cache/memo fraction of engine jobs (EngineMetrics-style)."""
+        total = self.engine_jobs.total
+        if not total:
+            return 0.0
+        served = self.engine_jobs.value(("hit",)) + self.engine_jobs.value(("memo",))
+        return served / total
+
+    def record_engine(self, status: str) -> None:
+        self.engine_jobs.inc((status,))
+
+    def snapshot(self) -> dict:
+        """The ``/healthz`` payload (minus the status field)."""
+        return {
+            "version": self.version,
+            "uptime_s": round(self.uptime_s, 3),
+            "requests": self.requests_total.total,
+            "in_flight": self.queue_depth.value,
+            "queue_depth_max": self.queue_depth.max_seen,
+            "batches": self.batches_total.total,
+            "mean_batch_size": round(self.batch_size.mean, 3),
+            "shed": self.shed_total.total,
+            "timeouts": self.timeout_total.total,
+            "latency_p50_ms": round(self.request_latency_s.quantile(0.5) * 1e3, 3),
+            "latency_p99_ms": round(self.request_latency_s.quantile(0.99) * 1e3, 3),
+            "engine_hit_rate": round(self.engine_hit_rate(), 4),
+        }
+
+    # ------------------------------------------------------------------ #
+    # exposition
+    # ------------------------------------------------------------------ #
+    def render(self) -> str:
+        """Prometheus text exposition of every instrument."""
+        out: list[str] = []
+
+        def counter(c: Counter) -> None:
+            out.append(f"# HELP {c.name} {c.help}")
+            out.append(f"# TYPE {c.name} counter")
+            if not c.label_names:
+                out.append(f"{c.name} {c.total}")
+                return
+            if not c._series:
+                out.append(f"{c.name} 0")
+            for labels, value in c.series():
+                pairs = ",".join(
+                    f'{k}="{v}"' for k, v in zip(c.label_names, labels)
+                )
+                out.append(f"{c.name}{{{pairs}}} {value}")
+
+        def gauge(g: Gauge) -> None:
+            out.append(f"# HELP {g.name} {g.help}")
+            out.append(f"# TYPE {g.name} gauge")
+            out.append(f"{g.name} {g.value}")
+            out.append(f"{g.name}_max {g.max_seen}")
+
+        def histogram(h: Histogram) -> None:
+            out.append(f"# HELP {h.name} {h.help}")
+            out.append(f"# TYPE {h.name} histogram")
+            cumulative = 0
+            for i, upper in enumerate(h.bounds):
+                cumulative += h.counts[i]
+                bound = f"{upper:g}"
+                out.append(f'{h.name}_bucket{{le="{bound}"}} {cumulative}')
+            cumulative += h.counts[-1]
+            out.append(f'{h.name}_bucket{{le="+Inf"}} {cumulative}')
+            out.append(f"{h.name}_sum {h.total:g}")
+            out.append(f"{h.name}_count {h.count}")
+
+        counter(self.requests_total)
+        histogram(self.request_latency_s)
+        histogram(self.batch_size)
+        counter(self.batches_total)
+        gauge(self.queue_depth)
+        counter(self.shed_total)
+        counter(self.timeout_total)
+        counter(self.spot_checks_total)
+        counter(self.engine_jobs)
+        out.append("# HELP repro_uptime_seconds Seconds since server start.")
+        out.append("# TYPE repro_uptime_seconds gauge")
+        out.append(f"repro_uptime_seconds {self.uptime_s:.3f}")
+        out.append(
+            "# HELP repro_engine_hit_rate Cache/memo fraction of engine jobs."
+        )
+        out.append("# TYPE repro_engine_hit_rate gauge")
+        out.append(f"repro_engine_hit_rate {self.engine_hit_rate():.4f}")
+        return "\n".join(out) + "\n"
+
+
+def _finite(x: float) -> bool:  # pragma: no cover - helper for callers
+    return math.isfinite(x)

@@ -1,0 +1,249 @@
+"""MicroBatcher edge cases (issue satellite: batching semantics).
+
+Every test cross-checks the batched responses bit- and flag-identically
+against the scalar datapath — the service's core correctness contract.
+"""
+
+import asyncio
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.fp.format import FP32, FP64
+from repro.fp.rounding import RoundingMode
+from repro.service.batcher import (
+    OPS,
+    BatchIntegrityError,
+    MicroBatcher,
+    execute_batch,
+)
+from repro.service.config import ServiceConfig
+from repro.service.telemetry import Telemetry
+
+RNE = RoundingMode.NEAREST_EVEN
+RTZ = RoundingMode.TRUNCATE
+
+
+class RecordingExecutor(ThreadPoolExecutor):
+    """Single-thread executor that records every executed batch."""
+
+    def __init__(self):
+        super().__init__(max_workers=1)
+        self.batches = []  # (op, fmt, mode, pairs)
+
+    def submit(self, fn, *args, **kwargs):
+        if fn is execute_batch:
+            op, fmt, mode, pairs = args[:4]
+            self.batches.append((op, fmt, mode, list(pairs)))
+        return super().submit(fn, *args, **kwargs)
+
+
+def run_batched(config, submissions):
+    """Submit all requests concurrently; return (results, batches).
+
+    ``submissions`` is a list of (op, fmt, mode, a, b).  All submissions
+    are queued before the lane workers first run, so they form one burst.
+    """
+    executor = RecordingExecutor()
+
+    async def _run():
+        batcher = MicroBatcher(config, Telemetry(), executor)
+        try:
+            return await asyncio.gather(
+                *(batcher.submit(*s) for s in submissions)
+            )
+        finally:
+            await batcher.close()
+
+    try:
+        results = asyncio.run(_run())
+    finally:
+        executor.shutdown(wait=True)
+    return results, executor.batches
+
+
+def scalar(op, fmt, mode, a, b):
+    bits, flags = OPS[op][0](fmt, a, b, mode)
+    return bits, flags.to_bits()
+
+
+class TestBatchingPolicy:
+    def test_single_request_flushes_on_linger_expiry(self):
+        # One lone request, max_batch far away: the linger must expire
+        # and flush a batch of exactly one, not wait for company.
+        config = ServiceConfig(max_batch=64, linger_ms=5)
+        results, batches = run_batched(
+            config, [("mul", FP32, RNE, 0x3FC00000, 0x40200000)]
+        )
+        assert len(batches) == 1
+        assert batches[0][3] == [(0x3FC00000, 0x40200000)]
+        assert tuple(results[0]) == scalar(
+            "mul", FP32, RNE, 0x3FC00000, 0x40200000
+        )
+
+    def test_oversize_burst_splits_into_full_batches(self):
+        config = ServiceConfig(max_batch=4, linger_ms=20)
+        rng = random.Random(7)
+        subs = [
+            ("mul", FP32, RNE,
+             rng.randrange(FP32.word_mask + 1),
+             rng.randrange(FP32.word_mask + 1))
+            for _ in range(10)
+        ]
+        results, batches = run_batched(config, subs)
+        sizes = [len(pairs) for _, _, _, pairs in batches]
+        assert sum(sizes) == 10
+        assert max(sizes) <= 4
+        assert sizes.count(4) >= 2  # the burst produced full batches
+        # Order and values survive the split exactly.
+        for (op, fmt, mode, a, b), got in zip(subs, results):
+            assert tuple(got) == scalar(op, fmt, mode, a, b)
+
+    def test_mixed_formats_and_modes_never_share_a_batch(self):
+        config = ServiceConfig(max_batch=64, linger_ms=10)
+        lanes = [
+            ("mul", FP32, RNE),
+            ("mul", FP32, RTZ),
+            ("mul", FP64, RNE),
+            ("add", FP32, RNE),
+        ]
+        rng = random.Random(11)
+        subs = []
+        for op, fmt, mode in lanes:
+            for _ in range(5):
+                subs.append((op, fmt, mode,
+                             rng.randrange(fmt.word_mask + 1),
+                             rng.randrange(fmt.word_mask + 1)))
+        # Interleave the lanes so a sloppy batcher would mix them.
+        subs = subs[::4] + subs[1::4] + subs[2::4] + subs[3::4]
+        results, batches = run_batched(config, subs)
+        # Every executed batch is homogeneous: its pairs all came from
+        # submissions for exactly that (op, format, mode) lane.
+        by_lane = {}
+        for op, fmt, mode, a, b in subs:
+            by_lane.setdefault((op, fmt, mode), set()).add((a, b))
+        assert len(batches) >= len(lanes)
+        seen_lanes = set()
+        for op, fmt, mode, pairs in batches:
+            key = (op, fmt, mode)
+            seen_lanes.add(key)
+            assert set(pairs) <= by_lane[key], (
+                f"batch for {op}/{fmt.name}/{mode.value} contains "
+                "pairs submitted to another lane"
+            )
+        assert seen_lanes == set(by_lane)
+        for (op, fmt, mode, a, b), got in zip(subs, results):
+            assert tuple(got) == scalar(op, fmt, mode, a, b)
+
+    def test_flag_sidebands_are_isolated_per_request(self):
+        # An overflowing multiply next to exact ones: the neighbour's
+        # overflow/inexact flags must not leak into the exact results.
+        config = ServiceConfig(max_batch=8, linger_ms=10)
+        exact = (0x3F800000, 0x40000000)   # 1.0 * 2.0, flags clean
+        boom = (0x7F000000, 0x7F000000)    # overflows fp32
+        subs = [
+            ("mul", FP32, RNE, *exact),
+            ("mul", FP32, RNE, *boom),
+            ("mul", FP32, RNE, *exact),
+        ]
+        results, batches = run_batched(config, subs)
+        assert len(batches) == 1 and len(batches[0][3]) == 3
+        want_exact = scalar("mul", FP32, RNE, *exact)
+        want_boom = scalar("mul", FP32, RNE, *boom)
+        assert want_exact[1] == 0, "exact case should raise no flags"
+        assert want_boom[1] != 0, "overflow case should raise flags"
+        assert tuple(results[0]) == want_exact
+        assert tuple(results[1]) == want_boom
+        assert tuple(results[2]) == want_exact
+
+    def test_random_burst_matches_scalar_for_all_ops_and_modes(self):
+        config = ServiceConfig(max_batch=16, linger_ms=10)
+        rng = random.Random(23)
+        subs = [
+            (op, FP32, mode,
+             rng.randrange(FP32.word_mask + 1),
+             rng.randrange(FP32.word_mask + 1))
+            for op in OPS
+            for mode in (RNE, RTZ)
+            for _ in range(25)
+        ]
+        results, _batches = run_batched(config, subs)
+        for (op, fmt, mode, a, b), got in zip(subs, results):
+            assert tuple(got) == scalar(op, fmt, mode, a, b), (
+                f"{op}/{mode.value} a={a:#x} b={b:#x}"
+            )
+
+
+class TestIntegrityAndLifecycle:
+    def test_spot_check_catches_divergence(self, monkeypatch):
+        # Corrupt the scalar reference for 'mul': the per-batch spot
+        # check must now fail the whole batch with BatchIntegrityError.
+        real_scalar, vec = OPS["mul"]
+
+        def corrupted(fmt, a, b, mode):
+            bits, flags = real_scalar(fmt, a, b, mode)
+            return bits ^ 1, flags
+
+        monkeypatch.setitem(OPS, "mul", (corrupted, vec))
+        config = ServiceConfig(max_batch=4, linger_ms=5)
+        with pytest.raises(BatchIntegrityError):
+            run_batched(config, [("mul", FP32, RNE, 3, 5)])
+
+    def test_spot_check_can_be_disabled(self, monkeypatch):
+        real_scalar, vec = OPS["mul"]
+        monkeypatch.setitem(
+            OPS, "mul", (lambda *a: (_ for _ in ()).throw(AssertionError), vec)
+        )
+        config = ServiceConfig(max_batch=4, linger_ms=5, spot_check=False)
+        results, _ = run_batched(config, [("mul", FP32, RNE, 3, 5)])
+        bits, flags = OPS["add"][0](FP32, 0, 0, RNE)  # sanity: OPS intact
+        assert results[0] is not None
+
+    def test_execute_batch_direct(self):
+        pairs = [(0x3F800000, 0x3F800000), (0x40000000, 0x40400000)]
+        out = execute_batch("mul", FP32, RNE, pairs)
+        for (a, b), got in zip(pairs, out):
+            assert tuple(got) == scalar("mul", FP32, RNE, a, b)
+
+    def test_unknown_op_rejected(self):
+        async def _run():
+            batcher = MicroBatcher(ServiceConfig(), Telemetry())
+            with pytest.raises(KeyError):
+                await batcher.submit("div", FP32, RNE, 1, 2)
+
+        asyncio.run(_run())
+
+    def test_closed_batcher_rejects_submissions(self):
+        async def _run():
+            batcher = MicroBatcher(ServiceConfig(), Telemetry())
+            await batcher.close()
+            with pytest.raises(RuntimeError):
+                await batcher.submit("mul", FP32, RNE, 1, 2)
+
+        asyncio.run(_run())
+
+    def test_telemetry_observes_batches(self):
+        config = ServiceConfig(max_batch=4, linger_ms=10)
+        executor = RecordingExecutor()
+        telemetry = Telemetry()
+
+        async def _run():
+            batcher = MicroBatcher(config, telemetry, executor)
+            try:
+                await asyncio.gather(
+                    *(batcher.submit("mul", FP32, RNE, i, i)
+                      for i in range(8))
+                )
+            finally:
+                await batcher.close()
+
+        try:
+            asyncio.run(_run())
+        finally:
+            executor.shutdown(wait=True)
+        assert telemetry.batch_size.count == len(executor.batches)
+        assert telemetry.batches_total.value(("mul", "fp32", "rne")) == len(
+            executor.batches
+        )
+        assert telemetry.spot_checks_total.total == len(executor.batches)

@@ -1,0 +1,137 @@
+"""ServiceConfig: defaults, env overrides, validation messages."""
+
+import pytest
+
+from repro.service.config import ENV_PREFIX, ServiceConfig
+
+
+class TestDefaults:
+    def test_documented_defaults(self):
+        config = ServiceConfig()
+        assert config.host == "127.0.0.1"
+        assert config.port == 8080
+        assert config.max_batch == 64
+        assert config.linger_ms == 2.0
+        assert config.queue_depth == 256
+        assert config.request_timeout_s == 10.0
+        assert config.sweep_timeout_s == 120.0
+        assert config.drain_timeout_s == 5.0
+        assert config.spot_check is True
+        assert config.cache_dir is None
+
+    def test_linger_seconds_view(self):
+        assert ServiceConfig(linger_ms=2.5).linger_s == pytest.approx(0.0025)
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            ServiceConfig().port = 9  # type: ignore[misc]
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "knob, bad",
+        [
+            ("port", -1),
+            ("max_batch", 0),
+            ("linger_ms", -0.1),
+            ("queue_depth", 0),
+            ("request_timeout_s", 0.0),
+            ("sweep_timeout_s", -5.0),
+            ("drain_timeout_s", -1.0),
+        ],
+    )
+    def test_error_names_knob_and_env_var(self, knob, bad):
+        with pytest.raises(ValueError) as excinfo:
+            ServiceConfig(**{knob: bad})
+        message = str(excinfo.value)
+        assert knob in message
+        assert ENV_PREFIX + knob.upper() in message
+        assert repr(bad) in message
+
+    def test_ephemeral_port_zero_is_legal(self):
+        assert ServiceConfig(port=0).port == 0
+
+    def test_zero_linger_is_legal(self):
+        assert ServiceConfig(linger_ms=0).linger_s == 0.0
+
+
+class TestFromEnv:
+    def test_empty_env_gives_defaults(self):
+        assert ServiceConfig.from_env(environ={}) == ServiceConfig()
+
+    def test_env_overrides(self):
+        config = ServiceConfig.from_env(
+            environ={
+                "REPRO_SERVE_HOST": "0.0.0.0",
+                "REPRO_SERVE_PORT": "9001",
+                "REPRO_SERVE_MAX_BATCH": "8",
+                "REPRO_SERVE_LINGER_MS": "0.5",
+                "REPRO_SERVE_QUEUE_DEPTH": "32",
+                "REPRO_SERVE_REQUEST_TIMEOUT_S": "3.5",
+                "REPRO_SERVE_SPOT_CHECK": "off",
+            }
+        )
+        assert config.host == "0.0.0.0"
+        assert config.port == 9001
+        assert config.max_batch == 8
+        assert config.linger_ms == 0.5
+        assert config.queue_depth == 32
+        assert config.request_timeout_s == 3.5
+        assert config.spot_check is False
+
+    def test_explicit_overrides_beat_env(self):
+        config = ServiceConfig.from_env(
+            environ={"REPRO_SERVE_PORT": "9001"}, port=7000
+        )
+        assert config.port == 7000
+
+    def test_none_overrides_fall_through(self):
+        # The CLI passes every flag unconditionally; unset ones are None.
+        config = ServiceConfig.from_env(
+            environ={"REPRO_SERVE_PORT": "9001"}, port=None, host=None
+        )
+        assert config.port == 9001
+        assert config.host == "127.0.0.1"
+
+    def test_malformed_env_int_names_variable(self):
+        with pytest.raises(ValueError) as excinfo:
+            ServiceConfig.from_env(environ={"REPRO_SERVE_PORT": "eighty"})
+        message = str(excinfo.value)
+        assert "REPRO_SERVE_PORT" in message
+        assert "'eighty'" in message
+
+    def test_malformed_env_bool_names_variable(self):
+        with pytest.raises(ValueError) as excinfo:
+            ServiceConfig.from_env(environ={"REPRO_SERVE_SPOT_CHECK": "maybe"})
+        assert "REPRO_SERVE_SPOT_CHECK" in str(excinfo.value)
+
+    @pytest.mark.parametrize("raw, expected", [
+        ("1", True), ("true", True), ("YES", True), ("on", True),
+        ("0", False), ("False", False), ("no", False), ("OFF", False),
+    ])
+    def test_bool_spellings(self, raw, expected):
+        config = ServiceConfig.from_env(
+            environ={"REPRO_SERVE_SPOT_CHECK": raw}
+        )
+        assert config.spot_check is expected
+
+    def test_env_values_still_validated(self):
+        with pytest.raises(ValueError) as excinfo:
+            ServiceConfig.from_env(environ={"REPRO_SERVE_MAX_BATCH": "0"})
+        assert "max_batch" in str(excinfo.value)
+        assert "REPRO_SERVE_MAX_BATCH" in str(excinfo.value)
+
+    def test_cache_dir_falls_back_to_engine_env(self):
+        config = ServiceConfig.from_env(
+            environ={"REPRO_CACHE_DIR": "/tmp/shared-cache"}
+        )
+        assert config.cache_dir == "/tmp/shared-cache"
+
+    def test_serve_cache_dir_beats_engine_env(self):
+        config = ServiceConfig.from_env(
+            environ={
+                "REPRO_CACHE_DIR": "/tmp/shared-cache",
+                "REPRO_SERVE_CACHE_DIR": "/tmp/serve-cache",
+            }
+        )
+        assert config.cache_dir == "/tmp/serve-cache"

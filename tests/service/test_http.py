@@ -1,0 +1,141 @@
+"""HTTP wire layer unit tests: parsing, limits, keep-alive semantics."""
+
+import asyncio
+
+import pytest
+
+from repro.service.http import (
+    MAX_BODY_BYTES,
+    ProtocolError,
+    Request,
+    build_response,
+    error_body,
+    json_body,
+    read_request,
+)
+
+
+def parse(raw: bytes):
+    async def _run():
+        reader = asyncio.StreamReader()
+        reader.feed_data(raw)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(_run())
+
+
+class TestReadRequest:
+    def test_minimal_get(self):
+        req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert req.method == "GET"
+        assert req.path == "/healthz"
+        assert req.body == b""
+        assert req.keep_alive is True
+
+    def test_body_and_query(self):
+        req = parse(
+            b"POST /v1/op/mul?x=1&x=2&y=z HTTP/1.1\r\n"
+            b"Content-Length: 4\r\n\r\nabcd"
+        )
+        assert req.body == b"abcd"
+        assert req.query == {"x": "2", "y": "z"}  # last wins
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_truncated_head(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"GET /x HTTP/1.1\r\nHo")
+        assert excinfo.value.status == 400
+
+    def test_malformed_request_line(self):
+        with pytest.raises(ProtocolError):
+            parse(b"GARBAGE\r\n\r\n")
+
+    def test_unsupported_protocol_version(self):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"GET /x HTTP/2\r\n\r\n")
+        assert "HTTP/2" in str(excinfo.value)
+
+    def test_malformed_header_line(self):
+        with pytest.raises(ProtocolError):
+            parse(b"GET /x HTTP/1.1\r\nno-colon-here\r\n\r\n")
+
+    @pytest.mark.parametrize("value", [b"abc", b"-5"])
+    def test_bad_content_length(self, value):
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"GET /x HTTP/1.1\r\nContent-Length: " + value + b"\r\n\r\n")
+        assert excinfo.value.status == 400
+
+    def test_oversize_body_rejected(self):
+        huge = str(MAX_BODY_BYTES + 1).encode()
+        with pytest.raises(ProtocolError) as excinfo:
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: " + huge + b"\r\n\r\n")
+        assert excinfo.value.status == 413
+
+    def test_chunked_rejected(self):
+        with pytest.raises(ProtocolError):
+            parse(b"POST /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n")
+
+    def test_truncated_body(self):
+        with pytest.raises(ProtocolError):
+            parse(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+
+    def test_keep_alive_semantics(self):
+        assert parse(b"GET / HTTP/1.1\r\n\r\n").keep_alive is True
+        assert (
+            parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n").keep_alive
+            is False
+        )
+        assert parse(b"GET / HTTP/1.0\r\n\r\n").keep_alive is False
+        assert (
+            parse(
+                b"GET / HTTP/1.0\r\nConnection: keep-alive\r\n\r\n"
+            ).keep_alive
+            is True
+        )
+
+    def test_percent_decoded_path(self):
+        assert parse(b"GET /a%20b HTTP/1.1\r\n\r\n").path == "/a b"
+
+
+class TestRequestJson:
+    def make(self, body: bytes) -> Request:
+        return Request("POST", "/x", "", {}, body)
+
+    def test_valid_object(self):
+        assert self.make(b'{"a": 1}').json() == {"a": 1}
+
+    def test_empty_body(self):
+        with pytest.raises(ProtocolError):
+            self.make(b"").json()
+
+    def test_malformed(self):
+        with pytest.raises(ProtocolError):
+            self.make(b"{nope").json()
+
+    def test_non_object(self):
+        with pytest.raises(ProtocolError):
+            self.make(b"[1,2]").json()
+
+
+class TestBuildResponse:
+    def test_shape(self):
+        raw = build_response(200, b'{"ok":1}', extra_headers=(("X-A", "b"),))
+        text = raw.decode("latin-1")
+        assert text.startswith("HTTP/1.1 200 OK\r\n")
+        assert "Content-Length: 8\r\n" in text
+        assert "Connection: keep-alive\r\n" in text
+        assert "X-A: b\r\n" in text
+        assert text.endswith('\r\n\r\n{"ok":1}')
+
+    def test_close_and_unknown_status(self):
+        raw = build_response(599, b"", keep_alive=False)
+        assert b"HTTP/1.1 599 Unknown" in raw
+        assert b"Connection: close" in raw
+
+    def test_bodies(self):
+        assert json_body({"a": 1}) == b'{"a":1}'
+        doc = error_body(429, "slow down")
+        assert b"Too Many Requests" in doc and b"slow down" in doc

@@ -1,0 +1,131 @@
+"""Telemetry instruments: counters, gauges, histograms, exposition."""
+
+import pytest
+
+from repro.service.telemetry import (
+    BATCH_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    Telemetry,
+)
+
+
+class TestCounter:
+    def test_unlabeled(self):
+        c = Counter("c", "help")
+        c.inc()
+        c.inc(n=4)
+        assert c.value() == 5
+        assert c.total == 5
+
+    def test_labeled_series(self):
+        c = Counter("c", "help", ("route", "status"))
+        c.inc(("/a", "200"))
+        c.inc(("/a", "200"))
+        c.inc(("/b", "429"))
+        assert c.value(("/a", "200")) == 2
+        assert c.value(("/b", "429")) == 1
+        assert c.value(("/c", "200")) == 0
+        assert c.total == 3
+        assert list(c.series()) == [
+            (("/a", "200"), 2),
+            (("/b", "429"), 1),
+        ]
+
+
+class TestGauge:
+    def test_tracks_high_water_mark(self):
+        g = Gauge("g", "help")
+        g.set(3)
+        g.set(7)
+        g.set(2)
+        assert g.value == 2
+        assert g.max_seen == 7
+
+
+class TestHistogram:
+    def test_bucketing_and_mean(self):
+        h = Histogram("h", "help", (1.0, 2.0, 4.0))
+        for v in (0.5, 1.5, 3.0, 100.0):
+            h.observe(v)
+        assert h.counts == [1, 1, 1, 1]  # last is the +Inf bucket
+        assert h.count == 4
+        assert h.mean == pytest.approx(105.0 / 4)
+
+    def test_quantile_interpolates_within_bucket(self):
+        h = Histogram("h", "help", (10.0, 20.0))
+        for _ in range(10):
+            h.observe(15.0)  # all mass in the (10, 20] bucket
+        # Median rank falls halfway through the bucket: 10 + 0.5 * 10.
+        assert h.quantile(0.5) == pytest.approx(15.0)
+
+    def test_quantile_tail_clamps_to_last_bound(self):
+        h = Histogram("h", "help", (1.0,))
+        h.observe(50.0)
+        assert h.quantile(0.99) == 1.0
+
+    def test_quantile_empty_and_range(self):
+        h = Histogram("h", "help", (1.0,))
+        assert h.quantile(0.5) == 0.0
+        with pytest.raises(ValueError):
+            h.quantile(1.5)
+
+    def test_rejects_unsorted_buckets(self):
+        with pytest.raises(ValueError):
+            Histogram("h", "help", (2.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram("h", "help", (1.0, 1.0))
+
+    def test_batch_buckets_cover_default_max_batch(self):
+        assert 64.0 in BATCH_BUCKETS
+
+
+class TestTelemetry:
+    def test_snapshot_shape(self):
+        t = Telemetry(version="9.9.9")
+        t.requests_total.inc(("/v1/op/mul", "200"))
+        t.request_latency_s.observe(0.002)
+        t.batch_size.observe(4)
+        t.batches_total.inc(("mul", "fp32", "rne"))
+        snap = t.snapshot()
+        assert snap["version"] == "9.9.9"
+        assert snap["requests"] == 1
+        assert snap["batches"] == 1
+        assert snap["mean_batch_size"] == 4.0
+        assert snap["latency_p50_ms"] > 0
+        assert snap["uptime_s"] >= 0
+
+    def test_engine_hit_rate(self):
+        t = Telemetry()
+        assert t.engine_hit_rate() == 0.0
+        t.record_engine("computed")
+        t.record_engine("hit")
+        t.record_engine("memo")
+        t.record_engine("failed")
+        assert t.engine_hit_rate() == pytest.approx(0.5)
+
+    def test_prometheus_exposition(self):
+        t = Telemetry(version="1.0.0")
+        t.requests_total.inc(("/healthz", "200"))
+        t.request_latency_s.observe(0.003)
+        t.shed_total.inc()
+        text = t.render()
+        assert "# TYPE repro_requests_total counter" in text
+        assert 'repro_requests_total{route="/healthz",status="200"} 1' in text
+        assert "# TYPE repro_request_latency_seconds histogram" in text
+        assert 'repro_request_latency_seconds_bucket{le="+Inf"} 1' in text
+        assert "repro_request_latency_seconds_count 1" in text
+        assert "repro_shed_total 1" in text
+        assert "repro_uptime_seconds" in text
+        assert text.endswith("\n")
+
+    def test_histogram_buckets_are_cumulative(self):
+        t = Telemetry()
+        t.batch_size.observe(1)
+        t.batch_size.observe(3)
+        t.batch_size.observe(3)
+        text = t.render()
+        assert 'repro_batch_size_bucket{le="1"} 1' in text
+        assert 'repro_batch_size_bucket{le="4"} 3' in text
+        assert 'repro_batch_size_bucket{le="+Inf"} 3' in text

@@ -246,3 +246,33 @@ class TestCliBench:
     def test_bench_rejects_bad_repeats(self, capsys):
         assert main(["bench", "--repeats", "0"]) == 2
         assert "--repeats" in capsys.readouterr().err
+
+
+class TestCliService:
+    """The serve/loadgen subcommands and --version."""
+
+    def test_version_prints_package_version(self, capsys):
+        from repro import __version__
+
+        assert main(["--version"]) == 0
+        assert capsys.readouterr().out.strip() == __version__
+
+    def test_serve_rejects_invalid_config(self, capsys):
+        assert main(["serve", "--max-batch", "0"]) == 2
+        err = capsys.readouterr().err
+        assert "max_batch" in err
+        assert "REPRO_SERVE_MAX_BATCH" in err
+
+    def test_serve_rejects_malformed_env(self, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_SERVE_QUEUE_DEPTH", "lots")
+        assert main(["serve"]) == 2
+        assert "REPRO_SERVE_QUEUE_DEPTH" in capsys.readouterr().err
+
+    def test_loadgen_rejects_unknown_format(self, capsys):
+        assert main(["loadgen", "--port", "1", "--format", "fp31"]) == 2
+        assert "fp31" in capsys.readouterr().err
+
+    def test_loadgen_reports_unreachable_server(self, capsys):
+        # A port nothing listens on: transport failure, exit code 1.
+        assert main(["loadgen", "--port", "1", "--requests", "4",
+                     "--concurrency", "2", "--timeout", "10"]) == 1
