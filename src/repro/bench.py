@@ -60,12 +60,15 @@ def kernel_bench(
 ) -> dict:
     """Run the kernel micro-benchmarks; return the snapshot dict.
 
-    For each n in ``sizes`` both simulators run on the same matrices
-    (results cross-checked bit-for-bit, so a benchmark run doubles as an
-    equivalence check); for each n in ``scan_sizes`` only the batched
-    simulator runs.
+    For each n in ``sizes`` all three backends run on the same matrices
+    (stepped/batched results cross-checked bit-for-bit against each
+    other and the fused backend against its functional twin, so a
+    benchmark run doubles as an equivalence check); for each n in
+    ``scan_sizes`` only the batched simulator runs.
     """
     import numpy as np
+
+    from repro.kernels.fast import functional_matmul_fma
 
     rng = random.Random(seed)
     benchmarks: list[dict] = []
@@ -77,19 +80,37 @@ def kernel_bench(
                                     mode=mode, backend="stepped")
         batched = make_matmul_array(fmt, n, mul_latency, add_latency,
                                     mode=mode, backend="batched")
+        fused = make_matmul_array(fmt, n, mul_latency, add_latency,
+                                  mode=mode, backend="fma")
         runs = {}
         t_stepped = _best_of(lambda: runs.__setitem__("s", stepped.run(a, b)), 1)
         t_batched = _best_of(lambda: runs.__setitem__("b", batched.run(a, b)),
                              repeats)
+        t_fused = _best_of(lambda: runs.__setitem__("f", fused.run(a, b)),
+                           repeats)
         if runs["s"] != runs["b"]:
             raise AssertionError(
                 f"batched run diverged from stepped at n={n} ({fmt.name})"
+            )
+        # The fused backend rounds once per MAC, so it cannot match the
+        # chained runs; its reference is the functional fused twin.
+        want_fused = functional_matmul_fma(
+            fmt, np.array(a, dtype=np.uint64), np.array(b, dtype=np.uint64),
+            mode,
+        )
+        if runs["f"].c != want_fused.tolist():
+            raise AssertionError(
+                f"fma run diverged from fused functional twin at n={n} "
+                f"({fmt.name})"
             )
         benchmarks.append({"name": f"matmul.stepped.{fmt.name}.n{n}",
                            "seconds": t_stepped})
         benchmarks.append({"name": f"matmul.batched.{fmt.name}.n{n}",
                            "seconds": t_batched})
+        benchmarks.append({"name": f"matmul.fma.{fmt.name}.n{n}",
+                           "seconds": t_fused})
         speedups[f"batched_vs_stepped.{fmt.name}.n{n}"] = t_stepped / t_batched
+        speedups[f"fma_vs_batched.{fmt.name}.n{n}"] = t_batched / t_fused
     for n in scan_sizes:
         a = _rand_matrix(fmt, n, rng)
         b = _rand_matrix(fmt, n, rng)

@@ -358,7 +358,8 @@ def loadgen_command(argv: Sequence[str]) -> int:
                         metavar="N", help="concurrent workers (default: 16)")
     parser.add_argument("--requests", "-n", type=int, default=1000,
                         metavar="N", help="total requests (default: 1000)")
-    parser.add_argument("--op", choices=("add", "sub", "mul"), default="mul")
+    parser.add_argument("--op", default="mul",
+                        choices=("add", "sub", "mul", "div", "sqrt", "fma"))
     parser.add_argument("--format", default="fp32", dest="fmt",
                         help="named paper format (default: fp32)")
     parser.add_argument("--mode", default=RoundingMode.NEAREST_EVEN.value,
@@ -489,7 +490,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         "--ops",
         default=None,
         metavar="OP,OP",
-        help="with 'verify': comma-separated ops among add,sub,mul (default: all)",
+        help="with 'verify': comma-separated ops among "
+        "add,sub,mul,div,sqrt,fma (default: all)",
     )
     parser.add_argument(
         "--pairs",

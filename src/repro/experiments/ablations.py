@@ -168,6 +168,53 @@ def fused_mac_ablation(samples: int = 200, length: int = 32, seed: int = 3) -> T
     return table
 
 
+def fused_matmul_ablation(n: int = 8, seed: int = 7) -> Table:
+    """Chained vs fused-MAC PE on full cycle-accurate matmul runs.
+
+    Complements :func:`fused_mac_ablation` (dot products) at the array
+    level: the same operand matrices run through the chained
+    ``"batched"`` backend and the fused ``"fma"`` backend, and their
+    error against exact rational arithmetic is compared.  The fused run
+    performs exactly half the roundings (``n^3`` vs ``2 n^3``), which
+    the table records alongside the accuracy.  Not in the experiment
+    registry (the checked-in ``results/`` set is frozen); run it via
+    the API or the kernel test suite.
+    """
+    rng = random.Random(seed)
+    vals_a = [[rng.uniform(-2.0, 2.0) for _ in range(n)] for _ in range(n)]
+    vals_b = [[rng.uniform(-2.0, 2.0) for _ in range(n)] for _ in range(n)]
+    a = [[FPValue.from_float(FP32, v).bits for v in row] for row in vals_a]
+    b = [[FPValue.from_float(FP32, v).bits for v in row] for row in vals_b]
+    exact_a = [[FPValue(FP32, x).to_fraction() for x in row] for row in a]
+    exact_b = [[FPValue(FP32, x).to_fraction() for x in row] for row in b]
+    exact_c = [
+        [sum(exact_a[i][k] * exact_b[k][j] for k in range(n)) for j in range(n)]
+        for i in range(n)
+    ]
+
+    table = Table(
+        f"Ablation: chained vs fused-MAC PE on a {n}x{n} matmul",
+        ("Backend", "Total roundings", "Mean |rel. error|", "Max |rel. error|"),
+    )
+    for backend in ("batched", "fma"):
+        sim = make_matmul_array(FP32, n, 3, 5, backend=backend)
+        run = sim.run(a, b)
+        rel = []
+        for i in range(n):
+            for j in range(n):
+                if exact_c[i][j] == 0:
+                    continue
+                got = FPValue(FP32, run.c[i][j]).to_fraction()
+                rel.append(abs((got - exact_c[i][j]) / exact_c[i][j]))
+        table.add_row(
+            "chained (mul -> add)" if backend == "batched" else "fused MAC",
+            sim.total_roundings,
+            float(sum(rel) / len(rel)),
+            float(max(rel)),
+        )
+    return table
+
+
 def register_sharing_ablation(
     factors: tuple[float, ...] = (0.0, 0.25, 0.55, 0.8, 1.0),
 ) -> Table:

@@ -120,6 +120,50 @@ def ref_mul(
     return bits, flags
 
 
+def ref_fma(
+    fmt: FPFormat,
+    a: int,
+    b: int,
+    c: int,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> tuple[int, FPFlags]:
+    """Exactly-rounded reference fused multiply-add ``a*b + c``.
+
+    The product and the sum are formed as exact rationals, so exactly
+    one rounding happens — the defining property of a fused MAC — and
+    the special/zero-sign conventions mirror the scalar datapath.
+    """
+    if fmt.is_nan(a) or fmt.is_nan(b) or fmt.is_nan(c):
+        return fmt.nan(), FPFlags(invalid=True)
+    sa = fmt.unpack(a)[0]
+    sb = fmt.unpack(b)[0]
+    sc = fmt.unpack(c)[0]
+    psign = sa ^ sb
+    a_inf, b_inf, c_inf = fmt.is_inf(a), fmt.is_inf(b), fmt.is_inf(c)
+    if (a_inf or b_inf) and (fmt.is_zero(a) or fmt.is_zero(b)):
+        return fmt.nan(), FPFlags(invalid=True)
+    if a_inf or b_inf:
+        if c_inf and sc != psign:
+            return fmt.nan(), FPFlags(invalid=True)
+        return fmt.inf(psign), FPFlags()
+    if c_inf:
+        return fmt.inf(sc), FPFlags()
+    product = (
+        Fraction(0)
+        if (fmt.is_zero(a) or fmt.is_zero(b))
+        else _decode(fmt, a) * _decode(fmt, b)
+    )
+    addend = Fraction(0) if fmt.is_zero(c) else _decode(fmt, c)
+    exact = product + addend
+    if exact == 0:
+        if product == 0 and addend == 0:
+            sign = psign if psign == sc else 0
+        else:
+            sign = 0
+        return fmt.zero(sign), FPFlags(zero=True)
+    return encode_fraction(fmt, exact, mode)
+
+
 def ref_sqrt(
     fmt: FPFormat,
     a: int,

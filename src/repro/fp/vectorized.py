@@ -47,6 +47,7 @@ _FL_INVALID = 2
 _FL_INEXACT = 4
 _FL_UNDERFLOW = 8
 _FL_OVERFLOW = 16
+_FL_DIV_BY_ZERO = 32
 
 
 def supports_vectorized(fmt: FPFormat) -> bool:
@@ -398,3 +399,401 @@ def vec_sub(
         return np.where(nan_b, _U(fmt.nan()), out)
     out, flags = vec_add(fmt, a, flipped, mode, with_flags=True)
     return np.where(nan_b, _U(fmt.nan()), out), flags
+
+
+def vec_div(
+    fmt: FPFormat,
+    a: np.ndarray,
+    b: np.ndarray,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    with_flags: bool = False,
+):
+    """Element-wise FP divide; bit- and flag-identical to ``fp_div``.
+
+    The scalar datapath computes ``divmod(m1 << (man_bits + 3), m2)``,
+    whose numerator exceeds 64 bits for wide formats; here the same
+    quotient comes from a fixed-iteration restoring division — one
+    compare/subtract per quotient bit, exactly the hardware recurrence —
+    whose partial remainder always fits one ``uint64`` limb and whose
+    final remainder drives the honest sticky bit.
+    """
+    check_vectorized_format(fmt)
+    a = _as_u64(fmt, a, "a")
+    b = _as_u64(fmt, b, "b")
+    s1, e1, f1 = _unpack(fmt, a)
+    s2, e2, f2 = _unpack(fmt, b)
+    z1, i1, n1 = _classify(fmt, e1, f1)
+    z2, i2, n2 = _classify(fmt, e2, f2)
+    sign = s1 ^ s2
+
+    hidden = _U(1) << _U(fmt.man_bits)
+    m1 = f1 | hidden
+    m2 = f2 | hidden
+
+    # Restoring division: q = floor((m1 << man_bits+3) / m2) with final
+    # remainder r.  The pre-step keeps the invariant r < m2, so every
+    # row's shifted remainder stays below 2^(man_bits+2) — one limb.
+    ge = m1 >= m2
+    q = ge.astype(np.uint64)
+    r = m1 - m2 * q
+    for _ in range(fmt.man_bits + 3):
+        r = r << _U(1)
+        ge = r >= m2
+        geu = ge.astype(np.uint64)
+        r = r - m2 * geu
+        q = (q << _U(1)) | geu
+
+    exp = e1.astype(np.int64) - e2.astype(np.int64) + fmt.bias
+    rem_nz = (r != 0).astype(np.uint64)
+    # Ratio >= 1 gives man_bits+4 quotient bits; ratio in (1/2, 1) gives
+    # man_bits+3 bits and a one-position normalization.
+    ge1 = (q >> _U(fmt.man_bits + 3)) != 0
+    sig = np.where(ge1, q >> _U(3), q >> _U(2))
+    guard = np.where(ge1, q >> _U(2), q >> _U(1)) & _U(1)
+    rnd = np.where(ge1, q >> _U(1), q) & _U(1)
+    sticky = np.where(ge1, (q & _U(1)) | rem_nz, rem_nz)
+    exp = exp - np.where(ge1, 0, 1)
+
+    sig, inexact = _round_vec(sig, guard, rnd, sticky, mode)
+    carry = (sig >> _U(fmt.sig_bits)) & _U(1)
+    sig = np.where(carry != 0, sig >> _U(1), sig)
+    exp = exp + carry.astype(np.int64)
+
+    out, overflow, underflow = _pack_result(fmt, sign, exp, sig)
+
+    # Specials, lowest priority first (scalar checks NaN > Inf/Inf,0/0 >
+    # Inf/x > x/Inf > x/0 > 0/x).
+    signed_inf = (sign << _U(fmt.width - 1)) | _U(fmt.inf(0))
+    signed_zero = sign << _U(fmt.width - 1)
+    nan_case = n1 | n2 | (i1 & i2) | (z1 & z2)
+    out = np.where(z1, signed_zero, out)
+    out = np.where(z2, signed_inf, out)
+    out = np.where(i2, signed_zero, out)
+    out = np.where(i1, signed_inf, out)
+    out = np.where(nan_case, _U(fmt.nan()), out)
+    if not with_flags:
+        return out
+
+    flags = np.where(inexact, _FL_INEXACT, 0)
+    flags = np.where(overflow, _FL_OVERFLOW | _FL_INEXACT, flags)
+    flags = np.where(underflow, _FL_UNDERFLOW | _FL_INEXACT | _FL_ZERO, flags)
+    flags = np.where(z1, _FL_ZERO, flags)
+    flags = np.where(z2, _FL_DIV_BY_ZERO, flags)
+    flags = np.where(i2, _FL_ZERO, flags)
+    flags = np.where(i1, 0, flags)
+    flags = np.where(nan_case, _FL_INVALID, flags)
+    return out, flags.astype(np.uint8)
+
+
+def vec_sqrt(
+    fmt: FPFormat,
+    a: np.ndarray,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    with_flags: bool = False,
+):
+    """Element-wise FP square root; bit- and flag-identical to ``fp_sqrt``.
+
+    Runs the hardware two-bits-per-row restoring root recurrence (the
+    same row form as :func:`repro.fp.sqrt.sqrt_recurrence`) with the
+    partial remainder split across two base-2^32 limbs, because the
+    widest formats push the intermediate ``(r << 2) | two`` past 64
+    bits.  The radicand is never materialized: each row's two bits are
+    read straight out of the adjusted significand.
+    """
+    check_vectorized_format(fmt)
+    a = _as_u64(fmt, a, "a")
+    s, e, f = _unpack(fmt, a)
+    is_zero, is_inf, is_nan = _classify(fmt, e, f)
+
+    hidden = _U(1) << _U(fmt.man_bits)
+    m = f | hidden
+    e_unb = e.astype(np.int64) - fmt.bias
+    parity = e_unb % 2  # floor semantics: always 0 or 1
+    m_adj = m << parity.astype(np.uint64)
+    half_exp = (e_unb - parity) // 2
+
+    # q = isqrt(m_adj << (man_bits + 6)) carries man_bits + 4 bits; the
+    # recurrence consumes the radicand two bits per row from the top.
+    wm = fmt.man_bits
+    mask32 = _U(0xFFFFFFFF)
+    q = np.zeros_like(m)
+    rh = np.zeros_like(m)
+    rl = np.zeros_like(m)
+    for row in reversed(range(wm + 4)):
+        sh = 2 * row - (wm + 6)
+        if sh >= 0:
+            two = (m_adj >> _U(sh)) & _U(3)
+        elif sh == -1:
+            two = (m_adj & _U(1)) << _U(1)
+        else:
+            two = _U(0)
+        rl4 = (rl << _U(2)) | two
+        rh = (rh << _U(2)) | (rl4 >> _U(32))
+        rl = rl4 & mask32
+        # trial = (q << 2) | 1, split into base-2^32 limbs
+        th = q >> _U(30)
+        tl = ((q << _U(2)) | _U(1)) & mask32
+        ge = (rh > th) | ((rh == th) & (rl >= tl))
+        geu = ge.astype(np.uint64)
+        borrow = ((rl < tl) & ge).astype(np.uint64)
+        rl = np.where(ge, (rl - tl) & mask32, rl)
+        rh = np.where(ge, rh - th - borrow, rh)
+        q = (q << _U(1)) | geu
+
+    rem_nz = ((rh | rl) != 0).astype(np.uint64)
+    guard = (q >> _U(2)) & _U(1)
+    rnd = (q >> _U(1)) & _U(1)
+    sticky = (q & _U(1)) | rem_nz
+    sig, inexact = _round_vec(q >> _U(3), guard, rnd, sticky, mode)
+    carry = (sig >> _U(fmt.sig_bits)) & _U(1)
+    sig = np.where(carry != 0, sig >> _U(1), sig)
+    exp_out = half_exp + fmt.bias + carry.astype(np.int64)
+
+    # Normal inputs give strictly in-range exponents; special lanes pack
+    # garbage here and are overridden below.
+    out, _, _ = _pack_result(fmt, np.zeros_like(s), exp_out, sig)
+
+    pos_inf = is_inf & (s == 0)
+    negative = (s != 0) & ~is_zero & ~is_nan
+    signed_zero = s << _U(fmt.width - 1)
+    out = np.where(pos_inf, _U(fmt.inf(0)), out)
+    out = np.where(negative, _U(fmt.nan()), out)
+    out = np.where(is_zero, signed_zero, out)
+    out = np.where(is_nan, _U(fmt.nan()), out)
+    if not with_flags:
+        return out
+
+    flags = np.where(inexact, _FL_INEXACT, 0)
+    flags = np.where(pos_inf, 0, flags)
+    flags = np.where(negative, _FL_INVALID, flags)
+    flags = np.where(is_zero, _FL_ZERO, flags)
+    flags = np.where(is_nan, _FL_INVALID, flags)
+    return out, flags.astype(np.uint8)
+
+
+# --------------------------------------------------------------------- #
+# fused multiply-add: a 6-limb base-2^32 windowed accumulator
+# --------------------------------------------------------------------- #
+
+_MASK32 = _U(0xFFFFFFFF)
+_FMA_LIMBS = 6  # 192 bits: holds the 3*sig_bits+2-bit alignment window
+
+
+def _bitlen32(x: np.ndarray) -> np.ndarray:
+    """Per-element bit length of a < 2^32 value (0 for 0); int64."""
+    n = np.zeros(x.shape, dtype=np.int64)
+    probe = x.astype(np.uint64)
+    for step in (16, 8, 4, 2, 1):
+        big = probe >= (_U(1) << _U(step))
+        n = n + np.where(big, step, 0)
+        probe = np.where(big, probe >> _U(step), probe)
+    return n + (probe != 0)
+
+
+def _limbs_from_shift(value: np.ndarray, sh: np.ndarray) -> list:
+    """``value << sh`` (value < 2^61, sh >= 0 per element) as base-2^32
+    limbs, least significant first."""
+    limbs = []
+    for j in range(_FMA_LIMBS):
+        d = np.int64(32 * j) - sh
+        dl = np.clip(-d, 0, 63).astype(np.uint64)
+        dr = np.clip(d, 0, 63).astype(np.uint64)
+        piece = np.where(d >= 0, value >> dr, value << dl) & _MASK32
+        piece = np.where((d >= 64) | (d <= -32), _U(0), piece)
+        limbs.append(piece)
+    return limbs
+
+
+def vec_fma(
+    fmt: FPFormat,
+    a: np.ndarray,
+    b: np.ndarray,
+    c: np.ndarray,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    with_flags: bool = False,
+):
+    """Element-wise fused ``a*b + c`` with a single rounding.
+
+    Bit- and flag-identical to the scalar :func:`repro.fp.mac.fp_fma`
+    for every supported format and both rounding modes.  The exact
+    product (two-limb 32x32 recombination, as in :func:`_wide_mul_grs`)
+    and the aligned addend meet in a 192-bit base-2^32 window anchored
+    two guard positions below the product LSB; an addend entirely below
+    the window folds into an honest sticky borrow, an addend entirely
+    above it swaps the anchor to the addend side with the product as
+    sticky — so the single rounding sees exactly the value a hardware
+    FMA with a ``3*sig_bits+2``-bit alignment datapath would.
+    """
+    check_vectorized_format(fmt)
+    a = _as_u64(fmt, a, "a")
+    b = _as_u64(fmt, b, "b")
+    c = _as_u64(fmt, c, "c")
+    s1, e1, f1 = _unpack(fmt, a)
+    s2, e2, f2 = _unpack(fmt, b)
+    s3, e3, f3 = _unpack(fmt, c)
+    z1, i1, n1 = _classify(fmt, e1, f1)
+    z2, i2, n2 = _classify(fmt, e2, f2)
+    z3, i3, n3 = _classify(fmt, e3, f3)
+    ps = s1 ^ s2
+
+    hidden = _U(1) << _U(fmt.man_bits)
+    m1 = f1 | hidden
+    m2 = f2 | hidden
+    mc = f3 | hidden
+    wm = fmt.man_bits
+    sb = fmt.sig_bits
+
+    # Exact double-width product as base-2^32 limbs (cf. _wide_mul_grs).
+    a0, a1 = m1 & _MASK32, m1 >> _U(32)
+    b0, b1 = m2 & _MASK32, m2 >> _U(32)
+    pp00 = a0 * b0
+    pp01 = a0 * b1
+    pp10 = a1 * b0
+    pp11 = a1 * b1
+    acc1 = (pp00 >> _U(32)) + (pp01 & _MASK32) + (pp10 & _MASK32)
+    acc2 = (acc1 >> _U(32)) + (pp01 >> _U(32)) + (pp10 >> _U(32)) + (pp11 & _MASK32)
+    acc3 = (acc2 >> _U(32)) + (pp11 >> _U(32))
+    p_limbs = [pp00 & _MASK32, acc1 & _MASK32, acc2 & _MASK32, acc3 & _MASK32]
+    # Window W = product << 2 (two guard positions below the product LSB).
+    w = []
+    prev = _U(0)
+    for limb in p_limbs:
+        w.append(((limb << _U(2)) | prev) & _MASK32)
+        prev = limb >> _U(30)
+    w.append(prev)
+    w.append(np.zeros_like(m1))
+
+    # LSB scales: product at Ep, addend at Ec; window LSB at Ep - 2.
+    ep = e1.astype(np.int64) + e2.astype(np.int64) - 2 * fmt.bias - 2 * wm
+    ec = e3.astype(np.int64) - fmt.bias - wm
+    sh_raw = ec - ep + 2  # addend LSB position within the window
+
+    czero = z3
+    sub = (ps != s3) & ~czero
+    # Case split: below-window addend (sticky borrow), in-window exact
+    # alignment, above-window addend (anchor swap, product as sticky).
+    case1 = (sh_raw < 0) | czero
+    case3 = ~case1 & (sh_raw > 2 * sb + 6)
+    case2 = ~case1 & ~case3
+
+    # Case 1: A = mc >> rs with the dropped bits as sticky.
+    rs = np.clip(-sh_raw, 0, 63).astype(np.uint64)
+    a_small = np.where(czero, _U(0), mc >> rs)
+    sticky_a = case1 & ~czero & ((mc & ((_U(1) << rs) - _U(1))) != 0)
+    # Case 2: A = mc << sh_raw, exact in the 192-bit window.
+    val = np.where(case1, a_small, np.where(case2, mc, _U(0)))
+    shv = np.where(case2, sh_raw, 0)
+    al = _limbs_from_shift(val, shv)
+
+    # W - A - sticky_borrow, W + A, and A - W, all exact; select later.
+    borrow = sticky_a.astype(np.uint64)
+    base = _U(1) << _U(32)
+    diff = []
+    br = borrow
+    for j in range(_FMA_LIMBS):
+        t = w[j] + base - al[j] - br
+        diff.append(t & _MASK32)
+        br = (t >> _U(32)) ^ _U(1)
+    neg = br != 0  # |addend| > |product| (case 2 only)
+    rdiff = []
+    br = _U(0)
+    for j in range(_FMA_LIMBS):
+        t = al[j] + base - w[j] - br
+        rdiff.append(t & _MASK32)
+        br = (t >> _U(32)) ^ _U(1)
+    sadd = []
+    cy = _U(0)
+    for j in range(_FMA_LIMBS):
+        t = w[j] + al[j] + cy
+        sadd.append(t & _MASK32)
+        cy = t >> _U(32)
+
+    # Case 3: the product is a pure sticky below the addend's window,
+    # anchored at Ec - 3; the classic (X << 3) - 1 keeps the floor exact.
+    c3 = (mc << _U(3)) - np.where(sub, _U(1), _U(0))
+    s_limbs = []
+    for j in range(_FMA_LIMBS):
+        limb = np.where(sub, np.where(neg, rdiff[j], diff[j]), sadd[j])
+        if j == 0:
+            limb = np.where(case3, c3 & _MASK32, limb)
+        elif j == 1:
+            limb = np.where(case3, c3 >> _U(32), limb)
+        else:
+            limb = np.where(case3, _U(0), limb)
+        s_limbs.append(limb)
+    sticky_extra = np.where(case3, True, sticky_a)
+    anchor = np.where(case3, ec - 3, ep - 2)
+    res_sign = np.where(case3, s3, np.where(sub & neg, s3, ps))
+
+    nz = s_limbs[0]
+    for limb in s_limbs[1:]:
+        nz = nz | limb
+    cancel = (nz == 0) & sub & case2
+
+    # Leading-bit index across the limbs (0 for the all-zero lanes,
+    # which are overridden below).
+    msb = np.full(nz.shape, -1, dtype=np.int64)
+    for j in reversed(range(_FMA_LIMBS)):
+        hit = (msb < 0) & (s_limbs[j] != 0)
+        msb = np.where(hit, 32 * j + _bitlen32(s_limbs[j]) - 1, msb)
+    msb = np.maximum(msb, 0)
+
+    # encode_fraction keeps sig_bits + 2 bits: gather them across limbs
+    # and fold everything below into sticky.
+    k = msb - (sb + 1)  # may be negative: small cancellation results
+    t_bits = np.zeros_like(nz)
+    for j in range(_FMA_LIMBS):
+        d = np.int64(32 * j) - k
+        dl = np.clip(d, 0, 63).astype(np.uint64)
+        dr = np.clip(-d, 0, 63).astype(np.uint64)
+        piece = np.where(d >= 0, s_limbs[j] << dl, s_limbs[j] >> dr)
+        piece = np.where((d >= 64) | (d <= -32), _U(0), piece)
+        t_bits = t_bits | piece
+    t_bits = t_bits & ((_U(1) << _U(sb + 2)) - _U(1))
+    st_low = sticky_extra.copy()
+    for j in range(_FMA_LIMBS):
+        lo = np.clip(k - 32 * j, 0, 32).astype(np.uint64)
+        st_low = st_low | ((s_limbs[j] & ((_U(1) << lo) - _U(1))) != 0)
+
+    sig = t_bits >> _U(2)
+    guard = (t_bits >> _U(1)) & _U(1)
+    rnd = t_bits & _U(1)
+    sig, inexact = _round_vec(sig, guard, rnd, st_low.astype(np.uint64), mode)
+    carry = (sig >> _U(sb)) & _U(1)
+    sig = np.where(carry != 0, sig >> _U(1), sig)
+    exp_b = anchor + msb + fmt.bias + carry.astype(np.int64)
+
+    out, overflow, underflow = _pack_result(fmt, res_sign, exp_b, sig)
+    flags = np.where(inexact, _FL_INEXACT, 0)
+    flags = np.where(overflow, _FL_OVERFLOW | _FL_INEXACT, flags)
+    flags = np.where(underflow, _FL_UNDERFLOW | _FL_INEXACT | _FL_ZERO, flags)
+
+    # Zero layer: exact cancellation -> +0; zero product passes the
+    # addend through untouched; all-zero keeps the IEEE sign rule.
+    pzero = z1 | z2
+    out = np.where(cancel, _U(0), out)
+    flags = np.where(cancel, _FL_ZERO, flags)
+    out = np.where(pzero & ~czero, c, out)
+    flags = np.where(pzero & ~czero, 0, flags)
+    all_zero_sign = np.where(ps == s3, ps, _U(0))
+    out = np.where(pzero & czero, all_zero_sign << _U(fmt.width - 1), out)
+    flags = np.where(pzero & czero, _FL_ZERO, flags)
+
+    # Specials, lowest priority first (scalar checks NaN > 0*Inf >
+    # Inf-Inf conflict > product Inf > addend Inf).
+    p_inf = i1 | i2
+    inf_ps = (ps << _U(fmt.width - 1)) | _U(fmt.inf(0))
+    inf_sc = (s3 << _U(fmt.width - 1)) | _U(fmt.inf(0))
+    conflict = p_inf & i3 & (s3 != ps)
+    zero_times_inf = p_inf & pzero
+    any_nan = n1 | n2 | n3
+    out = np.where(i3, inf_sc, out)
+    flags = np.where(i3, 0, flags)
+    out = np.where(p_inf, inf_ps, out)
+    flags = np.where(p_inf, 0, flags)
+    nan_case = conflict | zero_times_inf | any_nan
+    out = np.where(nan_case, _U(fmt.nan()), out)
+    flags = np.where(nan_case, _FL_INVALID, flags)
+    if not with_flags:
+        return out
+    return out, flags.astype(np.uint8)

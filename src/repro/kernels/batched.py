@@ -43,6 +43,7 @@ from repro.fp.vectorized import (
     check_vectorized_format,
     reduce_flags,
     vec_add,
+    vec_fma,
     vec_mul,
 )
 from repro.kernels.matmul import (
@@ -54,8 +55,11 @@ from repro.kernels.matmul import (
 )
 
 #: Selectable cycle-accurate simulators: the stepped interpreter is the
-#: reference model; the batched wavefront evaluator is the fast default.
-MATMUL_BACKENDS = ("batched", "stepped")
+#: reference model; the batched wavefront evaluator is the fast default;
+#: the fma backend swaps each wavefront's chained multiply-then-add for
+#: one fused :func:`~repro.fp.vectorized.vec_fma` (single rounding per
+#: MAC, so results intentionally differ from the chained pair).
+MATMUL_BACKENDS = ("batched", "stepped", "fma")
 
 #: Backend used by experiments when none is requested.
 DEFAULT_BACKEND = "batched"
@@ -127,10 +131,19 @@ class BatchedMatmulArray:
         self.mode = mode
         self.pad_schedule = pad_schedule
 
+    #: Roundings each MAC performs: the chained PE (paper datapath)
+    #: rounds the product and the sum separately.
+    roundings_per_mac = 2
+
     @property
     def pipeline_latency(self) -> int:
         """PL: MAC pipeline depth (adder + multiplier latencies)."""
         return self.mul_latency + self.add_latency
+
+    @property
+    def total_roundings(self) -> int:
+        """Roundings one full run performs across all n^3 MACs."""
+        return self.roundings_per_mac * self.n ** 3
 
     @property
     def hazard_spacing(self) -> int:
@@ -162,9 +175,8 @@ class BatchedMatmulArray:
         for k in range(n):
             col = np.broadcast_to(a_np[:, k : k + 1], (n, n))
             row = np.broadcast_to(b_np[k : k + 1, :], (n, n))
-            prod, mul_flags = vec_mul(self.fmt, col, row, self.mode, with_flags=True)
-            acc, add_flags = vec_add(self.fmt, acc, prod, self.mode, with_flags=True)
-            flags = flags | reduce_flags(mul_flags, add_flags)
+            acc, wavefront_flags = self._mac_wavefront(col, row, acc)
+            flags = flags | wavefront_flags
 
         c = [[int(acc[i][j]) for j in range(n)] for i in range(n)]
         return MatmulRun(
@@ -176,6 +188,39 @@ class BatchedMatmulArray:
             flags=flags,
             pes=n,
         )
+
+    def _mac_wavefront(self, col, row, acc):
+        """One accumulator update for every output: returns (acc', flags).
+
+        The chained datapath rounds twice per MAC — once after the
+        multiply, once after the add — exactly like the paper's
+        multiplier-then-adder PE.
+        """
+        prod, mul_flags = vec_mul(self.fmt, col, row, self.mode, with_flags=True)
+        acc, add_flags = vec_add(self.fmt, acc, prod, self.mode, with_flags=True)
+        return acc, reduce_flags(mul_flags, add_flags)
+
+
+class FusedMatmulArray(BatchedMatmulArray):
+    """Wavefront-batched array with a fused-MAC PE datapath.
+
+    Each wavefront is a single :func:`~repro.fp.vectorized.vec_fma` —
+    the product feeds the accumulator add at full precision and the MAC
+    rounds **once**, halving the total roundings of a run relative to
+    the chained backend (``n^3`` instead of ``2 n^3``).  Results are
+    bit-identical to a scalar PE accumulating with
+    :func:`~repro.fp.mac.fp_fma` in the same ascending-``k`` order, and
+    intentionally differ from the chained backends wherever the
+    intermediate product rounding mattered.  Schedule accounting
+    (cycles, hazards, padding) is unchanged: fusing alters the PE's
+    datapath width, not the systolic schedule.
+    """
+
+    roundings_per_mac = 1
+
+    def _mac_wavefront(self, col, row, acc):
+        acc, fl = vec_fma(self.fmt, col, row, acc, self.mode, with_flags=True)
+        return acc, reduce_flags(fl)
 
 
 def make_matmul_array(
@@ -191,13 +236,20 @@ def make_matmul_array(
 
     ``backend="batched"`` (default) returns the wavefront evaluator;
     ``backend="stepped"`` returns the clock-by-clock reference model.
-    The two are run-for-run identical, so callers can switch freely —
+    Those two are run-for-run identical, so callers can switch freely —
     experiments default to batched, equivalence tests run both.
+    ``backend="fma"`` returns the fused-MAC wavefront evaluator, whose
+    single rounding per MAC is a deliberate numerical departure from
+    the chained pair (see :class:`FusedMatmulArray`).
     """
     if backend not in MATMUL_BACKENDS:
         raise ValueError(
             f"unknown matmul backend {backend!r}; "
             f"known: {', '.join(MATMUL_BACKENDS)}"
         )
-    cls = BatchedMatmulArray if backend == "batched" else MatmulArray
+    cls = {
+        "batched": BatchedMatmulArray,
+        "stepped": MatmulArray,
+        "fma": FusedMatmulArray,
+    }[backend]
     return cls(fmt, n, mul_latency, add_latency, mode=mode, pad_schedule=pad_schedule)

@@ -17,7 +17,12 @@ import numpy as np
 
 from repro.fp.format import FPFormat
 from repro.fp.rounding import RoundingMode
-from repro.fp.vectorized import check_vectorized_format, vec_add, vec_mul
+from repro.fp.vectorized import (
+    check_vectorized_format,
+    vec_add,
+    vec_fma,
+    vec_mul,
+)
 
 
 def functional_matmul_vectorized(
@@ -45,6 +50,35 @@ def functional_matmul_vectorized(
         row = np.broadcast_to(b[k : k + 1, :], (n, n))
         prod = vec_mul(fmt, col, row, mode)
         acc = vec_add(fmt, acc, prod, mode)
+    return acc
+
+
+def functional_matmul_fma(
+    fmt: FPFormat,
+    a: np.ndarray,
+    b: np.ndarray,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+) -> np.ndarray:
+    """Fused-MAC matmul reference at array speed (widths <= 64).
+
+    Same shape contract and ascending-``k`` accumulation order as
+    :func:`functional_matmul_vectorized`, but each accumulation step is
+    one fused :func:`~repro.fp.vectorized.vec_fma` — a single rounding
+    per MAC instead of the chained multiply-then-add pair.  Bit-exact
+    against a scalar loop of :func:`~repro.fp.mac.fp_fma`, and the
+    functional reference for the ``"fma"`` array backend.
+    """
+    check_vectorized_format(fmt)
+    a = np.asarray(a, dtype=np.uint64)
+    b = np.asarray(b, dtype=np.uint64)
+    if a.ndim != 2 or a.shape[0] != a.shape[1] or a.shape != b.shape:
+        raise ValueError(f"expected equal square matrices, got {a.shape}, {b.shape}")
+    n = a.shape[0]
+    acc = np.full((n, n), fmt.zero(), dtype=np.uint64)
+    for k in range(n):
+        col = np.broadcast_to(a[:, k : k + 1], (n, n))
+        row = np.broadcast_to(b[k : k + 1, :], (n, n))
+        acc = vec_fma(fmt, col, row, acc, mode)
     return acc
 
 

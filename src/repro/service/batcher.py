@@ -39,19 +39,39 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.fp.adder import fp_add, fp_sub
+from repro.fp.divider import fp_div
 from repro.fp.format import FPFormat
+from repro.fp.mac import fp_fma
 from repro.fp.multiplier import fp_mul
 from repro.fp.rounding import RoundingMode
-from repro.fp.vectorized import vec_add, vec_mul, vec_sub
+from repro.fp.sqrt import fp_sqrt
+from repro.fp.vectorized import (
+    vec_add,
+    vec_div,
+    vec_fma,
+    vec_mul,
+    vec_sqrt,
+    vec_sub,
+)
 from repro.service.config import ServiceConfig
 from repro.service.telemetry import Telemetry
 
-#: Servable op name -> (scalar reference, vectorized implementation).
+#: Servable op name -> (scalar reference, vectorized implementation,
+#: operand count).  The arity travels with the table so every layer —
+#: handler validation, submit, batch execution — agrees on how many
+#: operand columns a lane carries (sqrt is the unary lane, fma the
+#: ternary one).
 OPS = {
-    "add": (fp_add, vec_add),
-    "sub": (fp_sub, vec_sub),
-    "mul": (fp_mul, vec_mul),
+    "add": (fp_add, vec_add, 2),
+    "sub": (fp_sub, vec_sub, 2),
+    "mul": (fp_mul, vec_mul, 2),
+    "div": (fp_div, vec_div, 2),
+    "sqrt": (fp_sqrt, vec_sqrt, 1),
+    "fma": (fp_fma, vec_fma, 3),
 }
+
+#: Op name -> operand count, derived from :data:`OPS`.
+OP_ARITY = {op: arity for op, (_, _, arity) in OPS.items()}
 
 #: Lane identity: exact datapath configuration.  Formats hash by
 #: geometry (``name`` is compare=False), so only bit-identical datapaths
@@ -67,30 +87,34 @@ def execute_batch(
     op: str,
     fmt: FPFormat,
     mode: RoundingMode,
-    pairs: List[Tuple[int, int]],
+    requests: List[Tuple[int, ...]],
     spot_check: bool = True,
 ) -> List[Tuple[int, int]]:
     """Run one homogeneous batch through the vectorized datapath.
 
+    ``requests`` is one operand tuple per request (arity words each).
     Returns one ``(bits, flags)`` pair per request, in request order.
     Runs on the executor thread; everything it touches is local.
     """
-    scalar_fn, vec_fn = OPS[op]
-    n = len(pairs)
-    a = np.fromiter((p[0] for p in pairs), dtype=np.uint64, count=n)
-    b = np.fromiter((p[1] for p in pairs), dtype=np.uint64, count=n)
-    bits, flags = vec_fn(fmt, a, b, mode, with_flags=True)
+    scalar_fn, vec_fn, arity = OPS[op]
+    n = len(requests)
+    columns = [
+        np.fromiter((t[j] for t in requests), dtype=np.uint64, count=n)
+        for j in range(arity)
+    ]
+    bits, flags = vec_fn(fmt, *columns, mode, with_flags=True)
     if spot_check:
         # One sampled element per batch, replayed through the scalar
         # datapath: a cheap, always-on differential probe whose cost the
         # batch amortizes.  Rotate the sample with the batch size so
         # repeated identical batches don't pin one index forever.
         i = n // 2
-        want_bits, want_flags = scalar_fn(fmt, pairs[i][0], pairs[i][1], mode)
+        want_bits, want_flags = scalar_fn(fmt, *requests[i], mode)
         if int(bits[i]) != want_bits or int(flags[i]) != want_flags.to_bits():
+            operands = " ".join(f"{w:#x}" for w in requests[i])
             raise BatchIntegrityError(
                 f"{op}/{fmt.name}/{mode.value}: batch element {i} "
-                f"(a={pairs[i][0]:#x} b={pairs[i][1]:#x}) got "
+                f"({operands}) got "
                 f"{int(bits[i]):#x}/{int(flags[i]):#04x}, scalar says "
                 f"{want_bits:#x}/{want_flags.to_bits():#04x}"
             )
@@ -99,7 +123,7 @@ def execute_batch(
 
 @dataclass
 class _Lane:
-    queue: "asyncio.Queue[Tuple[int, int, asyncio.Future]]"
+    queue: "asyncio.Queue[Tuple[Tuple[int, ...], asyncio.Future]]"
     worker: asyncio.Task = field(repr=False, default=None)  # type: ignore[assignment]
 
 
@@ -122,15 +146,23 @@ class MicroBatcher:
     # submission
     # ------------------------------------------------------------------ #
     async def submit(
-        self, op: str, fmt: FPFormat, mode: RoundingMode, a: int, b: int
+        self, op: str, fmt: FPFormat, mode: RoundingMode, *operands: int
     ) -> Tuple[int, int]:
         """Queue one request; resolves to its ``(bits, flags)``.
 
-        Admission control (and the per-request deadline) live with the
-        caller; the batcher itself never rejects.
+        ``operands`` must match the op's arity exactly — one word for
+        sqrt, two for the binary ops, three for fma.  Admission control
+        (and the per-request deadline) live with the caller; the batcher
+        itself never rejects for load.
         """
         if op not in OPS:
             raise KeyError(f"unknown op {op!r}; known: {', '.join(OPS)}")
+        arity = OP_ARITY[op]
+        if len(operands) != arity:
+            raise ValueError(
+                f"op {op!r} takes exactly {arity} operand"
+                f"{'s' if arity != 1 else ''}, got {len(operands)}"
+            )
         if self._closed:
             raise RuntimeError("batcher is closed")
         loop = asyncio.get_running_loop()
@@ -142,7 +174,7 @@ class MicroBatcher:
             )
             self._lanes[(op, fmt, mode)] = lane
         future: asyncio.Future = loop.create_future()
-        lane.queue.put_nowait((a, b, future))
+        lane.queue.put_nowait((operands, future))
         return await future
 
     # ------------------------------------------------------------------ #
@@ -181,9 +213,9 @@ class MicroBatcher:
         op: str,
         fmt: FPFormat,
         mode: RoundingMode,
-        batch: List[Tuple[int, int, asyncio.Future]],
+        batch: List[Tuple[Tuple[int, ...], asyncio.Future]],
     ) -> None:
-        pairs = [(a, b) for a, b, _ in batch]
+        requests = [operands for operands, _ in batch]
         if self.telemetry is not None:
             self.telemetry.batch_size.observe(len(batch))
             self.telemetry.batches_total.inc((op, fmt.name, mode.value))
@@ -197,15 +229,15 @@ class MicroBatcher:
                 op,
                 fmt,
                 mode,
-                pairs,
+                requests,
                 self.config.spot_check,
             )
         except Exception as exc:  # noqa: BLE001 - fan the failure out
-            for _, _, future in batch:
+            for _, future in batch:
                 if not future.done():
                     future.set_exception(exc)
             return
-        for (_, _, future), result in zip(batch, results):
+        for (_, future), result in zip(batch, results):
             # A future may already be cancelled by the caller's
             # per-request deadline; its slot was still computed (the
             # batch was in flight), we just have nobody to tell.

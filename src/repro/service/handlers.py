@@ -4,9 +4,11 @@ Request lifecycle: **accept → admit → batch → vectorized execute →
 scatter** (see ``docs/ARCHITECTURE.md``).  The handlers split into two
 tiers:
 
-* **hot** — ``POST /v1/op/{add,sub,mul}``: parse, admit, hand to the
-  micro-batcher, await the scattered ``(bits, flags)``, respond.  These
-  are the requests the batching layer exists for.
+* **hot** — ``POST /v1/op/{add,sub,mul,div,sqrt,fma}``: parse, admit,
+  hand to the micro-batcher, await the scattered ``(bits, flags)``,
+  respond.  These are the requests the batching layer exists for.
+  Operand keys follow the op's arity: ``a`` alone for the unary sqrt,
+  ``a``/``b`` for the binary ops, ``a``/``b``/``c`` for fma.
 * **slow** — ``GET /v1/unit``, ``GET /v1/kernel/matmul``,
   ``GET /v1/experiment/{name}``: unit characterisation sweeps, analytic
   kernel schedules and full experiment artifacts.  Sweeps and
@@ -31,7 +33,7 @@ from repro.fp.format import FPFormat, PAPER_FORMATS
 from repro.fp.rounding import RoundingMode
 from repro.fp.vectorized import check_vectorized_format
 from repro.kernels.batched import array_cycles, hazard_count
-from repro.service.batcher import OPS
+from repro.service.batcher import OP_ARITY, OPS
 from repro.service.http import (
     ProtocolError,
     Request,
@@ -47,6 +49,9 @@ Reply = Tuple[int, bytes, str, Tuple[Tuple[str, str], ...]]
 _FORMATS_BY_NAME: Dict[str, FPFormat] = {f.name: f for f in PAPER_FORMATS}
 _MODES = {m.value: m for m in RoundingMode}
 _CUSTOM_FORMATS: Dict[Tuple[int, int], FPFormat] = {}
+#: Request-body operand keys in positional order; an op of arity k
+#: takes exactly the first k of these.
+_OPERAND_KEYS = ("a", "b", "c")
 
 
 def resolve_format(spec: object) -> FPFormat:
@@ -166,11 +171,31 @@ class Handlers:
         doc = request.json()
         fmt = resolve_format(doc.get("format", "fp32"))
         mode = resolve_mode(doc.get("mode", RoundingMode.NEAREST_EVEN.value))
-        if "a" not in doc or "b" not in doc:
-            raise ProtocolError(400, "op request needs operands 'a' and 'b'")
-        a = parse_word(fmt, doc["a"], "a")
-        b = parse_word(fmt, doc["b"], "b")
-        return await self.service.dispatch_op(op, fmt, mode, a, b)
+        # Arity comes from the op table: sqrt is unary ('a' only), fma
+        # ternary ('a','b','c').  Reject both missing *and* surplus
+        # operands precisely — a unary op posted with 'b' is a caller
+        # bug the error message should name, not a silent ignore.
+        arity = OP_ARITY[op]
+        keys = _OPERAND_KEYS[:arity]
+        wants = " and ".join(f"'{k}'" for k in keys)
+        missing = [k for k in keys if k not in doc]
+        if missing:
+            raise ProtocolError(
+                400,
+                f"op {op!r} takes {arity} operand"
+                f"{'s' if arity != 1 else ''} ({wants}); missing "
+                + ", ".join(f"'{k}'" for k in missing),
+            )
+        surplus = [k for k in _OPERAND_KEYS if k in doc and k not in keys]
+        if surplus:
+            raise ProtocolError(
+                400,
+                f"op {op!r} takes {arity} operand"
+                f"{'s' if arity != 1 else ''} ({wants}); unexpected "
+                + ", ".join(f"'{k}'" for k in surplus),
+            )
+        operands = tuple(parse_word(fmt, doc[k], k) for k in keys)
+        return await self.service.dispatch_op(op, fmt, mode, *operands)
 
     # ------------------------------------------------------------------ #
     # operational endpoints

@@ -24,6 +24,11 @@ from typing import Dict, List, Optional
 
 from repro.fp.format import FP32, FPFormat, PAPER_FORMATS
 from repro.fp.rounding import RoundingMode
+from repro.service.batcher import OP_ARITY
+
+#: Operand keys in request-body order; an op of arity k sends the
+#: first k (mirrors the handler's validation table).
+_OPERAND_KEYS = ("a", "b", "c")
 
 
 @dataclass
@@ -96,9 +101,13 @@ async def _read_response(reader: asyncio.StreamReader) -> int:
     return status
 
 
-def _request_bytes(op: str, fmt: FPFormat, mode: str, a: int, b: int) -> bytes:
+def _request_bytes(op: str, fmt: FPFormat, mode: str, *operands: int) -> bytes:
+    words = ",".join(
+        f'"{key}":"{word:#x}"'
+        for key, word in zip(_OPERAND_KEYS, operands)
+    )
     body = (
-        f'{{"a":"{a:#x}","b":"{b:#x}","format":"{fmt.name}","mode":"{mode}"}}'
+        f'{{{words},"format":"{fmt.name}","mode":"{mode}"}}'
     ).encode()
     return (
         f"POST /v1/op/{op} HTTP/1.1\r\nHost: loadgen\r\n"
@@ -132,6 +141,8 @@ async def run_load(
         for i in range(concurrency)
     ]
 
+    arity = OP_ARITY.get(op, 2)
+
     async def worker(index: int, quota: int) -> None:
         nonlocal errors
         rng = random.Random((seed << 8) ^ index)
@@ -144,8 +155,7 @@ async def run_load(
                     op,
                     fmt,
                     mode.value,
-                    rng.randrange(word_max + 1),
-                    rng.randrange(word_max + 1),
+                    *(rng.randrange(word_max + 1) for _ in range(arity)),
                 )
                 t0 = time.perf_counter()
                 writer.write(payload)

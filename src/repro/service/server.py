@@ -81,7 +81,7 @@ class ReproService:
     # the request lifecycle (also driven directly by the benchmark)
     # ------------------------------------------------------------------ #
     async def dispatch_op(
-        self, op: str, fmt: FPFormat, mode: RoundingMode, a: int, b: int
+        self, op: str, fmt: FPFormat, mode: RoundingMode, *operands: int
     ) -> Reply:
         """admit → batch → vectorized execute → scatter → reply."""
         t0 = monotonic()
@@ -96,7 +96,7 @@ class ReproService:
             )
         try:
             bits, flags = await asyncio.wait_for(
-                self.batcher.submit(op, fmt, mode, a, b),
+                self.batcher.submit(op, fmt, mode, *operands),
                 self.config.request_timeout_s,
             )
             body = b'{"bits":"0x%x","flags":%d}' % (bits, flags)

@@ -16,6 +16,7 @@ from repro.units.fpsqrt import PipelinedFPSqrt
 from repro.units.structural import (
     StructuralFPAdder,
     StructuralFPDivider,
+    StructuralFPMac,
     StructuralFPMultiplier,
     StructuralFPSqrt,
 )
@@ -29,6 +30,7 @@ __all__ = [
     "PipelinedFPSqrt",
     "StructuralFPAdder",
     "StructuralFPDivider",
+    "StructuralFPMac",
     "StructuralFPMultiplier",
     "StructuralFPSqrt",
     "explore",

@@ -429,6 +429,112 @@ def sqrt_micro_ops(fmt: FPFormat, mode: RoundingMode) -> list[MicroOp]:
     return ops
 
 
+# --------------------------------------------------------------------- #
+# Fused-MAC micro-ops: one rounding over the exact product plus addend
+# --------------------------------------------------------------------- #
+def fma_micro_ops(fmt: FPFormat, mode: RoundingMode) -> list[MicroOp]:
+    """The fused ``a*b + c`` datapath of :func:`repro.fp.mac.fp_fma`.
+
+    The paper's PE chains the multiplier into the adder (two roundings);
+    this is the fused extension as a stageable chain: the double-width
+    product and the addend meet at a common scale exactly — Python
+    integers stand in for the hardware's wide alignment datapath — and a
+    single normalize/round produces the result, bit- and flag-identical
+    to :func:`~repro.fp.mac.fp_fma`.
+    """
+    from repro.fp.mac import _special_fma
+
+    hidden = 1 << fmt.man_bits
+
+    def unpack(st: State) -> State:
+        a, b, c = st["a"], st["b"], st["c"]
+        special = _special_fma(fmt, a, b, c)
+        if special is not None:
+            return {"bypass": special}
+        s1, e1, f1 = fmt.unpack(a)
+        s2, e2, f2 = fmt.unpack(b)
+        s3, e3, f3 = fmt.unpack(c)
+        return {
+            "psign": sign_xor(s1, s2),
+            "csign": s3,
+            "m1": 0 if fmt.is_zero(a) else f1 | hidden,
+            "m2": 0 if fmt.is_zero(b) else f2 | hidden,
+            "mc": 0 if fmt.is_zero(c) else f3 | hidden,
+            "pscale": e1 + e2 - 2 * fmt.bias - 2 * fmt.man_bits,
+            "cscale": e3 - fmt.bias - fmt.man_bits,
+        }
+
+    def multiply(st: State) -> State:
+        if _bypassed(st):
+            return {}
+        return {"prod": st["m1"] * st["m2"]}
+
+    def align_add(st: State) -> State:
+        if _bypassed(st):
+            return {}
+        scale = min(st["pscale"], st["cscale"])
+        p = st["prod"] << (st["pscale"] - scale)
+        q = st["mc"] << (st["cscale"] - scale)
+        total = (-p if st["psign"] else p) + (-q if st["csign"] else q)
+        if total == 0:
+            # IEEE zero-sign rules, as in fp_fma: two zero contributions
+            # keep a shared sign; exact cancellation gives +0.
+            if p == 0 and q == 0:
+                sign = st["psign"] if st["psign"] == st["csign"] else 0
+            else:
+                sign = 0
+            return {"bypass": (fmt.zero(sign), FPFlags(zero=True))}
+        return {"sign": 1 if total < 0 else 0, "mag": abs(total), "scale": scale}
+
+    def normalize_round(st: State) -> State:
+        if _bypassed(st):
+            return {}
+        mag = st["mag"]
+        exp = st["scale"] + mag.bit_length() - 1
+        # Keep sig_bits + two guard bits above the point; everything the
+        # shift drops is sticky (cf. encode_fraction).
+        shift = fmt.man_bits + 3 - mag.bit_length()
+        if shift >= 0:
+            t = mag << shift
+            sticky = 0
+        else:
+            t = mag >> -shift
+            sticky = 1 if mag & ((1 << -shift) - 1) else 0
+        sig, inexact = round_significand(t >> 2, ((t & 0b11) << 1) | sticky, mode)
+        if sig >> fmt.sig_bits:
+            sig >>= 1
+            exp += 1
+        return {"sig": sig, "exp": exp, "inexact": inexact}
+
+    def pack(st: State) -> State:
+        if _bypassed(st):
+            bits, flags = st["bypass"]
+            return {"result": bits, "flags": flags}
+        exp = st["exp"]
+        if exp > fmt.emax:
+            return {
+                "result": fmt.inf(st["sign"]),
+                "flags": FPFlags(overflow=True, inexact=True),
+            }
+        if exp < fmt.emin:
+            return {
+                "result": fmt.zero(st["sign"]),
+                "flags": FPFlags(underflow=True, inexact=True, zero=True),
+            }
+        return {
+            "result": fmt.pack(st["sign"], exp + fmt.bias, st["sig"] & fmt.man_mask),
+            "flags": FPFlags(inexact=st["inexact"]),
+        }
+
+    return [
+        MicroOp("unpack", unpack),
+        MicroOp("multiply", multiply),
+        MicroOp("align_add", align_add),
+        MicroOp("normalize_round", normalize_round),
+        MicroOp("pack", pack),
+    ]
+
+
 class _StructuralCore:
     """Common machinery for the structural cores below."""
 
@@ -538,6 +644,44 @@ class StructuralFPSqrt(_StructuralCore):
     def compute(self, a: int, **extra) -> tuple[int, FPFlags]:
         """Single-shot evaluation."""
         state: State = {"a": a, **extra}
+        for op in self.micro_ops:
+            state = op.apply(state)
+        return state["result"], state["flags"]
+
+
+class StructuralFPMac(_StructuralCore):
+    """Stage-by-stage fused MAC: ``a*b + c`` with a single rounding."""
+
+    def __init__(
+        self,
+        fmt: FPFormat,
+        stages: int,
+        mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    ) -> None:
+        super().__init__(
+            fmt, stages, fma_micro_ops(fmt, mode), f"sfpfma_{fmt.name}"
+        )
+
+    def step(
+        self,
+        a: Optional[int] = None,
+        b: Optional[int] = None,
+        c: Optional[int] = None,
+        **extra,
+    ) -> tuple[Optional[tuple[int, FPFlags]], bool]:
+        """Clock one cycle; issue ``(a, b, c)`` if given, else a bubble."""
+        given = (a is None, b is None, c is None)
+        if len(set(given)) != 1:
+            raise ValueError("issue all three operands or none")
+        bundle = None if a is None else {"a": a, "b": b, "c": c, **extra}
+        out, done = self.pipe.step(bundle)
+        if not done:
+            return None, False
+        return (out["result"], out["flags"]), True
+
+    def compute(self, a: int, b: int, c: int, **extra) -> tuple[int, FPFlags]:
+        """Single-shot evaluation."""
+        state: State = {"a": a, "b": b, "c": c, **extra}
         for op in self.micro_ops:
             state = op.apply(state)
         return state["result"], state["flags"]

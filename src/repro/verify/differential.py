@@ -5,18 +5,22 @@ bit-and-flag equality* with the scalar datapaths over millions of
 coverage-directed operand pairs, plus a strided cross-check against the
 exact rational oracles — the full equivalence chain::
 
-    fp.reference (exact Fraction oracle)
-        == fp.adder / fp.multiplier (scalar datapaths)
+    fp.reference (exact Fraction/isqrt oracles)
+        == fp.adder / fp.multiplier / fp.divider / fp.sqrt / fp.mac
         == fp.vectorized (NumPy limb pipelines)
+
+All six ops are covered: add/sub/mul/div binary, sqrt unary, fma
+ternary (:data:`OP_ARITY` records the operand count per op; ``pairs``
+counts operand *tuples* for the non-binary ops).
 
 A campaign is sliced into :func:`diff_chunk` jobs — pure, picklable
 functions of ``(fmt, op, mode, seed, pairs)`` — and fanned out through
 :mod:`repro.engine`, so it parallelizes across cores and caches like any
 other sweep: re-running a green campaign is a 100% hit-rate no-op.
 Operands are drawn from :class:`repro.verify.testbench.OperandClass`
-members cycled over every class pair, so specials, tie-prone patterns
+members cycled over every class tuple, so specials, tie-prone patterns
 and range extremes are all hit within the first 169 pairs of every
-chunk.
+chunk (13 samples for sqrt, the first 2197 triples for fma).
 
 Run it from the CLI::
 
@@ -32,19 +36,67 @@ import numpy as np
 
 from repro.engine import Engine, Job, default_engine
 from repro.fp.adder import fp_add, fp_sub
+from repro.fp.divider import fp_div
 from repro.fp.format import FPFormat, PAPER_FORMATS
+from repro.fp.mac import fp_fma
 from repro.fp.multiplier import fp_mul
-from repro.fp.reference import ref_add, ref_mul, ref_sub
+from repro.fp.reference import (
+    ref_add,
+    ref_div,
+    ref_fma,
+    ref_mul,
+    ref_sqrt,
+    ref_sub,
+)
 from repro.fp.rounding import RoundingMode
-from repro.fp.vectorized import vec_add, vec_mul, vec_sub
+from repro.fp.sqrt import fp_sqrt
+from repro.fp.vectorized import (
+    vec_add,
+    vec_div,
+    vec_fma,
+    vec_mul,
+    vec_sqrt,
+    vec_sub,
+)
 from repro.verify.testbench import OperandClass, OperandGenerator
 
 #: Operations covered by the campaign: vectorized, scalar, oracle.
-CAMPAIGN_OPS = ("add", "sub", "mul")
+CAMPAIGN_OPS = ("add", "sub", "mul", "div", "sqrt", "fma")
 
-_VEC = {"add": vec_add, "sub": vec_sub, "mul": vec_mul}
-_SCALAR = {"add": fp_add, "sub": fp_sub, "mul": fp_mul}
-_ORACLE = {"add": ref_add, "sub": ref_sub, "mul": ref_mul}
+_VEC = {
+    "add": vec_add,
+    "sub": vec_sub,
+    "mul": vec_mul,
+    "div": vec_div,
+    "sqrt": vec_sqrt,
+    "fma": vec_fma,
+}
+_SCALAR = {
+    "add": fp_add,
+    "sub": fp_sub,
+    "mul": fp_mul,
+    "div": fp_div,
+    "sqrt": fp_sqrt,
+    "fma": fp_fma,
+}
+_ORACLE = {
+    "add": ref_add,
+    "sub": ref_sub,
+    "mul": ref_mul,
+    "div": ref_div,
+    "sqrt": ref_sqrt,
+    "fma": ref_fma,
+}
+
+#: Operand count per campaign op: sqrt is unary, fma ternary.
+OP_ARITY = {
+    "add": 2,
+    "sub": 2,
+    "mul": 2,
+    "div": 2,
+    "sqrt": 1,
+    "fma": 3,
+}
 
 #: Check every k-th pair against the Fraction oracle as well (the oracle
 #: is orders of magnitude slower than the scalar datapath, so the full
@@ -68,6 +120,7 @@ class DiffExample:
     got_flags: int
     want_flags: int
     against: str  # "scalar" or "oracle"
+    c: Optional[int] = None  # third operand (fma chunks only)
 
 
 @dataclass(frozen=True)
@@ -110,19 +163,34 @@ def diff_chunk(
     """
     if op not in _VEC:
         raise ValueError(f"unknown campaign op {op!r}; known: {sorted(_VEC)}")
+    arity = OP_ARITY[op]
     gen = OperandGenerator(fmt, seed)
     classes = list(OperandClass)
     n_cls = len(classes)
     a_words = np.empty(pairs, dtype=np.uint64)
-    b_words = np.empty(pairs, dtype=np.uint64)
+    b_words = np.empty(pairs, dtype=np.uint64) if arity >= 2 else None
+    c_words = np.empty(pairs, dtype=np.uint64) if arity >= 3 else None
     covered: set[int] = set()
+    grid = n_cls**arity
     for i in range(pairs):
-        pair_idx = i % (n_cls * n_cls)
+        pair_idx = i % grid
         covered.add(pair_idx)
         a_words[i] = gen.sample(classes[pair_idx % n_cls])
-        b_words[i] = gen.sample(classes[pair_idx // n_cls])
+        if b_words is not None:
+            b_words[i] = gen.sample(classes[(pair_idx // n_cls) % n_cls])
+        if c_words is not None:
+            c_words[i] = gen.sample(classes[pair_idx // (n_cls * n_cls)])
 
-    vec_bits, vec_flags = _VEC[op](fmt, a_words, b_words, mode, with_flags=True)
+    if arity == 1:
+        vec_bits, vec_flags = _VEC[op](fmt, a_words, mode, with_flags=True)
+    elif arity == 2:
+        vec_bits, vec_flags = _VEC[op](
+            fmt, a_words, b_words, mode, with_flags=True
+        )
+    else:
+        vec_bits, vec_flags = _VEC[op](
+            fmt, a_words, b_words, c_words, mode, with_flags=True
+        )
 
     scalar = _SCALAR[op]
     oracle = _ORACLE[op]
@@ -132,32 +200,39 @@ def diff_chunk(
     oracle_bad = 0
     examples: list[DiffExample] = []
 
-    def note(a: int, b: int, gb: int, wb: int, gf: int, wf: int, against: str):
+    def note(operands, gb: int, wb: int, gf: int, wf: int, against: str):
         if len(examples) < MAX_EXAMPLES:
+            a = operands[0]
+            b = operands[1] if len(operands) > 1 else 0
+            c = operands[2] if len(operands) > 2 else None
             examples.append(
-                DiffExample(op, mode.value, a, b, gb, wb, gf, wf, against)
+                DiffExample(op, mode.value, a, b, gb, wb, gf, wf, against, c)
             )
 
     for i in range(pairs):
-        a = int(a_words[i])
-        b = int(b_words[i])
+        operands = [int(a_words[i])]
+        if b_words is not None:
+            operands.append(int(b_words[i]))
+        if c_words is not None:
+            operands.append(int(c_words[i]))
         got_b = int(vec_bits[i])
         got_f = int(vec_flags[i])
-        want_b, want_flags = scalar(fmt, a, b, mode)
+        want_b, want_flags = scalar(fmt, *operands, mode)
         want_f = want_flags.to_bits()
         if got_b != want_b:
             bit_bad += 1
-            note(a, b, got_b, want_b, got_f, want_f, "scalar")
+            note(operands, got_b, want_b, got_f, want_f, "scalar")
         elif got_f != want_f:
             flag_bad += 1
-            note(a, b, got_b, want_b, got_f, want_f, "scalar")
+            note(operands, got_b, want_b, got_f, want_f, "scalar")
         if i % ORACLE_STRIDE == 0:
             oracle_checked += 1
-            ref_b, ref_flags = oracle(fmt, a, b, mode)
+            ref_b, ref_flags = oracle(fmt, *operands, mode)
             if ref_b != want_b or ref_flags != want_flags:
                 oracle_bad += 1
                 note(
-                    a, b, want_b, ref_b, want_f, ref_flags.to_bits(), "oracle"
+                    operands, want_b, ref_b, want_f, ref_flags.to_bits(),
+                    "oracle",
                 )
 
     return ChunkReport(

@@ -77,37 +77,70 @@ class MutationReport:
         return self.detected / self.trials if self.trials else 0.0
 
 
+#: Operand state keys in issue order (unary reads "a", ternary "a","b","c").
+_OPERAND_KEYS = ("a", "b", "c")
+
+
 def mutation_campaign(
     fmt: FPFormat,
     ops: Sequence[MicroOp],
-    golden: Callable[[int, int], tuple],
+    golden: Callable[..., tuple],
     trials: int = 50,
     vectors_per_trial: int = 16,
     seed: int = 0,
+    arity: int = 2,
+    vectors: Callable[[random.Random], tuple[int, ...]] | None = None,
 ) -> MutationReport:
     """Inject ``trials`` random single-point faults; count detections.
 
     A fault is *detected* when any of the random operand vectors makes
-    the faulty chain's packed result differ from the golden function.
-    Faults in dead corners (e.g. a bit that the rounding stage discards)
-    can legitimately escape; the report lists the escapees for triage.
+    the faulty chain's packed result or flag sideband differ from the
+    golden function.  Faults in dead corners (e.g. a bit that the
+    rounding stage discards) can legitimately escape; the report lists
+    the escapees for triage.
+
+    ``arity`` sets how many operands the chain consumes (1 for the sqrt
+    recurrence, 3 for the fused MAC); ``golden`` is called with that
+    many bit patterns.  ``vectors`` overrides the operand generator —
+    the default draws independent uniform normal words, which never hits
+    low-observability corners like exact quotients or catastrophic
+    cancellation, so recurrence- and wide-product chains should pass a
+    corner-biased generator instead.  The two-operand probe and default
+    vector stream are unchanged from the original binary campaign, so
+    pinned seeds keep their coverage.
     """
+    if not 1 <= arity <= len(_OPERAND_KEYS):
+        raise ValueError(f"arity must be 1..{len(_OPERAND_KEYS)}, got {arity}")
     rng = random.Random(seed)
-    probe = {
-        "a": fmt.pack(0, fmt.bias, fmt.man_mask // 3),
-        "b": fmt.pack(0, fmt.bias + 1, fmt.man_mask // 5),
-    }
+    probe_words = (
+        fmt.pack(0, fmt.bias, fmt.man_mask // 3),
+        fmt.pack(0, fmt.bias + 1, fmt.man_mask // 5),
+        fmt.pack(0, fmt.bias - 1, fmt.man_mask // 7),
+    )
+    probe = dict(zip(_OPERAND_KEYS[:arity], probe_words))
     sites = _integer_fields(ops, probe)
     if not sites:
         raise ValueError("no integer state fields found to fault")
 
-    def run_chain(chain: Sequence[MicroOp], a: int, b: int):
-        state: State = {"a": a, "b": b}
+    def run_chain(chain: Sequence[MicroOp], operands: tuple[int, ...]):
+        state: State = dict(zip(_OPERAND_KEYS[:arity], operands))
         for op in chain:
             merged = dict(state)
             merged.update(op.fn(state))
             state = merged
         return state["result"], state["flags"]
+
+    def uniform_normals(r: random.Random) -> tuple[int, ...]:
+        return tuple(
+            fmt.pack(
+                r.randint(0, 1),
+                r.randint(1, fmt.exp_max - 1),
+                r.randrange(fmt.man_mask + 1),
+            )
+            for _ in range(arity)
+        )
+
+    draw = vectors if vectors is not None else uniform_normals
 
     detected = 0
     escaped: list[Fault] = []
@@ -117,18 +150,9 @@ def mutation_campaign(
         chain = inject(ops, fault)
         found = False
         for _ in range(vectors_per_trial):
-            a = fmt.pack(
-                rng.randint(0, 1),
-                rng.randint(1, fmt.exp_max - 1),
-                rng.randrange(fmt.man_mask + 1),
-            )
-            b = fmt.pack(
-                rng.randint(0, 1),
-                rng.randint(1, fmt.exp_max - 1),
-                rng.randrange(fmt.man_mask + 1),
-            )
+            operands = draw(rng)
             try:
-                mismatch = run_chain(chain, a, b)[0] != golden(a, b)[0]
+                mismatch = run_chain(chain, operands) != tuple(golden(*operands))
             except (ValueError, KeyError, OverflowError):
                 # A corrupted bundle crashing a downstream stage is a
                 # loud detection, not an escape.

@@ -22,7 +22,7 @@ from pathlib import Path
 from typing import Iterable
 
 from repro.fp.format import FP32, FP48, FP64, FPFormat, PAPER_FORMATS
-from repro.fp.reference import ref_add, ref_mul
+from repro.fp.reference import ref_add, ref_div, ref_fma, ref_mul, ref_sqrt
 from repro.fp.rounding import RoundingMode
 from repro.verify.testbench import OperandClass, OperandGenerator
 
@@ -31,9 +31,62 @@ GOLDEN_SEED = 0xD1FF
 #: Operand samples drawn per (class, class) pair.
 SAMPLES_PER_PAIR = 2
 #: Operations covered by the corpus.
-GOLDEN_OPS = ("add", "mul")
+GOLDEN_OPS = ("add", "mul", "div", "sqrt", "fma")
 
-_ORACLE = {"add": ref_add, "mul": ref_mul}
+_ORACLE = {
+    "add": ref_add,
+    "mul": ref_mul,
+    "div": ref_div,
+    "sqrt": ref_sqrt,
+    "fma": ref_fma,
+}
+
+#: Operand count per golden op (mirrors verify.differential.OP_ARITY).
+GOLDEN_ARITY = {"add": 2, "mul": 2, "div": 2, "sqrt": 1, "fma": 3}
+
+_OPERAND_KEYS = ("a", "b", "c")
+
+
+def _directed_cases(fmt: FPFormat, op: str) -> list[tuple[str, tuple[int, ...]]]:
+    """Hand-picked operand tuples every corpus must pin, per op.
+
+    The div rows pin the exception-flag corners (``x/0`` raises
+    ``div_by_zero``, ``0/0`` and ``Inf/Inf`` raise ``invalid``); the sqrt
+    rows pin the parity datapath (odd/even exponents, exact squares, and
+    the all-ones mantissa whose root can never be an exact tie); the fma
+    rows pin exact cancellation and the 0*Inf invalid.
+    """
+    one = fmt.one()
+    if op == "div":
+        return [
+            ("x_div_zero", (one, fmt.zero(0))),
+            ("x_div_neg_zero", (one, fmt.zero(1))),
+            ("zero_div_zero", (fmt.zero(0), fmt.zero(0))),
+            ("inf_div_inf", (fmt.inf(0), fmt.inf(1))),
+            ("overflow", (fmt.max_finite(0), fmt.min_normal(0))),
+            ("underflow", (fmt.min_normal(0), fmt.max_finite(0))),
+        ]
+    if op == "sqrt":
+        return [
+            ("even_exact_square", (fmt.pack(0, fmt.bias + 2, 0),)),  # 4.0
+            ("odd_exponent", (fmt.pack(0, fmt.bias + 1, 0),)),  # 2.0
+            ("odd_exponent_neg", (fmt.pack(0, fmt.bias - 1, 0),)),  # 0.5
+            ("all_ones_even", (fmt.pack(0, fmt.bias, fmt.man_mask),)),
+            ("all_ones_odd", (fmt.pack(0, fmt.bias + 1, fmt.man_mask),)),
+            ("min_normal", (fmt.min_normal(0),)),
+            ("max_finite", (fmt.max_finite(0),)),
+            ("negative", (fmt.one(1),)),
+            ("neg_zero", (fmt.zero(1),)),
+        ]
+    if op == "fma":
+        return [
+            ("exact_cancel", (one, one, fmt.one(1))),
+            ("zero_times_inf", (fmt.zero(0), fmt.inf(0), one)),
+            ("all_zero_neg", (fmt.zero(1), one, fmt.zero(1))),
+            ("addend_dominates", (fmt.min_normal(0), fmt.min_normal(0), one)),
+            ("product_dominates", (fmt.max_finite(0), one, fmt.min_normal(0))),
+        ]
+    return []
 
 
 def generate_corpus(
@@ -46,25 +99,48 @@ def generate_corpus(
     if op not in _ORACLE:
         raise ValueError(f"unknown golden op {op!r}; known: {sorted(_ORACLE)}")
     oracle = _ORACLE[op]
+    arity = GOLDEN_ARITY[op]
     gen = OperandGenerator(fmt, seed)
+    classes = list(OperandClass)
     cases = []
-    for cls_a in OperandClass:
-        for cls_b in OperandClass:
+
+    def emit(labels: list[str], operands: tuple[int, ...]) -> None:
+        case: dict = {"classes": labels}
+        for key, word in zip(_OPERAND_KEYS, operands):
+            case[key] = f"{word:#x}"
+        for mode in RoundingMode:
+            bits, flags = oracle(fmt, *operands, mode)
+            case[mode.value] = {
+                "bits": f"{bits:#x}",
+                "flags": flags.to_bits(),
+            }
+        cases.append(case)
+
+    if arity == 1:
+        for cls_a in classes:
             for _ in range(samples_per_pair):
-                a = gen.sample(cls_a)
-                b = gen.sample(cls_b)
-                case = {
-                    "classes": [cls_a.value, cls_b.value],
-                    "a": f"{a:#x}",
-                    "b": f"{b:#x}",
-                }
-                for mode in RoundingMode:
-                    bits, flags = oracle(fmt, a, b, mode)
-                    case[mode.value] = {
-                        "bits": f"{bits:#x}",
-                        "flags": flags.to_bits(),
-                    }
-                cases.append(case)
+                emit([cls_a.value], (gen.sample(cls_a),))
+    elif arity == 2:
+        for cls_a in classes:
+            for cls_b in classes:
+                for _ in range(samples_per_pair):
+                    a = gen.sample(cls_a)
+                    b = gen.sample(cls_b)
+                    emit([cls_a.value, cls_b.value], (a, b))
+    else:
+        # The 13^3 triple grid is too large to check in; cycle the third
+        # operand's class across the pair grid so every class appears.
+        n_cls = len(classes)
+        for ia, cls_a in enumerate(classes):
+            for ib, cls_b in enumerate(classes):
+                cls_c = classes[(ia + ib) % n_cls]
+                for _ in range(samples_per_pair):
+                    a = gen.sample(cls_a)
+                    b = gen.sample(cls_b)
+                    c = gen.sample(cls_c)
+                    emit([cls_a.value, cls_b.value, cls_c.value], (a, b, c))
+    for label, operands in _directed_cases(fmt, op):
+        emit([f"directed:{label}"], operands)
     return {
         "format": fmt.name,
         "exp_bits": fmt.exp_bits,
@@ -81,21 +157,36 @@ def corpus_filename(fmt: FPFormat, op: str) -> str:
 
 
 def load_corpus(path: str | Path) -> dict:
-    """Load a corpus file, parsing hex words back to integers."""
+    """Load a corpus file, parsing hex words back to integers.
+
+    Each parsed case carries an ``"operands"`` tuple (arity-aware: one
+    word for sqrt, three for fma) alongside the legacy ``"a"``/``"b"``
+    keys kept for the binary-op consumers.
+    """
     doc = json.loads(Path(path).read_text())
     fmt = FPFormat(doc["exp_bits"], doc["man_bits"], doc["format"])
     cases = []
     for case in doc["cases"]:
+        operands = tuple(
+            int(case[key], 16) for key in _OPERAND_KEYS if key in case
+        )
         parsed = {
             "classes": tuple(case["classes"]),
-            "a": int(case["a"], 16),
-            "b": int(case["b"], 16),
+            "operands": operands,
         }
+        for key, word in zip(_OPERAND_KEYS, operands):
+            parsed[key] = word
         for mode in RoundingMode:
             entry = case[mode.value]
             parsed[mode.value] = (int(entry["bits"], 16), int(entry["flags"]))
         cases.append(parsed)
-    return {"fmt": fmt, "op": doc["op"], "seed": doc["seed"], "cases": cases}
+    return {
+        "fmt": fmt,
+        "op": doc["op"],
+        "arity": GOLDEN_ARITY[doc["op"]],
+        "seed": doc["seed"],
+        "cases": cases,
+    }
 
 
 def write_corpora(

@@ -16,9 +16,11 @@ import random
 from dataclasses import dataclass
 
 from repro.engine import Engine, Job, default_engine
+from repro.fp.flags import FPFlags
 from repro.fp.format import PAPER_FORMATS, FPFormat
+from repro.fp.mac import fp_fma
 from repro.fp.rounding import RoundingMode
-from repro.kernels.batched import BatchedMatmulArray
+from repro.kernels.batched import BatchedMatmulArray, FusedMatmulArray
 from repro.kernels.matmul import MatmulArray, RAWHazard
 
 #: (n, L_mul, L_add) corners: minimum sizes, n < PL (padded schedule /
@@ -106,6 +108,87 @@ def matmul_case(
     }
 
 
+def _scalar_fused_matmul(fmt, n, mode, a, b):
+    """Scalar fused-PE reference: ascending-k fp_fma accumulation."""
+    flags = FPFlags()
+    c = []
+    for i in range(n):
+        row = []
+        for j in range(n):
+            acc = fmt.zero()
+            for k in range(n):
+                acc, fl = fp_fma(fmt, a[i][k], b[k][j], acc, mode)
+                flags = flags | fl
+            row.append(acc)
+        c.append(row)
+    return c, flags
+
+
+def fused_matmul_case(
+    fmt: FPFormat,
+    n: int,
+    mul_latency: int,
+    add_latency: int,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    pad_schedule: bool = True,
+    seed: int = 0,
+) -> dict:
+    """One fused-backend differential case.
+
+    The ``"fma"`` array backend has no stepped twin, so its contract is
+    split: results and flags must be bit-identical to a **scalar**
+    fused-PE accumulation (one :func:`~repro.fp.mac.fp_fma` per MAC,
+    ascending ``k``), while every schedule statistic — cycles, issued
+    MACs, padding, hazards, PE count — must match the chained batched
+    run on the same operands (fusing changes the PE datapath, never the
+    systolic schedule).  The case also asserts the fused run performs
+    strictly fewer total roundings than the chained one.
+    """
+    rng = random.Random(
+        f"fused:{seed}:{fmt.name}:{n}:{mul_latency}:{add_latency}:"
+        f"{mode.value}:{pad_schedule}"
+    )
+    a = _rand_matrix(fmt, n, rng)
+    b = _rand_matrix(fmt, n, rng)
+    fused = _run(FusedMatmulArray, fmt, n, mul_latency, add_latency, mode,
+                 pad_schedule, a, b)
+    chained = _run(BatchedMatmulArray, fmt, n, mul_latency, add_latency, mode,
+                   pad_schedule, a, b)
+    mismatched = []
+    if fused.get("raised") is not None or chained.get("raised") is not None:
+        # Hazard behaviour is schedule-determined: both backends must
+        # raise together (the fused PE never changes the schedule).
+        if (fused.get("raised") is None) != (chained.get("raised") is None):
+            mismatched.append("raised")
+    else:
+        want_c, want_flags = _scalar_fused_matmul(fmt, n, mode, a, b)
+        if fused["c"] != want_c:
+            mismatched.append("c")
+        if fused["flags"] != want_flags.to_bits():
+            mismatched.append("flags")
+        for key in ("cycles", "issued_macs", "padded_cycles", "hazards",
+                    "pes", "pe_utilization"):
+            if fused[key] != chained[key]:
+                mismatched.append(key)
+        fused_sim = FusedMatmulArray(fmt, n, mul_latency, add_latency,
+                                     mode=mode, pad_schedule=pad_schedule)
+        chained_sim = BatchedMatmulArray(fmt, n, mul_latency, add_latency,
+                                         mode=mode, pad_schedule=pad_schedule)
+        if not fused_sim.total_roundings < chained_sim.total_roundings:
+            mismatched.append("total_roundings")
+    return {
+        "fmt": fmt.name,
+        "n": n,
+        "mul_latency": mul_latency,
+        "add_latency": add_latency,
+        "mode": mode.value,
+        "pad_schedule": pad_schedule,
+        "raised": fused.get("raised"),
+        "mismatched": sorted(mismatched),
+        "ok": not mismatched,
+    }
+
+
 @dataclass(frozen=True)
 class KernelMatrixReport:
     """Outcome of one stepped-vs-batched differential matrix."""
@@ -140,7 +223,9 @@ def matrix_jobs(
 ) -> list[Job]:
     """The campaign as engine jobs: padded everywhere, plus unpadded at
     every corner (where ``n < PL`` both simulators must raise the same
-    :class:`RAWHazard`, elsewhere both must complete identically)."""
+    :class:`RAWHazard`, elsewhere both must complete identically).  Each
+    corner also carries a fused-backend case proving the ``"fma"`` array
+    against the scalar fused-PE accumulation."""
     jobs = []
     for fmt in formats:
         for mode in modes:
@@ -151,6 +236,20 @@ def matrix_jobs(
                             f"verify.kernels.{fmt.name}.{mode.value}."
                             f"n{n}pl{lm + la}.{'pad' if pad else 'nopad'}",
                             matmul_case,
+                            fmt=fmt,
+                            n=n,
+                            mul_latency=lm,
+                            add_latency=la,
+                            mode=mode,
+                            pad_schedule=pad,
+                            seed=seed,
+                        )
+                    )
+                    jobs.append(
+                        Job.create(
+                            f"verify.kernels.fma.{fmt.name}.{mode.value}."
+                            f"n{n}pl{lm + la}.{'pad' if pad else 'nopad'}",
+                            fused_matmul_case,
                             fmt=fmt,
                             n=n,
                             mul_latency=lm,

@@ -7,9 +7,18 @@ import numpy as np
 import pytest
 
 from repro.fp.adder import fp_add
+from repro.fp.divider import fp_div
+from repro.fp.mac import fp_fma
 from repro.fp.multiplier import fp_mul
 from repro.fp.rounding import RoundingMode
-from repro.fp.vectorized import vec_add, vec_mul
+from repro.fp.sqrt import fp_sqrt
+from repro.fp.vectorized import (
+    vec_add,
+    vec_div,
+    vec_fma,
+    vec_mul,
+    vec_sqrt,
+)
 from repro.verify.golden import (
     GOLDEN_OPS,
     GOLDEN_SEED,
@@ -20,8 +29,20 @@ from repro.verify.golden import (
 
 VECTOR_DIR = Path(__file__).resolve().parent.parent / "vectors"
 
-SCALAR = {"add": fp_add, "mul": fp_mul}
-VECTORIZED = {"add": vec_add, "mul": vec_mul}
+SCALAR = {
+    "add": fp_add,
+    "mul": fp_mul,
+    "div": fp_div,
+    "sqrt": fp_sqrt,
+    "fma": fp_fma,
+}
+VECTORIZED = {
+    "add": vec_add,
+    "mul": vec_mul,
+    "div": vec_div,
+    "sqrt": vec_sqrt,
+    "fma": vec_fma,
+}
 
 CORPUS_FILES = sorted(VECTOR_DIR.glob("*.json"))
 
@@ -42,7 +63,7 @@ def test_scalar_datapaths_match_golden(path):
     for case in doc["cases"]:
         for mode in RoundingMode:
             want_bits, want_flags = case[mode.value]
-            got_bits, got_flags = impl(fmt, case["a"], case["b"], mode)
+            got_bits, got_flags = impl(fmt, *case["operands"], mode)
             assert got_bits == want_bits, (path.name, case, mode.value)
             assert got_flags.to_bits() == want_flags, (path.name, case, mode.value)
 
@@ -52,10 +73,12 @@ def test_vectorized_datapaths_match_golden(path):
     doc = load_corpus(path)
     fmt, op = doc["fmt"], doc["op"]
     vec = VECTORIZED[op]
-    a = np.array([c["a"] for c in doc["cases"]], dtype=np.uint64)
-    b = np.array([c["b"] for c in doc["cases"]], dtype=np.uint64)
+    columns = [
+        np.array([c["operands"][j] for c in doc["cases"]], dtype=np.uint64)
+        for j in range(doc["arity"])
+    ]
     for mode in RoundingMode:
-        bits, flags = vec(fmt, a, b, mode, with_flags=True)
+        bits, flags = vec(fmt, *columns, mode, with_flags=True)
         for i, case in enumerate(doc["cases"]):
             want_bits, want_flags = case[mode.value]
             assert int(bits[i]) == want_bits, (path.name, case, mode.value)
@@ -72,13 +95,51 @@ def test_corpus_is_seed_pinned(path):
     assert len(doc["cases"]) == len(regenerated["cases"])
     for got, want in zip(doc["cases"], regenerated["cases"]):
         assert got["classes"] == tuple(want["classes"])
-        assert got["a"] == int(want["a"], 16)
-        assert got["b"] == int(want["b"], 16)
+        for key, word in zip(("a", "b", "c"), got["operands"]):
+            assert word == int(want[key], 16)
         for mode in RoundingMode:
             assert got[mode.value] == (
                 int(want[mode.value]["bits"], 16),
                 want[mode.value]["flags"],
             )
+
+
+def test_div_corpus_pins_exception_rows():
+    """The div corpus must carry the x/0, 0/0 and Inf/Inf flag rows."""
+    doc = load_corpus(VECTOR_DIR / "fp32_div.json")
+    directed = {c["classes"][0] for c in doc["cases"] if len(c["classes"]) == 1}
+    for label in ("directed:x_div_zero", "directed:zero_div_zero",
+                  "directed:inf_div_inf"):
+        assert label in directed
+    fmt = doc["fmt"]
+    by_label = {c["classes"][0]: c for c in doc["cases"] if len(c["classes"]) == 1}
+    rne = RoundingMode.NEAREST_EVEN.value
+    assert by_label["directed:x_div_zero"][rne] == (fmt.inf(0), 0b100000)
+    assert by_label["directed:zero_div_zero"][rne][1] == 0b10  # invalid
+    assert by_label["directed:inf_div_inf"][rne][1] == 0b10  # invalid
+
+
+def test_sqrt_corpus_pins_parity_cases():
+    """The sqrt corpus carries odd/even-exponent and never-a-tie rows."""
+    doc = load_corpus(VECTOR_DIR / "fp48_sqrt.json")
+    by_label = {c["classes"][0]: c for c in doc["cases"] if len(c["classes"]) == 1}
+    for label in ("directed:even_exact_square", "directed:odd_exponent",
+                  "directed:all_ones_even", "directed:all_ones_odd"):
+        assert label in by_label
+    fmt = doc["fmt"]
+    # sqrt(4.0) = 2.0 exactly: identical bits, no inexact, in both modes.
+    exact = by_label["directed:even_exact_square"]
+    two = fmt.pack(0, fmt.bias + 1, 0)
+    for mode in RoundingMode:
+        assert exact[mode.value] == (two, 0)
+    # A square root is never an exact tie, so RNE and RTZ may differ by
+    # at most one ULP on the all-ones rows — and both stay inexact.
+    for label in ("directed:all_ones_even", "directed:all_ones_odd"):
+        case = by_label[label]
+        rne_bits, rne_flags = case[RoundingMode.NEAREST_EVEN.value]
+        rtz_bits, rtz_flags = case[RoundingMode.TRUNCATE.value]
+        assert rne_flags == rtz_flags == 0b100  # inexact
+        assert rne_bits - rtz_bits in (0, 1)
 
 
 def test_corpus_filename_roundtrip():

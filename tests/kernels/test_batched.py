@@ -14,12 +14,13 @@ from repro.fp.rounding import RoundingMode
 from repro.kernels.batched import (
     MATMUL_BACKENDS,
     BatchedMatmulArray,
+    FusedMatmulArray,
     array_cycles,
     hazard_count,
     mac_issue_cycle,
     make_matmul_array,
 )
-from repro.kernels.fast import functional_matmul_vectorized
+from repro.kernels.fast import functional_matmul_fma, functional_matmul_vectorized
 from repro.kernels.matmul import MatmulArray, RAWHazard
 
 from tests.kernels.test_matmul import rand_matrix
@@ -200,7 +201,10 @@ class TestConstructionAndFactory:
         assert isinstance(
             make_matmul_array(FP32, 4, 2, 3, backend="batched"), BatchedMatmulArray
         )
-        assert set(MATMUL_BACKENDS) == {"stepped", "batched"}
+        assert isinstance(
+            make_matmul_array(FP32, 4, 2, 3, backend="fma"), FusedMatmulArray
+        )
+        assert set(MATMUL_BACKENDS) == {"stepped", "batched", "fma"}
 
     def test_factory_rejects_unknown_backend(self):
         with pytest.raises(ValueError, match="unknown matmul backend"):
@@ -214,3 +218,84 @@ class TestConstructionAndFactory:
         assert not arr.pad_schedule
         with pytest.raises(RAWHazard):
             arr.run(rand_matrix(FP32, 4, rng), rand_matrix(FP32, 4, rng))
+
+
+class TestFusedBackend:
+    """The fma backend: one rounding per MAC, schedule untouched."""
+
+    @pytest.mark.parametrize("fmt", FORMATS, ids=lambda f: f.name)
+    @pytest.mark.parametrize("mode", list(RoundingMode))
+    def test_bit_identical_to_scalar_fused_pe(self, fmt, mode, rng):
+        from repro.fp.mac import fp_fma
+
+        n = 5
+        a = rand_matrix(fmt, n, rng)
+        b = rand_matrix(fmt, n, rng)
+        run = FusedMatmulArray(fmt, n, 3, 5, mode=mode).run(a, b)
+        for i in range(n):
+            for j in range(n):
+                acc = fmt.zero()
+                for k in range(n):
+                    acc, _ = fp_fma(fmt, a[i][k], b[k][j], acc, mode)
+                assert run.c[i][j] == acc, (i, j)
+
+    def test_matches_functional_fma_reference(self, rng):
+        n = 6
+        a = np.array(rand_matrix(FP32, n, rng), dtype=np.uint64)
+        b = np.array(rand_matrix(FP32, n, rng), dtype=np.uint64)
+        run = FusedMatmulArray(FP32, n, 3, 5).run(a, b)
+        want = functional_matmul_fma(FP32, a, b)
+        assert run.c == [[int(want[i][j]) for j in range(n)] for i in range(n)]
+
+    def test_halves_roundings_and_keeps_schedule(self, rng):
+        n = 6
+        fused = FusedMatmulArray(FP32, n, 3, 5)
+        chained = BatchedMatmulArray(FP32, n, 3, 5)
+        assert fused.roundings_per_mac == 1
+        assert chained.roundings_per_mac == 2
+        assert fused.total_roundings == n ** 3
+        assert fused.total_roundings < chained.total_roundings
+        a = rand_matrix(FP32, n, rng)
+        b = rand_matrix(FP32, n, rng)
+        frun = fused.run(a, b)
+        crun = chained.run(a, b)
+        # Fusing changes the PE datapath, never the systolic schedule.
+        assert frun.cycles == crun.cycles
+        assert frun.issued_macs == crun.issued_macs
+        assert frun.padded_cycles == crun.padded_cycles
+        assert frun.hazards == crun.hazards
+        assert frun.pes == crun.pes
+
+    def test_fused_differs_where_product_rounding_matters(self, rng):
+        # With enough random accumulations some product's round-off must
+        # show: if the two backends never diverged, fusing would be a
+        # no-op and the ablation meaningless.
+        diverged = False
+        for _ in range(5):
+            n = 8
+            a = rand_matrix(FP32, n, rng)
+            b = rand_matrix(FP32, n, rng)
+            frun = FusedMatmulArray(FP32, n, 3, 5).run(a, b)
+            crun = BatchedMatmulArray(FP32, n, 3, 5).run(a, b)
+            if frun.c != crun.c:
+                diverged = True
+                break
+        assert diverged
+
+    def test_unpadded_hazard_raises_like_chained(self, rng):
+        with pytest.raises(RAWHazard):
+            FusedMatmulArray(FP32, 4, 7, 10, pad_schedule=False).run(
+                rand_matrix(FP32, 4, rng), rand_matrix(FP32, 4, rng)
+            )
+
+    def test_fused_matmul_ablation_table(self):
+        from repro.experiments.ablations import fused_matmul_ablation
+
+        table = fused_matmul_ablation(n=4, seed=7)
+        text = str(table)
+        assert "fused MAC" in text and "chained (mul -> add)" in text
+        rows = table.rows
+        chained_row = next(r for r in rows if r[0].startswith("chained"))
+        fused_row = next(r for r in rows if r[0] == "fused MAC")
+        assert fused_row[1] * 2 == chained_row[1]  # half the roundings
+        assert fused_row[2] <= chained_row[2]  # never less accurate on mean

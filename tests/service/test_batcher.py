@@ -13,6 +13,7 @@ import pytest
 from repro.fp.format import FP32, FP64
 from repro.fp.rounding import RoundingMode
 from repro.service.batcher import (
+    OP_ARITY,
     OPS,
     BatchIntegrityError,
     MicroBatcher,
@@ -30,20 +31,21 @@ class RecordingExecutor(ThreadPoolExecutor):
 
     def __init__(self):
         super().__init__(max_workers=1)
-        self.batches = []  # (op, fmt, mode, pairs)
+        self.batches = []  # (op, fmt, mode, operand tuples)
 
     def submit(self, fn, *args, **kwargs):
         if fn is execute_batch:
-            op, fmt, mode, pairs = args[:4]
-            self.batches.append((op, fmt, mode, list(pairs)))
+            op, fmt, mode, requests = args[:4]
+            self.batches.append((op, fmt, mode, list(requests)))
         return super().submit(fn, *args, **kwargs)
 
 
 def run_batched(config, submissions):
     """Submit all requests concurrently; return (results, batches).
 
-    ``submissions`` is a list of (op, fmt, mode, a, b).  All submissions
-    are queued before the lane workers first run, so they form one burst.
+    ``submissions`` is a list of (op, fmt, mode, *operands).  All
+    submissions are queued before the lane workers first run, so they
+    form one burst.
     """
     executor = RecordingExecutor()
 
@@ -63,8 +65,8 @@ def run_batched(config, submissions):
     return results, executor.batches
 
 
-def scalar(op, fmt, mode, a, b):
-    bits, flags = OPS[op][0](fmt, a, b, mode)
+def scalar(op, fmt, mode, *operands):
+    bits, flags = OPS[op][0](fmt, *operands, mode)
     return bits, flags.to_bits()
 
 
@@ -101,40 +103,45 @@ class TestBatchingPolicy:
             assert tuple(got) == scalar(op, fmt, mode, a, b)
 
     def test_mixed_formats_and_modes_never_share_a_batch(self):
+        # Lanes of every arity — including the unary sqrt and ternary
+        # fma — interleaved so a sloppy batcher would mix them.
         config = ServiceConfig(max_batch=64, linger_ms=10)
         lanes = [
             ("mul", FP32, RNE),
             ("mul", FP32, RTZ),
             ("mul", FP64, RNE),
             ("add", FP32, RNE),
+            ("sqrt", FP32, RNE),
+            ("fma", FP32, RNE),
         ]
         rng = random.Random(11)
         subs = []
         for op, fmt, mode in lanes:
+            arity = OP_ARITY[op]
             for _ in range(5):
-                subs.append((op, fmt, mode,
-                             rng.randrange(fmt.word_mask + 1),
-                             rng.randrange(fmt.word_mask + 1)))
-        # Interleave the lanes so a sloppy batcher would mix them.
-        subs = subs[::4] + subs[1::4] + subs[2::4] + subs[3::4]
+                subs.append((op, fmt, mode) + tuple(
+                    rng.randrange(fmt.word_mask + 1) for _ in range(arity)
+                ))
+        k = len(lanes)
+        subs = [s for i in range(k) for s in subs[i::k]]
         results, batches = run_batched(config, subs)
-        # Every executed batch is homogeneous: its pairs all came from
-        # submissions for exactly that (op, format, mode) lane.
+        # Every executed batch is homogeneous: its operand tuples all
+        # came from submissions for exactly that (op, format, mode) lane.
         by_lane = {}
-        for op, fmt, mode, a, b in subs:
-            by_lane.setdefault((op, fmt, mode), set()).add((a, b))
+        for sub in subs:
+            by_lane.setdefault(sub[:3], set()).add(sub[3:])
         assert len(batches) >= len(lanes)
         seen_lanes = set()
-        for op, fmt, mode, pairs in batches:
+        for op, fmt, mode, requests in batches:
             key = (op, fmt, mode)
             seen_lanes.add(key)
-            assert set(pairs) <= by_lane[key], (
+            assert set(requests) <= by_lane[key], (
                 f"batch for {op}/{fmt.name}/{mode.value} contains "
-                "pairs submitted to another lane"
+                "operands submitted to another lane"
             )
         assert seen_lanes == set(by_lane)
-        for (op, fmt, mode, a, b), got in zip(subs, results):
-            assert tuple(got) == scalar(op, fmt, mode, a, b)
+        for sub, got in zip(subs, results):
+            assert tuple(got) == scalar(*sub)
 
     def test_flag_sidebands_are_isolated_per_request(self):
         # An overflowing multiply next to exact ones: the neighbour's
@@ -158,42 +165,89 @@ class TestBatchingPolicy:
         assert tuple(results[2]) == want_exact
 
     def test_random_burst_matches_scalar_for_all_ops_and_modes(self):
+        # All six ops — every arity — across both modes in one burst.
         config = ServiceConfig(max_batch=16, linger_ms=10)
         rng = random.Random(23)
         subs = [
-            (op, FP32, mode,
-             rng.randrange(FP32.word_mask + 1),
-             rng.randrange(FP32.word_mask + 1))
+            (op, FP32, mode) + tuple(
+                rng.randrange(FP32.word_mask + 1)
+                for _ in range(OP_ARITY[op])
+            )
             for op in OPS
             for mode in (RNE, RTZ)
             for _ in range(25)
         ]
         results, _batches = run_batched(config, subs)
-        for (op, fmt, mode, a, b), got in zip(subs, results):
-            assert tuple(got) == scalar(op, fmt, mode, a, b), (
-                f"{op}/{mode.value} a={a:#x} b={b:#x}"
+        for sub, got in zip(subs, results):
+            assert tuple(got) == scalar(*sub), (
+                f"{sub[0]}/{sub[2].value} operands "
+                + " ".join(f"{w:#x}" for w in sub[3:])
             )
+
+    def test_unary_and_ternary_lanes_batch_and_scatter(self):
+        # sqrt is the batcher's first unary lane, fma its first ternary
+        # one: a burst into each must coalesce (not run one-by-one) and
+        # scatter results bit-identical to the scalar datapaths.
+        config = ServiceConfig(max_batch=8, linger_ms=10)
+        rng = random.Random(31)
+        subs = [
+            ("sqrt", FP32, RNE, rng.randrange(FP32.word_mask + 1))
+            for _ in range(6)
+        ] + [
+            ("fma", FP32, RNE,
+             rng.randrange(FP32.word_mask + 1),
+             rng.randrange(FP32.word_mask + 1),
+             rng.randrange(FP32.word_mask + 1))
+            for _ in range(6)
+        ]
+        results, batches = run_batched(config, subs)
+        sqrt_batches = [b for b in batches if b[0] == "sqrt"]
+        fma_batches = [b for b in batches if b[0] == "fma"]
+        assert max(len(b[3]) for b in sqrt_batches) > 1
+        assert max(len(b[3]) for b in fma_batches) > 1
+        for b in sqrt_batches:
+            assert all(len(t) == 1 for t in b[3])
+        for b in fma_batches:
+            assert all(len(t) == 3 for t in b[3])
+        for sub, got in zip(subs, results):
+            assert tuple(got) == scalar(*sub)
+
+    def test_submit_rejects_wrong_arity(self):
+        async def _run():
+            batcher = MicroBatcher(ServiceConfig(), Telemetry())
+            try:
+                with pytest.raises(ValueError, match="exactly 1 operand"):
+                    await batcher.submit("sqrt", FP32, RNE, 1, 2)
+                with pytest.raises(ValueError, match="exactly 3 operands"):
+                    await batcher.submit("fma", FP32, RNE, 1, 2)
+                with pytest.raises(ValueError, match="exactly 2 operands"):
+                    await batcher.submit("div", FP32, RNE, 1)
+            finally:
+                await batcher.close()
+
+        asyncio.run(_run())
 
 
 class TestIntegrityAndLifecycle:
     def test_spot_check_catches_divergence(self, monkeypatch):
         # Corrupt the scalar reference for 'mul': the per-batch spot
         # check must now fail the whole batch with BatchIntegrityError.
-        real_scalar, vec = OPS["mul"]
+        real_scalar, vec, arity = OPS["mul"]
 
         def corrupted(fmt, a, b, mode):
             bits, flags = real_scalar(fmt, a, b, mode)
             return bits ^ 1, flags
 
-        monkeypatch.setitem(OPS, "mul", (corrupted, vec))
+        monkeypatch.setitem(OPS, "mul", (corrupted, vec, arity))
         config = ServiceConfig(max_batch=4, linger_ms=5)
         with pytest.raises(BatchIntegrityError):
             run_batched(config, [("mul", FP32, RNE, 3, 5)])
 
     def test_spot_check_can_be_disabled(self, monkeypatch):
-        real_scalar, vec = OPS["mul"]
+        real_scalar, vec, arity = OPS["mul"]
         monkeypatch.setitem(
-            OPS, "mul", (lambda *a: (_ for _ in ()).throw(AssertionError), vec)
+            OPS, "mul",
+            (lambda *a: (_ for _ in ()).throw(AssertionError), vec, arity),
         )
         config = ServiceConfig(max_batch=4, linger_ms=5, spot_check=False)
         results, _ = run_batched(config, [("mul", FP32, RNE, 3, 5)])
@@ -210,7 +264,7 @@ class TestIntegrityAndLifecycle:
         async def _run():
             batcher = MicroBatcher(ServiceConfig(), Telemetry())
             with pytest.raises(KeyError):
-                await batcher.submit("div", FP32, RNE, 1, 2)
+                await batcher.submit("mod", FP32, RNE, 1, 2)
 
         asyncio.run(_run())
 

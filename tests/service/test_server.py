@@ -60,10 +60,11 @@ class Client:
             "127.0.0.1", server.port, timeout=30
         )
 
-    def post_op(self, op, fmt_name, mode, a, b):
-        body = json.dumps(
-            {"a": f"{a:#x}", "b": f"{b:#x}", "format": fmt_name, "mode": mode}
-        ).encode()
+    def post_op(self, op, fmt_name, mode, *operands):
+        doc = {"format": fmt_name, "mode": mode}
+        for key, word in zip(("a", "b", "c"), operands):
+            doc[key] = f"{word:#x}"
+        body = json.dumps(doc).encode()
         self.conn.request("POST", f"/v1/op/{op}", body=body,
                           headers={"Content-Type": "application/json"})
         resp = self.conn.getresponse()
@@ -125,11 +126,13 @@ class TestGoldenReplay:
                 for mode in ("rne", "rtz"):
                     want_bits, want_flags = case[mode]
                     got_bits, got_flags = client.post_op(
-                        op, fmt.name, mode, case["a"], case["b"]
+                        op, fmt.name, mode, *case["operands"]
+                    )
+                    operands = " ".join(
+                        f"{w:#x}" for w in case["operands"]
                     )
                     assert (got_bits, got_flags) == (want_bits, want_flags), (
-                        f"{op}/{fmt.name}/{mode} a={case['a']:#x} "
-                        f"b={case['b']:#x}: served "
+                        f"{op}/{fmt.name}/{mode} {operands}: served "
                         f"{got_bits:#x}/{got_flags:#04x}, golden "
                         f"{want_bits:#x}/{want_flags:#04x}"
                     )
@@ -142,8 +145,17 @@ class TestGoldenReplay:
     def test_fp32_mul_full_corpus(self, server):
         self.replay(server, FP32, "mul")
 
+    def test_fp32_div_full_corpus(self, server):
+        self.replay(server, FP32, "div")
+
+    def test_fp32_sqrt_full_corpus(self, server):
+        self.replay(server, FP32, "sqrt")
+
+    def test_fp32_fma_slices(self, server):
+        self.replay(server, FP32, "fma", stride=5)
+
     @pytest.mark.parametrize("fmt", [FP48, FP64], ids=["fp48", "fp64"])
-    @pytest.mark.parametrize("op", ["add", "mul"])
+    @pytest.mark.parametrize("op", ["add", "mul", "div", "sqrt", "fma"])
     def test_wide_format_slices(self, server, fmt, op):
         self.replay(server, fmt, op, stride=7)
 
@@ -190,7 +202,7 @@ class TestRequestValidation:
         "method, path, body, want",
         [
             ("GET", "/nope", None, 404),
-            ("POST", "/v1/op/div", {"a": 1, "b": 2}, 404),
+            ("POST", "/v1/op/mod", {"a": 1, "b": 2}, 404),
             ("GET", "/v1/op/mul", None, 405),
             ("POST", "/v1/op/mul", {"a": 1}, 400),  # missing operand
             ("POST", "/v1/op/mul", {"a": 1, "b": 2, "format": "fp31"}, 400),
@@ -206,6 +218,26 @@ class TestRequestValidation:
         assert status == want
         doc = json.loads(data)
         assert "error" in doc
+
+    @pytest.mark.parametrize(
+        "op, body, fragment",
+        [
+            # Unary op posted with a binary body: precise 400, not 500.
+            ("sqrt", {"a": 1, "b": 2}, "unexpected 'b'"),
+            ("sqrt", {"b": 2}, "missing 'a'"),
+            # Binary op posted with unary / ternary bodies.
+            ("div", {"a": 1}, "missing 'b'"),
+            ("div", {"a": 1, "b": 2, "c": 3}, "unexpected 'c'"),
+            # Ternary op posted with a binary body.
+            ("fma", {"a": 1, "b": 2}, "missing 'c'"),
+        ],
+    )
+    def test_arity_mismatch_is_precise_400(self, server, op, body, fragment):
+        status, data, _ = request(server, "POST", f"/v1/op/{op}", body)
+        doc = json.loads(data)
+        assert status == 400, doc
+        assert f"op '{op}' takes" in doc["detail"]
+        assert fragment in doc["detail"]
 
     def test_malformed_json_body(self, server):
         conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)

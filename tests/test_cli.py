@@ -176,7 +176,7 @@ class TestCliVerify:
         assert "unknown formats" in capsys.readouterr().err
 
     def test_unknown_op_rejected(self, capsys):
-        assert main(["verify", "--ops", "fma"]) == 2
+        assert main(["verify", "--ops", "cbrt"]) == 2
         assert "unknown ops" in capsys.readouterr().err
 
 
@@ -220,7 +220,9 @@ class TestCliBench:
         assert "kernel bench" in out
         assert "matmul.stepped.fp32.n4" in out
         assert "matmul.batched.fp32.n8" in out
+        assert "matmul.fma.fp32.n4" in out
         assert "batched_vs_stepped.fp32.n4" in out
+        assert "fma_vs_batched.fp32.n4" in out
 
     def test_bench_writes_json_snapshot(self, tmp_path, capsys):
         import json
@@ -237,7 +239,9 @@ class TestCliBench:
         names = [entry["name"] for entry in snapshot["benchmarks"]]
         assert "matmul.stepped.fp32.n2" in names
         assert "matmul.batched.fp32.n2" in names
+        assert "matmul.fma.fp32.n2" in names
         assert "batched_vs_stepped.fp32.n2" in snapshot["speedups"]
+        assert "fma_vs_batched.fp32.n2" in snapshot["speedups"]
 
     def test_bench_rejects_bad_sizes(self, capsys):
         assert main(["bench", "--bench-sizes", "2,zap"]) == 2

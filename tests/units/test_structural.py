@@ -231,3 +231,78 @@ class TestSqrtEquivalence:
         unit = StructuralFPSqrt(FP32, 4)
         rows = [op for op in unit.micro_ops if op.name.startswith("row[")]
         assert len(rows) == FP32.man_bits + 4
+
+
+class TestFusedMacEquivalence:
+    @pytest.mark.parametrize("stages", [1, 2, 5])
+    def test_stream_matches_behavioural(self, stages, rng):
+        from repro.fp.mac import fp_fma
+        from repro.units.structural import StructuralFPMac
+
+        fmt = FP32
+        unit = StructuralFPMac(fmt, stages)
+        operands = [
+            tuple(rng.randrange(fmt.word_mask + 1) for _ in range(3))
+            for _ in range(30)
+        ]
+        expected = [fp_fma(fmt, a, b, c) for a, b, c in operands]
+        got = []
+        i = 0
+        cycle = 0
+        while len(got) < len(expected):
+            cycle += 1
+            if i < len(operands) and cycle % 3 != 0:
+                result, done = unit.step(*operands[i])
+                i += 1
+            else:
+                result, done = unit.step()
+            if done:
+                got.append(result)
+            assert cycle < 10_000
+        assert got == expected
+
+    def test_truncate_mode(self, rng):
+        from repro.fp.mac import fp_fma
+        from repro.units.structural import StructuralFPMac
+
+        unit = StructuralFPMac(FP32, 4, mode=RoundingMode.TRUNCATE)
+        for _ in range(100):
+            a, b, c = (rng.randrange(FP32.word_mask + 1) for _ in range(3))
+            assert unit.compute(a, b, c) == fp_fma(
+                FP32, a, b, c, RoundingMode.TRUNCATE
+            )
+
+    def test_single_rounding_beats_chained_on_directed_case(self):
+        """``a*b - round(a*b)``: fused recovers the exact rounding
+        residual where the chained mul-then-add cancels to zero."""
+        from repro.fp.adder import fp_add
+        from repro.fp.mac import fp_fma
+        from repro.units.structural import StructuralFPMac
+
+        a = FP32.pack(0, FP32.bias, 1)  # 1 + 2^-23
+        product, _ = fp_mul(FP32, a, a)
+        c = product ^ (1 << (FP32.width - 1))
+        unit = StructuralFPMac(FP32, 3)
+        bits, flags = unit.compute(a, a, c)
+        assert (bits, flags) == fp_fma(FP32, a, a, c)
+        assert bits == FP32.pack(0, FP32.bias - 46, 0)  # exact 2^-46
+        assert not flags.inexact
+        chained, chained_flags = fp_add(FP32, product, c)
+        assert chained == FP32.zero(0)
+        assert chained_flags.zero
+
+    def test_partial_issue_rejected(self):
+        from repro.units.structural import StructuralFPMac
+
+        unit = StructuralFPMac(FP32, 2)
+        with pytest.raises(ValueError):
+            unit.step(1, 2, None)
+
+    @settings(max_examples=100)
+    @given(words(TINY), words(TINY), words(TINY), st.integers(1, 6))
+    def test_tiny_format_property(self, a, b, c, stages):
+        from repro.fp.mac import fp_fma
+        from repro.units.structural import StructuralFPMac
+
+        unit = StructuralFPMac(TINY, stages)
+        assert unit.compute(a, b, c) == fp_fma(TINY, a, b, c)

@@ -9,6 +9,7 @@ from repro.fp.rounding import RoundingMode
 from repro.verify.kernels import (
     KERNEL_CORNERS,
     KernelMatrixReport,
+    fused_matmul_case,
     matmul_case,
     matrix_jobs,
     run_matrix,
@@ -56,6 +57,43 @@ class TestMatmulCase:
         assert "c" in report["mismatched"]
 
 
+class TestFusedMatmulCase:
+    def test_padded_case_passes(self):
+        report = fused_matmul_case(FP32, 6, 3, 5)
+        assert report["ok"], report
+        assert report["mismatched"] == []
+        assert report["raised"] is None
+
+    def test_unpadded_hazard_case_raises_identically(self):
+        report = fused_matmul_case(FP32, 4, 7, 10, pad_schedule=False)
+        assert report["ok"], report
+        assert "read-after-write" in report["raised"]
+
+    def test_case_is_deterministic(self):
+        r1 = fused_matmul_case(FP48, 4, 7, 10, seed=3)
+        r2 = fused_matmul_case(FP48, 4, 7, 10, seed=3)
+        assert r1 == r2
+
+    def test_detects_divergence(self, monkeypatch):
+        """Corrupt the fused array; the case must report the mismatch."""
+        import repro.verify.kernels as vk
+        from repro.kernels.batched import FusedMatmulArray
+
+        class Corrupted(FusedMatmulArray):
+            def run(self, a, b):
+                run = super().run(a, b)
+                bad_c = [row[:] for row in run.c]
+                bad_c[0][0] ^= 1
+                import dataclasses
+
+                return dataclasses.replace(run, c=bad_c)
+
+        monkeypatch.setattr(vk, "FusedMatmulArray", Corrupted)
+        report = fused_matmul_case(FP32, 4, 2, 3)
+        assert not report["ok"]
+        assert "c" in report["mismatched"]
+
+
 class TestMatrix:
     def test_small_matrix_passes_serial(self):
         report = run_matrix(
@@ -63,20 +101,24 @@ class TestMatrix:
         )
         assert isinstance(report, KernelMatrixReport)
         assert report.passed
-        assert len(report.cases) == 1 * 2 * len(SMALL_CORNERS) * 2
+        # Every grid point carries a chained (stepped-vs-batched) case
+        # and a fused (fma-vs-scalar-fused-PE) case.
+        assert len(report.cases) == 1 * 2 * len(SMALL_CORNERS) * 2 * 2
         # (4, 7, 10) and (6, 3, 5) have n < PL: one identical raise per
-        # hazardous corner per rounding mode.
-        assert report.hazard_cases == 4
+        # hazardous corner per rounding mode, for each case kind.
+        assert report.hazard_cases == 8
         assert report.failures() == []
         assert report.summary().startswith("kernel differential matrix: PASS")
 
     def test_jobs_cover_full_grid(self):
         jobs = matrix_jobs()
-        # 3 formats x 2 modes x corners x {padded, unpadded}
-        assert len(jobs) == 3 * 2 * len(KERNEL_CORNERS) * 2
+        # 3 formats x 2 modes x corners x {padded, unpadded} x
+        # {chained, fused}
+        assert len(jobs) == 3 * 2 * len(KERNEL_CORNERS) * 2 * 2
         names = [job.name for job in jobs]
         assert len(set(names)) == len(names)
         assert any(".nopad" in name for name in names)
+        assert sum(".fma." in name for name in names) == len(jobs) // 2
 
     def test_failure_reported_in_summary(self):
         bad_case = {"ok": False, "raised": None, "mismatched": ["cycles"]}

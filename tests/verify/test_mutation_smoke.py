@@ -1,28 +1,110 @@
 """Mutation-coverage smoke gate (run in CI as a named step).
 
-A seeded mutation campaign against the 32-bit structural adder and
-multiplier must detect at least 95% of injected single-point faults.
-This pins the *sensitivity* of the golden-model verification flow: if a
-refactor of the testbench or the structural cores weakens fault
-detection, this fails the build.  The campaign is fully deterministic
-(seeded), so the gate is stable; the threshold is below the ~97%
-observed rate only by the headroom of one extra legitimate dead-corner
-escape.
+A seeded mutation campaign against the 32-bit structural cores — adder,
+multiplier, divider, square root and fused MAC — must detect at least
+95% of injected single-point faults.  This pins the *sensitivity* of the
+golden-model verification flow: if a refactor of the testbench or the
+structural cores weakens fault detection, this fails the build.  The
+campaign is fully deterministic (seeded), so the gate is stable; the
+threshold is below the observed rates only by the headroom of one extra
+legitimate dead-corner escape.
+
+The div/sqrt/fma gates use the *vectorized* datapaths as golden
+detectors (the same single-rounding numpy implementations the service
+lanes execute), closing the loop between the mutation flow and the
+vectorized layer.  Uniform random operands leave recurrence-remainder
+and wide-product low bits observable only through the sticky/inexact
+sideband or under cancellation, so those gates bias half their vectors
+toward the corners that expose them: exact quotients (identical
+significands), exact squares, and catastrophic-cancellation FMA triples
+(``c = -round(a*b)``).
 """
 
+import numpy as np
+
 from repro.fp.adder import fp_add
+from repro.fp.flags import FPFlags
 from repro.fp.format import FP32
 from repro.fp.multiplier import fp_mul
 from repro.fp.rounding import RoundingMode
-from repro.units.structural import adder_micro_ops, multiplier_micro_ops
+from repro.fp.vectorized import vec_div, vec_fma, vec_sqrt
+from repro.units.structural import (
+    adder_micro_ops,
+    divider_micro_ops,
+    fma_micro_ops,
+    multiplier_micro_ops,
+    sqrt_micro_ops,
+)
 from repro.verify.faults import mutation_campaign
 
-#: Pinned campaign parameters — chosen so both units clear the gate with
-#: deterministic seeds while keeping the smoke fast (< a few seconds).
+#: Pinned campaign parameters — chosen so every unit clears the gate
+#: with deterministic seeds while keeping the smoke fast (< a few
+#: seconds).
 TRIALS = 60
 VECTORS_PER_TRIAL = 48
 SEED = 2
 MIN_COVERAGE = 0.95
+
+RNE = RoundingMode.NEAREST_EVEN
+
+
+def _vec_golden(vec_fn):
+    """Adapt a vectorized op into the campaign's scalar golden shape."""
+
+    def golden(*operands):
+        arrays = [np.array([w], dtype=np.uint64) for w in operands]
+        bits, flags = vec_fn(FP32, *arrays, RNE, with_flags=True)
+        return int(bits[0]), FPFlags.from_bits(int(flags[0]))
+
+    return golden
+
+
+def _normal_word(rng):
+    return FP32.pack(
+        rng.randint(0, 1),
+        rng.randint(1, FP32.exp_max - 1),
+        rng.randrange(FP32.man_mask + 1),
+    )
+
+
+def _div_vectors(rng):
+    """Half exact quotients (same significand, free exponents/signs)."""
+    if rng.random() < 0.5:
+        f = rng.randrange(FP32.man_mask + 1)
+        return (
+            FP32.pack(rng.randint(0, 1), rng.randint(1, FP32.exp_max - 1), f),
+            FP32.pack(rng.randint(0, 1), rng.randint(1, FP32.exp_max - 1), f),
+        )
+    return (_normal_word(rng), _normal_word(rng))
+
+
+def _sqrt_vectors(rng):
+    """Half exact squares: (12-bit s)^2 scaled by an even power of two."""
+    if rng.random() < 0.5:
+        square = rng.randrange(1 << 11, 1 << 12) ** 2
+        top = square.bit_length() - 1
+        man = (square << (FP32.man_bits - top)) & FP32.man_mask
+        k = rng.randint((FP32.emin - top) // 2 + 1, (FP32.emax - top) // 2)
+        return (FP32.pack(0, top + 2 * k + FP32.bias, man),)
+    return (_normal_word(rng),)
+
+
+def _fma_vectors(rng):
+    """Half cancellation triples: ``c = -round(a*b)`` at mid exponents."""
+    if rng.random() < 0.5:
+        a = FP32.pack(
+            rng.randint(0, 1),
+            FP32.bias + rng.randint(-30, 30),
+            rng.randrange(FP32.man_mask + 1),
+        )
+        b = FP32.pack(
+            rng.randint(0, 1),
+            FP32.bias + rng.randint(-30, 30),
+            rng.randrange(FP32.man_mask + 1),
+        )
+        product, _ = fp_mul(FP32, a, b, RNE)
+        return (a, b, product ^ (1 << (FP32.width - 1)))
+    return (_normal_word(rng), _normal_word(rng), _normal_word(rng))
 
 
 def test_adder_mutation_coverage_gate():
@@ -54,6 +136,63 @@ def test_multiplier_mutation_coverage_gate():
     )
     assert report.coverage >= MIN_COVERAGE, (
         f"multiplier mutation coverage regressed: {report.coverage:.3f} < "
+        f"{MIN_COVERAGE} ({len(report.escaped)} escapees: "
+        f"{[f.describe() for f in report.escaped]})"
+    )
+
+
+def test_divider_mutation_coverage_gate():
+    ops = divider_micro_ops(FP32, RNE)
+    report = mutation_campaign(
+        FP32,
+        ops,
+        _vec_golden(vec_div),
+        trials=TRIALS,
+        vectors_per_trial=VECTORS_PER_TRIAL,
+        seed=SEED,
+        arity=2,
+        vectors=_div_vectors,
+    )
+    assert report.coverage >= MIN_COVERAGE, (
+        f"divider mutation coverage regressed: {report.coverage:.3f} < "
+        f"{MIN_COVERAGE} ({len(report.escaped)} escapees: "
+        f"{[f.describe() for f in report.escaped]})"
+    )
+
+
+def test_sqrt_mutation_coverage_gate():
+    ops = sqrt_micro_ops(FP32, RNE)
+    report = mutation_campaign(
+        FP32,
+        ops,
+        _vec_golden(vec_sqrt),
+        trials=TRIALS,
+        vectors_per_trial=VECTORS_PER_TRIAL,
+        seed=SEED,
+        arity=1,
+        vectors=_sqrt_vectors,
+    )
+    assert report.coverage >= MIN_COVERAGE, (
+        f"sqrt mutation coverage regressed: {report.coverage:.3f} < "
+        f"{MIN_COVERAGE} ({len(report.escaped)} escapees: "
+        f"{[f.describe() for f in report.escaped]})"
+    )
+
+
+def test_fused_mac_mutation_coverage_gate():
+    ops = fma_micro_ops(FP32, RNE)
+    report = mutation_campaign(
+        FP32,
+        ops,
+        _vec_golden(vec_fma),
+        trials=TRIALS,
+        vectors_per_trial=VECTORS_PER_TRIAL,
+        seed=SEED,
+        arity=3,
+        vectors=_fma_vectors,
+    )
+    assert report.coverage >= MIN_COVERAGE, (
+        f"fused-MAC mutation coverage regressed: {report.coverage:.3f} < "
         f"{MIN_COVERAGE} ({len(report.escaped)} escapees: "
         f"{[f.describe() for f in report.escaped]})"
     )
