@@ -33,6 +33,14 @@ SCHEMA = "repro-bench/1"
 DEFAULT_SIZES = (16, 32)
 DEFAULT_SCAN_SIZES = (64, 128, 256)
 
+#: Element count for the packed-vs-unpacked comparison.  Large on
+#: purpose: at 2^20 elements both paths are far past NumPy dispatch
+#: overhead and the ratio is stable on noisy hosts, which is what the
+#: benchmark suite gates.
+DEFAULT_PACKED_N = 1 << 20
+#: Ops with packed sub-lane kernels, benchmarked per supported format.
+PACKED_BENCH_OPS = ("add", "sub", "mul")
+
 
 def _best_of(fn: Callable[[], object], repeats: int) -> float:
     """Best wall time of ``repeats`` runs (min filters scheduler noise)."""
@@ -140,6 +148,115 @@ def kernel_bench(
         "benchmarks": benchmarks,
         "speedups": speedups,
     }
+
+
+def packed_bench(
+    n: int = DEFAULT_PACKED_N,
+    ops: tuple[str, ...] = PACKED_BENCH_OPS,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    repeats: int = 3,
+    seed: int = 0,
+) -> dict:
+    """Benchmark the packed sub-lane datapaths; return the snapshot dict.
+
+    For every format with a supported packing (fp16/bf16 4-way, fp32
+    2-way) and every packed op, times one unpacked vectorized pass and
+    one packed pass over the same ``n`` random operand pairs — flags
+    on, the full service contract — and records the ratio as
+    ``packed_vs_unpacked.{op}.{fmt}.k{width}``.  Every timed pair is
+    also cross-checked element-wise (bits and flags), so a benchmark
+    run doubles as an equivalence check exactly like
+    :func:`kernel_bench`.
+    """
+    import numpy as np
+
+    from repro.fp.format import ALL_FORMATS
+    from repro.fp.packing import packed_call, packing_width
+    from repro.fp.vectorized import vec_add, vec_mul, vec_sub
+
+    vec_fns = {"add": vec_add, "sub": vec_sub, "mul": vec_mul}
+    rng = np.random.default_rng(seed)
+    benchmarks: list[dict] = []
+    speedups: dict[str, float] = {}
+    lanes: list[dict] = []
+    for fmt in ALL_FORMATS:
+        width = packing_width(fmt)
+        if width == 1:
+            continue
+        lanes.append({"fmt": fmt.name, "width": width})
+        a = rng.integers(0, fmt.word_mask + 1, size=n, dtype=np.uint64)
+        b = rng.integers(0, fmt.word_mask + 1, size=n, dtype=np.uint64)
+        for op in ops:
+            vec_fn = vec_fns[op]
+            want_bits, want_flags = vec_fn(fmt, a, b, mode, with_flags=True)
+            got_bits, got_flags = packed_call(
+                op, fmt, a, b, mode, width=width, with_flags=True
+            )
+            if not (
+                np.array_equal(got_bits, want_bits)
+                and np.array_equal(got_flags, want_flags)
+            ):
+                bad = int(np.flatnonzero(
+                    (got_bits != want_bits) | (got_flags != want_flags)
+                )[0])
+                raise AssertionError(
+                    f"packed {op}/{fmt.name} x{width} diverged from "
+                    f"unpacked at element {bad}: a={int(a[bad]):#x} "
+                    f"b={int(b[bad]):#x}"
+                )
+            t_unpacked = _best_of(
+                lambda: vec_fn(fmt, a, b, mode, with_flags=True), repeats
+            )
+            t_packed = _best_of(
+                lambda: packed_call(
+                    op, fmt, a, b, mode, width=width, with_flags=True
+                ),
+                repeats,
+            )
+            benchmarks.append({
+                "name": f"unpacked.{op}.{fmt.name}.n{n}",
+                "seconds": t_unpacked,
+            })
+            benchmarks.append({
+                "name": f"packed.{op}.{fmt.name}.k{width}.n{n}",
+                "seconds": t_packed,
+            })
+            speedups[f"packed_vs_unpacked.{op}.{fmt.name}.k{width}"] = (
+                t_unpacked / t_packed
+            )
+    return {
+        "schema": SCHEMA,
+        "suite": "packed",
+        "config": {
+            "n": n,
+            "ops": list(ops),
+            "mode": mode.value,
+            "repeats": repeats,
+            "seed": seed,
+            "lanes": lanes,
+        },
+        "context": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+            "numpy": np.__version__,
+        },
+        "benchmarks": benchmarks,
+        "speedups": speedups,
+    }
+
+
+def render_packed(snapshot: dict) -> str:
+    """Human-readable summary of a packed snapshot."""
+    cfg = snapshot["config"]
+    lanes = ", ".join(f"{l['fmt']} x{l['width']}" for l in cfg["lanes"])
+    lines = [f"packed bench (n={cfg['n']}, {cfg['mode']}; lanes: {lanes})"]
+    for entry in snapshot["benchmarks"]:
+        lines.append(
+            f"  {entry['name']:<32} {entry['seconds'] * 1000.0:>10.2f} ms"
+        )
+    for name, ratio in snapshot["speedups"].items():
+        lines.append(f"  {name:<36} {ratio:>9.2f}x")
+    return "\n".join(lines)
 
 
 def dispatch_rps(

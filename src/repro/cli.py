@@ -13,6 +13,7 @@ Usage::
     repro cache clear         # drop it
     repro verify --pairs 1000000 --parallel 8   # differential campaign
     repro verify --kernels    # batched-vs-stepped array differential matrix
+    repro verify --packed     # packed-vs-unpacked sub-lane campaign
     repro bench --json BENCH_kernel.json        # kernel perf snapshot
     repro bench --service --json BENCH_service.json  # serving perf snapshot
     repro serve --port 8080   # micro-batching evaluation service
@@ -182,6 +183,16 @@ def bench_command(args: argparse.Namespace) -> int:
             print(f"wrote {args.json}")
         return 0
 
+    if args.packed:
+        from repro.bench import packed_bench, render_packed
+
+        snapshot = packed_bench(repeats=args.repeats, seed=args.seed)
+        print(render_packed(snapshot))
+        if args.json:
+            write_snapshot(snapshot, args.json)
+            print(f"wrote {args.json}")
+        return 0
+
     sizes = _parse_sizes(args.bench_sizes, "--bench-sizes")
     if sizes is None:
         return 2
@@ -221,16 +232,46 @@ def verify_kernels_command(args: argparse.Namespace) -> int:
     return 0 if report.passed else 1
 
 
+def verify_packed_command(args: argparse.Namespace, formats, ops) -> int:
+    """Run the packed-vs-unpacked sub-lane differential campaign."""
+    from repro.fp.rounding import RoundingMode
+    from repro.verify.differential import run_packed_campaign
+
+    engine = build_engine(args)
+    report = run_packed_campaign(
+        formats=formats,
+        ops=ops,
+        modes=tuple(RoundingMode),
+        pairs_per_lane=args.pairs,
+        chunk_pairs=args.chunk,
+        seed=args.seed,
+        engine=engine,
+    )
+    print(report.summary())
+    for ex in report.examples():
+        print(
+            f"  counterexample [{ex.against}] {ex.op}/{ex.mode}: "
+            f"a={ex.a:#x} b={ex.b:#x} got={ex.got_bits:#x}/{ex.got_flags:#06b} "
+            f"want={ex.want_bits:#x}/{ex.want_flags:#06b}"
+        )
+    print(engine.metrics.summary(), file=sys.stderr)
+    return 0 if report.passed else 1
+
+
 def verify_command(args: argparse.Namespace) -> int:
     """Run the vectorized-vs-scalar-vs-oracle differential campaign."""
-    from repro.fp.format import PAPER_FORMATS
+    from repro.fp.format import ALL_FORMATS
     from repro.fp.rounding import RoundingMode
-    from repro.verify.differential import CAMPAIGN_OPS, run_campaign
+    from repro.verify.differential import (
+        CAMPAIGN_OPS,
+        PACKED_CAMPAIGN_OPS,
+        run_campaign,
+    )
 
     if args.kernels:
         return verify_kernels_command(args)
 
-    by_name = {f.name: f for f in PAPER_FORMATS}
+    by_name = {f.name: f for f in ALL_FORMATS}
     if args.formats:
         names = [n.strip() for n in args.formats.split(",") if n.strip()]
         unknown = [n for n in names if n not in by_name]
@@ -243,19 +284,23 @@ def verify_command(args: argparse.Namespace) -> int:
             return 2
         formats = [by_name[n] for n in names]
     else:
-        formats = list(PAPER_FORMATS)
+        formats = list(ALL_FORMATS)
+    known_ops = PACKED_CAMPAIGN_OPS if args.packed else CAMPAIGN_OPS
     if args.ops:
         ops = [o.strip() for o in args.ops.split(",") if o.strip()]
-        bad = [o for o in ops if o not in CAMPAIGN_OPS]
+        bad = [o for o in ops if o not in known_ops]
         if bad:
             print(
                 f"unknown ops: {', '.join(bad)} "
-                f"(known: {', '.join(CAMPAIGN_OPS)})",
+                f"(known: {', '.join(known_ops)})",
                 file=sys.stderr,
             )
             return 2
     else:
-        ops = list(CAMPAIGN_OPS)
+        ops = list(known_ops)
+
+    if args.packed:
+        return verify_packed_command(args, formats, ops)
 
     engine = build_engine(args)
     report = run_campaign(
@@ -519,6 +564,14 @@ def main(argv: Sequence[str] | None = None) -> int:
         action="store_true",
         help="with 'verify': run the batched-vs-stepped array "
         "differential matrix instead of the datapath campaign",
+    )
+    parser.add_argument(
+        "--packed",
+        action="store_true",
+        help="with 'verify': run the packed-vs-unpacked sub-lane "
+        "differential campaign (add/sub/mul over every supported "
+        "format x packing width); with 'bench': benchmark the packed "
+        "datapaths against the unpacked vectorized baseline",
     )
     parser.add_argument(
         "--json",

@@ -166,6 +166,12 @@ class FPFormat:
         return f"{self.name}(1+{self.exp_bits}+{self.man_bits})"
 
 
+#: IEEE 754 half precision layout (4-way packable sub-lane format).
+FP16 = FPFormat(exp_bits=5, man_bits=10, name="fp16")
+
+#: bfloat16: fp32's exponent range with a 7-bit fraction (4-way packable).
+BF16 = FPFormat(exp_bits=8, man_bits=7, name="bf16")
+
 #: IEEE 754 single precision layout (paper's "32-bit").
 FP32 = FPFormat(exp_bits=8, man_bits=23, name="fp32")
 
@@ -177,3 +183,11 @@ FP64 = FPFormat(exp_bits=11, man_bits=52, name="fp64")
 
 #: The three precisions studied in the paper, in presentation order.
 PAPER_FORMATS: tuple[FPFormat, ...] = (FP32, FP48, FP64)
+
+#: First-class small formats (beyond the paper): half precision and
+#: bfloat16, the sub-lane formats of the packed SIMD-within-a-lane
+#: datapaths (:mod:`repro.fp.packing`).
+SMALL_FORMATS: tuple[FPFormat, ...] = (FP16, BF16)
+
+#: Every named format the verification campaigns and the service know.
+ALL_FORMATS: tuple[FPFormat, ...] = SMALL_FORMATS + PAPER_FORMATS

@@ -1,0 +1,508 @@
+"""Packed SIMD-within-a-lane execution over uint64 limbs.
+
+FPGA multi-precision multipliers (CIVP-style) partition one wide
+datapath into independent sub-lanes — 2x(<=32-bit) or 4x(<=16-bit)
+operands per word — so the same hardware pass computes 2-4 narrow
+results.  This module is the NumPy rendition of that trick: logical
+operands pack into ``uint64`` limbs (lane 0 in the least-significant
+sub-word), and the add/sub/mul datapaths run over a **zero-copy narrow
+view** of the limb buffer (``uint16`` lanes for 4-way, ``uint32`` lanes
+for 2-way).  One NumPy pass over the limb array therefore performs
+``width`` logical operations per limb, at 2-4x the element throughput
+of the unpacked :mod:`repro.fp.vectorized` path.
+
+Guard-band / carry-isolation argument
+-------------------------------------
+Packing is only admitted when every intermediate of the lane datapath
+fits its sub-word with headroom:
+
+* The GRS-extended adder operates on ``man_bits + 4``-bit addends
+  (significand + hidden bit + 3 guard positions), whose sum carries
+  into bit ``man_bits + 4`` — so a lane needs ``man_bits + 5`` bits.
+  Admission requires ``man_bits <= slot - 5`` (slot = 16 or 32), which
+  is exactly a >= 1-bit guard band above the widest in-lane value.
+* The double-width mantissa product (``2 * sig_bits`` bits) widens to
+  the next dtype (uint16 -> uint32, uint32 -> uint64) for the multiply
+  step only, then reduces back to lane width before packing.
+
+Because the lanes are *separate array elements* of the narrow view —
+not bit-fields sharing one integer — carries physically cannot cross
+sub-lanes: the dtype boundary is the partition.  The limb layout is
+only a storage/transport format; arithmetic never runs on the limb as
+a single 64-bit integer.
+
+Every packed op is bit- and flag-identical to the unpacked vectorized
+path (the scalar-proven oracle); the differential campaign
+(:mod:`repro.verify.differential`) proves it element-wise, pad lanes
+and specials included.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.fp.format import FPFormat
+from repro.fp.rounding import RoundingMode
+from repro.fp.vectorized import (
+    _as_u64,
+    check_vectorized_format,
+    supports_vectorized,
+)
+
+# FPFlags.to_bits() bit positions (the 6-bit RTL sideband layout).
+_FL_ZERO = 1
+_FL_INVALID = 2
+_FL_INEXACT = 4
+_FL_UNDERFLOW = 8
+_FL_OVERFLOW = 16
+
+
+@dataclass(frozen=True)
+class _LaneSpec:
+    """Dtypes of one packing degree: sub-word, signed exponent, widened."""
+
+    slot: int  # sub-lane width in bits
+    u: type  # unsigned lane dtype
+    i: type  # signed dtype for exponent arithmetic
+    w: type  # widened dtype for the mantissa product only
+
+
+_LANE_SPECS: dict[int, _LaneSpec] = {
+    4: _LaneSpec(slot=16, u=np.uint16, i=np.int16, w=np.uint32),
+    2: _LaneSpec(slot=32, u=np.uint32, i=np.int32, w=np.uint64),
+}
+
+#: Supported packing degrees (logical operands per uint64 limb).
+PACK_WIDTHS: tuple[int, ...] = tuple(sorted(_LANE_SPECS))
+
+
+def supports_packing(fmt: FPFormat, width: int) -> bool:
+    """True when ``fmt`` can run ``width``-way packed."""
+    spec = _LANE_SPECS.get(width)
+    if spec is None or not supports_vectorized(fmt):
+        return False
+    return fmt.width <= spec.slot and fmt.man_bits <= spec.slot - 5
+
+
+def packing_width(fmt: FPFormat) -> int:
+    """Best packing degree for ``fmt``: 4, 2, or 1 (unpackable)."""
+    for width in (4, 2):
+        if supports_packing(fmt, width):
+            return width
+    return 1
+
+
+def check_packed_format(fmt: FPFormat, width: int) -> None:
+    """Shared format guard for every packed op.
+
+    Raises one precise :class:`ValueError` naming the violated limit:
+    an invalid packing degree, the shared vectorized format floor
+    (:func:`repro.fp.vectorized.check_vectorized_format`), or the
+    sub-lane slot/guard-band bound of the requested degree.
+    """
+    spec = _LANE_SPECS.get(width)
+    if spec is None:
+        raise ValueError(
+            f"packing width must be one of {', '.join(map(str, PACK_WIDTHS))}"
+            f"; got {width}"
+        )
+    check_vectorized_format(fmt)
+    if not supports_packing(fmt, width):
+        raise ValueError(
+            f"{width}-way packing supports total width <= {spec.slot} bits "
+            f"with fraction bits <= {spec.slot - 5} (a {spec.slot}-bit "
+            f"sub-lane keeps a guard band above the {5}-bit-extended adder "
+            f"sum); got {fmt.name} (width {fmt.width}, {fmt.man_bits} "
+            "fraction bits) — use a lower packing degree or the unpacked "
+            "vectorized path"
+        )
+
+
+# --------------------------------------------------------------------- #
+# Limb packing / unpacking
+# --------------------------------------------------------------------- #
+
+
+def pack_words(
+    fmt: FPFormat, words: np.ndarray, width: int
+) -> tuple[np.ndarray, int]:
+    """Pack a 1-D array of bit patterns into uint64 limbs.
+
+    Returns ``(limbs, count)``: ``count`` is the logical element count;
+    the tail limb is padded with ``+0`` lanes when ``count`` is not a
+    multiple of ``width``.  Lane ``j`` of limb ``i`` (logical element
+    ``i * width + j``) occupies bits ``[j * slot, (j + 1) * slot)``.
+    """
+    check_packed_format(fmt, width)
+    spec = _LANE_SPECS[width]
+    arr = _as_u64(fmt, words, "words")
+    if arr.ndim != 1:
+        raise ValueError(f"pack_words expects a 1-D array, got shape {arr.shape}")
+    count = arr.size
+    pad = (-count) % width
+    lanes = np.zeros(count + pad, dtype=spec.u)
+    lanes[:count] = arr.astype(spec.u)
+    return lanes.view(np.uint64), count
+
+
+def unpack_words(
+    fmt: FPFormat, limbs: np.ndarray, count: int, width: int
+) -> np.ndarray:
+    """Unpack uint64 limbs back into ``count`` logical uint64 words."""
+    check_packed_format(fmt, width)
+    spec = _LANE_SPECS[width]
+    limbs = np.ascontiguousarray(np.asarray(limbs, dtype=np.uint64))
+    lanes = limbs.view(spec.u)
+    if count > lanes.size:
+        raise ValueError(f"count {count} exceeds {lanes.size} packed lanes")
+    return lanes[:count].astype(np.uint64)
+
+
+def _lanes_of(fmt: FPFormat, limbs: np.ndarray, spec: _LaneSpec, name: str):
+    limbs = np.ascontiguousarray(np.asarray(limbs, dtype=np.uint64))
+    lanes = limbs.view(spec.u)
+    if lanes.size and int(lanes.max()) > fmt.word_mask:
+        raise ValueError(f"{name} contains packed lanes outside {fmt.name}")
+    return lanes
+
+
+# --------------------------------------------------------------------- #
+# Lane datapaths — line-for-line mirrors of vec_mul / vec_add in the
+# narrow lane dtype (see repro.fp.vectorized for the commented originals)
+# --------------------------------------------------------------------- #
+
+
+def _lane_unpack(fmt: FPFormat, spec: _LaneSpec, bits):
+    U = spec.u
+    sign = (bits >> U(fmt.width - 1)) & U(1)
+    exp = (bits >> U(fmt.man_bits)) & U(fmt.exp_mask)
+    man = bits & U(fmt.man_mask)
+    return sign, exp, man
+
+
+def _lane_classify(fmt: FPFormat, exp, man):
+    is_zero = exp == 0
+    is_max = exp == fmt.exp_max
+    is_inf = is_max & (man == 0)
+    is_nan = is_max & (man != 0)
+    return is_zero, is_inf, is_nan
+
+
+def _lane_round(spec: _LaneSpec, sig, guard, rnd, sticky, mode: RoundingMode):
+    U = spec.u
+    inexact = (guard | rnd | sticky) != 0
+    if mode is RoundingMode.TRUNCATE:
+        return sig, inexact
+    round_up = (guard != 0) & ((rnd != 0) | (sticky != 0) | ((sig & U(1)) != 0))
+    return sig + round_up.astype(U), inexact
+
+
+def _lane_pack_result(fmt: FPFormat, spec: _LaneSpec, sign, exp, sig):
+    U = spec.u
+    overflow = exp >= fmt.exp_max
+    underflow = exp <= 0
+    exp_c = np.clip(exp, 1, fmt.exp_max - 1).astype(U)
+    out = (
+        (sign << U(fmt.width - 1))
+        | (exp_c << U(fmt.man_bits))
+        | (sig & U(fmt.man_mask))
+    )
+    inf = (sign << U(fmt.width - 1)) | U(fmt.inf(0))
+    zero = sign << U(fmt.width - 1)
+    out = np.where(overflow, inf, out)
+    out = np.where(underflow, zero, out)
+    return out, overflow, underflow
+
+
+def _mul_lanes(fmt: FPFormat, spec: _LaneSpec, al, bl, mode: RoundingMode):
+    U, I, W = spec.u, spec.i, spec.w
+    s1, e1, f1 = _lane_unpack(fmt, spec, al)
+    s2, e2, f2 = _lane_unpack(fmt, spec, bl)
+    z1, i1, n1 = _lane_classify(fmt, e1, f1)
+    z2, i2, n2 = _lane_classify(fmt, e2, f2)
+    sign = s1 ^ s2
+
+    hidden = U(1) << U(fmt.man_bits)
+    m1 = np.where(z1, U(0), f1 | hidden)
+    m2 = np.where(z2, U(0), f2 | hidden)
+
+    # Double-width product in the widened dtype; 2*sig_bits <= 2*(slot-4)
+    # always fits.  GRS extraction matches _wide_mul_grs's one-limb
+    # branch, with sig/guard/round pulled from one sig_bits+2-bit window
+    # so only two variable shifts run at the widened width.
+    prod = m1.astype(W) * m2
+    prod_bits = 2 * fmt.sig_bits
+    top = ((prod >> W(prod_bits - 1)) & W(1)).astype(U)
+    dropped = (U(fmt.sig_bits - 1) + top).astype(W)
+    window = (prod >> (dropped - W(2))).astype(U)
+    sig = window >> U(2)
+    guard = (window >> U(1)) & U(1)
+    rnd = window & U(1)
+    sticky_mask = (W(1) << (dropped - W(2))) - W(1)
+    sticky = ((prod & sticky_mask) != 0).astype(U)
+    exp = (
+        e1.astype(I) + e2.astype(I) - I(fmt.bias) + top.astype(I)
+    )
+
+    sig, inexact = _lane_round(spec, sig, guard, rnd, sticky, mode)
+    carry = (sig >> U(fmt.sig_bits)) & U(1)
+    sig = np.where(carry != 0, sig >> U(1), sig)
+    exp = exp + carry.astype(I)
+
+    out, overflow, underflow = _lane_pack_result(fmt, spec, sign, exp, sig)
+
+    # Specials, in priority order (NaN > 0*Inf > Inf > zero).
+    any_nan = n1 | n2
+    zero_times_inf = (z1 & i2) | (z2 & i1)
+    any_inf = i1 | i2
+    any_zero = z1 | z2
+    signed_inf = (sign << U(fmt.width - 1)) | U(fmt.inf(0))
+    signed_zero = sign << U(fmt.width - 1)
+    out = np.where(any_zero, signed_zero, out)
+    out = np.where(any_inf, signed_inf, out)
+    out = np.where(zero_times_inf | any_nan, U(fmt.nan()), out)
+
+    flags = np.where(inexact, U(_FL_INEXACT), U(0))
+    flags = np.where(overflow, U(_FL_OVERFLOW | _FL_INEXACT), flags)
+    flags = np.where(
+        underflow, U(_FL_UNDERFLOW | _FL_INEXACT | _FL_ZERO), flags
+    )
+    flags = np.where(any_zero, U(_FL_ZERO), flags)
+    flags = np.where(any_inf, U(0), flags)
+    flags = np.where(zero_times_inf | any_nan, U(_FL_INVALID), flags)
+    return out, flags.astype(np.uint8)
+
+
+def _add_lanes(fmt: FPFormat, spec: _LaneSpec, al, bl, mode: RoundingMode):
+    U, I = spec.u, spec.i
+    s1, e1, f1 = _lane_unpack(fmt, spec, al)
+    s2, e2, f2 = _lane_unpack(fmt, spec, bl)
+    z1, i1, n1 = _lane_classify(fmt, e1, f1)
+    z2, i2, n2 = _lane_classify(fmt, e2, f2)
+
+    hidden = U(1) << U(fmt.man_bits)
+    m1 = f1 | hidden
+    m2 = f2 | hidden
+
+    swap = (e2 > e1) | ((e2 == e1) & (m2 > m1))
+    e_big = np.where(swap, e2, e1)
+    e_small = np.where(swap, e1, e2)
+    m_big = np.where(swap, m2, m1)
+    m_small = np.where(swap, m1, m2)
+    s_big = np.where(swap, s2, s1)
+    s_small = np.where(swap, s1, s2)
+
+    # wide = man_bits + 4 <= slot - 1: the guard band that makes the
+    # carry bit of total_add representable inside the lane dtype.
+    wide = fmt.sig_bits + 3
+    diff = e_big - e_small
+    shift = np.minimum(diff, U(wide))
+    big = m_big << U(3)
+    small_full = m_small << U(3)
+    small = np.where(diff >= wide, U(0), small_full >> shift)
+    drop_mask = np.where(
+        diff >= wide, ~U(0) >> U(1), (U(1) << shift) - U(1)
+    )
+    sticky = ((small_full & drop_mask) != 0).astype(U)
+
+    subtract = s_big != s_small
+    total_add = big + small
+    carry = (total_add >> U(wide)) & U(1)
+    sticky_add = np.where(carry != 0, sticky | (total_add & U(1)), sticky)
+    total_add = np.where(carry != 0, total_add >> U(1), total_add)
+    exp_add = e_big.astype(I) + carry.astype(I)
+
+    total_sub = big - small - sticky
+    total = np.where(subtract, total_sub, total_add)
+    sticky = np.where(subtract, sticky, sticky_add)
+    exp = np.where(subtract, e_big.astype(I), exp_add)
+
+    cancel = subtract & (total == 0)
+
+    safe_total = np.where(total == 0, U(1), total)
+    lz = np.zeros_like(total, dtype=I)
+    probe = safe_total
+    for step in (32, 16, 8, 4, 2, 1):
+        if step >= wide:
+            continue
+        mask = probe < (U(1) << U(wide - step))
+        lz = lz + np.where(mask, I(step), I(0))
+        probe = np.where(mask, probe << U(step), probe)
+    total_n = safe_total << lz.astype(U)
+    exp = exp - lz
+
+    guard = (total_n >> U(2)) & U(1)
+    rnd = (total_n >> U(1)) & U(1)
+    st_bit = (total_n & U(1)) | sticky
+    sig = total_n >> U(3)
+    sig, inexact = _lane_round(spec, sig, guard, rnd, st_bit, mode)
+    carry2 = (sig >> U(fmt.sig_bits)) & U(1)
+    sig = np.where(carry2 != 0, sig >> U(1), sig)
+    exp = exp + carry2.astype(I)
+
+    result_sign = s_big
+    out, overflow, underflow = _lane_pack_result(fmt, spec, result_sign, exp, sig)
+    out = np.where(cancel, U(0), out)  # exact cancellation -> +0
+
+    both_zero = z1 & z2
+    one_zero = z1 ^ z2
+    zero_sign = np.where(s1 == s2, s1, U(0)) << U(fmt.width - 1)
+    pass_b = (s2 << U(fmt.width - 1)) | (e2 << U(fmt.man_bits)) | f2
+    pass_a = (s1 << U(fmt.width - 1)) | (e1 << U(fmt.man_bits)) | f1
+    out = np.where(z1 & ~z2, pass_b, out)
+    out = np.where(z2 & ~z1, pass_a, out)
+    out = np.where(both_zero, zero_sign, out)
+
+    inf_conflict = i1 & i2 & (s1 != s2)
+    signed_inf1 = (s1 << U(fmt.width - 1)) | U(fmt.inf(0))
+    signed_inf2 = (s2 << U(fmt.width - 1)) | U(fmt.inf(0))
+    out = np.where(i1, signed_inf1, out)
+    out = np.where(i2 & ~i1, signed_inf2, out)
+    any_nan = n1 | n2
+    out = np.where(inf_conflict | any_nan, U(fmt.nan()), out)
+
+    flags = np.where(inexact, U(_FL_INEXACT), U(0))
+    flags = np.where(
+        underflow, U(_FL_UNDERFLOW | _FL_INEXACT | _FL_ZERO), flags
+    )
+    flags = np.where(overflow, U(_FL_OVERFLOW | _FL_INEXACT), flags)
+    flags = np.where(cancel, U(_FL_ZERO), flags)
+    flags = np.where(one_zero, U(0), flags)
+    flags = np.where(both_zero, U(_FL_ZERO), flags)
+    flags = np.where(i1 | i2, U(0), flags)
+    flags = np.where(inf_conflict | any_nan, U(_FL_INVALID), flags)
+    return out, flags.astype(np.uint8)
+
+
+def _sub_lanes(fmt: FPFormat, spec: _LaneSpec, al, bl, mode: RoundingMode):
+    U = spec.u
+    _, eb, fb = _lane_unpack(fmt, spec, bl)
+    nan_b = (eb == fmt.exp_max) & (fb != 0)
+    flipped = bl ^ (U(1) << U(fmt.width - 1))
+    out, flags = _add_lanes(fmt, spec, al, flipped, mode)
+    return np.where(nan_b, U(fmt.nan()), out), flags
+
+
+_LANE_KERNELS = {"add": _add_lanes, "sub": _sub_lanes, "mul": _mul_lanes}
+
+
+# --------------------------------------------------------------------- #
+# Public packed ops (limb-level)
+# --------------------------------------------------------------------- #
+
+
+def _packed_op(
+    op: str,
+    fmt: FPFormat,
+    a,
+    b,
+    mode: RoundingMode,
+    width: int,
+    with_flags: bool,
+):
+    check_packed_format(fmt, width)
+    spec = _LANE_SPECS[width]
+    al = _lanes_of(fmt, a, spec, "a")
+    bl = _lanes_of(fmt, b, spec, "b")
+    if al.shape != bl.shape:
+        raise ValueError(
+            f"packed operands disagree in shape: {al.shape} vs {bl.shape}"
+        )
+    out, flags = _LANE_KERNELS[op](fmt, spec, al, bl, mode)
+    limbs = np.ascontiguousarray(out).view(np.uint64)
+    if with_flags:
+        return limbs, flags
+    return limbs
+
+
+def packed_add(
+    fmt: FPFormat,
+    a: np.ndarray,
+    b: np.ndarray,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    *,
+    width: int,
+    with_flags: bool = False,
+):
+    """Lane-wise FP add over packed uint64 limbs.
+
+    ``a``/``b`` are limb arrays from :func:`pack_words` at the same
+    ``width``.  Returns the result limbs; with ``with_flags=True`` also
+    a per-lane ``uint8`` sideband (length ``limbs * width`` — callers
+    slice to the logical count, pad lanes report ``0+0`` flags).
+    """
+    return _packed_op("add", fmt, a, b, mode, width, with_flags)
+
+
+def packed_sub(
+    fmt: FPFormat,
+    a: np.ndarray,
+    b: np.ndarray,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    *,
+    width: int,
+    with_flags: bool = False,
+):
+    """Lane-wise FP subtract over packed uint64 limbs (see :func:`packed_add`)."""
+    return _packed_op("sub", fmt, a, b, mode, width, with_flags)
+
+
+def packed_mul(
+    fmt: FPFormat,
+    a: np.ndarray,
+    b: np.ndarray,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    *,
+    width: int,
+    with_flags: bool = False,
+):
+    """Lane-wise FP multiply over packed uint64 limbs (see :func:`packed_add`)."""
+    return _packed_op("mul", fmt, a, b, mode, width, with_flags)
+
+
+#: Packed binary ops by name (the packable subset of the vectorized ops).
+PACKED_OPS = {"add": packed_add, "sub": packed_sub, "mul": packed_mul}
+
+
+def packed_call(
+    op: str,
+    fmt: FPFormat,
+    a: np.ndarray,
+    b: np.ndarray,
+    mode: RoundingMode = RoundingMode.NEAREST_EVEN,
+    *,
+    width: int | None = None,
+    with_flags: bool = False,
+):
+    """End-to-end packed execution on 1-D word arrays.
+
+    Packs ``a``/``b`` at ``width`` (default: :func:`packing_width`),
+    runs the packed kernel, and unpacks back to logical uint64 words —
+    the drop-in packed counterpart of ``vec_add``/``vec_sub``/
+    ``vec_mul`` on flat arrays.  With ``with_flags=True`` returns
+    ``(bits, flags)`` with the flag sideband sliced to the logical
+    element count.
+    """
+    if op not in PACKED_OPS:
+        raise ValueError(
+            f"unsupported packed op {op!r}; packed ops are "
+            f"{', '.join(sorted(PACKED_OPS))}"
+        )
+    if width is None:
+        width = packing_width(fmt)
+    pa, count = pack_words(fmt, a, width)
+    pb, count_b = pack_words(fmt, b, width)
+    if count != count_b:
+        raise ValueError(
+            f"packed operands disagree in length: {count} vs {count_b}"
+        )
+    # pack_words already validated format and word ranges, so the lane
+    # kernel runs directly on the limb views — no second validation pass.
+    spec = _LANE_SPECS[width]
+    out, flags = _LANE_KERNELS[op](fmt, spec, pa.view(spec.u), pb.view(spec.u), mode)
+    bits = out[:count].astype(np.uint64)
+    if with_flags:
+        return bits, flags[:count]
+    return bits

@@ -43,6 +43,7 @@ from repro.fp.divider import fp_div
 from repro.fp.format import FPFormat
 from repro.fp.mac import fp_fma
 from repro.fp.multiplier import fp_mul
+from repro.fp.packing import PACKED_OPS, packed_call, packing_width
 from repro.fp.rounding import RoundingMode
 from repro.fp.sqrt import fp_sqrt
 from repro.fp.vectorized import (
@@ -83,6 +84,18 @@ class BatchIntegrityError(Exception):
     """A batch's sampled element disagreed with the scalar datapath."""
 
 
+def lane_packing_width(op: str, fmt: FPFormat) -> int:
+    """Sub-lane packing degree of one service lane (1 = unpacked).
+
+    A lane packs when its op has a packed kernel (add/sub/mul) **and**
+    its format fits a sub-lane (:func:`repro.fp.packing.packing_width`):
+    fp16/bf16 run 4-way, fp32 2-way, everything else unpacked.
+    """
+    if op not in PACKED_OPS:
+        return 1
+    return packing_width(fmt)
+
+
 def execute_batch(
     op: str,
     fmt: FPFormat,
@@ -95,6 +108,11 @@ def execute_batch(
     ``requests`` is one operand tuple per request (arity words each).
     Returns one ``(bits, flags)`` pair per request, in request order.
     Runs on the executor thread; everything it touches is local.
+
+    Lanes whose (op, format) qualify run on the packed sub-lane
+    datapaths (2-4 logical ops per limb pass); the scatter contract is
+    unchanged — per-request ``(bits, flags)``, bit- and flag-identical
+    to the unpacked path, with tail pad lanes never surfacing.
     """
     scalar_fn, vec_fn, arity = OPS[op]
     n = len(requests)
@@ -102,7 +120,13 @@ def execute_batch(
         np.fromiter((t[j] for t in requests), dtype=np.uint64, count=n)
         for j in range(arity)
     ]
-    bits, flags = vec_fn(fmt, *columns, mode, with_flags=True)
+    width = lane_packing_width(op, fmt)
+    if width > 1:
+        bits, flags = packed_call(
+            op, fmt, *columns, mode, width=width, with_flags=True
+        )
+    else:
+        bits, flags = vec_fn(fmt, *columns, mode, with_flags=True)
     if spot_check:
         # One sampled element per batch, replayed through the scalar
         # datapath: a cheap, always-on differential probe whose cost the
@@ -217,8 +241,13 @@ class MicroBatcher:
     ) -> None:
         requests = [operands for operands, _ in batch]
         if self.telemetry is not None:
+            labels = (op, fmt.name, mode.value)
+            width = lane_packing_width(op, fmt)
             self.telemetry.batch_size.observe(len(batch))
-            self.telemetry.batches_total.inc((op, fmt.name, mode.value))
+            self.telemetry.batches_total.inc(labels)
+            self.telemetry.lane_packing_width.set(labels, width)
+            if width > 1:
+                self.telemetry.packed_batches_total.inc(labels)
             if self.config.spot_check:
                 self.telemetry.spot_checks_total.inc()
         loop = asyncio.get_running_loop()

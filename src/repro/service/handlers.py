@@ -29,7 +29,7 @@ from typing import Dict, Optional, Tuple
 from repro.engine.metrics import JobRecord
 from repro.experiments import REGISTRY, experiment_job
 from repro.service.admission import ADMIT_DRAINING, ADMIT_OK
-from repro.fp.format import FPFormat, PAPER_FORMATS
+from repro.fp.format import ALL_FORMATS, FPFormat
 from repro.fp.rounding import RoundingMode
 from repro.fp.vectorized import check_vectorized_format
 from repro.kernels.batched import array_cycles, hazard_count
@@ -46,7 +46,7 @@ from repro.units.explorer import UnitKind, explore
 #: (status, body, content-type, extra headers) — what a handler returns.
 Reply = Tuple[int, bytes, str, Tuple[Tuple[str, str], ...]]
 
-_FORMATS_BY_NAME: Dict[str, FPFormat] = {f.name: f for f in PAPER_FORMATS}
+_FORMATS_BY_NAME: Dict[str, FPFormat] = {f.name: f for f in ALL_FORMATS}
 _MODES = {m.value: m for m in RoundingMode}
 _CUSTOM_FORMATS: Dict[Tuple[int, int], FPFormat] = {}
 #: Request-body operand keys in positional order; an op of arity k
@@ -146,6 +146,10 @@ class Handlers:
             return self.handle_healthz(request)
         if path == "/metrics":
             return self.handle_metrics(request)
+        if path == "/v1/batch-stats":
+            if request.method != "GET":
+                return _error_reply(405, "/v1/batch-stats is GET")
+            return self.handle_batch_stats(request)
         if path == "/v1/unit":
             if request.method != "GET":
                 return _error_reply(405, "/v1/unit is GET")
@@ -211,6 +215,37 @@ class Handlers:
     def handle_metrics(self, request: Request) -> Reply:
         text = self.service.telemetry.render().encode()
         return 200, text, "text/plain; version=0.0.4", ()
+
+    def handle_batch_stats(self, request: Request) -> Reply:
+        """Per-lane batching view: one row per executed (op, format,
+        mode) lane with its batch count and sub-lane packing degree."""
+        telemetry = self.service.telemetry
+        lanes = []
+        for labels, batches in telemetry.batches_total.series():
+            op, fmt_name, mode = labels
+            lanes.append(
+                {
+                    "op": op,
+                    "format": fmt_name,
+                    "mode": mode,
+                    "batches": batches,
+                    "packed_batches": telemetry.packed_batches_total.value(
+                        labels
+                    ),
+                    "packing_width": int(
+                        telemetry.lane_packing_width.value(labels, 1)
+                    ),
+                }
+            )
+        return _json_reply(
+            200,
+            {
+                "lanes": lanes,
+                "batches": telemetry.batches_total.total,
+                "packed_batches": telemetry.packed_batches_total.total,
+                "mean_batch_size": round(telemetry.batch_size.mean, 3),
+            },
+        )
 
     # ------------------------------------------------------------------ #
     # slow path: characterisation and experiments

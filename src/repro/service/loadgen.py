@@ -22,7 +22,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.fp.format import FP32, FPFormat, PAPER_FORMATS
+from repro.fp.format import ALL_FORMATS, FP32, FPFormat
 from repro.fp.rounding import RoundingMode
 from repro.service.batcher import OP_ARITY
 
@@ -201,7 +201,7 @@ def run_load_blocking(host: str, port: int, **kwargs) -> LoadReport:
 
 
 def resolve_load_format(name: str) -> Optional[FPFormat]:
-    return {f.name: f for f in PAPER_FORMATS}.get(name)
+    return {f.name: f for f in ALL_FORMATS}.get(name)
 
 
 def write_report(report: LoadReport, path: str) -> None:

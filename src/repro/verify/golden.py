@@ -21,8 +21,22 @@ import sys
 from pathlib import Path
 from typing import Iterable
 
-from repro.fp.format import FP32, FP48, FP64, FPFormat, PAPER_FORMATS
-from repro.fp.reference import ref_add, ref_div, ref_fma, ref_mul, ref_sqrt
+from repro.fp.format import (
+    FP32,
+    FP48,
+    FP64,
+    FPFormat,
+    PAPER_FORMATS,
+    SMALL_FORMATS,
+)
+from repro.fp.reference import (
+    ref_add,
+    ref_div,
+    ref_fma,
+    ref_mul,
+    ref_sqrt,
+    ref_sub,
+)
 from repro.fp.rounding import RoundingMode
 from repro.verify.testbench import OperandClass, OperandGenerator
 
@@ -30,11 +44,15 @@ from repro.verify.testbench import OperandClass, OperandGenerator
 GOLDEN_SEED = 0xD1FF
 #: Operand samples drawn per (class, class) pair.
 SAMPLES_PER_PAIR = 2
-#: Operations covered by the corpus.
+#: Operations covered by the paper-format corpora.
 GOLDEN_OPS = ("add", "mul", "div", "sqrt", "fma")
+#: Operations covered by the small-format (fp16/bf16) corpora — the ops
+#: with packed sub-lane kernels, so every corpus also replays packed.
+SMALL_GOLDEN_OPS = ("add", "sub", "mul")
 
 _ORACLE = {
     "add": ref_add,
+    "sub": ref_sub,
     "mul": ref_mul,
     "div": ref_div,
     "sqrt": ref_sqrt,
@@ -42,7 +60,7 @@ _ORACLE = {
 }
 
 #: Operand count per golden op (mirrors verify.differential.OP_ARITY).
-GOLDEN_ARITY = {"add": 2, "mul": 2, "div": 2, "sqrt": 1, "fma": 3}
+GOLDEN_ARITY = {"add": 2, "sub": 2, "mul": 2, "div": 2, "sqrt": 1, "fma": 3}
 
 _OPERAND_KEYS = ("a", "b", "c")
 
@@ -57,6 +75,36 @@ def _directed_cases(fmt: FPFormat, op: str) -> list[tuple[str, tuple[int, ...]]]
     rows pin exact cancellation and the 0*Inf invalid.
     """
     one = fmt.one()
+    if fmt.width <= 16 and op in ("add", "sub", "mul"):
+        # Small-format-only rows (the gate keeps every paper corpus
+        # byte-identical): fp16/bf16 sit much closer to both range
+        # edges — one max+max overflows to Inf, one min_normal^2 lands
+        # deep under the flush threshold, and exponent-0 (denormal)
+        # patterns behave as zeros — so the corpora pin those corners
+        # explicitly.
+        sub_max = fmt.pack(0, 0, fmt.man_mask)  # largest subnormal
+        sub_min = fmt.pack(0, 0, 1)  # smallest subnormal
+        two = fmt.pack(0, fmt.bias + 1, 0)
+        if op == "add":
+            return [
+                ("subnormal_sum", (sub_max, sub_min)),
+                ("subnormal_cancel", (fmt.pack(0, 0, 9), fmt.pack(1, 0, 9))),
+                ("subnormal_promotes", (sub_max, fmt.min_normal(0))),
+                ("overflow_to_inf", (fmt.max_finite(0), fmt.max_finite(0))),
+            ]
+        if op == "sub":
+            return [
+                ("subnormal_diff", (sub_max, sub_min)),
+                ("subnormal_cancel", (fmt.pack(0, 0, 9), fmt.pack(0, 0, 9))),
+                ("min_normal_step_down", (fmt.min_normal(0), sub_min)),
+                ("overflow_to_inf", (fmt.max_finite(0), fmt.max_finite(1))),
+            ]
+        return [
+            ("subnormal_times_two", (sub_max, two)),
+            ("underflow_flush", (fmt.min_normal(0), fmt.min_normal(0))),
+            ("underflow_to_zero", (sub_min, sub_min)),
+            ("overflow_to_inf", (fmt.max_finite(0), fmt.max_finite(0))),
+        ]
     if op == "div":
         return [
             ("x_div_zero", (one, fmt.zero(0))),
@@ -210,4 +258,6 @@ def write_corpora(
 if __name__ == "__main__":  # pragma: no cover - regeneration utility
     target = sys.argv[1] if len(sys.argv) > 1 else "tests/vectors"
     for p in write_corpora(target, formats=PAPER_FORMATS):
+        print(p)
+    for p in write_corpora(target, formats=SMALL_FORMATS, ops=SMALL_GOLDEN_OPS):
         print(p)

@@ -77,15 +77,19 @@ class OperandGenerator:
         if cls is OperandClass.MAX_FINITE:
             return fmt.max_finite(rng.randint(0, 1))
         if cls is OperandClass.NEAR_UNDERFLOW:
+            # The upper bound clamps so tiny exponent fields (e.g. 2-bit
+            # formats, where exp_max - 1 < 4) stay in range; for every
+            # paper/small format the bounds — and therefore the rng
+            # stream — are unchanged.
             return fmt.pack(
                 rng.randint(0, 1),
-                rng.randint(1, 4),
+                rng.randint(1, min(4, fmt.exp_max - 1)),
                 rng.randrange(fmt.man_mask + 1),
             )
         if cls is OperandClass.NEAR_OVERFLOW:
             return fmt.pack(
                 rng.randint(0, 1),
-                rng.randint(fmt.exp_max - 4, fmt.exp_max - 1),
+                rng.randint(max(1, fmt.exp_max - 4), fmt.exp_max - 1),
                 rng.randrange(fmt.man_mask + 1),
             )
         if cls is OperandClass.RANDOM_NORMAL:
@@ -100,7 +104,9 @@ class OperandGenerator:
             man = rng.choice(
                 [fmt.man_mask, 1, fmt.man_mask - 1, 1 << (fmt.man_bits - 1), 0]
             )
-            exp = fmt.bias + rng.randint(-2, 2)
+            # Clamp after the draw (not in the bounds) so the rng stream
+            # is identical for formats whose bias +/- 2 already fits.
+            exp = min(max(fmt.bias + rng.randint(-2, 2), 1), fmt.exp_max - 1)
             return fmt.pack(rng.randint(0, 1), exp, man)
         if cls is OperandClass.DENORMAL_PATTERN:
             return fmt.pack(

@@ -5,6 +5,7 @@ import pytest
 from repro.experiments.ablations import (
     congestion_ablation,
     fused_mac_ablation,
+    mixed_precision_matmul_ablation,
     rounding_mode_ablation,
     tool_objective_ablation,
 )
@@ -71,6 +72,43 @@ class TestRoundingAblation:
         assert abs(rows["rtz"][signed]) > 0.5 * rows["rtz"][mean]
         # RNE errors largely cancel.
         assert abs(rows["rne"][signed]) < rows["rne"][mean]
+
+
+class TestMixedPrecisionAblation:
+    @pytest.fixture(scope="class")
+    def mixed_table(self):
+        return mixed_precision_matmul_ablation(n=6, seed=13)
+
+    def test_covers_both_small_formats(self, mixed_table):
+        rows = [(r[0], r[1]) for r in mixed_table.rows]
+        assert rows == [
+            ("fp16", "fp16"), ("fp16", "fp32"),
+            ("bf16", "bf16"), ("bf16", "fp32"),
+        ]
+
+    def test_fp32_accumulate_is_more_accurate(self, mixed_table):
+        cols = list(mixed_table.columns)
+        mean = cols.index("Mean |rel. error|")
+        worst = cols.index("Max |rel. error|")
+        by_key = {(r[0], r[1]): r for r in mixed_table.rows}
+        for small in ("fp16", "bf16"):
+            narrow = by_key[(small, small)]
+            mixed = by_key[(small, "fp32")]
+            # The fp32 accumulator must improve both the mean and the
+            # worst case — by a lot, not within noise.
+            assert mixed[mean] < narrow[mean] / 10
+            assert mixed[worst] < narrow[worst] / 10
+
+    def test_errors_are_finite_and_sane(self, mixed_table):
+        cols = list(mixed_table.columns)
+        mean = cols.index("Mean |rel. error|")
+        by_key = {(r[0], r[1]): r for r in mixed_table.rows}
+        for small in ("fp16", "bf16"):
+            # In-format accumulation always rounds; widened bf16
+            # products (<= 16 significant bits) can sum *exactly* in
+            # fp32 at small n, so the mixed rows may reach 0.
+            assert 0 < by_key[(small, small)][mean] < 1
+            assert 0 <= by_key[(small, "fp32")][mean] < 1
 
 
 class TestFusedMacAblation:

@@ -6,10 +6,11 @@ from pathlib import Path
 import numpy as np
 import pytest
 
-from repro.fp.adder import fp_add
+from repro.fp.adder import fp_add, fp_sub
 from repro.fp.divider import fp_div
 from repro.fp.mac import fp_fma
 from repro.fp.multiplier import fp_mul
+from repro.fp.packing import PACKED_OPS, packed_call, packing_width
 from repro.fp.rounding import RoundingMode
 from repro.fp.sqrt import fp_sqrt
 from repro.fp.vectorized import (
@@ -18,10 +19,12 @@ from repro.fp.vectorized import (
     vec_fma,
     vec_mul,
     vec_sqrt,
+    vec_sub,
 )
 from repro.verify.golden import (
     GOLDEN_OPS,
     GOLDEN_SEED,
+    SMALL_GOLDEN_OPS,
     corpus_filename,
     generate_corpus,
     load_corpus,
@@ -31,6 +34,7 @@ VECTOR_DIR = Path(__file__).resolve().parent.parent / "vectors"
 
 SCALAR = {
     "add": fp_add,
+    "sub": fp_sub,
     "mul": fp_mul,
     "div": fp_div,
     "sqrt": fp_sqrt,
@@ -38,6 +42,7 @@ SCALAR = {
 }
 VECTORIZED = {
     "add": vec_add,
+    "sub": vec_sub,
     "mul": vec_mul,
     "div": vec_div,
     "sqrt": vec_sqrt,
@@ -51,6 +56,9 @@ def test_corpus_is_checked_in():
     names = {p.name for p in CORPUS_FILES}
     for fmt_name in ("fp32", "fp48", "fp64"):
         for op in GOLDEN_OPS:
+            assert f"{fmt_name}_{op}.json" in names
+    for fmt_name in ("fp16", "bf16"):
+        for op in SMALL_GOLDEN_OPS:
             assert f"{fmt_name}_{op}.json" in names
 
 
@@ -83,6 +91,73 @@ def test_vectorized_datapaths_match_golden(path):
             want_bits, want_flags = case[mode.value]
             assert int(bits[i]) == want_bits, (path.name, case, mode.value)
             assert int(flags[i]) == want_flags, (path.name, case, mode.value)
+
+
+@pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)
+def test_packed_datapaths_match_golden(path):
+    """Corpora whose (op, format) qualify replay through every supported
+    packed sub-lane datapath too — same bits, same flags."""
+    doc = load_corpus(path)
+    fmt, op = doc["fmt"], doc["op"]
+    if op not in PACKED_OPS or packing_width(fmt) == 1:
+        pytest.skip(f"{op}/{fmt.name} has no packed datapath")
+    columns = [
+        np.array([c["operands"][j] for c in doc["cases"]], dtype=np.uint64)
+        for j in range(doc["arity"])
+    ]
+    widths = [w for w in (4, 2) if w <= packing_width(fmt)]
+    for width in widths:
+        for mode in RoundingMode:
+            bits, flags = packed_call(
+                op, fmt, *columns, mode, width=width, with_flags=True
+            )
+            for i, case in enumerate(doc["cases"]):
+                want_bits, want_flags = case[mode.value]
+                assert int(bits[i]) == want_bits, (
+                    path.name, width, case, mode.value,
+                )
+                assert int(flags[i]) == want_flags, (
+                    path.name, width, case, mode.value,
+                )
+
+
+def test_small_corpora_pin_range_corners():
+    """The fp16/bf16 corpora carry the subnormal and overflow rows."""
+    rne = RoundingMode.NEAREST_EVEN.value
+    for name in ("fp16", "bf16"):
+        add = load_corpus(VECTOR_DIR / f"{name}_add.json")
+        fmt = add["fmt"]
+        by_label = {
+            c["classes"][0]: c
+            for c in add["cases"]
+            if len(c["classes"]) == 1
+        }
+        assert by_label["directed:overflow_to_inf"][rne] == (
+            fmt.inf(0),
+            0b10100,  # overflow | inexact
+        )
+        # max subnormal + min subnormal is exact and stays subnormal.
+        bits, flags = by_label["directed:subnormal_sum"][rne]
+        assert fmt.is_zero(bits) or fmt.unpack(bits)[1] == 0
+        mul = load_corpus(VECTOR_DIR / f"{name}_mul.json")
+        by_label = {
+            c["classes"][0]: c
+            for c in mul["cases"]
+            if len(c["classes"]) == 1
+        }
+        # min_normal^2 is far below the subnormal floor: rounds to zero
+        # with underflow | inexact (| zero).
+        bits, flags = by_label["directed:underflow_flush"][rne]
+        assert fmt.is_zero(bits)
+        assert flags & 0b1100 == 0b1100  # underflow | inexact
+        sub = load_corpus(VECTOR_DIR / f"{name}_sub.json")
+        by_label = {
+            c["classes"][0]: c
+            for c in sub["cases"]
+            if len(c["classes"]) == 1
+        }
+        # max - (-max) doubles out of range in one step.
+        assert by_label["directed:overflow_to_inf"][rne][0] == fmt.inf(0)
 
 
 @pytest.mark.parametrize("path", CORPUS_FILES, ids=lambda p: p.stem)

@@ -1,0 +1,290 @@
+"""Packed SIMD-within-a-lane ops: bit/flag identity against the
+unpacked vectorized oracle, limb layout, and the format guards."""
+
+import numpy as np
+import pytest
+
+from repro.fp.format import BF16, FP16, FP32, FP48, FP64, FPFormat
+from repro.fp.packing import (
+    PACK_WIDTHS,
+    PACKED_OPS,
+    check_packed_format,
+    pack_words,
+    packed_add,
+    packed_call,
+    packed_mul,
+    packed_sub,
+    packing_width,
+    supports_packing,
+    unpack_words,
+)
+from repro.fp.rounding import RoundingMode
+from repro.fp.vectorized import vec_add, vec_mul, vec_sub
+
+#: Every supported (format, packing degree), including the 2-way
+#: fallback of the 4-way formats.
+PACKINGS = [(FP16, 4), (FP16, 2), (BF16, 4), (BF16, 2), (FP32, 2)]
+
+VEC_OPS = {"add": vec_add, "sub": vec_sub, "mul": vec_mul}
+
+
+def random_words(fmt, n, rng):
+    return np.array(
+        [rng.randrange(fmt.word_mask + 1) for _ in range(n)], dtype=np.uint64
+    )
+
+
+def salted_words(fmt, n, rng):
+    """Random words with every special/rail encoding mixed in densely."""
+    words = random_words(fmt, n, rng)
+    specials = [
+        fmt.zero(0),
+        fmt.zero(1),
+        fmt.inf(0),
+        fmt.inf(1),
+        fmt.nan(),
+        fmt.max_finite(),
+        fmt.max_finite(1),
+        fmt.min_normal(),
+        fmt.min_normal(1),
+        fmt.one(),
+        fmt.pack(0, 0, fmt.man_mask),  # denormal pattern (flushes)
+    ]
+    for word in specials:
+        for _ in range(max(4, n // 50)):
+            words[rng.randrange(n)] = word
+    return words
+
+
+# --------------------------------------------------------------------- #
+# Capability matrix and format guards
+# --------------------------------------------------------------------- #
+class TestFormatGuards:
+    def test_packing_width_per_format(self):
+        assert packing_width(FP16) == 4
+        assert packing_width(BF16) == 4
+        assert packing_width(FP32) == 2
+        assert packing_width(FP48) == 1
+        assert packing_width(FP64) == 1
+
+    def test_supports_packing_matrix(self):
+        for fmt, width in PACKINGS:
+            assert supports_packing(fmt, width)
+        assert not supports_packing(FP32, 4)
+        assert not supports_packing(FP48, 2)
+        assert not supports_packing(FP64, 2)
+        assert not supports_packing(FP16, 8)
+        assert not supports_packing(FP16, 1)
+
+    def test_guard_band_bound_is_separate_from_width(self):
+        # 1+3+12 = 16 bits fits a 16-bit slot, but man_bits 12 > 11
+        # leaves no guard band above the GRS-extended adder sum.
+        crowded = FPFormat(exp_bits=3, man_bits=12, name="crowded16")
+        assert not supports_packing(crowded, 4)
+        assert supports_packing(crowded, 2)
+        # Largest fraction a 16-bit slot admits: man_bits = slot - 5.
+        roomy = FPFormat(exp_bits=2, man_bits=11, name="roomy14")
+        assert supports_packing(roomy, 4)
+
+    def test_invalid_width_names_the_choices(self):
+        with pytest.raises(ValueError, match=r"packing width must be one of 2, 4"):
+            check_packed_format(FP16, 3)
+
+    def test_four_way_fp32_names_the_slot_limit(self):
+        with pytest.raises(
+            ValueError,
+            match=r"4-way packing supports total width <= 16 bits with "
+            r"fraction bits <= 11",
+        ):
+            check_packed_format(FP32, 4)
+
+    def test_two_way_fp48_names_the_slot_limit(self):
+        with pytest.raises(
+            ValueError,
+            match=r"2-way packing supports total width <= 32 bits with "
+            r"fraction bits <= 27",
+        ):
+            check_packed_format(FP48, 2)
+
+    def test_too_narrow_format_raises_the_shared_floor_error(self):
+        # man_bits < 3 fails the *vectorized* floor first: the packed
+        # guard re-raises the one shared unsupported-format message.
+        skinny = FPFormat(exp_bits=5, man_bits=2, name="skinny")
+        with pytest.raises(ValueError, match=r"vectorized ops support"):
+            check_packed_format(skinny, 4)
+
+    def test_packed_ops_reject_unsupported_packing(self):
+        limbs = np.zeros(2, dtype=np.uint64)
+        with pytest.raises(ValueError, match=r"4-way packing supports"):
+            packed_mul(FP32, limbs, limbs, width=4)
+        with pytest.raises(ValueError, match=r"packing width must be one of"):
+            packed_add(FP16, limbs, limbs, width=5)
+
+    def test_packed_call_rejects_unknown_op(self):
+        a = np.zeros(4, dtype=np.uint64)
+        with pytest.raises(ValueError, match=r"unsupported packed op 'div'"):
+            packed_call("div", FP16, a, a)
+
+
+# --------------------------------------------------------------------- #
+# Limb layout round trip
+# --------------------------------------------------------------------- #
+class TestLimbLayout:
+    @pytest.mark.parametrize("fmt,width", PACKINGS,
+                             ids=lambda p: str(p))
+    @pytest.mark.parametrize("n", [0, 1, 3, 4, 5, 64, 257])
+    def test_round_trip(self, fmt, width, n, rng):
+        words = random_words(fmt, n, rng)
+        limbs, count = pack_words(fmt, words, width)
+        assert count == n
+        assert limbs.dtype == np.uint64
+        assert limbs.size == -(-n // width)
+        back = unpack_words(fmt, limbs, count, width)
+        assert np.array_equal(back, words)
+
+    def test_lane_zero_is_least_significant(self):
+        words = np.array([0x0001, 0x0002, 0x0003, 0x0004], dtype=np.uint64)
+        limbs, _ = pack_words(FP16, words, 4)
+        assert int(limbs[0]) == 0x0004_0003_0002_0001
+
+    def test_two_way_layout(self):
+        words = np.array([0x11111111, 0x22222222], dtype=np.uint64)
+        limbs, _ = pack_words(FP32, words, 2)
+        assert int(limbs[0]) == 0x22222222_11111111
+
+    def test_tail_limb_pads_with_plus_zero(self):
+        words = np.array([FP16.one()], dtype=np.uint64)
+        limbs, count = pack_words(FP16, words, 4)
+        assert count == 1
+        assert int(limbs[0]) >> 16 == 0  # three +0 pad lanes
+
+    def test_pack_rejects_out_of_range_words(self):
+        bad = np.array([FP16.word_mask + 1], dtype=np.uint64)
+        with pytest.raises(ValueError, match=r"outside fp16"):
+            pack_words(FP16, bad, 4)
+
+    def test_pack_rejects_2d(self):
+        with pytest.raises(ValueError, match=r"1-D"):
+            pack_words(FP16, np.zeros((2, 2), dtype=np.uint64), 4)
+
+    def test_unpack_rejects_overlong_count(self):
+        limbs = np.zeros(1, dtype=np.uint64)
+        with pytest.raises(ValueError, match=r"exceeds"):
+            unpack_words(FP16, limbs, 5, 4)
+
+
+# --------------------------------------------------------------------- #
+# Bit/flag identity with the unpacked vectorized oracle
+# --------------------------------------------------------------------- #
+class TestPackedVsUnpacked:
+    @pytest.mark.parametrize("fmt,width", PACKINGS, ids=lambda p: str(p))
+    @pytest.mark.parametrize("mode", list(RoundingMode))
+    @pytest.mark.parametrize("op", sorted(PACKED_OPS))
+    def test_salted_random_words(self, fmt, width, op, mode, rng):
+        n = 4093  # prime: the tail limb always has pad lanes
+        a = salted_words(fmt, n, rng)
+        b = salted_words(fmt, n, rng)
+        want, want_flags = VEC_OPS[op](fmt, a, b, mode, with_flags=True)
+        got, got_flags = packed_call(
+            op, fmt, a, b, mode, width=width, with_flags=True
+        )
+        assert np.array_equal(want, got)
+        assert np.array_equal(want_flags, got_flags)
+
+    @pytest.mark.parametrize("fmt,width", PACKINGS, ids=lambda p: str(p))
+    def test_all_special_pairs(self, fmt, width):
+        s = np.array(
+            [
+                fmt.zero(0), fmt.zero(1), fmt.one(0), fmt.one(1),
+                fmt.min_normal(), fmt.max_finite(), fmt.max_finite(1),
+                fmt.inf(0), fmt.inf(1), fmt.nan(),
+                fmt.pack(0, 0, fmt.man_mask),
+            ],
+            dtype=np.uint64,
+        )
+        a, b = np.meshgrid(s, s)
+        a, b = a.ravel(), b.ravel()
+        for op, vec in VEC_OPS.items():
+            want, want_flags = vec(fmt, a, b, with_flags=True)
+            got, got_flags = packed_call(
+                op, fmt, a, b, width=width, with_flags=True
+            )
+            assert np.array_equal(want, got), op
+            assert np.array_equal(want_flags, got_flags), op
+
+    def test_limb_level_api_matches_packed_call(self, rng):
+        n = 97
+        a = salted_words(FP16, n, rng)
+        b = salted_words(FP16, n, rng)
+        pa, count = pack_words(FP16, a, 4)
+        pb, _ = pack_words(FP16, b, 4)
+        for op, kernel in (("add", packed_add), ("sub", packed_sub),
+                           ("mul", packed_mul)):
+            limbs, lane_flags = kernel(FP16, pa, pb, width=4, with_flags=True)
+            assert limbs.dtype == np.uint64
+            assert lane_flags.size == limbs.size * 4
+            bits = unpack_words(FP16, limbs, count, 4)
+            want_bits, want_flags = packed_call(
+                op, FP16, a, b, width=4, with_flags=True
+            )
+            assert np.array_equal(bits, want_bits)
+            assert np.array_equal(lane_flags[:count], want_flags)
+            # Pad lanes compute 0+0 / 0*0: zero flag only, never an
+            # exception leaking out of an unoccupied sub-lane.
+            assert np.all(lane_flags[count:] == 1)  # _FL_ZERO
+
+    def test_flag_sideband_is_lane_isolated(self):
+        # One limb carrying [overflow, NaN, exact, underflow] lanes: each
+        # lane's flags must match its own scalar-path flags exactly.
+        fmt = FP16
+        a = np.array(
+            [fmt.max_finite(), fmt.nan(), fmt.one(), fmt.min_normal()],
+            dtype=np.uint64,
+        )
+        b = np.array(
+            [fmt.max_finite(), fmt.one(), fmt.one(), fmt.min_normal()],
+            dtype=np.uint64,
+        )
+        want, want_flags = vec_mul(fmt, a, b, with_flags=True)
+        got, got_flags = packed_call("mul", fmt, a, b, width=4, with_flags=True)
+        assert np.array_equal(want, got)
+        assert np.array_equal(want_flags, got_flags)
+        assert got_flags[0] & 16  # overflow stayed in lane 0
+        assert got_flags[1] & 2  # invalid stayed in lane 1
+        assert got_flags[2] == 0  # exact lane untouched by neighbours
+        assert got_flags[3] & 8  # underflow stayed in lane 3
+
+    def test_mismatched_lengths_rejected(self):
+        a = np.zeros(4, dtype=np.uint64)
+        b = np.zeros(5, dtype=np.uint64)
+        with pytest.raises(ValueError, match=r"disagree in length"):
+            packed_call("add", FP16, a, b)
+
+    def test_mismatched_limb_shapes_rejected(self):
+        a = np.zeros(2, dtype=np.uint64)
+        b = np.zeros(3, dtype=np.uint64)
+        with pytest.raises(ValueError, match=r"disagree in shape"):
+            packed_add(FP16, a, b, width=4)
+
+    def test_default_width_is_packing_width(self, rng):
+        a = salted_words(BF16, 33, rng)
+        b = salted_words(BF16, 33, rng)
+        assert np.array_equal(
+            packed_call("mul", BF16, a, b),
+            packed_call("mul", BF16, a, b, width=4),
+        )
+
+    @pytest.mark.parametrize("width", PACK_WIDTHS)
+    def test_narrowest_supported_format(self, width, rng):
+        # The vectorized floor (man_bits = 3) packs at every degree.
+        fmt = FPFormat(exp_bits=2, man_bits=3, name="nano")
+        n = 512
+        a = salted_words(fmt, n, rng)
+        b = salted_words(fmt, n, rng)
+        for op, vec in VEC_OPS.items():
+            want, want_flags = vec(fmt, a, b, with_flags=True)
+            got, got_flags = packed_call(
+                op, fmt, a, b, width=width, with_flags=True
+            )
+            assert np.array_equal(want, got), op
+            assert np.array_equal(want_flags, got_flags), op

@@ -1,0 +1,225 @@
+"""Packed service lanes: qualifying (op, format) lanes execute on the
+sub-lane datapaths transparently — bit/flag-identical scatter, packing
+telemetry in /metrics and /v1/batch-stats, small formats by name."""
+
+import asyncio
+import http.client
+import json
+import random
+from concurrent.futures import ThreadPoolExecutor
+
+import pytest
+
+from repro.fp.format import BF16, FP16, FP32, FP48, FP64
+from repro.fp.rounding import RoundingMode
+from repro.service import ServiceConfig, ServiceThread
+from repro.service.batcher import (
+    OPS,
+    MicroBatcher,
+    execute_batch,
+    lane_packing_width,
+)
+from repro.service.telemetry import Telemetry
+
+RNE = RoundingMode.NEAREST_EVEN
+
+
+def scalar(op, fmt, mode, *operands):
+    bits, flags = OPS[op][0](fmt, *operands, mode)
+    return bits, flags.to_bits()
+
+
+class TestLanePackingWidth:
+    def test_widths_by_lane(self):
+        assert lane_packing_width("mul", FP16) == 4
+        assert lane_packing_width("add", BF16) == 4
+        assert lane_packing_width("sub", FP16) == 4
+        assert lane_packing_width("mul", FP32) == 2
+        assert lane_packing_width("mul", FP48) == 1
+        assert lane_packing_width("add", FP64) == 1
+        # No packed kernels exist for div/sqrt/fma, any format.
+        assert lane_packing_width("div", FP16) == 1
+        assert lane_packing_width("sqrt", FP16) == 1
+        assert lane_packing_width("fma", BF16) == 1
+
+
+class TestExecuteBatchPacked:
+    @pytest.mark.parametrize("fmt", [FP16, BF16, FP32], ids=lambda f: f.name)
+    @pytest.mark.parametrize("op", ["add", "sub", "mul"])
+    @pytest.mark.parametrize("mode", list(RoundingMode))
+    def test_packed_lane_matches_scalar(self, fmt, op, mode):
+        rng = random.Random(0xBEEF)
+        requests = [
+            (rng.randrange(fmt.word_mask + 1), rng.randrange(fmt.word_mask + 1))
+            for _ in range(67)  # odd: tail pad lanes in every limb pass
+        ]
+        requests += [
+            (fmt.max_finite(), fmt.max_finite()),  # overflow
+            (fmt.min_normal(), fmt.min_normal()),  # mul underflow
+            (fmt.nan(), fmt.one()),
+            (fmt.inf(), fmt.zero()),
+            (fmt.zero(1), fmt.zero()),
+        ]
+        results = execute_batch(op, fmt, mode, requests)
+        assert len(results) == len(requests)
+        for operands, (bits, flags) in zip(requests, results):
+            assert (bits, flags) == scalar(op, fmt, mode, *operands)
+
+    def test_unpacked_lanes_unaffected(self):
+        rng = random.Random(7)
+        for op, fmt in (("div", FP16), ("sqrt", FP16), ("fma", BF16),
+                        ("mul", FP64)):
+            arity = OPS[op][2]
+            requests = [
+                tuple(rng.randrange(fmt.word_mask + 1) for _ in range(arity))
+                for _ in range(9)
+            ]
+            for operands, (bits, flags) in zip(
+                requests, execute_batch(op, fmt, RNE, requests)
+            ):
+                assert (bits, flags) == scalar(op, fmt, RNE, *operands)
+
+
+class TestBatcherTelemetry:
+    def test_packed_lane_telemetry(self):
+        telemetry = Telemetry()
+        executor = ThreadPoolExecutor(max_workers=1)
+        config = ServiceConfig(max_batch=16, linger_ms=0.5)
+        rng = random.Random(3)
+        subs = [
+            ("mul", FP16, RNE, rng.randrange(FP16.word_mask + 1),
+             rng.randrange(FP16.word_mask + 1))
+            for _ in range(24)
+        ] + [
+            ("mul", FP64, RNE, rng.randrange(FP64.word_mask + 1),
+             rng.randrange(FP64.word_mask + 1))
+            for _ in range(4)
+        ]
+
+        async def _run():
+            batcher = MicroBatcher(config, telemetry, executor)
+            try:
+                return await asyncio.gather(
+                    *(batcher.submit(*s) for s in subs)
+                )
+            finally:
+                await batcher.close()
+
+        try:
+            results = asyncio.run(_run())
+        finally:
+            executor.shutdown(wait=True)
+        for s, (bits, flags) in zip(subs, results):
+            assert (bits, flags) == scalar(s[0], s[1], s[2], *s[3:])
+        fp16_lane = ("mul", "fp16", "rne")
+        fp64_lane = ("mul", "fp64", "rne")
+        assert telemetry.lane_packing_width.value(fp16_lane) == 4
+        assert telemetry.lane_packing_width.value(fp64_lane) == 1
+        assert telemetry.packed_batches_total.value(fp16_lane) >= 1
+        assert telemetry.packed_batches_total.value(fp64_lane) == 0
+        assert (
+            telemetry.packed_batches_total.value(fp16_lane)
+            == telemetry.batches_total.value(fp16_lane)
+        )
+        rendered = telemetry.render()
+        assert (
+            'repro_lane_packing_width{op="mul",format="fp16",mode="rne"} 4'
+            in rendered
+        )
+        assert "repro_packed_batches_total" in rendered
+        assert telemetry.snapshot()["packed_batches"] >= 1
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = ServiceConfig(port=0, linger_ms=0.5, queue_depth=256)
+    with ServiceThread(config) as thread:
+        yield thread
+
+
+def request(server, method, path, body=None):
+    conn = http.client.HTTPConnection("127.0.0.1", server.port, timeout=30)
+    try:
+        payload = json.dumps(body).encode() if body is not None else None
+        conn.request(method, path, body=payload,
+                     headers={"Content-Type": "application/json"}
+                     if payload else {})
+        resp = conn.getresponse()
+        data = resp.read()
+        return resp.status, data, dict(resp.getheaders())
+    finally:
+        conn.close()
+
+
+class TestLiveServerPacked:
+    def test_fp16_mul_bit_exact_over_socket(self, server):
+        # 0x3e00 (1.5) * 0x4000 (2.0) = 0x4200 (3.0), exact.
+        status, body, _ = request(
+            server, "POST", "/v1/op/mul",
+            {"a": "0x3e00", "b": "0x4000", "format": "fp16", "mode": "rne"},
+        )
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["bits"] == "0x4200"
+        assert doc["flags"] == 0
+
+    def test_bf16_served_by_name(self, server):
+        # 0x3fc0 (1.5) * 0x4000 (2.0) = 0x4040 (3.0) in bfloat16.
+        status, body, _ = request(
+            server, "POST", "/v1/op/mul",
+            {"a": "0x3fc0", "b": "0x4000", "format": "bf16"},
+        )
+        assert status == 200
+        assert json.loads(body)["bits"] == "0x4040"
+
+    def test_small_format_random_burst_matches_scalar(self, server):
+        rng = random.Random(0x51AB)
+        for fmt in (FP16, BF16):
+            for op in ("add", "sub", "mul"):
+                for _ in range(8):
+                    a = rng.randrange(fmt.word_mask + 1)
+                    b = rng.randrange(fmt.word_mask + 1)
+                    status, body, _ = request(
+                        server, "POST", f"/v1/op/{op}",
+                        {"a": a, "b": b, "format": fmt.name},
+                    )
+                    assert status == 200
+                    doc = json.loads(body)
+                    want_bits, want_flags = scalar(op, fmt, RNE, a, b)
+                    assert int(doc["bits"], 16) == want_bits
+                    assert doc["flags"] == want_flags
+
+    def test_batch_stats_reports_packing_width(self, server):
+        # The bursts above populated fp16/bf16 lanes; fp64 gives an
+        # unpacked row for contrast.
+        status, _, _ = request(
+            server, "POST", "/v1/op/mul",
+            {"a": FP64.one(), "b": FP64.one(), "format": "fp64"},
+        )
+        assert status == 200
+        status, body, _ = request(server, "GET", "/v1/batch-stats")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["batches"] >= 1
+        assert doc["packed_batches"] >= 1
+        lanes = {(l["op"], l["format"], l["mode"]): l for l in doc["lanes"]}
+        fp16_mul = lanes[("mul", "fp16", "rne")]
+        assert fp16_mul["packing_width"] == 4
+        assert fp16_mul["packed_batches"] == fp16_mul["batches"]
+        fp64_mul = lanes[("mul", "fp64", "rne")]
+        assert fp64_mul["packing_width"] == 1
+        assert fp64_mul["packed_batches"] == 0
+
+    def test_batch_stats_is_get_only(self, server):
+        status, _, _ = request(server, "POST", "/v1/batch-stats", {})
+        assert status == 405
+
+    def test_metrics_expose_lane_packing_width(self, server):
+        status, body, _ = request(server, "GET", "/metrics")
+        assert status == 200
+        text = body.decode()
+        assert (
+            'repro_lane_packing_width{op="mul",format="fp16",mode="rne"} 4'
+            in text
+        )
+        assert "repro_packed_batches_total{" in text

@@ -3,7 +3,7 @@ it, a full class-pair sweep of every datapath on every paper format."""
 
 import pytest
 
-from repro.fp.format import FP32, FP48, FP64
+from repro.fp.format import BF16, FP16, FP32, FP48, FP64, FPFormat
 from repro.fp.rounding import RoundingMode
 from repro.verify.testbench import (
     OperandClass,
@@ -34,6 +34,21 @@ class TestOperandGenerator:
         b = OperandGenerator(FP32, seed=7)
         for cls in OperandClass:
             assert a.sample(cls) == b.sample(cls)
+
+    @pytest.mark.parametrize(
+        "fmt",
+        [FP16, BF16, FPFormat(2, 3), FPFormat(3, 3), FPFormat(2, 11)],
+        ids=lambda f: f.name,
+    )
+    def test_small_and_tiny_formats_sample_in_range(self, fmt):
+        # The range-extreme classes clamp their exponent draws, so
+        # formats whose exponent field is narrower than the +/-4 bands
+        # (2-3 exponent bits) still sample valid members of every class.
+        gen = OperandGenerator(fmt, seed=9)
+        for cls in OperandClass:
+            for _ in range(20):
+                bits = gen.sample(cls)
+                assert 0 <= bits <= fmt.word_mask
 
 
 class TestTestbenchRuns:
