@@ -265,7 +265,8 @@ def dispatch_rps(
     concurrency: int = 64,
     requests: int = 4096,
     seed: int = 0,
-) -> tuple[float, float]:
+    trace_sample: float = 1.0,
+) -> tuple[float, float, dict]:
     """Requests/s of the in-process dispatch path at one batch policy.
 
     Drives :meth:`repro.service.server.ReproService.dispatch_op` — the
@@ -273,7 +274,11 @@ def dispatch_rps(
     execute → scatter — with ``concurrency`` closed-loop workers, no
     sockets.  Self-relative by construction: the same path at
     ``max_batch=1`` is the unbatched baseline, so the ratio isolates
-    what micro-batching buys.  Returns ``(rps, mean_batch_size)``.
+    what micro-batching buys.  ``trace_sample`` sets the tracing rate
+    (0.0 measures the untraced fast path for the overhead gate).
+    Returns ``(rps, mean_batch_size, stage_summary)`` where the stage
+    summary is :meth:`Telemetry.stage_summary` — per-stage mean/p99
+    from the spans the run recorded (empty when tracing is off).
     """
     import asyncio
 
@@ -283,9 +288,10 @@ def dispatch_rps(
         max_batch=max_batch,
         linger_ms=2.0,
         queue_depth=max(256, 4 * concurrency),
+        trace_sample=trace_sample,
     )
 
-    async def _run() -> tuple[float, float]:
+    async def _run() -> tuple[float, float, dict]:
         service = ReproService(config)
         rng = random.Random(seed)
         words = [rng.randrange(FP32.word_mask + 1) for _ in range(4096)]
@@ -315,6 +321,7 @@ def dispatch_rps(
         )
         duration = time.perf_counter() - t0
         mean_batch = service.telemetry.batch_size.mean
+        stages = service.telemetry.stage_summary()
         await service.batcher.close()
         service.compute_pool.shutdown(wait=False)
         service.sweep_pool.shutdown(wait=False)
@@ -322,7 +329,7 @@ def dispatch_rps(
             raise AssertionError(
                 f"dispatch bench expected {requests} 200s, got {statuses}"
             )
-        return requests / duration, mean_batch
+        return requests / duration, mean_batch, stages
 
     return asyncio.run(_run())
 
@@ -346,12 +353,29 @@ def service_bench(
     """
     from repro.service import ServiceConfig, ServiceThread, run_load_blocking
 
-    batched_rps, mean_batch = dispatch_rps(
+    batched_rps, mean_batch, stages = dispatch_rps(
         max_batch, concurrency=concurrency, requests=requests, seed=seed
     )
-    solo_rps, _ = dispatch_rps(
+    solo_rps, _, _ = dispatch_rps(
         1, concurrency=concurrency, requests=requests, seed=seed
     )
+    # Tracing overhead: the same batched workload with sampling off.
+    # The batched_rps run above traces every request, so the pair bounds
+    # what default-on tracing costs (the 10% gate lives in benchmarks/).
+    # The overhead ratio is computed on process CPU time — tracing's
+    # cost is extra Python work per request, which CPU time measures
+    # directly and a loaded host's wall clock does not.
+    c0 = time.process_time()
+    untraced_rps, _, _ = dispatch_rps(
+        max_batch, concurrency=concurrency, requests=requests, seed=seed,
+        trace_sample=0.0,
+    )
+    untraced_cpu_rps = requests / (time.process_time() - c0)
+    c0 = time.process_time()
+    dispatch_rps(
+        max_batch, concurrency=concurrency, requests=requests, seed=seed
+    )
+    traced_cpu_rps = requests / (time.process_time() - c0)
 
     config = ServiceConfig(port=0, max_batch=max_batch,
                            queue_depth=max(256, 4 * http_concurrency))
@@ -387,6 +411,14 @@ def service_bench(
             "batch1_rps": round(solo_rps, 1),
             "mean_batch_size": round(mean_batch, 2),
         },
+        "stages": stages,
+        "tracing": {
+            "traced_rps": round(batched_rps, 1),
+            "untraced_rps": round(untraced_rps, 1),
+            "traced_cpu_rps": round(traced_cpu_rps, 1),
+            "untraced_cpu_rps": round(untraced_cpu_rps, 1),
+            "overhead_ratio": round(traced_cpu_rps / untraced_cpu_rps, 4),
+        },
         "http": report.to_json(),
         "speedups": {
             f"dispatch.batch{max_batch}_vs_batch1.fp32.mul":
@@ -410,6 +442,18 @@ def render_service(snapshot: dict) -> str:
         f"{http['achieved_rps']:>10.0f} req/s"
         f" (p50 {http['p50_ms']:.2f} ms, p99 {http['p99_ms']:.2f} ms)",
     ]
+    for stage, row in snapshot.get("stages", {}).items():
+        lines.append(
+            f"  stage {stage:<27}"
+            f"{row['mean_ms']:>10.3f} ms mean, p99 {row['p99_ms']:.3f} ms"
+        )
+    tracing = snapshot.get("tracing")
+    if tracing:
+        lines.append(
+            f"  tracing on vs off (cpu-time)     {tracing['overhead_ratio']:>9.2f}x"
+            f" ({tracing['traced_cpu_rps']:.0f} vs "
+            f"{tracing['untraced_cpu_rps']:.0f} req/s)"
+        )
     for name, ratio in snapshot["speedups"].items():
         lines.append(f"  {name:<32} {ratio:>9.1f}x")
     return "\n".join(lines)

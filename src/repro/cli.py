@@ -362,6 +362,14 @@ def serve_command(argv: Sequence[str]) -> int:
     parser.add_argument("--cache-dir", default=None, metavar="DIR",
                         help="persist engine results under DIR "
                         f"(also via ${CACHE_DIR_ENV})")
+    parser.add_argument("--trace-sample", type=float, default=None,
+                        metavar="P", help="fraction of requests traced, "
+                        "0.0-1.0 (default: 1.0)")
+    parser.add_argument("--trace-buffer", type=int, default=None,
+                        metavar="N", help="finished traces retained for "
+                        "/v1/trace lookups (default: 512)")
+    parser.add_argument("--log-json", action="store_true",
+                        help="emit one NDJSON line per span to stderr")
     args = parser.parse_args(argv)
     try:
         config = ServiceConfig.from_env(
@@ -375,6 +383,9 @@ def serve_command(argv: Sequence[str]) -> int:
             drain_timeout_s=args.drain_timeout_s,
             spot_check=False if args.no_spot_check else None,
             cache_dir=args.cache_dir,
+            trace_sample=args.trace_sample,
+            trace_buffer=args.trace_buffer,
+            log_json=True if args.log_json else None,
         )
     except ValueError as exc:
         print(f"repro serve: {exc}", file=sys.stderr)
@@ -414,6 +425,9 @@ def loadgen_command(argv: Sequence[str]) -> int:
                         help="whole-run deadline (default: 120)")
     parser.add_argument("--json", default=None, metavar="FILE",
                         help="write the machine-readable report to FILE")
+    parser.add_argument("--trace-ids", action="store_true",
+                        help="send an explicit X-Repro-Trace-Id per "
+                        "request and count echoed responses")
     args = parser.parse_args(argv)
     fmt = resolve_load_format(args.fmt)
     if fmt is None:
@@ -431,6 +445,7 @@ def loadgen_command(argv: Sequence[str]) -> int:
             mode=mode,
             seed=args.seed,
             timeout_s=args.timeout,
+            trace_ids=args.trace_ids,
         )
     except ValueError as exc:
         print(f"repro loadgen: {exc}", file=sys.stderr)
@@ -449,6 +464,77 @@ def loadgen_command(argv: Sequence[str]) -> int:
     return 1 if (report.errors or unhealthy) else 0
 
 
+def trace_command(argv: Sequence[str]) -> int:
+    """Fetch traces from a running server and render or export them."""
+    import json as json_module
+    from http.client import HTTPConnection
+
+    from repro.obs.trace import render_trace
+
+    parser = argparse.ArgumentParser(
+        prog="repro trace",
+        description="Inspect request traces on a live 'repro serve' "
+        "instance: render one trace's span tree, list the slowest "
+        "buffered traces, or export them as Chrome trace-event JSON "
+        "(load into chrome://tracing or Perfetto).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, required=True)
+    parser.add_argument("--id", default=None, metavar="TRACE_ID",
+                        help="render one trace by ID")
+    parser.add_argument("--slowest", type=int, default=10, metavar="N",
+                        help="without --id: cover the N slowest buffered "
+                        "traces (default: 10)")
+    parser.add_argument("--chrome", default=None, metavar="FILE",
+                        help="write Chrome trace-event JSON to FILE "
+                        "instead of rendering text")
+    args = parser.parse_args(argv)
+
+    if args.id is not None:
+        path = f"/v1/trace/{args.id}"
+    elif args.chrome is not None:
+        path = f"/v1/debug/traces?slowest={args.slowest}&export=chrome"
+    else:
+        path = f"/v1/debug/traces?slowest={args.slowest}"
+    try:
+        conn = HTTPConnection(args.host, args.port, timeout=30.0)
+        conn.request("GET", path)
+        response = conn.getresponse()
+        body = response.read()
+        conn.close()
+    except OSError as exc:
+        print(f"repro trace: cannot reach {args.host}:{args.port}: {exc}",
+              file=sys.stderr)
+        return 1
+    if response.status != 200:
+        print(f"repro trace: GET {path} -> {response.status} "
+              f"{body.decode(errors='replace').strip()}", file=sys.stderr)
+        return 1
+    doc = json_module.loads(body)
+
+    if args.id is not None:
+        if args.chrome is not None:
+            from repro.obs.chrome import chrome_trace
+            doc = chrome_trace([doc])
+        else:
+            print(render_trace(doc))
+            return 0
+    if args.chrome is not None:
+        with open(args.chrome, "w", encoding="utf-8") as handle:
+            json_module.dump(doc, handle, indent=2)
+            handle.write("\n")
+        print(f"wrote {len(doc['traceEvents'])} events to {args.chrome}")
+        return 0
+    # Listing mode: buffer stats plus one line per slow trace.
+    print(f"traces: {doc['buffered']}/{doc['capacity']} buffered, "
+          f"{doc['finished']} finished, {doc['evicted']} evicted, "
+          f"sample={doc['sample']}")
+    for summary in doc["traces"]:
+        print(f"  {summary['trace_id']:<28} {summary['duration_ms']:>9.3f} ms"
+              f"  {summary['spans']:>3} span(s)  {summary.get('route', '-')}")
+    return 0
+
+
 def main(argv: Sequence[str] | None = None) -> int:
     argv = list(sys.argv[1:] if argv is None else argv)
     if argv and argv[0] == "--version":
@@ -458,6 +544,8 @@ def main(argv: Sequence[str] | None = None) -> int:
         return serve_command(argv[1:])
     if argv and argv[0] == "loadgen":
         return loadgen_command(argv[1:])
+    if argv and argv[0] == "trace":
+        return trace_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the tables and figures of Govindu et al., "

@@ -38,6 +38,28 @@ from repro.engine.job import Job
 #: Bump when the blob layout changes (independent of the model version).
 BLOB_FORMAT = 1
 
+#: Activity sidecar at the cache *root* — deliberately outside the
+#: two-hex-digit shard layout (blobs live at ``*/*.json``), so it can
+#: never collide with a result blob.
+ACTIVITY_FILE = "activity.json"
+
+#: Counters persisted in the activity sidecar.
+_ACTIVITY_COUNTERS = ("hits", "misses", "puts", "evictions")
+
+#: Flush the sidecar after this many unflushed lookups (puts/clears
+#: flush immediately; lookups batch so hot sweeps don't pay a write
+#: per job).
+_ACTIVITY_FLUSH_EVERY = 16
+
+
+def _namespace(name: str) -> str:
+    """A job's namespace: its name up to the first ``.`` or ``/``
+    (``verify.diff/fp32/mul`` → ``verify``)."""
+    for i, ch in enumerate(name):
+        if ch in "./":
+            return name[:i] or "?"
+    return name or "?"
+
 
 @dataclass(frozen=True)
 class CacheStats:
@@ -49,6 +71,14 @@ class CacheStats:
     by_version: Tuple[Tuple[str, int], ...]
     oldest_unix: Optional[float]
     newest_unix: Optional[float]
+    #: Lifetime activity counters from the persisted sidecar.
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    evictions: int = 0
+    #: Current on-disk bytes per job namespace (exact: recomputed from
+    #: the blobs at stats time).
+    by_namespace: Tuple[Tuple[str, int], ...] = ()
 
     def render(self) -> str:
         lines = [
@@ -61,6 +91,12 @@ class CacheStats:
         if self.oldest_unix is not None and self.newest_unix is not None:
             span_h = (self.newest_unix - self.oldest_unix) / 3600.0
             lines.append(f"  age span:    {span_h:.2f} h")
+        lines.append(
+            f"  activity:    {self.hits} hit(s), {self.misses} miss(es), "
+            f"{self.puts} put(s), {self.evictions} evicted"
+        )
+        for namespace, size in self.by_namespace:
+            lines.append(f"  ns {namespace}: {_human_bytes(size)}")
         return "\n".join(lines)
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
@@ -83,6 +119,62 @@ class ResultCache:
         # operations (stats on a mistyped path, lookups with no prior
         # runs) never litter the filesystem.
         self.root = Path(path)
+        self._activity: Optional[dict] = None  # loaded lazily
+        self._unflushed = 0
+
+    # ----------------------------------------------------------------- #
+    # activity accounting (persisted sidecar)
+    # ----------------------------------------------------------------- #
+    def _load_activity(self) -> dict:
+        """Lifetime counters, merged from the persisted sidecar.
+
+        Best-effort across processes: concurrent writers last-win, so
+        counters can undercount under parallel workers — they exist for
+        operator visibility (``repro cache stats``), not accounting.
+        """
+        if self._activity is None:
+            counters = dict.fromkeys(_ACTIVITY_COUNTERS, 0)
+            try:
+                doc = json.loads((self.root / ACTIVITY_FILE).read_text())
+                for key in _ACTIVITY_COUNTERS:
+                    value = doc.get(key)
+                    if isinstance(value, int) and value >= 0:
+                        counters[key] = value
+            except (OSError, ValueError):
+                pass  # absent or corrupt sidecar: start from zero
+            self._activity = counters
+        return self._activity
+
+    def _record(self, counter: str, n: int = 1, flush: bool = False) -> None:
+        self._load_activity()[counter] += n
+        self._unflushed += 1
+        if flush or self._unflushed >= _ACTIVITY_FLUSH_EVERY:
+            self._flush_activity()
+
+    def flush_activity(self) -> None:
+        """Persist any batched lookup counters now.
+
+        The engine calls this once per batch so short runs (fewer
+        lookups than the flush batch size) still land on disk.
+        """
+        if self._unflushed:
+            self._flush_activity()
+
+    def _flush_activity(self) -> None:
+        """Persist the sidecar (atomically; only once the root exists,
+        so pure lookups on an absent cache never create directories)."""
+        if self._activity is None or not self.root.is_dir():
+            return
+        self._unflushed = 0
+        doc = dict(self._activity)
+        doc["updated_unix"] = time.time()
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.root, suffix=".tmp")
+            with os.fdopen(fd, "w") as fh:
+                json.dump(doc, fh)
+            os.replace(tmp, self.root / ACTIVITY_FILE)
+        except OSError:  # pragma: no cover - sidecar loss is tolerable
+            pass
 
     # ----------------------------------------------------------------- #
     # lookup / store
@@ -96,15 +188,20 @@ class ResultCache:
         try:
             doc = json.loads(path.read_text())
         except (OSError, ValueError):
+            self._record("misses")
             return False, None
         if doc.get("format") != BLOB_FORMAT or doc.get("version") != job.version:
+            self._record("misses")
             return False, None
         try:
             payload = base64.b64decode(doc["payload"])
-            return True, pickle.loads(payload)
+            result = pickle.loads(payload)
         except Exception:
             # A torn or unpicklable blob is a miss; recompute overwrites it.
+            self._record("misses")
             return False, None
+        self._record("hits")
+        return True, result
 
     def put(self, job: Job, result: Any, wall_s: float = 0.0) -> None:
         payload = base64.b64encode(
@@ -133,6 +230,7 @@ class ResultCache:
             except OSError:
                 pass
             raise
+        self._record("puts", flush=True)
 
     # ----------------------------------------------------------------- #
     # maintenance
@@ -144,6 +242,7 @@ class ResultCache:
         entries = 0
         total = 0
         by_version: dict[str, int] = {}
+        by_namespace: dict[str, int] = {}
         oldest: Optional[float] = None
         newest: Optional[float] = None
         for path in self._iter_blobs():
@@ -152,13 +251,20 @@ class ResultCache:
             except (OSError, ValueError):
                 continue
             entries += 1
-            total += path.stat().st_size
+            size = path.stat().st_size
+            total += size
             version = str(doc.get("version", "?"))
             by_version[version] = by_version.get(version, 0) + 1
+            job_doc = doc.get("job")
+            name = job_doc.get("name", "?") if isinstance(job_doc, dict) else "?"
+            namespace = _namespace(str(name))
+            by_namespace[namespace] = by_namespace.get(namespace, 0) + size
             created = doc.get("created_unix")
             if isinstance(created, (int, float)):
                 oldest = created if oldest is None else min(oldest, created)
                 newest = created if newest is None else max(newest, created)
+        activity = dict(self._load_activity())
+        self._flush_activity()
         return CacheStats(
             path=str(self.root),
             entries=entries,
@@ -166,6 +272,11 @@ class ResultCache:
             by_version=tuple(sorted(by_version.items())),
             oldest_unix=oldest,
             newest_unix=newest,
+            hits=activity["hits"],
+            misses=activity["misses"],
+            puts=activity["puts"],
+            evictions=activity["evictions"],
+            by_namespace=tuple(sorted(by_namespace.items())),
         )
 
     def clear(self, stale_only: bool = False,
@@ -192,4 +303,6 @@ class ResultCache:
                     shard.rmdir()
                 except OSError:
                     pass
+        if removed:
+            self._record("evictions", n=removed, flush=True)
         return removed

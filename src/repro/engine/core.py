@@ -19,6 +19,8 @@ settled, so one bad experiment cannot silently truncate a sweep.
 
 from __future__ import annotations
 
+import time
+from contextlib import contextmanager
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.engine.cache import ResultCache
@@ -37,6 +39,7 @@ from repro.engine.metrics import (
     EngineMetrics,
     JobRecord,
 )
+from repro.obs.trace import NULL_TRACE
 
 
 class Engine:
@@ -59,6 +62,7 @@ class Engine:
         self.memoize = memoize
         self.metrics = EngineMetrics()
         self._memo: Dict[str, Any] = {}
+        self._active_trace = None
 
     # ----------------------------------------------------------------- #
     # execution
@@ -71,18 +75,51 @@ class Engine:
             )
         return SerialExecutor(retries=self.retries)
 
-    def run(self, jobs: Sequence[Job]) -> List[Any]:
-        """Evaluate ``jobs``; results are returned in submission order."""
+    @contextmanager
+    def tracing(self, trace):
+        """Bind ``trace`` as the span sink for runs inside the block.
+
+        The engine is single-threaded by design (callers serialize
+        sweeps), so a plain attribute is race-free; the previous trace
+        is restored on exit so nested scopes compose.
+        """
+        previous = self._active_trace
+        self._active_trace = trace
+        try:
+            yield
+        finally:
+            self._active_trace = previous
+
+    def run(self, jobs: Sequence[Job], trace=None) -> List[Any]:
+        """Evaluate ``jobs``; results are returned in submission order.
+
+        ``trace`` (or the :meth:`tracing`-bound one) receives one
+        ``cache.lookup`` span per job (outcome memo/hit/miss) and one
+        ``execute`` span per computed job.  Serial execute spans lay
+        out consecutively on the trace timeline; parallel ones share
+        the executor-start anchor since their true overlap lives in
+        worker processes.
+        """
+        if trace is None:
+            trace = self._active_trace
+        if trace is None:
+            trace = NULL_TRACE
+        trace_id = trace.trace_id if trace.sampled else ""
         results: Dict[int, Any] = {}
         pending: List[tuple[int, Job]] = []
         first_of: Dict[str, int] = {}  # key -> first pending index
         duplicates: List[tuple[int, Job]] = []
 
         for index, job in enumerate(jobs):
+            t_lookup = time.perf_counter()
             if self.memoize and job.key in self._memo:
                 results[index] = self._memo[job.key]
                 self.metrics.record(
-                    JobRecord(job.name, job.key, STATUS_MEMO)
+                    JobRecord(job.name, job.key, STATUS_MEMO, trace_id=trace_id)
+                )
+                trace.add(
+                    "cache.lookup", t_lookup, time.perf_counter(),
+                    tags={"job": job.name, "outcome": STATUS_MEMO},
                 )
                 continue
             if self.cache is not None:
@@ -92,9 +129,17 @@ class Engine:
                     if self.memoize:
                         self._memo[job.key] = cached
                     self.metrics.record(
-                        JobRecord(job.name, job.key, STATUS_HIT)
+                        JobRecord(job.name, job.key, STATUS_HIT, trace_id=trace_id)
+                    )
+                    trace.add(
+                        "cache.lookup", t_lookup, time.perf_counter(),
+                        tags={"job": job.name, "outcome": STATUS_HIT},
                     )
                     continue
+            trace.add(
+                "cache.lookup", t_lookup, time.perf_counter(),
+                tags={"job": job.name, "outcome": "miss"},
+            )
             if job.key in first_of:
                 # Same key submitted twice in one batch: evaluate once,
                 # share the result.
@@ -105,15 +150,30 @@ class Engine:
 
         failures: List[ExecutionOutcome] = []
         if pending:
+            cursor = time.perf_counter()
             for outcome in self._executor(len(pending)).run(pending):
                 job = outcome.job
+                span_t0 = cursor
+                span_t1 = cursor + outcome.wall_s
+                if outcome.backend == "serial":
+                    cursor = span_t1
+                status = STATUS_COMPUTED if outcome.ok else STATUS_FAILED
+                trace.add(
+                    "execute", span_t0, span_t1,
+                    tags={
+                        "job": job.name,
+                        "backend": outcome.backend,
+                        "attempts": outcome.retries + 1,
+                        "status": status,
+                    },
+                )
                 if not outcome.ok:
                     failures.append(outcome)
                     self.metrics.record(
                         JobRecord(
                             job.name, job.key, STATUS_FAILED,
                             wall_s=outcome.wall_s, retries=outcome.retries,
-                            backend=outcome.backend,
+                            backend=outcome.backend, trace_id=trace_id,
                         )
                     )
                     continue
@@ -126,7 +186,7 @@ class Engine:
                     JobRecord(
                         job.name, job.key, STATUS_COMPUTED,
                         wall_s=outcome.wall_s, retries=outcome.retries,
-                        backend=outcome.backend,
+                        backend=outcome.backend, trace_id=trace_id,
                     )
                 )
 
@@ -134,9 +194,17 @@ class Engine:
             source = first_of[job.key]
             if source in results:
                 results[index] = results[source]
-                self.metrics.record(JobRecord(job.name, job.key, STATUS_MEMO))
+                self.metrics.record(
+                    JobRecord(job.name, job.key, STATUS_MEMO, trace_id=trace_id)
+                )
             else:
-                self.metrics.record(JobRecord(job.name, job.key, STATUS_FAILED))
+                self.metrics.record(
+                    JobRecord(job.name, job.key, STATUS_FAILED, trace_id=trace_id)
+                )
+
+        if self.cache is not None:
+            # Batched hit/miss counters persist even for short runs.
+            self.cache.flush_activity()
 
         if failures:
             worst = failures[0]
@@ -144,6 +212,6 @@ class Engine:
 
         return [results[i] for i in range(len(jobs))]
 
-    def evaluate(self, job: Job) -> Any:
+    def evaluate(self, job: Job, trace=None) -> Any:
         """Evaluate a single job (memo/cache-aware)."""
-        return self.run([job])[0]
+        return self.run([job], trace=trace)[0]

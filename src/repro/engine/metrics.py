@@ -31,6 +31,9 @@ class JobRecord:
     wall_s: float = 0.0
     retries: int = 0
     backend: str = "-"
+    #: Trace the job was evaluated under ("" when untraced), so a slow
+    #: sweep's engine records can be joined back to its request trace.
+    trace_id: str = ""
 
 
 @dataclass

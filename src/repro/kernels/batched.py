@@ -170,8 +170,14 @@ class BatchedMatmulArray:
             return max(self.n, self.pipeline_latency)
         return self.n
 
-    def run(self, a: Matrix, b: Matrix) -> MatmulRun:
-        """Execute the full schedule analytically; bit-exact results."""
+    def run(self, a: Matrix, b: Matrix, trace=None) -> MatmulRun:
+        """Execute the full schedule analytically; bit-exact results.
+
+        ``trace`` (a :class:`repro.obs.trace.Trace`) opens one
+        ``kernel.wavefront`` span per accumulator round, so a traced
+        run shows where its ``2n`` NumPy calls spend their time.  The
+        ``if trace`` guards keep the untraced hot loop untouched.
+        """
         validate_matrix(self.fmt, self.n, a, "A")
         validate_matrix(self.fmt, self.n, b, "B")
         n = self.n
@@ -189,15 +195,25 @@ class BatchedMatmulArray:
         a_np = np.asarray(a, dtype=np.uint64)
         b_np = np.asarray(b, dtype=np.uint64)
         if self.packing_width > 1:
-            acc, flags = self._run_packed(a_np, b_np)
+            acc, flags = self._run_packed(a_np, b_np, trace)
         else:
             acc = np.full((n, n), self.fmt.zero(), dtype=np.uint64)
             flags = FPFlags()
             for k in range(n):
+                span = (
+                    trace.begin(
+                        "kernel.wavefront",
+                        tags={"k": k, "path": "vectorized"},
+                    )
+                    if trace is not None
+                    else None
+                )
                 col = np.broadcast_to(a_np[:, k : k + 1], (n, n))
                 row = np.broadcast_to(b_np[k : k + 1, :], (n, n))
                 acc, wavefront_flags = self._mac_wavefront(col, row, acc)
                 flags = flags | wavefront_flags
+                if span is not None:
+                    span.finish()
 
         c = [[int(acc[i][j]) for j in range(n)] for i in range(n)]
         return MatmulRun(
@@ -221,7 +237,7 @@ class BatchedMatmulArray:
         acc, add_flags = vec_add(self.fmt, acc, prod, self.mode, with_flags=True)
         return acc, reduce_flags(mul_flags, add_flags)
 
-    def _run_packed(self, a_np, b_np):
+    def _run_packed(self, a_np, b_np, trace=None):
         """All ``n`` wavefronts on the packed sub-lane datapaths.
 
         The accumulator stays packed for the whole run; each wavefront
@@ -239,6 +255,14 @@ class BatchedMatmulArray:
         )
         flags = FPFlags()
         for k in range(n):
+            span = (
+                trace.begin(
+                    "kernel.wavefront",
+                    tags={"k": k, "path": "packed", "width": width},
+                )
+                if trace is not None
+                else None
+            )
             col = np.broadcast_to(a_np[:, k : k + 1], (n, n)).ravel()
             row = np.broadcast_to(b_np[k : k + 1, :], (n, n)).ravel()
             pc, _ = pack_words(fmt, col, width)
@@ -250,6 +274,8 @@ class BatchedMatmulArray:
                 fmt, acc, prod, mode, width=width, with_flags=True
             )
             flags = flags | reduce_flags(mul_flags[:count], add_flags[:count])
+            if span is not None:
+                span.finish()
         return unpack_words(fmt, acc, count, width).reshape(n, n), flags
 
 

@@ -1,0 +1,64 @@
+"""Chrome trace-event export (``chrome://tracing`` / Perfetto).
+
+Converts trace documents (the :meth:`repro.obs.trace.Trace.to_dict`
+shape) into the Chrome trace-event JSON object format: a dict with a
+``traceEvents`` list of complete ("X") events whose ``ts``/``dur`` are
+microseconds.  Each trace becomes one virtual thread (``tid``) inside a
+single ``pid``, anchored at the trace's wall-clock start so concurrent
+requests line up on the shared timeline exactly as they overlapped in
+real time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+
+def chrome_trace(docs: Iterable[dict]) -> dict:
+    """Build the Chrome trace-event JSON object for ``docs``."""
+    events: List[dict] = []
+    for tid, doc in enumerate(docs, start=1):
+        base_us = doc["started_unix"] * 1e6
+        events.append(
+            {
+                "ph": "M",
+                "pid": 1,
+                "tid": tid,
+                "name": "thread_name",
+                "args": {"name": f"trace {doc['trace_id']}"},
+            }
+        )
+        trace_args = {
+            k: v
+            for k, v in doc.items()
+            if k not in ("spans", "started_unix", "duration_ms")
+        }
+        events.append(
+            {
+                "ph": "X",
+                "name": doc.get("route") or "request",
+                "cat": "request",
+                "pid": 1,
+                "tid": tid,
+                "ts": base_us,
+                "dur": doc["duration_ms"] * 1e3,
+                "args": trace_args,
+            }
+        )
+        for span in doc["spans"]:
+            events.append(
+                {
+                    "ph": "X",
+                    "name": span["name"],
+                    "cat": "span",
+                    "pid": 1,
+                    "tid": tid,
+                    "ts": base_us + span["start_ms"] * 1e3,
+                    "dur": span["duration_ms"] * 1e3,
+                    "args": dict(span.get("tags") or {}),
+                }
+            )
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+__all__ = ["chrome_trace"]

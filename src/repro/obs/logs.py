@@ -1,0 +1,56 @@
+"""NDJSON structured logging: one line per span, one per trace.
+
+Enabled with ``REPRO_SERVE_LOG_JSON=1``; lines go to stderr (or any
+stream handed to the :class:`~repro.obs.trace.Tracer`) so they compose
+with whatever log shipper wraps the process.  Every span line carries
+the trace ID, the lane (when the span has one), and the duration in
+milliseconds; the trailing trace line carries the route, status and
+total duration — enough to reconstruct the request timeline with
+``jq`` alone.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import IO
+
+
+def emit_trace(trace, stream: IO[str]) -> None:
+    """Write one NDJSON line per span plus a closing trace line."""
+    tid = trace.trace_id
+    lines = []
+    for span in trace.spans:
+        if type(span) is tuple:  # completed span recorded via Trace.add
+            name, t0, t1, _, tags = span
+        else:
+            name, t0, t1, tags = span.name, span.t0, span.t1, span.tags
+        record = {
+            "event": "span",
+            "trace_id": tid,
+            "span": name,
+            "duration_ms": round((t1 - t0) * 1e3, 6),
+        }
+        if tags:
+            lane = tags.get("lane")
+            if lane is not None:
+                record["lane"] = lane
+            record["tags"] = tags
+        lines.append(json.dumps(record, default=str))
+    closing = {
+        "event": "trace",
+        "trace_id": tid,
+        "duration_ms": round(trace.duration_s * 1e3, 6),
+        "spans": len(trace.spans),
+        "dropped_spans": trace.dropped_spans,
+    }
+    if trace.route is not None:
+        closing["route"] = trace.route
+    if trace.status is not None:
+        closing["status"] = trace.status
+    if trace.tags:
+        closing.update(trace.tags)
+    lines.append(json.dumps(closing, default=str))
+    stream.write("\n".join(lines) + "\n")
+
+
+__all__ = ["emit_trace"]

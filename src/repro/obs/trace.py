@@ -1,0 +1,536 @@
+"""Monotonic-clock tracing: spans, traces, and the bounded ring buffer.
+
+A :class:`Trace` is one request's span tree: a flat list of
+:class:`Span` records whose ``parent`` indices encode the hierarchy,
+timed with ``time.perf_counter()`` so durations are immune to wall-clock
+steps.  The :class:`Tracer` is the per-server registry — it mints trace
+IDs (honoring an inbound ``X-Repro-Trace-Id``), applies head sampling,
+and retains finished traces in an insertion-ordered ring buffer bounded
+by ``capacity`` so memory never grows with uptime.
+
+The design is overhead-first: the service's batched hot path handles a
+request in tens of microseconds, and the bench gate holds tracing to
+within 10% of that.  The choices that keep it cheap:
+
+* spans are ``__slots__`` records appended to a plain list — no dict of
+  children, no per-span locking (appends are atomic under the GIL);
+* already-completed spans (the per-request pipeline stages recorded via
+  :meth:`Trace.add`) are stored as bare tuples — no object construction
+  at all on the hot path;
+* batch-wide spans (``batch.dispatch``, ``scatter``) are **shared**: the
+  batcher allocates one :class:`Span` per flush and appends the same
+  object to every member trace, so per-request cost is one list append;
+* hot-path signatures take explicit ``tags=None`` dicts, never
+  ``**kwargs`` — a ``**kwargs`` function allocates a (GC-tracked) dict
+  on *every* call, and at tens of thousands of traces per second the
+  collector passes those savings straight back as throughput;
+* ``started_unix`` is derived from the per-process clock anchor
+  :data:`_UNIX_ANCHOR` instead of calling ``time.time()`` per trace;
+* serialization (``to_dict``) is lazy — nothing is rendered until a
+  ``/v1/trace/{id}`` read or a Chrome export asks for it.
+
+Unsampled requests get a :class:`NullTrace`: it still carries a trace ID
+(the response header echoes unconditionally) but every span operation is
+a no-op, which is also what makes the tracing-disabled bench baseline
+honest — both sides pay for ID minting, only the sampled side pays for
+spans.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+import random
+import re
+import threading
+import time
+from typing import Any, Callable, Dict, IO, List, Optional, Tuple
+
+#: Span names of the request pipeline stages, in pipeline order.  The
+#: server aggregates exactly these into the per-stage latency
+#: histograms, and the bench reports their means/p99s.
+REQUEST_STAGES = ("admission.wait", "batch.linger", "batch.dispatch", "scatter")
+
+#: Inbound trace IDs must match this (anything else is replaced with a
+#: generated ID rather than rejected — tracing never fails a request).
+_ID_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._\-]{0,63}$")
+
+#: Hard per-trace span cap: a runaway sweep cannot balloon one trace.
+#: Overflow increments ``Trace.dropped_spans`` instead of recording.
+MAX_SPANS_PER_TRACE = 4096
+
+#: Maps the monotonic ``perf_counter`` domain onto the wall clock:
+#: ``unix = _UNIX_ANCHOR + perf_counter()``.  Captured once at import so
+#: traces never pay a second clock read; drift over a process lifetime
+#: is far below what a Chrome-export timeline can resolve.
+_UNIX_ANCHOR = time.time() - time.perf_counter()
+
+
+class Span:
+    """One timed operation.  ``t0``/``t1`` are ``perf_counter`` values."""
+
+    __slots__ = ("name", "t0", "t1", "parent", "tags")
+
+    def __init__(
+        self,
+        name: str,
+        t0: float,
+        parent: int = -1,
+        tags: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.name = name
+        self.t0 = t0
+        self.t1 = t0
+        self.parent = parent
+        self.tags = tags
+
+    def finish(
+        self,
+        t1: Optional[float] = None,
+        tags: Optional[Dict[str, Any]] = None,
+    ) -> "Span":
+        self.t1 = time.perf_counter() if t1 is None else t1
+        if tags:
+            if self.tags is None:
+                self.tags = tags
+            else:
+                self.tags.update(tags)
+        return self
+
+    @property
+    def duration_s(self) -> float:
+        return self.t1 - self.t0
+
+
+class _NullSpan:
+    """Absorbs span operations for unsampled traces."""
+
+    __slots__ = ()
+    name = ""
+    t0 = 0.0
+    t1 = 0.0
+    parent = -1
+    tags: Optional[Dict[str, Any]] = None
+    duration_s = 0.0
+
+    def finish(
+        self,
+        t1: Optional[float] = None,
+        tags: Optional[Dict[str, Any]] = None,
+    ) -> "_NullSpan":
+        return self
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        return None
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Trace:
+    """One sampled request's span tree (flat spans + parent indices)."""
+
+    __slots__ = (
+        "trace_id",
+        "route",
+        "status",
+        "tags",
+        "t0",
+        "t1",
+        "spans",
+        "dropped_spans",
+        "finished",
+    )
+
+    sampled = True
+
+    def __init__(
+        self,
+        trace_id: str,
+        route: Optional[str] = None,
+        status: Optional[int] = None,
+    ) -> None:
+        self.trace_id = trace_id
+        self.route = route
+        self.status = status
+        self.tags: Optional[Dict[str, Any]] = None
+        self.t0 = time.perf_counter()
+        self.t1 = self.t0
+        #: Span objects (from begin/attach) and bare tuples (from add).
+        self.spans: List[Any] = []
+        self.dropped_spans = 0
+        self.finished = False
+
+    @property
+    def started_unix(self) -> float:
+        """Wall-clock start, derived from the process clock anchor."""
+        return _UNIX_ANCHOR + self.t0
+
+    # -------------------------------------------------------------- #
+    # recording
+    # -------------------------------------------------------------- #
+    def begin(
+        self,
+        name: str,
+        parent: int = -1,
+        tags: Optional[Dict[str, Any]] = None,
+    ):
+        """Open a span; call ``.finish()`` on the result to close it."""
+        if len(self.spans) >= MAX_SPANS_PER_TRACE:
+            self.dropped_spans += 1
+            return NULL_SPAN
+        span = Span(name, time.perf_counter(), parent, tags)
+        self.spans.append(span)
+        return span
+
+    def add(
+        self,
+        name: str,
+        t0: float,
+        t1: float,
+        parent: int = -1,
+        tags: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        """Record an already-completed span with explicit timestamps.
+
+        Completed spans are stored as bare ``(name, t0, t1, parent,
+        tags)`` tuples, not :class:`Span` objects: the per-request
+        pipeline stages (``admission.wait``, ``batch.linger``) land
+        here on the hot path, and a 5-tuple costs a fraction of an
+        object construction.  Readers (``to_dict``, the NDJSON
+        emitter) normalize both shapes.
+        """
+        if len(self.spans) >= MAX_SPANS_PER_TRACE:
+            self.dropped_spans += 1
+            return
+        self.spans.append((name, t0, t1, parent, tags))
+
+    def attach(self, span: Span) -> None:
+        """Append a span object shared with other traces (batch-wide
+        spans: one allocation per flush, one append per member)."""
+        if len(self.spans) >= MAX_SPANS_PER_TRACE:
+            self.dropped_spans += 1
+            return
+        self.spans.append(span)
+
+    def extend(self, spans) -> None:
+        """Append several completed spans (tuples or Spans) at once.
+
+        The batcher records a member's whole pipeline — synthesized
+        stage tuples plus the shared batch-wide spans — with one
+        method call instead of one per span.
+        """
+        if len(self.spans) + len(spans) > MAX_SPANS_PER_TRACE:
+            self.dropped_spans += len(spans)
+            return
+        self.spans.extend(spans)
+
+    def span(self, name: str, **tags: Any) -> "_SpanContext":
+        """``with trace.span("kernel.wavefront", k=3): ...``"""
+        return _SpanContext(self, name, tags)
+
+    # -------------------------------------------------------------- #
+    # views
+    # -------------------------------------------------------------- #
+    @property
+    def duration_s(self) -> float:
+        return self.t1 - self.t0
+
+    def to_dict(self) -> dict:
+        """Serialize for ``/v1/trace/{id}`` (lazy — read path only).
+
+        Span times are milliseconds relative to the trace start, which
+        keeps the payload clock-domain-free; ``started_unix`` anchors
+        the whole trace for the Chrome export.
+        """
+        t0 = self.t0
+        doc: dict = {
+            "trace_id": self.trace_id,
+            "started_unix": round(self.started_unix, 6),
+            "duration_ms": round(self.duration_s * 1e3, 6),
+            "dropped_spans": self.dropped_spans,
+        }
+        if self.route is not None:
+            doc["route"] = self.route
+        if self.status is not None:
+            doc["status"] = self.status
+        if self.tags:
+            doc.update(self.tags)
+        spans_doc = []
+        for s in self.spans:
+            if type(s) is tuple:  # completed span recorded via add()
+                name, s0, s1, parent, tags = s
+            else:
+                name, s0, s1, parent, tags = s.name, s.t0, s.t1, s.parent, s.tags
+            spans_doc.append(
+                {
+                    "name": name,
+                    "parent": parent,
+                    "start_ms": round((s0 - t0) * 1e3, 6),
+                    "duration_ms": round((s1 - s0) * 1e3, 6),
+                    "tags": tags or {},
+                }
+            )
+        doc["spans"] = spans_doc
+        return doc
+
+    def summary(self) -> dict:
+        """One line of ``/v1/debug/traces``."""
+        return {
+            "trace_id": self.trace_id,
+            "route": self.route or "",
+            "status": self.status or 0,
+            "duration_ms": round(self.duration_s * 1e3, 6),
+            "spans": len(self.spans),
+            "dropped_spans": self.dropped_spans,
+        }
+
+
+class _SpanContext:
+    """Context manager produced by :meth:`Trace.span`."""
+
+    __slots__ = ("_trace", "_name", "_tags", "_span")
+
+    def __init__(self, trace: Trace, name: str, tags: Dict[str, Any]) -> None:
+        self._trace = trace
+        self._name = name
+        self._tags = tags
+        self._span = None
+
+    def __enter__(self):
+        self._span = self._trace.begin(self._name, tags=self._tags or None)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        if exc_type is not None:
+            self._span.finish(tags={"error": exc_type.__name__})
+        else:
+            self._span.finish()
+
+
+class NullTrace:
+    """Unsampled trace: carries the ID (for the echoed header), drops
+    every span.  One shared instance per request keeps the disabled
+    path nearly free."""
+
+    __slots__ = ("trace_id",)
+
+    sampled = False
+    route: Optional[str] = None
+    status: Optional[int] = None
+    tags: Optional[Dict[str, Any]] = None
+    spans: Tuple[()] = ()
+    dropped_spans = 0
+    finished = False
+    duration_s = 0.0
+
+    def __init__(self, trace_id: str) -> None:
+        self.trace_id = trace_id
+
+    def begin(
+        self,
+        name: str,
+        parent: int = -1,
+        tags: Optional[Dict[str, Any]] = None,
+    ):
+        return NULL_SPAN
+
+    def add(self, *args: Any, **kwargs: Any) -> None:
+        return None
+
+    def attach(self, span: Span) -> None:
+        return None
+
+    def extend(self, spans) -> None:
+        return None
+
+    def span(self, name: str, **tags: Any):
+        return NULL_SPAN
+
+
+#: Module-level sink for code that wants unconditional span calls
+#: (engine, kernels) without a per-call ``if trace is None`` guard.
+NULL_TRACE = NullTrace("")
+
+
+class Tracer:
+    """Per-server trace registry: sampling, ring buffer, NDJSON logs.
+
+    ``sample`` is head sampling in [0, 1]: the decision is made once at
+    :meth:`start` and the whole request inherits it.  ``capacity``
+    bounds the finished-trace ring buffer (oldest evicted first).
+    ``log_stream`` enables NDJSON structured logging (one line per span
+    plus one per trace) and ``on_finish`` is an optional hook invoked
+    with every finished sampled trace (aggregation, shipping, tests).
+
+    Thread safety: ``start`` and span recording happen on the event
+    loop (or a single sweep thread holding the trace), so they are
+    unsynchronized; ring inserts are single GIL-atomic dict stores, and
+    the lock is only taken for the amortized eviction sweep (and by
+    ``/v1/trace`` readers, which snapshot the buffer under it).
+
+    Eviction is *slack-amortized*: the buffer is allowed to overshoot
+    ``capacity`` by ``capacity / 8`` (at least 1) before one locked
+    sweep trims it back to ``capacity``, so the per-request cost of a
+    full ring is an insert and a length check, not a lock and a pop.
+    """
+
+    def __init__(
+        self,
+        sample: float = 1.0,
+        capacity: int = 512,
+        log_stream: Optional[IO[str]] = None,
+        on_finish: Optional[Callable[[Trace], None]] = None,
+    ) -> None:
+        if not 0.0 <= sample <= 1.0:
+            raise ValueError(f"trace sample must be in [0, 1], got {sample}")
+        if capacity < 1:
+            raise ValueError(f"trace buffer capacity must be >= 1, got {capacity}")
+        self.sample = sample
+        self.capacity = capacity
+        self._evict_at = capacity + max(1, capacity >> 3)
+        self.log_stream = log_stream
+        self.on_finish = on_finish
+        self._buffer: Dict[str, Trace] = {}  # insertion-ordered ring
+        self._lock = threading.Lock()
+        self._seq = itertools.count()
+        self._prefix = f"{os.getpid():x}-{random.randrange(1 << 32):08x}"
+        self._random = random.random  # bound method: cheap in the hot path
+        # Lifetime counters (exposed via /v1/debug/traces).
+        self.started = 0
+        self.sampled_out = 0
+        self.finished_count = 0
+        self.evicted = 0
+        self.spans_recorded = 0
+        self.spans_dropped = 0
+
+    # -------------------------------------------------------------- #
+    # lifecycle
+    # -------------------------------------------------------------- #
+    def mint_id(self) -> str:
+        return f"{self._prefix}-{next(self._seq):x}"
+
+    def start(self, trace_id: Optional[str] = None, route: Optional[str] = None):
+        """Begin a trace; returns :class:`Trace` or :class:`NullTrace`.
+
+        A malformed inbound ID (bad charset or length) is replaced, not
+        rejected: the caller still gets a valid ID to echo.
+        """
+        if trace_id is None or not _ID_RE.match(trace_id):
+            trace_id = self.mint_id()
+        self.started += 1
+        if self.sample <= 0.0 or (
+            self.sample < 1.0 and self._random() >= self.sample
+        ):
+            self.sampled_out += 1
+            return NullTrace(trace_id)
+        return Trace(trace_id, route)
+
+    def finish(self, trace, status: Optional[int] = None) -> None:
+        """Close a trace: stamp duration, buffer it, log, aggregate."""
+        if not trace.sampled or trace.finished:
+            return
+        trace.t1 = time.perf_counter()
+        trace.finished = True
+        if status is not None:
+            trace.status = status
+        self.finished_count += 1
+        self.spans_recorded += len(trace.spans)
+        self.spans_dropped += trace.dropped_spans
+        # The insert itself is GIL-atomic (plain dict store), and
+        # readers snapshot the buffer under the lock in one C-level
+        # call, so the hot path only pays for the lock on the amortized
+        # eviction sweep.
+        buffer = self._buffer
+        buffer[trace.trace_id] = trace
+        if len(buffer) >= self._evict_at:
+            with self._lock:
+                drop = len(buffer) - self.capacity
+                if drop > 0:
+                    # One iterator pass over the oldest keys, not one
+                    # fresh iterator per pop.
+                    for key in list(itertools.islice(iter(buffer), drop)):
+                        del buffer[key]
+                    self.evicted += drop
+        if self.on_finish is not None:
+            self.on_finish(trace)
+        if self.log_stream is not None:
+            from repro.obs.logs import emit_trace
+
+            emit_trace(trace, self.log_stream)
+
+    # -------------------------------------------------------------- #
+    # reads
+    # -------------------------------------------------------------- #
+    def get(self, trace_id: str) -> Optional[dict]:
+        with self._lock:
+            trace = self._buffer.get(trace_id)
+        return trace.to_dict() if trace is not None else None
+
+    def slowest(self, n: int) -> List[Trace]:
+        """The ``n`` buffered traces with the largest total duration."""
+        with self._lock:
+            traces = list(self._buffer.values())
+        traces.sort(key=lambda t: t.duration_s, reverse=True)
+        return traces[: max(0, n)]
+
+    def stats(self) -> dict:
+        with self._lock:
+            buffered = len(self._buffer)
+        return {
+            "buffered": buffered,
+            "capacity": self.capacity,
+            "sample": self.sample,
+            "started": self.started,
+            "finished": self.finished_count,
+            "sampled_out": self.sampled_out,
+            "evicted": self.evicted,
+            "spans_recorded": self.spans_recorded,
+            "spans_dropped": self.spans_dropped,
+        }
+
+
+def render_trace(doc: dict) -> str:
+    """Human-readable span tree of one ``/v1/trace/{id}`` document
+    (used by ``repro trace``)."""
+    lines = [
+        f"trace {doc['trace_id']} {doc.get('route', '')} "
+        f"status={doc.get('status', '?')} "
+        f"{doc['duration_ms']:.3f} ms ({len(doc['spans'])} spans)"
+    ]
+    spans = doc["spans"]
+    children: Dict[int, List[int]] = {}
+    for i, span in enumerate(spans):
+        children.setdefault(span.get("parent", -1), []).append(i)
+
+    def walk(parent: int, depth: int) -> None:
+        for i in children.get(parent, ()):  # insertion order = time order
+            span = spans[i]
+            tags = " ".join(f"{k}={v}" for k, v in span.get("tags", {}).items())
+            lines.append(
+                f"  {'  ' * depth}{span['name']:<16} "
+                f"{span['duration_ms']:9.3f} ms"
+                + (f"  {tags}" if tags else "")
+            )
+            walk(i, depth + 1)
+
+    walk(-1, 0)
+    if doc.get("dropped_spans"):
+        lines.append(f"  ({doc['dropped_spans']} spans dropped at the cap)")
+    return "\n".join(lines)
+
+
+__all__ = [
+    "MAX_SPANS_PER_TRACE",
+    "NULL_SPAN",
+    "NULL_TRACE",
+    "NullTrace",
+    "REQUEST_STAGES",
+    "Span",
+    "Trace",
+    "Tracer",
+    "render_trace",
+]

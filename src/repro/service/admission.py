@@ -17,6 +17,7 @@ request releases its slot.
 from __future__ import annotations
 
 import asyncio
+import time
 from typing import Optional
 
 from repro.service.telemetry import Telemetry
@@ -38,26 +39,55 @@ class AdmissionController:
         self.in_flight = 0
         self.draining = False
         self._idle: Optional[asyncio.Event] = None  # created lazily in-loop
+        # Pre-resolved stage histogram so sampled admissions fold their
+        # wait straight in, without a per-label lookup per request.
+        self._stage_wait = (
+            telemetry.stage_latency_s.child(("admission.wait",))
+            if telemetry is not None
+            else None
+        )
 
     # ------------------------------------------------------------------ #
     # admission
     # ------------------------------------------------------------------ #
-    def admit(self) -> str:
+    def admit(self, trace=None, record: bool = True) -> str:
         """Try to claim a slot; returns an ``ADMIT_*`` verdict.
 
         Callers that receive :data:`ADMIT_OK` own a slot and must call
-        :meth:`release` exactly once (use ``try/finally``).
+        :meth:`release` exactly once (use ``try/finally``).  When a
+        sampled ``trace`` is passed, the decision is recorded as a
+        zero-duration ``admission.wait`` span tagged with the verdict
+        and the queue occupancy it saw — shed-don't-queue means there
+        is nothing to wait *in*, and the span exists so a 429'd
+        request's trace says *why*.  The batcher path passes
+        ``record=False``: an OK verdict's span is synthesized at flush
+        time from the member's enqueue timestamp instead, so the hot
+        path records nothing here.  Rejections are always recorded.
         """
         if self.draining:
-            return ADMIT_DRAINING
-        if self.in_flight >= self.limit:
+            verdict = ADMIT_DRAINING
+        elif self.in_flight >= self.limit:
             if self.telemetry is not None:
                 self.telemetry.shed_total.inc()
-            return ADMIT_FULL
-        self.in_flight += 1
-        if self.telemetry is not None:
-            self.telemetry.queue_depth.set(self.in_flight)
-        return ADMIT_OK
+            verdict = ADMIT_FULL
+        else:
+            self.in_flight += 1
+            if self.telemetry is not None:
+                self.telemetry.queue_depth.set(self.in_flight)
+            verdict = ADMIT_OK
+        if (
+            (record or verdict is not ADMIT_OK)
+            and trace is not None
+            and trace.sampled
+        ):
+            t_now = time.perf_counter()
+            trace.add(
+                "admission.wait", t_now, t_now,
+                tags={"verdict": verdict, "in_flight": self.in_flight},
+            )
+            if self._stage_wait is not None:
+                self._stage_wait.observe(0.0)
+        return verdict
 
     def release(self) -> None:
         """Return a slot claimed by a successful :meth:`admit`."""

@@ -32,6 +32,7 @@ the event loop's accept/parse work.
 from __future__ import annotations
 
 import asyncio
+import time
 from concurrent.futures import Executor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -54,6 +55,7 @@ from repro.fp.vectorized import (
     vec_sqrt,
     vec_sub,
 )
+from repro.obs.trace import NULL_TRACE, Span
 from repro.service.config import ServiceConfig
 from repro.service.telemetry import Telemetry
 
@@ -78,6 +80,12 @@ OP_ARITY = {op: arity for op, (_, _, arity) in OPS.items()}
 #: geometry (``name`` is compare=False), so only bit-identical datapaths
 #: can ever share a batch.
 LaneKey = Tuple[str, FPFormat, RoundingMode]
+
+#: Shared tag dict for flush-synthesized ``admission.wait`` spans (the
+#: admitted hot path defers its span to the flush — one constant dict
+#: for every member instead of one allocation per request).  Treated as
+#: immutable by every reader.
+_OK_ADMIT_TAGS = {"verdict": "ok"}
 
 
 class BatchIntegrityError(Exception):
@@ -145,9 +153,16 @@ def execute_batch(
     return list(zip(bits.tolist(), flags.tolist()))
 
 
+#: One queued request: operand words, result future, trace, and the
+#: monotonic enqueue timestamp the flush turns into a ``batch.linger``
+#: span (a raw float in the tuple instead of an open Span keeps the
+#: per-request submit path allocation-free).
+_QueueItem = Tuple[Tuple[int, ...], asyncio.Future, object, float]
+
+
 @dataclass
 class _Lane:
-    queue: "asyncio.Queue[Tuple[Tuple[int, ...], asyncio.Future]]"
+    queue: "asyncio.Queue[_QueueItem]"
     worker: asyncio.Task = field(repr=False, default=None)  # type: ignore[assignment]
 
 
@@ -165,19 +180,42 @@ class MicroBatcher:
         self.executor = executor
         self._lanes: Dict[LaneKey, _Lane] = {}
         self._closed = False
+        # Stage latency folds in at the flush, not at trace finish.
+        # Lingers differ per member so each sampled member observes its
+        # own; admission waits on the admitted path are structurally
+        # zero (shed-don't-queue) and dispatch/scatter spans are shared
+        # across a flush's members, so those three land as ONE weighted
+        # observation per flush (weight = sampled members).
+        if telemetry is not None:
+            stage = telemetry.stage_latency_s
+            self._stage_wait = stage.child(("admission.wait",))
+            self._stage_linger = stage.child(("batch.linger",))
+            self._stage_dispatch = stage.child(("batch.dispatch",))
+            self._stage_scatter = stage.child(("scatter",))
+        else:
+            self._stage_wait = self._stage_linger = None
+            self._stage_dispatch = self._stage_scatter = None
 
     # ------------------------------------------------------------------ #
     # submission
     # ------------------------------------------------------------------ #
     async def submit(
-        self, op: str, fmt: FPFormat, mode: RoundingMode, *operands: int
+        self,
+        op: str,
+        fmt: FPFormat,
+        mode: RoundingMode,
+        *operands: int,
+        trace=None,
     ) -> Tuple[int, int]:
         """Queue one request; resolves to its ``(bits, flags)``.
 
         ``operands`` must match the op's arity exactly — one word for
         sqrt, two for the binary ops, three for fma.  Admission control
         (and the per-request deadline) live with the caller; the batcher
-        itself never rejects for load.
+        itself never rejects for load.  ``trace`` (a
+        :class:`repro.obs.trace.Trace`) receives the request's
+        ``admission.wait`` / ``batch.linger`` / ``batch.dispatch`` /
+        ``scatter`` spans, all recorded at flush time.
         """
         if op not in OPS:
             raise KeyError(f"unknown op {op!r}; known: {', '.join(OPS)}")
@@ -198,7 +236,9 @@ class MicroBatcher:
             )
             self._lanes[(op, fmt, mode)] = lane
         future: asyncio.Future = loop.create_future()
-        lane.queue.put_nowait((operands, future))
+        if trace is None:
+            trace = NULL_TRACE
+        lane.queue.put_nowait((operands, future, trace, time.perf_counter()))
         return await future
 
     # ------------------------------------------------------------------ #
@@ -237,12 +277,12 @@ class MicroBatcher:
         op: str,
         fmt: FPFormat,
         mode: RoundingMode,
-        batch: List[Tuple[Tuple[int, ...], asyncio.Future]],
+        batch: List[_QueueItem],
     ) -> None:
-        requests = [operands for operands, _ in batch]
+        requests = [operands for operands, _, _, _ in batch]
+        width = lane_packing_width(op, fmt)
         if self.telemetry is not None:
             labels = (op, fmt.name, mode.value)
-            width = lane_packing_width(op, fmt)
             self.telemetry.batch_size.observe(len(batch))
             self.telemetry.batches_total.inc(labels)
             self.telemetry.lane_packing_width.set(labels, width)
@@ -250,6 +290,28 @@ class MicroBatcher:
                 self.telemetry.packed_batches_total.inc(labels)
             if self.config.spot_check:
                 self.telemetry.spot_checks_total.inc()
+        # Per-member span work happens once, after execution: each
+        # sampled member's admission.wait (structurally zero — the
+        # admitted path defers it here) and batch.linger spans are
+        # synthesized from its enqueue timestamp as bare tuples, and
+        # appended together with the shared batch-wide spans in ONE
+        # Trace.extend call.  Unsampled members pay one attribute check.
+        t_dispatch = time.perf_counter()
+        sampled = sum(1 for _, _, trace, _ in batch if trace.sampled)
+        # The dispatch span is batch-wide: when any member is sampled,
+        # ONE Span object is shared across every sampled member trace.
+        dispatch_span = None
+        if sampled:
+            dispatch_span = Span(
+                "batch.dispatch",
+                t_dispatch,
+                tags={
+                    "lane": f"{op}/{fmt.name}/{mode.value}",
+                    "batch_size": len(batch),
+                    "packing_width": width,
+                    "path": "packed" if width > 1 else "vectorized",
+                },
+            )
         loop = asyncio.get_running_loop()
         try:
             results = await loop.run_in_executor(
@@ -262,16 +324,55 @@ class MicroBatcher:
                 self.config.spot_check,
             )
         except Exception as exc:  # noqa: BLE001 - fan the failure out
-            for _, future in batch:
+            if dispatch_span is not None:
+                dispatch_span.finish(tags={"error": type(exc).__name__})
+            linger_h = self._stage_linger
+            for _, future, trace, t_enq in batch:
+                if trace.sampled:
+                    trace.extend((
+                        ("admission.wait", t_enq, t_enq, -1, _OK_ADMIT_TAGS),
+                        ("batch.linger", t_enq, t_dispatch, -1, None),
+                        dispatch_span,
+                    ))
+                    if linger_h is not None:
+                        linger_h.observe(t_dispatch - t_enq)
                 if not future.done():
                     future.set_exception(exc)
+            if sampled and self._stage_wait is not None:
+                self._stage_wait.observe_n(0.0, sampled)
+                self._stage_dispatch.observe_n(
+                    dispatch_span.duration_s, sampled
+                )
             return
-        for (_, future), result in zip(batch, results):
+        if dispatch_span is None:
+            # Fully unsampled batch: pure scatter, no tracing work.
+            for (_, future, _, _), result in zip(batch, results):
+                if not future.done():
+                    future.set_result(result)
+            return
+        dispatch_span.finish()
+        scatter_span = Span("scatter", time.perf_counter())
+        linger_h = self._stage_linger
+        for (_, future, trace, t_enq), result in zip(batch, results):
+            if trace.sampled:
+                trace.extend((
+                    ("admission.wait", t_enq, t_enq, -1, _OK_ADMIT_TAGS),
+                    ("batch.linger", t_enq, t_dispatch, -1, None),
+                    dispatch_span,
+                    scatter_span,
+                ))
+                if linger_h is not None:
+                    linger_h.observe(t_dispatch - t_enq)
             # A future may already be cancelled by the caller's
             # per-request deadline; its slot was still computed (the
             # batch was in flight), we just have nobody to tell.
             if not future.done():
                 future.set_result(result)
+        scatter_span.finish()
+        if self._stage_wait is not None:
+            self._stage_wait.observe_n(0.0, sampled)
+            self._stage_dispatch.observe_n(dispatch_span.duration_s, sampled)
+            self._stage_scatter.observe_n(scatter_span.duration_s, sampled)
 
     # ------------------------------------------------------------------ #
     # shutdown

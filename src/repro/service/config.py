@@ -74,6 +74,18 @@ class ServiceConfig:
         Persistent result cache for the experiment/unit endpoints
         (``REPRO_SERVE_CACHE_DIR``, falling back to ``$REPRO_CACHE_DIR``
         so the server shares the CLI's cache).
+    trace_sample:
+        Head-sampling probability for request tracing in [0, 1].  The
+        default 1.0 traces everything (the bench gate holds the cost to
+        within 10% of tracing disabled); 0 disables span recording but
+        still mints and echoes trace IDs.
+    trace_buffer:
+        Capacity of the finished-trace ring buffer behind
+        ``/v1/trace/{id}`` — oldest traces are evicted first, so memory
+        never grows with uptime.
+    log_json:
+        When True, emit NDJSON structured logs to stderr: one line per
+        span (trace ID, lane, duration) plus one per trace.
     """
 
     host: str = "127.0.0.1"
@@ -86,6 +98,9 @@ class ServiceConfig:
     drain_timeout_s: float = 5.0
     spot_check: bool = True
     cache_dir: Optional[str] = None
+    trace_sample: float = 1.0
+    trace_buffer: int = 512
+    log_json: bool = False
 
     def __post_init__(self) -> None:
         self._require(self.port >= 0, "port", "must be >= 0 (0 = ephemeral)", self.port)
@@ -111,6 +126,18 @@ class ServiceConfig:
             "drain_timeout_s",
             "must be >= 0",
             self.drain_timeout_s,
+        )
+        self._require(
+            0.0 <= self.trace_sample <= 1.0,
+            "trace_sample",
+            "must be in [0, 1]",
+            self.trace_sample,
+        )
+        self._require(
+            self.trace_buffer >= 1,
+            "trace_buffer",
+            "must be >= 1",
+            self.trace_buffer,
         )
 
     @staticmethod
@@ -142,9 +169,9 @@ class ServiceConfig:
             try:
                 if f.name in ("host", "cache_dir"):
                     values[f.name] = raw
-                elif f.name == "spot_check":
+                elif f.name in ("spot_check", "log_json"):
                     values[f.name] = _parse_bool(raw)
-                elif f.name in ("port", "max_batch", "queue_depth"):
+                elif f.name in ("port", "max_batch", "queue_depth", "trace_buffer"):
                     values[f.name] = int(raw)
                 else:
                     values[f.name] = float(raw)

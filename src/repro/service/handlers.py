@@ -150,6 +150,14 @@ class Handlers:
             if request.method != "GET":
                 return _error_reply(405, "/v1/batch-stats is GET")
             return self.handle_batch_stats(request)
+        if path.startswith("/v1/trace/"):
+            if request.method != "GET":
+                return _error_reply(405, "trace endpoints are GET")
+            return self.handle_trace(path[len("/v1/trace/"):])
+        if path == "/v1/debug/traces":
+            if request.method != "GET":
+                return _error_reply(405, "/v1/debug/traces is GET")
+            return self.handle_debug_traces(request)
         if path == "/v1/unit":
             if request.method != "GET":
                 return _error_reply(405, "/v1/unit is GET")
@@ -161,7 +169,9 @@ class Handlers:
         if path.startswith("/v1/experiment/"):
             if request.method != "GET":
                 return _error_reply(405, "experiment endpoints are GET")
-            return await self.handle_experiment(path[len("/v1/experiment/"):])
+            return await self.handle_experiment(
+                path[len("/v1/experiment/"):], request
+            )
         return _error_reply(404, f"no route for {path}")
 
     # ------------------------------------------------------------------ #
@@ -199,7 +209,9 @@ class Handlers:
                 + ", ".join(f"'{k}'" for k in surplus),
             )
         operands = tuple(parse_word(fmt, doc[k], k) for k in keys)
-        return await self.service.dispatch_op(op, fmt, mode, *operands)
+        return await self.service.dispatch_op(
+            op, fmt, mode, *operands, trace=request.trace
+        )
 
     # ------------------------------------------------------------------ #
     # operational endpoints
@@ -248,6 +260,50 @@ class Handlers:
         )
 
     # ------------------------------------------------------------------ #
+    # tracing endpoints
+    # ------------------------------------------------------------------ #
+    def handle_trace(self, trace_id: str) -> Reply:
+        """One finished trace's span tree, by ID."""
+        doc = self.service.tracer.get(trace_id)
+        if doc is None:
+            return _error_reply(
+                404,
+                f"unknown trace {trace_id!r} (never seen, sampled out, "
+                "or evicted from the ring buffer)",
+            )
+        return _json_reply(200, doc)
+
+    def handle_debug_traces(self, request: Request) -> Reply:
+        """Tracer stats plus the N slowest buffered traces.
+
+        ``?slowest=N`` bounds the list (default 10);
+        ``?export=chrome`` returns those traces as a Chrome
+        trace-event JSON object instead (load in ``chrome://tracing``
+        or Perfetto).
+        """
+        from repro.obs.chrome import chrome_trace
+
+        query = request.query
+        try:
+            n = int(query.get("slowest", "10"))
+        except ValueError:
+            return _error_reply(400, "slowest must be an integer")
+        if n < 0:
+            return _error_reply(400, "slowest must be >= 0")
+        traces = self.service.tracer.slowest(n)
+        if query.get("export") == "chrome":
+            return _json_reply(
+                200, chrome_trace(t.to_dict() for t in traces)
+            )
+        return _json_reply(
+            200,
+            {
+                **self.service.tracer.stats(),
+                "traces": [t.summary() for t in traces],
+            },
+        )
+
+    # ------------------------------------------------------------------ #
     # slow path: characterisation and experiments
     # ------------------------------------------------------------------ #
     async def handle_unit(self, request: Request) -> Reply:
@@ -263,7 +319,8 @@ class Handlers:
         except ProtocolError as exc:
             return _error_reply(exc.status, str(exc))
         space, _ = await self._run_sweep(
-            lambda: explore(fmt, kind, engine=self.service.engine)
+            lambda: explore(fmt, kind, engine=self.service.engine),
+            request.trace,
         )
         points = [
             {
@@ -326,7 +383,9 @@ class Handlers:
             },
         )
 
-    async def handle_experiment(self, name: str) -> Reply:
+    async def handle_experiment(
+        self, name: str, request: Optional[Request] = None
+    ) -> Reply:
         if name not in REGISTRY:
             return _error_reply(
                 404,
@@ -334,7 +393,8 @@ class Handlers:
             )
         engine = self.service.engine
         result, records = await self._run_sweep(
-            lambda: engine.evaluate(experiment_job(name))
+            lambda: engine.evaluate(experiment_job(name)),
+            None if request is None else request.trace,
         )
         source = records[-1].status if records else "memo"
         return _json_reply(
@@ -346,7 +406,7 @@ class Handlers:
             },
         )
 
-    async def _run_sweep(self, fn):
+    async def _run_sweep(self, fn, trace=None):
         """Evaluate a sweep on the slow-path thread, engine-serialized.
 
         Sweeps occupy an admission slot like any other request — a
@@ -356,25 +416,34 @@ class Handlers:
         :class:`~repro.engine.metrics.JobRecord` entries this evaluation
         added, already mirrored into the service telemetry so
         ``/metrics`` reports the characterisation cache hit rate.
+        ``trace`` propagates to the engine, whose ``cache.lookup`` /
+        ``execute`` spans land in the request's trace.
         """
         service = self.service
-        verdict = service.admission.admit()
+        verdict = service.admission.admit(trace)
         if verdict is not ADMIT_OK:
             if verdict is ADMIT_DRAINING:
                 raise ProtocolError(503, "server is draining")
             raise ProtocolError(429, "queue full; retry later")
         try:
-            return await self._run_sweep_admitted(fn)
+            return await self._run_sweep_admitted(fn, trace)
         finally:
             service.admission.release()
 
-    async def _run_sweep_admitted(self, fn):
+    async def _run_sweep_admitted(self, fn, trace=None):
         service = self.service
         async with self._sweep_lock:
+            # The sweep lock also serializes the engine's active trace:
+            # exactly one sweep evaluates at a time, so binding the
+            # trace for the duration of this evaluation is race-free.
+            def evaluate():
+                with service.engine.tracing(trace):
+                    return fn()
+
             before = len(service.engine.metrics.records)
             result = await asyncio.wait_for(
                 asyncio.get_running_loop().run_in_executor(
-                    service.sweep_pool, fn
+                    service.sweep_pool, evaluate
                 ),
                 service.config.sweep_timeout_s,
             )

@@ -53,6 +53,10 @@ class Request:
     headers: Dict[str, str]
     body: bytes
     keep_alive: bool = True
+    #: The request's trace (set by the server once admission to the
+    #: connection loop mints it; ``None`` when handlers are driven
+    #: directly, e.g. from unit tests).
+    trace: Optional[object] = field(default=None, repr=False)
     _query: Optional[Dict[str, str]] = field(default=None, repr=False)
 
     @property

@@ -20,7 +20,7 @@ import json
 import random
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.fp.format import ALL_FORMATS, FP32, FPFormat
 from repro.fp.rounding import RoundingMode
@@ -45,6 +45,10 @@ class LoadReport:
     errors: int = 0
     p50_ms: float = 0.0
     p99_ms: float = 0.0
+    #: Requests that sent an explicit X-Repro-Trace-Id and saw the
+    #: server echo exactly that ID back (0 when trace_ids is off).
+    trace_echoed: int = 0
+    trace_ids: bool = False
 
     @property
     def achieved_rps(self) -> float:
@@ -72,36 +76,52 @@ class LoadReport:
             "errors": self.errors,
             "p50_ms": round(self.p50_ms, 3),
             "p99_ms": round(self.p99_ms, 3),
+            "trace_ids": self.trace_ids,
+            "trace_echoed": self.trace_echoed,
         }
 
     def render(self) -> str:
         statuses = " ".join(
             f"{code}:{n}" for code, n in sorted(self.statuses.items())
         )
-        return (
+        text = (
             f"loadgen: {self.requests} requests in {self.duration_s:.2f}s "
             f"({self.achieved_rps:.0f} req/s, {self.concurrency}-way "
             f"{self.op}/{self.format}/{self.mode})\n"
             f"  statuses: {statuses or '-'} | errors: {self.errors}\n"
             f"  latency: p50 {self.p50_ms:.2f} ms, p99 {self.p99_ms:.2f} ms"
         )
+        if self.trace_ids:
+            text += f"\n  trace ids echoed: {self.trace_echoed}/{self.requests}"
+        return text
 
 
-async def _read_response(reader: asyncio.StreamReader) -> int:
-    """Read one response off the wire; returns its status code."""
+async def _read_response(
+    reader: asyncio.StreamReader,
+) -> Tuple[int, Optional[bytes]]:
+    """Read one response; returns ``(status, echoed trace ID or None)``."""
     head = await reader.readuntil(b"\r\n\r\n")
     status = int(head.split(b" ", 2)[1])
     length = 0
+    trace_id = None
     for line in head[:-4].split(b"\r\n")[1:]:
-        if line[:15].lower() == b"content-length:":
+        lowered = line[:17].lower()
+        if lowered[:15] == b"content-length:":
             length = int(line[15:])
-            break
+        elif lowered == b"x-repro-trace-id:":
+            trace_id = line[17:].strip()
     if length:
         await reader.readexactly(length)
-    return status
+    return status, trace_id
 
 
-def _request_bytes(op: str, fmt: FPFormat, mode: str, *operands: int) -> bytes:
+def _request_bytes(
+    op: str,
+    fmt: FPFormat,
+    mode: str,
+    *operands: int,
+    trace_id: Optional[str] = None,
+) -> bytes:
     words = ",".join(
         f'"{key}":"{word:#x}"'
         for key, word in zip(_OPERAND_KEYS, operands)
@@ -109,9 +129,12 @@ def _request_bytes(op: str, fmt: FPFormat, mode: str, *operands: int) -> bytes:
     body = (
         f'{{{words},"format":"{fmt.name}","mode":"{mode}"}}'
     ).encode()
+    trace_header = (
+        f"X-Repro-Trace-Id: {trace_id}\r\n" if trace_id is not None else ""
+    )
     return (
         f"POST /v1/op/{op} HTTP/1.1\r\nHost: loadgen\r\n"
-        f"Content-Type: application/json\r\n"
+        f"Content-Type: application/json\r\n{trace_header}"
         f"Content-Length: {len(body)}\r\n\r\n"
     ).encode() + body
 
@@ -127,8 +150,15 @@ async def run_load(
     mode: RoundingMode = RoundingMode.NEAREST_EVEN,
     seed: int = 0,
     timeout_s: float = 120.0,
+    trace_ids: bool = False,
 ) -> LoadReport:
-    """Drive the server and measure achieved throughput and latency."""
+    """Drive the server and measure achieved throughput and latency.
+
+    With ``trace_ids`` each request carries an explicit (seeded,
+    unique) ``X-Repro-Trace-Id`` header and the report counts how many
+    responses echoed it back verbatim — the propagation contract the
+    CI smoke asserts end to end.
+    """
     if concurrency < 1:
         raise ValueError(f"concurrency must be >= 1, got {concurrency}")
     if requests < 1:
@@ -136,6 +166,7 @@ async def run_load(
     statuses: Dict[int, int] = {}
     latencies: List[float] = []
     errors = 0
+    trace_echoed = 0
     per_worker = [
         requests // concurrency + (1 if i < requests % concurrency else 0)
         for i in range(concurrency)
@@ -144,25 +175,31 @@ async def run_load(
     arity = OP_ARITY.get(op, 2)
 
     async def worker(index: int, quota: int) -> None:
-        nonlocal errors
+        nonlocal errors, trace_echoed
         rng = random.Random((seed << 8) ^ index)
         word_max = fmt.word_mask
         reader = writer = None
         try:
             reader, writer = await asyncio.open_connection(host, port)
-            for _ in range(quota):
+            for seq in range(quota):
+                sent_id = (
+                    f"lg{seed:x}.{index:x}.{seq:x}" if trace_ids else None
+                )
                 payload = _request_bytes(
                     op,
                     fmt,
                     mode.value,
                     *(rng.randrange(word_max + 1) for _ in range(arity)),
+                    trace_id=sent_id,
                 )
                 t0 = time.perf_counter()
                 writer.write(payload)
                 await writer.drain()
-                status = await _read_response(reader)
+                status, echoed = await _read_response(reader)
                 latencies.append(time.perf_counter() - t0)
                 statuses[status] = statuses.get(status, 0) + 1
+                if sent_id is not None and echoed == sent_id.encode():
+                    trace_echoed += 1
         except (OSError, asyncio.IncompleteReadError, ValueError):
             errors += 1
         finally:
@@ -187,6 +224,8 @@ async def run_load(
         mode=mode.value,
         statuses=statuses,
         errors=errors,
+        trace_echoed=trace_echoed,
+        trace_ids=trace_ids,
     )
     if latencies:
         ordered = sorted(latencies)

@@ -28,6 +28,7 @@ from repro import __version__
 from repro.engine import Engine, ResultCache
 from repro.fp.format import FPFormat
 from repro.fp.rounding import RoundingMode
+from repro.obs.trace import Tracer
 from repro.service.admission import (
     ADMIT_DRAINING,
     ADMIT_OK,
@@ -46,6 +47,8 @@ def route_label(path: str) -> str:
         return path  # op names are a closed set
     if path.startswith("/v1/experiment/"):
         return "/v1/experiment/*"
+    if path.startswith("/v1/trace/"):
+        return "/v1/trace/*"  # trace IDs are unbounded
     return path
 
 
@@ -72,6 +75,16 @@ class ReproService:
         self.batcher = MicroBatcher(config, self.telemetry, self.compute_pool)
         cache = ResultCache(config.cache_dir) if config.cache_dir else None
         self.engine = Engine(cache=cache)
+        # Stage latencies fold into telemetry at the point each stage
+        # is recorded (admission folds its wait, the batcher folds
+        # linger per member and dispatch/scatter as one weighted
+        # observation per flush) — there is no trace-finish pass over
+        # the span list, which keeps tracing overhead flat.
+        self.tracer = Tracer(
+            sample=config.trace_sample,
+            capacity=config.trace_buffer,
+            log_stream=sys.stderr if config.log_json else None,
+        )
         self.handlers = Handlers(self)
         self._server: Optional[asyncio.AbstractServer] = None
         self._connections: Set[asyncio.Task] = set()
@@ -81,26 +94,46 @@ class ReproService:
     # the request lifecycle (also driven directly by the benchmark)
     # ------------------------------------------------------------------ #
     async def dispatch_op(
-        self, op: str, fmt: FPFormat, mode: RoundingMode, *operands: int
+        self,
+        op: str,
+        fmt: FPFormat,
+        mode: RoundingMode,
+        *operands: int,
+        trace=None,
     ) -> Reply:
-        """admit → batch → vectorized execute → scatter → reply."""
+        """admit → batch → vectorized execute → scatter → reply.
+
+        ``trace`` is the request's span sink; callers without one (the
+        in-process benchmark) get a tracer-owned trace so the bench
+        path measures exactly what serving measures.
+        """
+        own_trace = trace is None
+        if own_trace:
+            trace = self.tracer.start(route=f"/v1/op/{op}")
         t0 = monotonic()
-        verdict = self.admission.admit()
+        # record=False: for admitted requests the batcher synthesizes
+        # the admission.wait span at flush time; rejections still
+        # record theirs here (their trace must say why).
+        verdict = self.admission.admit(trace, record=False)
         if verdict is not ADMIT_OK:
             if verdict is ADMIT_DRAINING:
-                return _error_reply(503, "server is draining")
-            return _error_reply(
-                429,
-                "queue full; retry later",
-                (("Retry-After", str(self.admission.retry_after_s)),),
-            )
+                reply = _error_reply(503, "server is draining")
+            else:
+                reply = _error_reply(
+                    429,
+                    "queue full; retry later",
+                    (("Retry-After", str(self.admission.retry_after_s)),),
+                )
+            if own_trace:
+                self.tracer.finish(trace, status=reply[0])
+            return reply
         try:
             bits, flags = await asyncio.wait_for(
-                self.batcher.submit(op, fmt, mode, *operands),
+                self.batcher.submit(op, fmt, mode, *operands, trace=trace),
                 self.config.request_timeout_s,
             )
             body = b'{"bits":"0x%x","flags":%d}' % (bits, flags)
-            reply: Reply = (200, body, "application/json", ())
+            reply = (200, body, "application/json", ())
         except asyncio.TimeoutError:
             self.telemetry.timeout_total.inc()
             reply = _error_reply(
@@ -111,7 +144,11 @@ class ReproService:
             reply = _error_reply(500, f"batch integrity check failed: {exc}")
         finally:
             self.admission.release()
-        self.telemetry.request_latency_s.observe(monotonic() - t0)
+        self.telemetry.request_latency_s.observe(
+            monotonic() - t0, trace_id=trace.trace_id
+        )
+        if own_trace:
+            self.tracer.finish(trace, status=reply[0])
         return reply
 
     # ------------------------------------------------------------------ #
@@ -151,19 +188,31 @@ class ReproService:
                     break
                 if request is None:
                     break
+                route = route_label(request.path)
+                trace = self.tracer.start(
+                    request.headers.get("x-repro-trace-id"), route=route
+                )
+                request.trace = trace
                 status, body, content_type, extra = await self._safe_handle(
                     request
                 )
                 keep_alive = request.keep_alive and not self._stopping
                 writer.write(
                     build_response(
-                        status, body, content_type, extra, keep_alive=keep_alive
+                        status,
+                        body,
+                        content_type,
+                        # The trace ID is echoed on every response —
+                        # sampled or not — so callers can always
+                        # correlate, and sampled ones can fetch the
+                        # span tree from /v1/trace/{id}.
+                        extra + (("X-Repro-Trace-Id", trace.trace_id),),
+                        keep_alive=keep_alive,
                     )
                 )
                 await writer.drain()
-                self.telemetry.requests_total.inc(
-                    (route_label(request.path), str(status))
-                )
+                self.tracer.finish(trace, status=status)
+                self.telemetry.requests_total.inc((route, str(status)))
                 if not keep_alive:
                     break
         except (ConnectionResetError, BrokenPipeError, TimeoutError):

@@ -114,3 +114,83 @@ class TestMaintenance:
         assert doc["version"] == CACHE_VERSION
         assert doc["job"]["name"] == "t.add"
         assert doc["job"]["kwargs"] == {"a": 1, "b": 2}
+
+
+class TestActivityAccounting:
+    """Hit/miss/put/evict counters persist alongside the cache."""
+
+    def test_counters_track_cache_traffic(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        job = _job(a=1, b=2)
+        cache.get(job)  # miss
+        cache.put(job, 3)
+        cache.get(job)  # hit
+        stats = cache.stats()
+        assert stats.misses == 1
+        assert stats.hits == 1
+        assert stats.puts == 1
+        assert stats.evictions == 0
+
+    def test_counters_round_trip_across_instances(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        job = _job(a=1, b=2)
+        cache.get(job)  # miss (persisted at stats time below)
+        cache.put(job, 3)  # put (flushes immediately)
+        cache.get(job)  # hit
+        cache.stats()  # flush everything
+        # A fresh instance — a later process — sees the lifetime totals.
+        reopened = ResultCache(tmp_path / "c")
+        stats = reopened.stats()
+        assert stats.misses == 1
+        assert stats.hits == 1
+        assert stats.puts == 1
+
+    def test_clear_counts_evictions(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(_job(a=1, b=2), 3)
+        cache.put(_job(a=2, b=3), 5)
+        cache.clear()
+        assert ResultCache(tmp_path / "c").stats().evictions == 2
+
+    def test_by_namespace_byte_totals(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(_job(a=1, b=2), 3)
+        cache.put(_job(a=2, b=3), 5)
+        other = Job.create("verify.diff/fp32/mul", helpers.add, a=1, b=1)
+        cache.put(other, 2)
+        stats = cache.stats()
+        by_ns = dict(stats.by_namespace)
+        assert set(by_ns) == {"t", "verify"}
+        assert by_ns["t"] > 0 and by_ns["verify"] > 0
+        assert sum(by_ns.values()) == stats.total_bytes
+
+    def test_corrupt_sidecar_degrades_to_zero(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(_job(a=1, b=2), 3)
+        (tmp_path / "c" / "activity.json").write_text("{not json")
+        stats = ResultCache(tmp_path / "c").stats()
+        assert (stats.hits, stats.misses, stats.puts) == (0, 0, 0)
+
+    def test_sidecar_never_collides_with_blobs(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        cache.put(_job(a=1, b=2), 3)
+        cache.stats()
+        assert (tmp_path / "c" / "activity.json").is_file()
+        # The blob glob (*/*.json) must not pick up the root sidecar.
+        assert cache.stats().entries == 1
+
+    def test_lookups_on_absent_cache_create_nothing(self, tmp_path):
+        cache = ResultCache(tmp_path / "missing")
+        for _ in range(40):  # well past the flush batch size
+            cache.get(_job(a=1, b=2))
+        assert not (tmp_path / "missing").exists()
+
+    def test_render_mentions_activity_and_namespaces(self, tmp_path):
+        cache = ResultCache(tmp_path / "c")
+        job = _job(a=1, b=2)
+        cache.get(job)
+        cache.put(job, 3)
+        cache.get(job)
+        text = cache.stats().render()
+        assert "activity:    1 hit(s), 1 miss(es), 1 put(s), 0 evicted" in text
+        assert "ns t:" in text

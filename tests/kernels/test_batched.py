@@ -299,3 +299,49 @@ class TestFusedBackend:
         fused_row = next(r for r in rows if r[0] == "fused MAC")
         assert fused_row[1] * 2 == chained_row[1]  # half the roundings
         assert fused_row[2] <= chained_row[2]  # never less accurate on mean
+
+
+class TestWavefrontTracing:
+    """Traced runs record one kernel.wavefront span per round."""
+
+    def test_vectorized_run_opens_one_span_per_wavefront(self, rng):
+        # FP64 words don't pack into 64-bit limbs, so this exercises
+        # the unpacked (vectorized) wavefront loop.
+        from repro.obs.trace import Trace
+
+        n = 6
+        a, b = rand_matrix(FP64, n, rng), rand_matrix(FP64, n, rng)
+        array = BatchedMatmulArray(FP64, n, 3, 5)
+        assert array.packing_width == 1
+        trace = Trace("kernel-test")
+        run = array.run(a, b, trace=trace)
+        spans = [s for s in trace.spans if s.name == "kernel.wavefront"]
+        assert len(spans) == n
+        assert [s.tags["k"] for s in spans] == list(range(n))
+        assert all(s.tags["path"] == "vectorized" for s in spans)
+        assert all(s.t1 >= s.t0 for s in spans)
+        # Tracing must not perturb the arithmetic.
+        untraced = BatchedMatmulArray(FP64, n, 3, 5).run(a, b)
+        assert run.c == untraced.c
+
+    def test_packed_run_tags_width(self, rng):
+        from repro.fp.format import FP16
+        from repro.obs.trace import Trace
+
+        n = 5
+        a, b = rand_matrix(FP16, n, rng), rand_matrix(FP16, n, rng)
+        trace = Trace("kernel-test-packed")
+        array = BatchedMatmulArray(FP16, n, 3, 5)
+        assert array.packing_width > 1, "fp16 should pack"
+        run = array.run(a, b, trace=trace)
+        spans = [s for s in trace.spans if s.name == "kernel.wavefront"]
+        assert len(spans) == n
+        assert all(s.tags["path"] == "packed" for s in spans)
+        assert all(s.tags["width"] == array.packing_width for s in spans)
+        untraced = BatchedMatmulArray(FP16, n, 3, 5).run(a, b)
+        assert run.c == untraced.c
+
+    def test_untraced_run_records_nothing(self, rng):
+        n = 4
+        a, b = rand_matrix(FP32, n, rng), rand_matrix(FP32, n, rng)
+        BatchedMatmulArray(FP32, n, 3, 5).run(a, b)  # no trace: no error

@@ -1,0 +1,63 @@
+"""Chrome trace-event export shape (chrome://tracing / Perfetto)."""
+
+import json
+
+import pytest
+
+from repro.obs.chrome import chrome_trace
+from repro.obs.trace import Tracer
+
+
+def finished_doc(route="/v1/op/mul", spans=("batch.linger", "scatter")):
+    tracer = Tracer()
+    trace = tracer.start(route=route)
+    for name in spans:
+        trace.begin(name, tags={"lane": "mul/fp32/rne"}).finish()
+    tracer.finish(trace, status=200)
+    return tracer.get(trace.trace_id)
+
+
+def test_export_is_json_serializable_object_format():
+    doc = chrome_trace([finished_doc()])
+    text = json.dumps(doc)  # must round-trip: the CLI writes this file
+    parsed = json.loads(text)
+    assert parsed["displayTimeUnit"] == "ms"
+    assert isinstance(parsed["traceEvents"], list)
+
+
+def test_events_cover_metadata_request_and_spans():
+    doc = finished_doc(spans=("batch.dispatch",))
+    events = chrome_trace([doc])["traceEvents"]
+    phases = [e["ph"] for e in events]
+    assert phases == ["M", "X", "X"]  # thread_name, request, one span
+    meta, request, span = events
+    assert meta["name"] == "thread_name"
+    assert doc["trace_id"] in meta["args"]["name"]
+    assert request["name"] == "/v1/op/mul"
+    assert request["cat"] == "request"
+    assert request["args"]["status"] == 200
+    assert span["name"] == "batch.dispatch"
+    assert span["cat"] == "span"
+    assert span["args"]["lane"] == "mul/fp32/rne"
+
+
+def test_span_timestamps_are_microseconds_anchored_at_wall_clock():
+    doc = finished_doc(spans=("scatter",))
+    events = chrome_trace([doc])["traceEvents"]
+    request = events[1]
+    span = events[2]
+    assert request["ts"] == pytest.approx(doc["started_unix"] * 1e6)
+    assert request["dur"] == pytest.approx(doc["duration_ms"] * 1e3)
+    assert span["ts"] >= request["ts"]
+    # All events from one trace land on one virtual thread.
+    assert {e["tid"] for e in events} == {1}
+    assert {e["pid"] for e in events} == {1}
+
+
+def test_multiple_traces_get_distinct_threads():
+    events = chrome_trace([finished_doc(), finished_doc()])["traceEvents"]
+    assert {e["tid"] for e in events} == {1, 2}
+
+
+def test_empty_input_is_a_valid_empty_export():
+    assert chrome_trace([]) == {"traceEvents": [], "displayTimeUnit": "ms"}

@@ -1,0 +1,273 @@
+"""Tracing core: spans, traces, sampling, the bounded ring buffer."""
+
+import io
+import json
+import re
+
+import pytest
+
+from repro.obs.trace import (
+    MAX_SPANS_PER_TRACE,
+    NULL_SPAN,
+    NULL_TRACE,
+    NullTrace,
+    REQUEST_STAGES,
+    Span,
+    Trace,
+    Tracer,
+    render_trace,
+)
+
+
+class TestSpan:
+    def test_finish_stamps_time_and_tags(self):
+        span = Span("work", 10.0)
+        span.finish(11.5, tags={"outcome": "ok"})
+        assert span.duration_s == pytest.approx(1.5)
+        assert span.tags == {"outcome": "ok"}
+
+    def test_finish_merges_into_existing_tags(self):
+        span = Span("work", 0.0, tags={"lane": "mul/fp32/rne"})
+        span.finish(1.0, tags={"batch_size": 4})
+        assert span.tags == {"lane": "mul/fp32/rne", "batch_size": 4}
+
+    def test_null_span_absorbs_everything(self):
+        assert NULL_SPAN.finish(tags={"err": "x"}) is NULL_SPAN
+        with NULL_SPAN as s:
+            assert s is NULL_SPAN
+
+
+class TestTrace:
+    def test_begin_finish_builds_span_list(self):
+        trace = Trace("t-1", route="/v1/op/mul")
+        span = trace.begin("admission.wait")
+        span.finish(tags={"verdict": "admitted"})
+        assert [s.name for s in trace.spans] == ["admission.wait"]
+        assert trace.spans[0].tags["verdict"] == "admitted"
+
+    def test_span_context_manager_records_errors(self):
+        trace = Trace("t-2")
+        with pytest.raises(RuntimeError):
+            with trace.span("kernel.wavefront", k=3):
+                raise RuntimeError("boom")
+        assert trace.spans[0].tags == {"k": 3, "error": "RuntimeError"}
+
+    def test_attach_shares_one_span_across_traces(self):
+        shared = Span("batch.dispatch", 0.0, tags={"batch_size": 2})
+        a, b = Trace("t-a"), Trace("t-b")
+        a.attach(shared)
+        b.attach(shared)
+        shared.finish(1.0)
+        assert a.spans[0] is b.spans[0]
+        assert a.to_dict()["spans"][0]["tags"]["batch_size"] == 2
+
+    def test_span_cap_counts_drops(self):
+        trace = Trace("t-cap")
+        for i in range(MAX_SPANS_PER_TRACE + 5):
+            trace.add("s", 0.0, 0.0)
+        assert len(trace.spans) == MAX_SPANS_PER_TRACE
+        assert trace.dropped_spans == 5
+        assert trace.begin("over") is NULL_SPAN
+        assert trace.dropped_spans == 6
+        trace.attach(Span("over", 0.0))
+        assert trace.dropped_spans == 7
+        trace.extend((("a", 0.0, 0.0, -1, None), ("b", 0.0, 0.0, -1, None)))
+        assert trace.dropped_spans == 9
+        assert len(trace.spans) == MAX_SPANS_PER_TRACE
+
+    def test_extend_appends_tuples_and_spans_together(self):
+        trace = Trace("t-ext", route="/v1/op/mul")
+        shared = Span("batch.dispatch", 0.0, tags={"batch_size": 2})
+        shared.finish(1.0)
+        trace.extend((
+            ("admission.wait", 0.0, 0.0, -1, {"verdict": "ok"}),
+            ("batch.linger", 0.0, 0.5, -1, None),
+            shared,
+        ))
+        doc = trace.to_dict()
+        names = [s["name"] for s in doc["spans"]]
+        assert names == ["admission.wait", "batch.linger", "batch.dispatch"]
+        assert doc["spans"][0]["tags"] == {"verdict": "ok"}
+        assert doc["spans"][1]["tags"] == {}
+        assert doc["spans"][2]["tags"]["batch_size"] == 2
+
+    def test_to_dict_times_are_relative_milliseconds(self):
+        trace = Trace("t-3", route="/x")
+        trace.add("a", trace.t0 + 0.001, trace.t0 + 0.003)
+        doc = trace.to_dict()
+        assert doc["trace_id"] == "t-3"
+        assert doc["route"] == "/x"
+        span = doc["spans"][0]
+        assert span["start_ms"] == pytest.approx(1.0, abs=1e-6)
+        assert span["duration_ms"] == pytest.approx(2.0, abs=1e-6)
+
+    def test_summary_counts_spans(self):
+        trace = Trace("t-4", route="/x", status=200)
+        trace.add("a", 0.0, 1.0)
+        summary = trace.summary()
+        assert summary["trace_id"] == "t-4"
+        assert summary["spans"] == 1
+        assert summary["route"] == "/x"
+        assert summary["status"] == 200
+
+
+class TestNullTrace:
+    def test_carries_id_but_drops_spans(self):
+        trace = NullTrace("echoed-id")
+        assert trace.trace_id == "echoed-id"
+        assert trace.sampled is False
+        assert trace.begin("x") is NULL_SPAN
+        trace.add("x", 0.0, 1.0)
+        trace.attach(Span("x", 0.0))
+        trace.extend((("x", 0.0, 1.0, -1, None),))
+        assert trace.span("x") is NULL_SPAN
+        assert trace.spans == ()
+        assert NULL_TRACE.trace_id == ""
+
+
+class TestTracer:
+    def test_minted_ids_are_unique_and_valid(self):
+        tracer = Tracer()
+        ids = {tracer.mint_id() for _ in range(100)}
+        assert len(ids) == 100
+        for tid in ids:
+            assert re.match(r"^[A-Za-z0-9][A-Za-z0-9._\-]{0,63}$", tid)
+
+    def test_honors_wellformed_inbound_id(self):
+        tracer = Tracer()
+        trace = tracer.start("client-id.7")
+        assert trace.trace_id == "client-id.7"
+        assert trace.sampled is True
+
+    @pytest.mark.parametrize("bad", ["", "-leading-dash", "a" * 65,
+                                     "has space", "semi;colon"])
+    def test_replaces_malformed_inbound_id(self, bad):
+        tracer = Tracer()
+        trace = tracer.start(bad)
+        assert trace.trace_id != bad
+        assert re.match(r"^[A-Za-z0-9]", trace.trace_id)
+
+    def test_sample_zero_returns_null_trace(self):
+        tracer = Tracer(sample=0.0)
+        trace = tracer.start("still-echoed")
+        assert isinstance(trace, NullTrace)
+        assert trace.trace_id == "still-echoed"
+        assert tracer.stats()["sampled_out"] == 1
+        # Finishing an unsampled trace is a no-op, not an error.
+        tracer.finish(trace, status=200)
+        assert tracer.stats()["finished"] == 0
+
+    def test_fractional_sampling_is_headwise(self):
+        tracer = Tracer(sample=0.5)
+        kinds = {tracer.start().sampled for _ in range(200)}
+        assert kinds == {True, False}  # both outcomes occur
+        stats = tracer.stats()
+        assert stats["started"] == 200
+        assert 0 < stats["sampled_out"] < 200
+
+    def test_rejects_bad_constructor_args(self):
+        with pytest.raises(ValueError):
+            Tracer(sample=1.5)
+        with pytest.raises(ValueError):
+            Tracer(capacity=0)
+
+    def test_finish_buffers_and_get_serializes(self):
+        tracer = Tracer()
+        trace = tracer.start(route="/v1/op/mul")
+        trace.begin("scatter").finish()
+        tracer.finish(trace, status=200)
+        doc = tracer.get(trace.trace_id)
+        assert doc is not None
+        assert doc["status"] == 200
+        assert [s["name"] for s in doc["spans"]] == ["scatter"]
+        assert tracer.get("never-seen") is None
+
+    def test_finish_is_idempotent(self):
+        tracer = Tracer()
+        trace = tracer.start()
+        tracer.finish(trace)
+        tracer.finish(trace)
+        assert tracer.stats()["finished"] == 1
+
+    def test_ring_buffer_evicts_oldest(self):
+        tracer = Tracer(capacity=2)
+        traces = [tracer.start() for _ in range(3)]
+        for trace in traces:
+            tracer.finish(trace)
+        stats = tracer.stats()
+        assert stats["buffered"] == 2
+        assert stats["evicted"] == 1
+        assert tracer.get(traces[0].trace_id) is None  # oldest gone
+        assert tracer.get(traces[2].trace_id) is not None
+
+    def test_slowest_orders_by_duration(self):
+        tracer = Tracer()
+        quick = tracer.start()
+        tracer.finish(quick)
+        slow = tracer.start()
+        slow.t0 -= 5.0  # pretend it started five seconds ago
+        tracer.finish(slow)
+        ordered = tracer.slowest(2)
+        assert [t.trace_id for t in ordered] == [slow.trace_id, quick.trace_id]
+        assert tracer.slowest(0) == []
+
+    def test_on_finish_hook_sees_the_trace(self):
+        seen = []
+        tracer = Tracer(on_finish=seen.append)
+        trace = tracer.start()
+        trace.begin("admission.wait").finish()
+        tracer.finish(trace)
+        assert seen == [trace]
+        assert tracer.stats()["spans_recorded"] == 1
+
+    def test_ndjson_log_stream(self):
+        stream = io.StringIO()
+        tracer = Tracer(log_stream=stream)
+        trace = tracer.start("t-log", route="/v1/op/mul")
+        span = trace.begin("batch.dispatch", tags={"lane": "mul/fp32/rne"})
+        span.finish(tags={"batch_size": 3})
+        tracer.finish(trace, status=200)
+        lines = [json.loads(l) for l in stream.getvalue().splitlines()]
+        assert len(lines) == 2
+        span_line, trace_line = lines
+        assert span_line["event"] == "span"
+        assert span_line["trace_id"] == "t-log"
+        assert span_line["span"] == "batch.dispatch"
+        assert span_line["lane"] == "mul/fp32/rne"
+        assert span_line["duration_ms"] >= 0
+        assert trace_line["event"] == "trace"
+        assert trace_line["status"] == 200
+        assert trace_line["spans"] == 1
+
+
+class TestRenderTrace:
+    def test_renders_tree_with_tags_and_drops(self):
+        doc = {
+            "trace_id": "t-render",
+            "route": "/v1/op/mul",
+            "status": 200,
+            "duration_ms": 1.25,
+            "dropped_spans": 2,
+            "spans": [
+                {"name": "batch.linger", "parent": -1, "start_ms": 0.0,
+                 "duration_ms": 0.5, "tags": {}},
+                {"name": "batch.dispatch", "parent": 0, "start_ms": 0.5,
+                 "duration_ms": 0.5, "tags": {"lane": "mul/fp32/rne"}},
+            ],
+        }
+        text = render_trace(doc)
+        assert "trace t-render /v1/op/mul status=200" in text
+        assert "batch.linger" in text
+        assert "lane=mul/fp32/rne" in text
+        # The child is indented one level deeper than its parent.
+        linger = next(l for l in text.splitlines() if "batch.linger" in l)
+        dispatch = next(l for l in text.splitlines() if "batch.dispatch" in l)
+        assert len(dispatch) - len(dispatch.lstrip()) > \
+            len(linger) - len(linger.lstrip())
+        assert "2 spans dropped" in text
+
+
+def test_request_stages_are_the_pipeline_in_order():
+    assert REQUEST_STAGES == (
+        "admission.wait", "batch.linger", "batch.dispatch", "scatter"
+    )

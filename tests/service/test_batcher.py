@@ -243,6 +243,36 @@ class TestIntegrityAndLifecycle:
         with pytest.raises(BatchIntegrityError):
             run_batched(config, [("mul", FP32, RNE, 3, 5)])
 
+    def test_failed_batch_traces_error_and_stages(self, monkeypatch):
+        # A sampled member of a failing batch still gets its pipeline
+        # spans — with the dispatch span carrying the error tag.
+        from repro.obs.trace import Trace
+
+        real_scalar, vec, arity = OPS["mul"]
+
+        def corrupted(fmt, a, b, mode):
+            bits, flags = real_scalar(fmt, a, b, mode)
+            return bits ^ 1, flags
+
+        monkeypatch.setitem(OPS, "mul", (corrupted, vec, arity))
+        config = ServiceConfig(max_batch=4, linger_ms=5)
+        trace = Trace("t-batch-err", route="/v1/op/mul")
+
+        async def _run():
+            batcher = MicroBatcher(config, Telemetry(), RecordingExecutor())
+            try:
+                with pytest.raises(BatchIntegrityError):
+                    await batcher.submit("mul", FP32, RNE, 3, 5, trace=trace)
+            finally:
+                await batcher.close()
+
+        asyncio.run(_run())
+        doc = trace.to_dict()
+        names = [s["name"] for s in doc["spans"]]
+        assert names == ["admission.wait", "batch.linger", "batch.dispatch"]
+        assert doc["spans"][0]["tags"]["verdict"] == "ok"
+        assert doc["spans"][2]["tags"]["error"] == "BatchIntegrityError"
+
     def test_spot_check_can_be_disabled(self, monkeypatch):
         real_scalar, vec, arity = OPS["mul"]
         monkeypatch.setitem(

@@ -4,9 +4,11 @@ import pytest
 
 from repro.service.telemetry import (
     BATCH_BUCKETS,
+    STAGE_BUCKETS_S,
     Counter,
     Gauge,
     Histogram,
+    LabeledHistogram,
     Telemetry,
 )
 
@@ -79,6 +81,121 @@ class TestHistogram:
 
     def test_batch_buckets_cover_default_max_batch(self):
         assert 64.0 in BATCH_BUCKETS
+
+
+class TestQuantileSaturation:
+    """Regression: estimates at the bucket-range edges must not lie.
+
+    The old interpolation clamped overflow ranks to the last finite
+    bound with no indication, and a rank at the bottom could land on an
+    empty leading bucket's edge.  Both edges now carry an explicit
+    saturation flag / skip empty buckets.
+    """
+
+    def test_overflow_rank_saturates(self):
+        h = Histogram("h", "help", (1.0, 2.0))
+        h.observe(50.0)  # all mass in +Inf
+        estimate, saturated = h.quantile_estimate(0.99)
+        assert estimate == 2.0  # the largest finite bound, as a floor
+        assert saturated is True
+
+    def test_mixed_mass_saturates_only_in_overflow(self):
+        h = Histogram("h", "help", (1.0, 2.0))
+        for _ in range(99):
+            h.observe(0.5)
+        h.observe(50.0)
+        p50, sat50 = h.quantile_estimate(0.5)
+        assert sat50 is False and 0.0 < p50 <= 1.0
+        p999, sat999 = h.quantile_estimate(0.999)
+        assert sat999 is True and p999 == 2.0
+
+    def test_underflow_rank_skips_empty_leading_buckets(self):
+        h = Histogram("h", "help", (1.0, 2.0, 4.0))
+        h.observe(3.0)  # only the (2, 4] bucket holds mass
+        estimate, saturated = h.quantile_estimate(0.0)
+        assert saturated is False
+        # Interpolates inside the occupied bucket, not the empty edge.
+        assert 2.0 <= estimate <= 4.0
+
+    def test_quantile_is_estimate_value(self):
+        h = Histogram("h", "help", (1.0,))
+        h.observe(0.5)
+        assert h.quantile(0.5) == h.quantile_estimate(0.5)[0]
+
+    def test_snapshot_carries_saturation_flag(self):
+        t = Telemetry()
+        t.request_latency_s.observe(99.0)  # beyond the last bucket (10 s)
+        snap = t.snapshot()
+        assert snap["latency_p99_saturated"] is True
+        assert snap["latency_p99_ms"] == pytest.approx(10_000.0)
+
+
+class TestExemplar:
+    def test_keeps_window_max_with_trace_id(self):
+        h = Histogram("h", "help", (1.0,))
+        h.observe(0.2, trace_id="t-slow")
+        h.observe(0.1, trace_id="t-fast")
+        assert h.exemplar == (0.2, "t-slow")
+
+    def test_untraced_observations_leave_no_exemplar(self):
+        h = Histogram("h", "help", (1.0,))
+        h.observe(0.2)
+        assert h.exemplar is None
+
+    def test_window_expiry_resets_max(self):
+        h = Histogram("h", "help", (1.0,), exemplar_window_s=0.0)
+        h.observe(0.9, trace_id="t-old")
+        # Window length zero: the next traced observation starts a new
+        # window, so a smaller value may take over.
+        h.observe(0.1, trace_id="t-new")
+        assert h.exemplar is None or h.exemplar[1] == "t-new"
+
+    def test_render_emits_slowest_gauge(self):
+        t = Telemetry()
+        t.request_latency_s.observe(0.25, trace_id="abc-1")
+        text = t.render()
+        assert "# TYPE repro_request_latency_seconds_slowest gauge" in text
+        assert ('repro_request_latency_seconds_slowest{trace_id="abc-1"} 0.25'
+                in text)
+
+    def test_render_omits_slowest_family_without_exemplar(self):
+        t = Telemetry()
+        t.request_latency_s.observe(0.25)
+        assert "_slowest" not in t.render()
+
+
+class TestLabeledHistogram:
+    def test_child_identity_and_observe(self):
+        h = LabeledHistogram("h", "help", ("stage",), (1.0, 2.0))
+        child = h.child(("admit",))
+        assert h.child(("admit",)) is child
+        h.observe(("admit",), 0.5)
+        child.observe(1.5)
+        assert child.count == 2
+
+    def test_render_labels_every_sample(self):
+        t = Telemetry()
+        t.stage_latency_s.observe(("scatter",), 0.0002)
+        text = t.render()
+        assert "# TYPE repro_stage_latency_seconds histogram" in text
+        assert ('repro_stage_latency_seconds_bucket{stage="scatter",le="+Inf"} 1'
+                in text)
+        assert 'repro_stage_latency_seconds_count{stage="scatter"} 1' in text
+
+    def test_stage_summary_shape(self):
+        t = Telemetry()
+        for _ in range(4):
+            t.stage_latency_s.observe(("batch.linger",), 0.001)
+        t.stage_latency_s.child(("scatter",))  # pre-resolved, unobserved
+        summary = t.stage_summary()
+        assert set(summary) == {"batch.linger"}
+        row = summary["batch.linger"]
+        assert row["count"] == 4
+        assert row["mean_ms"] == pytest.approx(1.0, rel=1e-6)
+        assert row["p99_saturated"] is False
+
+    def test_stage_buckets_cover_microsecond_stages(self):
+        assert STAGE_BUCKETS_S[0] <= 0.0001  # linger waits live here
 
 
 class TestTelemetry:
