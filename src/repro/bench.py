@@ -459,6 +459,90 @@ def render_service(snapshot: dict) -> str:
     return "\n".join(lines)
 
 
+#: The Table-2-style recommendation query the explore bench times: the
+#: best efficiency point under area and clock floors over the full grid.
+EXPLORE_BENCH_QUERY = {
+    "objective": "mops_per_watt",
+    "constraints": {"max_slices": 1000, "min_clock_mhz": 200},
+}
+
+
+def explore_bench(repeats: int = 3) -> dict:
+    """Benchmark cold vs warm frontier computation; return the snapshot.
+
+    Cold: a fresh :class:`~repro.engine.Engine` evaluates the full
+    unit-grid frontier job (every pipeline depth of every kind x format
+    pair, annotated and frontier-extracted).  Warm: the same engine
+    answers again from its memo — the regime a running ``repro serve``
+    instance is in after its first ``/v1/recommend``.  The portable
+    quantity is the warm-vs-cold ratio; the benchmark suite gates it at
+    >= 20x.
+    """
+    from repro.engine import Engine
+    from repro.explore.catalog import unit_frontier_job
+    from repro.explore.recommend import recommend
+
+    job = unit_frontier_job()
+
+    engine = Engine()
+    t0 = time.perf_counter()
+    frontier = engine.evaluate(job)
+    t_frontier_cold = time.perf_counter() - t0
+    t_frontier_warm = _best_of(lambda: engine.evaluate(job), repeats)
+
+    cold_engine = Engine()
+    t0 = time.perf_counter()
+    payload = recommend(EXPLORE_BENCH_QUERY, engine=cold_engine)
+    t_recommend_cold = time.perf_counter() - t0
+    t_recommend_warm = _best_of(
+        lambda: recommend(EXPLORE_BENCH_QUERY, engine=cold_engine), repeats
+    )
+
+    return {
+        "schema": SCHEMA,
+        "suite": "explore",
+        "config": {
+            "query": EXPLORE_BENCH_QUERY,
+            "repeats": repeats,
+        },
+        "context": {
+            "python": sys.version.split()[0],
+            "platform": platform.platform(),
+        },
+        "grid": {
+            "designs": len(frontier.records),
+            "frontier": len(frontier.frontier),
+            "best": payload["best"]["id"],
+        },
+        "benchmarks": [
+            {"name": "frontier.units.cold", "seconds": t_frontier_cold},
+            {"name": "frontier.units.warm", "seconds": t_frontier_warm},
+            {"name": "recommend.units.cold", "seconds": t_recommend_cold},
+            {"name": "recommend.units.warm", "seconds": t_recommend_warm},
+        ],
+        "speedups": {
+            "frontier.warm_vs_cold.units": t_frontier_cold / t_frontier_warm,
+            "recommend.warm_vs_cold.units": t_recommend_cold / t_recommend_warm,
+        },
+    }
+
+
+def render_explore(snapshot: dict) -> str:
+    """Human-readable summary of an explore snapshot."""
+    grid = snapshot["grid"]
+    lines = [
+        f"explore bench ({grid['designs']} designs, "
+        f"{grid['frontier']} on the frontier; best: {grid['best']})"
+    ]
+    for entry in snapshot["benchmarks"]:
+        lines.append(
+            f"  {entry['name']:<32} {entry['seconds'] * 1000.0:>10.3f} ms"
+        )
+    for name, ratio in snapshot["speedups"].items():
+        lines.append(f"  {name:<32} {ratio:>9.1f}x")
+    return "\n".join(lines)
+
+
 def render(snapshot: dict) -> str:
     """Human-readable summary of a snapshot (stdout companion to JSON)."""
     lines = [f"kernel bench ({snapshot['config']['fmt']}, "

@@ -17,6 +17,9 @@ Usage::
     repro bench --json BENCH_kernel.json        # kernel perf snapshot
     repro bench --service --json BENCH_service.json  # serving perf snapshot
     repro serve --port 8080   # micro-batching evaluation service
+    repro explore --kinds adder --formats fp32   # NDJSON design points
+    repro recommend --constrain max_slices=1000  # constrained optimum
+    repro bench --explore --json BENCH_explore.json  # frontier perf
     repro loadgen --port 8080 --requests 2000   # drive a running server
     repro --version           # print the package version
 
@@ -183,6 +186,16 @@ def bench_command(args: argparse.Namespace) -> int:
             print(f"wrote {args.json}")
         return 0
 
+    if args.explore:
+        from repro.bench import explore_bench, render_explore
+
+        snapshot = explore_bench(repeats=args.repeats)
+        print(render_explore(snapshot))
+        if args.json:
+            write_snapshot(snapshot, args.json)
+            print(f"wrote {args.json}")
+        return 0
+
     if args.packed:
         from repro.bench import packed_bench, render_packed
 
@@ -321,6 +334,156 @@ def verify_command(args: argparse.Namespace) -> int:
         )
     print(engine.metrics.summary(), file=sys.stderr)
     return 0 if report.passed else 1
+
+
+def _exploration_engine(cache_dir: str | None) -> "Engine":
+    """Engine for the offline exploration twins (serial, optional cache)."""
+    resolved = cache_dir or os.environ.get(CACHE_DIR_ENV)
+    return Engine(cache=ResultCache(resolved) if resolved else None)
+
+
+def explore_command(argv: Sequence[str]) -> int:
+    """Offline twin of ``GET /v1/explore``: the same NDJSON, on stdout."""
+    import json
+
+    from repro.explore.catalog import (
+        compute_frontier,
+        frontier_payload,
+        record_payload,
+        unit_record,
+    )
+    from repro.explore.recommend import (
+        QueryError,
+        _resolve_formats,
+        _resolve_kinds,
+    )
+    from repro.units.explorer import explore
+
+    parser = argparse.ArgumentParser(
+        prog="repro explore",
+        description="Stream the annotated unit design-space grid as "
+        "NDJSON — one point line per implementation, one frontier "
+        "trailer — exactly the payloads GET /v1/explore streams.",
+    )
+    parser.add_argument("--kinds", default=None, metavar="K,K",
+                        help="comma-separated unit kinds "
+                        "(default: all four)")
+    parser.add_argument("--formats", default=None, metavar="F,F",
+                        help="comma-separated formats (default: all)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist sweep results under DIR "
+                        f"(also via ${CACHE_DIR_ENV})")
+    args = parser.parse_args(argv)
+    try:
+        kinds = _resolve_kinds(
+            [k for k in args.kinds.split(",") if k] if args.kinds else None
+        )
+        formats = _resolve_formats(
+            [f for f in args.formats.split(",") if f]
+            if args.formats else None
+        )
+    except QueryError as exc:
+        print(f"repro explore: {exc}", file=sys.stderr)
+        return 2
+    engine = _exploration_engine(args.cache_dir)
+    records = []
+    for kind in kinds:
+        for fmt in formats:
+            before = len(engine.metrics.records)
+            space = explore(fmt, kind, engine=engine)
+            new = engine.metrics.records[before:]
+            source = new[-1].status if new else "memo"
+            for report in space.reports:
+                record = unit_record(kind, fmt, report)
+                records.append(record)
+                line = {
+                    "type": "point",
+                    "source": source,
+                    **record_payload(record),
+                }
+                print(json.dumps(line, separators=(",", ":")))
+    front = compute_frontier("units", records)
+    print(json.dumps(frontier_payload(front), separators=(",", ":")))
+    return 0
+
+
+def recommend_command(argv: Sequence[str]) -> int:
+    """Offline twin of ``POST /v1/recommend``: same payload, stdout."""
+    from repro.explore.recommend import (
+        QueryError,
+        UnsatisfiableError,
+        payload_bytes,
+        recommend,
+    )
+
+    parser = argparse.ArgumentParser(
+        prog="repro recommend",
+        description="Answer a constrained design query ('max MOPS/W "
+        "with slices <= 1000 and clock >= 200 MHz') over the cached "
+        "Pareto frontier — byte-identical to POST /v1/recommend.",
+    )
+    parser.add_argument("--space", default="units",
+                        choices=("units", "kernel"))
+    parser.add_argument("--objective", default=None, metavar="METRIC",
+                        help="metric to optimize (default: mops_per_watt "
+                        "for units, energy_nj for kernel)")
+    parser.add_argument("--constrain", action="append", default=[],
+                        metavar="BOUND=VALUE",
+                        help="bound such as max_slices=1000 or "
+                        "min_clock_mhz=200; repeatable")
+    parser.add_argument("--kinds", default=None, metavar="K,K",
+                        help="units space: comma-separated unit kinds")
+    parser.add_argument("--formats", default=None, metavar="F,F",
+                        help="units space: comma-separated formats")
+    parser.add_argument("--n", type=int, default=None,
+                        help="kernel space: problem size (default: 16)")
+    parser.add_argument("--block-sizes", default=None, metavar="B,B",
+                        help="kernel space: comma-separated block sizes")
+    parser.add_argument("--format", default=None, dest="fmt",
+                        help="kernel space: precision (default: fp32)")
+    parser.add_argument("--cache-dir", default=None, metavar="DIR",
+                        help="persist engine results under DIR "
+                        f"(also via ${CACHE_DIR_ENV})")
+    args = parser.parse_args(argv)
+    query: dict = {"space": args.space}
+    if args.objective:
+        query["objective"] = args.objective
+    constraints: dict = {}
+    for spec in args.constrain:
+        key, sep, value = spec.partition("=")
+        if not sep:
+            print(f"repro recommend: --constrain expects BOUND=VALUE, "
+                  f"got {spec!r}", file=sys.stderr)
+            return 2
+        try:
+            constraints[key] = float(value)
+        except ValueError:
+            print(f"repro recommend: bound {key!r} needs a numeric value, "
+                  f"got {value!r}", file=sys.stderr)
+            return 2
+    if constraints:
+        query["constraints"] = constraints
+    if args.kinds:
+        query["kinds"] = [k for k in args.kinds.split(",") if k]
+    if args.formats:
+        query["formats"] = [f for f in args.formats.split(",") if f]
+    if args.n is not None:
+        query["n"] = args.n
+    if args.block_sizes:
+        sizes = _parse_sizes(args.block_sizes, "--block-sizes")
+        if sizes is None:
+            return 2
+        query["block_sizes"] = list(sizes)
+    if args.fmt:
+        query["format"] = args.fmt
+    engine = _exploration_engine(args.cache_dir)
+    try:
+        payload = recommend(query, engine=engine)
+    except (QueryError, UnsatisfiableError) as exc:
+        print(f"repro recommend: {exc}", file=sys.stderr)
+        return 2
+    sys.stdout.buffer.write(payload_bytes(payload) + b"\n")
+    return 0
 
 
 def serve_command(argv: Sequence[str]) -> int:
@@ -546,6 +709,10 @@ def main(argv: Sequence[str] | None = None) -> int:
         return loadgen_command(argv[1:])
     if argv and argv[0] == "trace":
         return trace_command(argv[1:])
+    if argv and argv[0] == "explore":
+        return explore_command(argv[1:])
+    if argv and argv[0] == "recommend":
+        return recommend_command(argv[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the tables and figures of Govindu et al., "
@@ -660,6 +827,12 @@ def main(argv: Sequence[str] | None = None) -> int:
         "differential campaign (add/sub/mul over every supported "
         "format x packing width); with 'bench': benchmark the packed "
         "datapaths against the unpacked vectorized baseline",
+    )
+    parser.add_argument(
+        "--explore",
+        action="store_true",
+        help="with 'bench': benchmark cold vs warm design-space "
+        "frontier computation and constrained recommendation",
     )
     parser.add_argument(
         "--json",

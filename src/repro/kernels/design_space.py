@@ -14,6 +14,7 @@ from dataclasses import dataclass
 from typing import Callable, Iterable, Optional, Sequence
 
 from repro.engine import Engine, Job, default_engine
+from repro.explore import frontier
 from repro.experiments.configs import PipeliningConfig, kernel_configs
 from repro.fp.format import FP32, FPFormat
 from repro.kernels.performance import KernelEstimate
@@ -114,22 +115,21 @@ def enumerate_designs(
     return list(designs)
 
 
+#: All three local objectives are minimized (see ``OBJECTIVES``).
+_SENSES = ("min", "min", "min")
+
+
 def dominates(a: DesignEvaluation, b: DesignEvaluation) -> bool:
     """True when ``a`` is no worse in every objective and better in one."""
-    ao, bo = a.objectives(), b.objectives()
-    return all(x <= y for x, y in zip(ao, bo)) and any(
-        x < y for x, y in zip(ao, bo)
-    )
+    return frontier.dominates(a.objectives(), b.objectives(), _SENSES)
 
 
 def pareto_front(designs: Iterable[DesignEvaluation]) -> list[DesignEvaluation]:
     """Non-dominated designs, in enumeration order."""
     designs = list(designs)
-    front = []
-    for d in designs:
-        if not any(dominates(other, d) for other in designs if other is not d):
-            front.append(d)
-    return front
+    return frontier.pareto_front(
+        designs, [d.objectives() for d in designs], _SENSES
+    )
 
 
 def best_design(
@@ -144,4 +144,9 @@ def best_design(
     if not feasible:
         raise ValueError("no design satisfies the constraints")
     key = OBJECTIVES[objective]
-    return min(feasible, key=lambda d: (key(d), d.estimate.slices))
+    pick = frontier.argbest(
+        [key(d) for d in feasible],
+        "min",
+        tiebreaks=([float(d.estimate.slices) for d in feasible],),
+    )
+    return feasible[pick]

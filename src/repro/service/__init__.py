@@ -23,6 +23,8 @@ Endpoints::
 
     POST /v1/op/{add,sub,mul}   batched FP ops, bit-exact vs scalar
     GET  /v1/unit               pipeline-depth characterisation (cached)
+    GET  /v1/explore            chunked NDJSON design-point stream + frontier
+    POST /v1/recommend          constrained Pareto-optimal recommendation
     GET  /v1/kernel/matmul      analytic array-schedule closed forms
     GET  /v1/experiment/{name}  experiment artifacts via the engine cache
     GET  /healthz               liveness + version + key gauges (JSON)

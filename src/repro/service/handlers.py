@@ -24,10 +24,22 @@ and ``GET /metrics`` (Prometheus text exposition).
 from __future__ import annotations
 
 import asyncio
-from typing import Dict, Optional, Tuple
+from dataclasses import dataclass, field
+from time import monotonic
+from typing import AsyncIterator, Dict, Optional, Tuple
 
 from repro.engine.metrics import JobRecord
 from repro.experiments import REGISTRY, experiment_job
+from repro.explore import catalog as explore_catalog
+from repro.explore.recommend import (
+    QueryError,
+    UnsatisfiableError,
+    payload_bytes,
+    recommend as recommend_query,
+    _resolve_formats,
+    _resolve_kinds,
+)
+from repro.obs.trace import NULL_TRACE
 from repro.service.admission import ADMIT_DRAINING, ADMIT_OK
 from repro.fp.format import ALL_FORMATS, FPFormat
 from repro.fp.rounding import RoundingMode
@@ -45,6 +57,21 @@ from repro.units.explorer import UnitKind, explore
 
 #: (status, body, content-type, extra headers) — what a handler returns.
 Reply = Tuple[int, bytes, str, Tuple[Tuple[str, str], ...]]
+
+
+@dataclass
+class StreamReply:
+    """A chunked streaming response: the server writes one chunk per
+    yielded bytes value and the terminating zero-length chunk after the
+    iterator is exhausted.  Produced by ``/v1/explore``; the generator
+    owns the request's admission slot and releases it in its
+    ``finally``, which the server guarantees runs by always closing the
+    iterator."""
+
+    status: int
+    content_type: str
+    chunks: AsyncIterator[bytes]
+    extra: Tuple[Tuple[str, str], ...] = field(default=())
 
 _FORMATS_BY_NAME: Dict[str, FPFormat] = {f.name: f for f in ALL_FORMATS}
 _MODES = {m.value: m for m in RoundingMode}
@@ -162,6 +189,14 @@ class Handlers:
             if request.method != "GET":
                 return _error_reply(405, "/v1/unit is GET")
             return await self.handle_unit(request)
+        if path == "/v1/explore":
+            if request.method != "GET":
+                return _error_reply(405, "/v1/explore is GET")
+            return await self.handle_explore(request)
+        if path == "/v1/recommend":
+            if request.method != "POST":
+                return _error_reply(405, "/v1/recommend is POST")
+            return await self.handle_recommend(request)
         if path == "/v1/kernel/matmul":
             if request.method != "GET":
                 return _error_reply(405, "/v1/kernel/matmul is GET")
@@ -404,6 +439,125 @@ class Handlers:
                 "source": source,  # hit | memo | computed
                 "rendered": str(result),
             },
+        )
+
+    # ------------------------------------------------------------------ #
+    # exploration: streaming sweeps and constrained recommendation
+    # ------------------------------------------------------------------ #
+    async def handle_explore(self, request: Request):
+        """``GET /v1/explore`` — chunked NDJSON stream of the unit grid.
+
+        One ``{"type": "point", ...}`` line per implementation, written
+        as each (kind, format) sweep lands on the engine (warm sweeps
+        burst straight from cache; the ``source`` field says which), and
+        one ``{"type": "frontier", ...}`` trailer naming the Pareto-
+        optimal point IDs over the full metric table.
+        """
+        query = request.query
+        try:
+            kinds = _resolve_kinds(
+                [k for k in query["kinds"].split(",") if k]
+                if "kinds" in query else None
+            )
+            formats = _resolve_formats(
+                [f for f in query["formats"].split(",") if f]
+                if "formats" in query else None
+            )
+        except QueryError as exc:
+            return _error_reply(400, str(exc))
+        service = self.service
+        trace = request.trace
+        span_trace = trace if trace is not None else NULL_TRACE
+        # The stream holds its admission slot for its whole lifetime:
+        # admitted here (so shedding/draining answer with a proper
+        # status before any body bytes), released by the generator.
+        verdict = service.admission.admit(trace)
+        if verdict is not ADMIT_OK:
+            if verdict is ADMIT_DRAINING:
+                raise ProtocolError(503, "server is draining")
+            raise ProtocolError(429, "queue full; retry later")
+
+        async def stream() -> AsyncIterator[bytes]:
+            try:
+                records = []
+                for kind in kinds:
+                    for fmt in formats:
+                        t0 = monotonic()
+                        space, recs = await self._run_sweep_admitted(
+                            lambda k=kind, f=fmt: explore(
+                                f, k, engine=service.engine
+                            ),
+                            trace,
+                        )
+                        source = recs[-1].status if recs else "memo"
+                        span_trace.add(
+                            "explore.sweep",
+                            t0,
+                            monotonic(),
+                            tags={
+                                "kind": kind.value,
+                                "format": fmt.name,
+                                "source": source,
+                            },
+                        )
+                        for report in space.reports:
+                            record = explore_catalog.unit_record(
+                                kind, fmt, report
+                            )
+                            records.append(record)
+                            line = {
+                                "type": "point",
+                                "source": source,
+                                **explore_catalog.record_payload(record),
+                            }
+                            yield json_body(line) + b"\n"
+                        service.telemetry.explore_points_total.inc(
+                            n=len(space.reports)
+                        )
+                t0 = monotonic()
+                front = explore_catalog.compute_frontier("units", records)
+                span_trace.add(
+                    "frontier.compute",
+                    t0,
+                    monotonic(),
+                    tags={
+                        "designs": len(records),
+                        "frontier": len(front.frontier),
+                    },
+                )
+                yield json_body(explore_catalog.frontier_payload(front)) + b"\n"
+            finally:
+                service.admission.release()
+
+        return StreamReply(200, "application/x-ndjson", stream())
+
+    async def handle_recommend(self, request: Request) -> Reply:
+        """``POST /v1/recommend`` — the constrained optimum, as JSON.
+
+        The body is a query object (space, objective, constraints,
+        grid axes); the answer is byte-identical to ``repro recommend``
+        and a direct :func:`repro.explore.recommend` call.  Malformed
+        and unsatisfiable queries get 400s naming the offending bound.
+        """
+        doc = request.json()
+        trace = request.trace
+        span_trace = trace if trace is not None else NULL_TRACE
+        engine = self.service.engine
+        try:
+            payload, records = await self._run_sweep(
+                lambda: recommend_query(
+                    doc, engine=engine, trace=span_trace
+                ),
+                trace,
+            )
+        except (QueryError, UnsatisfiableError) as exc:
+            raise ProtocolError(400, str(exc)) from exc
+        source = records[-1].status if records else "memo"
+        return (
+            200,
+            payload_bytes(payload),
+            "application/json",
+            (("X-Repro-Source", source),),
         )
 
     async def _run_sweep(self, fn, trace=None):

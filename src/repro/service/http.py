@@ -169,6 +169,41 @@ def build_response(
     return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
 
 
+#: Terminates a chunked response body (zero-length chunk, no trailers).
+LAST_CHUNK = b"0\r\n\r\n"
+
+
+def build_stream_head(
+    status: int,
+    content_type: str = "application/x-ndjson",
+    extra_headers: Sequence[Tuple[str, str]] = (),
+    keep_alive: bool = True,
+) -> bytes:
+    """Response head for a ``Transfer-Encoding: chunked`` body.
+
+    Streaming responses (``/v1/explore``) cannot know their length up
+    front — each design point is written as its own chunk the moment
+    the engine produces it — so the body is delimited by the chunked
+    framing instead of ``Content-Length``, and the connection stays
+    usable afterwards because the terminator is explicit.
+    """
+    reason = REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        "Transfer-Encoding: chunked",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in extra_headers:
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1")
+
+
+def encode_chunk(data: bytes) -> bytes:
+    """One chunked-encoding frame: hex length, CRLF, payload, CRLF."""
+    return b"%x\r\n%s\r\n" % (len(data), data)
+
+
 def json_body(payload: dict) -> bytes:
     """Compact JSON encoding for response bodies."""
     return json.dumps(payload, separators=(",", ":")).encode()

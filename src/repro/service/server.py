@@ -36,8 +36,15 @@ from repro.service.admission import (
 )
 from repro.service.batcher import BatchIntegrityError, MicroBatcher
 from repro.service.config import ServiceConfig
-from repro.service.handlers import Handlers, Reply, _error_reply
-from repro.service.http import ProtocolError, build_response, read_request
+from repro.service.handlers import Handlers, Reply, StreamReply, _error_reply
+from repro.service.http import (
+    LAST_CHUNK,
+    ProtocolError,
+    build_response,
+    build_stream_head,
+    encode_chunk,
+    read_request,
+)
 from repro.service.telemetry import Telemetry
 
 
@@ -193,9 +200,15 @@ class ReproService:
                     request.headers.get("x-repro-trace-id"), route=route
                 )
                 request.trace = trace
-                status, body, content_type, extra = await self._safe_handle(
-                    request
-                )
+                reply = await self._safe_handle(request)
+                if isinstance(reply, StreamReply):
+                    done = await self._write_stream(
+                        reply, request, route, trace, writer
+                    )
+                    if not done:
+                        break
+                    continue
+                status, body, content_type, extra = reply
                 keep_alive = request.keep_alive and not self._stopping
                 writer.write(
                     build_response(
@@ -221,6 +234,43 @@ class ReproService:
             pass  # shutdown cancelled us mid-read; fall through to close
         finally:
             writer.close()
+
+    async def _write_stream(
+        self, reply: StreamReply, request, route: str, trace, writer
+    ) -> bool:
+        """Write one chunked streaming response; True to keep the
+        connection alive for the next request.
+
+        Each yielded NDJSON line becomes its own chunk with an explicit
+        drain, so a slow client exerts backpressure on the producer
+        instead of ballooning the write buffer, and a disconnect
+        surfaces here as a connection error.  The generator is always
+        closed — its ``finally`` blocks (admission release) run whether
+        the stream completed, the client hung up mid-body, or shutdown
+        cancelled us.
+        """
+        keep_alive = request.keep_alive and not self._stopping
+        writer.write(
+            build_stream_head(
+                reply.status,
+                reply.content_type,
+                reply.extra + (("X-Repro-Trace-Id", trace.trace_id),),
+                keep_alive=keep_alive,
+            )
+        )
+        completed = False
+        try:
+            async for chunk in reply.chunks:
+                writer.write(encode_chunk(chunk))
+                await writer.drain()
+            writer.write(LAST_CHUNK)
+            await writer.drain()
+            completed = True
+        finally:
+            await reply.chunks.aclose()
+            self.tracer.finish(trace, status=reply.status)
+            self.telemetry.requests_total.inc((route, str(reply.status)))
+        return completed and keep_alive
 
     async def _safe_handle(self, request) -> Reply:
         try:

@@ -304,6 +304,10 @@ class Telemetry:
             "Characterisation engine jobs by resolution.",
             ("status",),
         )
+        self.explore_points_total = Counter(
+            "repro_explore_points_total",
+            "Design points streamed by /v1/explore.",
+        )
 
     # ------------------------------------------------------------------ #
     # views
@@ -458,6 +462,7 @@ class Telemetry:
         counter(self.timeout_total)
         counter(self.spot_checks_total)
         counter(self.engine_jobs)
+        counter(self.explore_points_total)
         out.append("# HELP repro_uptime_seconds Seconds since server start.")
         out.append("# TYPE repro_uptime_seconds gauge")
         out.append(f"repro_uptime_seconds {self.uptime_s:.3f}")

@@ -127,8 +127,9 @@ class DesignSpace:
         ok = [r for r in self.reports if r.clock_mhz >= clock_mhz]
         if not ok:
             raise ValueError(
-                f"no {self.kind.value} implementation reaches {clock_mhz} MHz "
-                f"(peak {self.peak_clock_mhz:.1f} MHz)"
+                f"no {self.fmt.name} {self.kind.value} implementation "
+                f"reaches the requested {clock_mhz:g} MHz; the sweep's "
+                f"peak_clock_mhz is {self.peak_clock_mhz:.1f} MHz"
             )
         return min(ok, key=lambda r: (r.slices, r.stages))
 

@@ -1,0 +1,124 @@
+"""Tests for the shared sense-aware Pareto machinery."""
+
+import random
+
+import pytest
+
+from repro.explore.frontier import argbest, dominates, pareto_front, pareto_indices
+
+
+def brute_force_front(vectors, senses):
+    """Reference O(n^2) scalar implementation, for equivalence checks."""
+    return tuple(
+        i
+        for i, v in enumerate(vectors)
+        if not any(
+            dominates(w, v, senses) for j, w in enumerate(vectors) if j != i
+        )
+    )
+
+
+class TestDominates:
+    def test_min_sense(self):
+        assert dominates((1, 1), (2, 2), ("min", "min"))
+        assert dominates((1, 2), (2, 2), ("min", "min"))
+        assert not dominates((1, 3), (2, 2), ("min", "min"))
+
+    def test_max_sense(self):
+        assert dominates((2, 2), (1, 1), ("max", "max"))
+        assert not dominates((1, 1), (2, 2), ("max", "max"))
+
+    def test_mixed_senses(self):
+        # (area min, clock max): smaller and faster dominates.
+        assert dominates((100, 300), (200, 250), ("min", "max"))
+        assert not dominates((100, 200), (200, 250), ("min", "max"))
+
+    def test_equal_vectors_never_dominate(self):
+        assert not dominates((1, 2), (1, 2), ("min", "max"))
+
+    def test_irreflexive_antisymmetric(self):
+        rng = random.Random(7)
+        senses = ("min", "max", "min")
+        vs = [tuple(rng.randint(0, 4) for _ in range(3)) for _ in range(40)]
+        for a in vs:
+            assert not dominates(a, a, senses)
+            for b in vs:
+                if dominates(a, b, senses):
+                    assert not dominates(b, a, senses)
+
+    def test_rejects_unknown_sense(self):
+        with pytest.raises(ValueError, match="unknown sense"):
+            dominates((1,), (2,), ("down",))
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths disagree"):
+            dominates((1, 2), (1,), ("min",))
+
+
+class TestParetoIndices:
+    def test_matches_brute_force_on_random_grids(self):
+        rng = random.Random(11)
+        for trial in range(20):
+            n = rng.randint(1, 60)
+            k = rng.randint(1, 4)
+            senses = tuple(rng.choice(("min", "max")) for _ in range(k))
+            # Small value range on purpose: dense ties and duplicates.
+            vectors = [
+                tuple(float(rng.randint(0, 5)) for _ in range(k))
+                for _ in range(n)
+            ]
+            assert pareto_indices(vectors, senses) == brute_force_front(
+                vectors, senses
+            ), f"trial {trial}: {senses} {vectors}"
+
+    def test_preserves_enumeration_order(self):
+        idx = pareto_indices([(2, 1), (9, 9), (1, 2)], ("min", "min"))
+        assert idx == (0, 2)
+
+    def test_duplicates_all_survive(self):
+        idx = pareto_indices([(1, 1), (1, 1), (2, 2)], ("min", "min"))
+        assert idx == (0, 1)
+
+    def test_empty(self):
+        assert pareto_indices([], ("min",)) == ()
+
+    def test_single_point_is_frontier(self):
+        assert pareto_indices([(3.0, 4.0)], ("min", "max")) == (0,)
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="expected shape"):
+            pareto_indices([(1, 2)], ("min",))
+
+    def test_front_wrapper_returns_items(self):
+        items = ["a", "b", "c"]
+        front = pareto_front(items, [(1,), (2,), (1,)], ("min",))
+        assert front == ["a", "c"]
+
+    def test_front_wrapper_length_mismatch(self):
+        with pytest.raises(ValueError, match="items but"):
+            pareto_front(["a"], [(1,), (2,)], ("min",))
+
+
+class TestArgbest:
+    def test_min_and_max(self):
+        assert argbest([3.0, 1.0, 2.0], "min") == 1
+        assert argbest([3.0, 1.0, 2.0], "max") == 0
+
+    def test_tiebreak_columns(self):
+        # Primary ties; second column decides.
+        assert argbest([1.0, 1.0], "min", tiebreaks=([5.0, 2.0],)) == 1
+
+    def test_ties_fall_to_enumeration_order(self):
+        assert argbest([1.0, 1.0], "min") == 0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            argbest([], "min")
+
+    def test_bad_sense_rejected(self):
+        with pytest.raises(ValueError, match="unknown sense"):
+            argbest([1.0], "best")
+
+    def test_tiebreak_length_mismatch(self):
+        with pytest.raises(ValueError, match="tiebreak column length"):
+            argbest([1.0, 2.0], "min", tiebreaks=([1.0],))

@@ -88,3 +88,37 @@ class TestSelection:
         c = DesignConstraints(max_latency_us=fastest * 1.01)
         pick = best_design(designs, "energy", c)
         assert pick.estimate.latency_us <= fastest * 1.01
+
+
+class TestFrontierEquivalence:
+    """The thin wrappers must match a local 3-objective reference.
+
+    ``dominates``/``pareto_front`` now delegate to the generalized
+    sense-aware machinery in :mod:`repro.explore.frontier`; this pins
+    their output identical (same designs, same order) to the original
+    all-minimized scalar formulation on the kernel grid.
+    """
+
+    @staticmethod
+    def reference_dominates(a, b):
+        ax, bx = a.objectives(), b.objectives()
+        return all(x <= y for x, y in zip(ax, bx)) and any(
+            x < y for x, y in zip(ax, bx)
+        )
+
+    def test_dominates_matches_reference(self, designs):
+        for a in designs:
+            for b in designs:
+                assert dominates(a, b) == self.reference_dominates(a, b)
+
+    def test_pareto_front_matches_reference(self, designs):
+        reference = [
+            d
+            for d in designs
+            if not any(
+                self.reference_dominates(o, d) for o in designs if o is not d
+            )
+        ]
+        front = pareto_front(designs)
+        assert [d.label for d in front] == [d.label for d in reference]
+        assert all(a is b for a, b in zip(front, reference))

@@ -75,8 +75,19 @@ class TestKernelSelection:
 
     def test_unreachable_floor_raises(self):
         space = explore(FP64, UnitKind.ADDER)
-        with pytest.raises(ValueError, match="no adder implementation"):
+        with pytest.raises(ValueError, match="no fp64 adder implementation"):
             space.cheapest_at_least(400.0)
+
+    def test_unreachable_floor_names_request_and_peak(self):
+        # The error must tell the caller exactly what to relax: the
+        # requested clock and the sweep's actually-achievable peak.
+        space = explore(FP64, UnitKind.ADDER)
+        with pytest.raises(ValueError) as err:
+            space.cheapest_at_least(400.0)
+        message = str(err.value)
+        assert "requested 400 MHz" in message
+        assert f"peak_clock_mhz is {space.peak_clock_mhz:.1f} MHz" in message
+        assert space.peak_clock_mhz < 400.0
 
     def test_lower_floor_never_costs_more(self):
         space = explore(FP32, UnitKind.MULTIPLIER)
